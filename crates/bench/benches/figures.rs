@@ -1,0 +1,70 @@
+//! One bench per paper figure/table: each runs the corresponding
+//! experiment pipeline on the quick profile, so the time to regenerate any
+//! figure is tracked like any other performance number. (The *values* the
+//! experiments produce are checked by the experiment integration tests and
+//! recorded in EXPERIMENTS.md; here we watch the cost of producing them.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexserve_experiments::figures as f;
+use flexserve_experiments::figures::Profile;
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $fig:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            std::env::set_var("FLEXSERVE_SILENT", "1");
+            let mut group = c.benchmark_group("figures");
+            group.sample_size(10);
+            group.bench_function(stringify!($fig), |b| {
+                b.iter(|| f::$fig(Profile::Quick))
+            });
+            group.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig01, fig01);
+fig_bench!(bench_fig02, fig02);
+fig_bench!(bench_fig03, fig03);
+fig_bench!(bench_fig04, fig04);
+fig_bench!(bench_fig05, fig05);
+fig_bench!(bench_fig06, fig06);
+fig_bench!(bench_fig07, fig07);
+fig_bench!(bench_fig08, fig08);
+fig_bench!(bench_fig09, fig09);
+fig_bench!(bench_fig10, fig10);
+fig_bench!(bench_fig11, fig11);
+fig_bench!(bench_fig12, fig12);
+fig_bench!(bench_fig13, fig13);
+fig_bench!(bench_fig14, fig14);
+fig_bench!(bench_fig15, fig15);
+fig_bench!(bench_fig16, fig16);
+fig_bench!(bench_fig17, fig17);
+fig_bench!(bench_fig18, fig18);
+fig_bench!(bench_fig19, fig19);
+fig_bench!(bench_table1, table1);
+
+criterion_group!(
+    benches,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_fig06,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18,
+    bench_fig19,
+    bench_table1
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Substrate-layer benches: generation, shortest paths, APSP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flexserve_bench::bench_env;
+use flexserve_graph::gen::{erdos_renyi, GenConfig};
+use flexserve_graph::path::shortest_paths;
+use flexserve_graph::{DistanceMatrix, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erdos_renyi_generation");
+    for n in [100usize, 500, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                erdos_renyi(n, 0.01, &GenConfig::default(), &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra_single_source");
+    for n in [100usize, 500, 1000] {
+        let env = bench_env(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| shortest_paths(&env.graph, NodeId::new(0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_matrix");
+    group.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let env = bench_env(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| DistanceMatrix::build(&env.graph))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_dijkstra, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! OPT dynamic-program scaling: configuration-space growth with substrate
+//! size and linear growth with horizon length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flexserve_core::{initial_center, optimal_plan};
+use flexserve_graph::gen::{line, GenConfig};
+use flexserve_graph::DistanceMatrix;
+use flexserve_sim::{CostParams, LoadModel, SimContext};
+use flexserve_workload::{record, CommuterScenario, LoadVariant, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn line_trace(n: usize, rounds: u64) -> (flexserve_graph::Graph, DistanceMatrix, Trace) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = line(n, &GenConfig::default(), &mut rng).unwrap();
+    let m = DistanceMatrix::build(&g);
+    let mut scenario = CommuterScenario::with_matrix(&g, &m, 4, 5, LoadVariant::Dynamic, 3);
+    let trace = record(&mut scenario, rounds);
+    (g, m, trace)
+}
+
+fn bench_opt_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_dp_vs_n_100rounds");
+    group.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        let (g, m, trace) = line_trace(n, 100);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let start = initial_center(&ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ctx, |b, ctx| {
+            b.iter(|| optimal_plan(ctx, &trace, &start))
+        });
+    }
+    group.finish();
+}
+
+fn bench_opt_vs_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_dp_vs_horizon_n5");
+    group.sample_size(10);
+    for rounds in [50u64, 100, 200, 400] {
+        let (g, m, trace) = line_trace(5, rounds);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let start = initial_center(&ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &ctx, |b, ctx| {
+            b.iter(|| optimal_plan(ctx, &trace, &start))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_vs_n, bench_opt_vs_horizon);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Request-routing benches: nearest vs load-aware policies across batch
+//! sizes and fleet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flexserve_bench::bench_env;
+use flexserve_graph::NodeId;
+use flexserve_sim::{route, CostParams, LoadModel, RoutingPolicy, SimContext};
+use flexserve_workload::RoundRequests;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn batch(n_nodes: usize, size: usize, seed: u64) -> RoundRequests {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    RoundRequests::new(
+        (0..size)
+            .map(|_| NodeId::new(rng.gen_range(0..n_nodes)))
+            .collect(),
+    )
+}
+
+fn servers(n_nodes: usize, k: usize) -> Vec<NodeId> {
+    (0..k).map(|i| NodeId::new(i * (n_nodes / k))).collect()
+}
+
+fn bench_routing_policies(c: &mut Criterion) {
+    let env = bench_env(300, 4);
+    let n = env.graph.node_count();
+    let mut group = c.benchmark_group("routing");
+    for &(reqs, k) in &[(50usize, 2usize), (200, 4), (500, 8)] {
+        let b_ = batch(n, reqs, 9);
+        let s = servers(n, k);
+        for policy in [RoutingPolicy::Nearest, RoutingPolicy::LoadAware] {
+            let ctx = SimContext::new(
+                &env.graph,
+                &env.matrix,
+                CostParams::default(),
+                LoadModel::Linear,
+            )
+            .with_routing(policy);
+            let label = format!("{policy:?}/r{reqs}k{k}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &ctx, |bch, ctx| {
+                bch.iter(|| route(ctx, &s, &b_))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_load_models(c: &mut Criterion) {
+    let env = bench_env(300, 4);
+    let n = env.graph.node_count();
+    let b_ = batch(n, 200, 9);
+    let s = servers(n, 4);
+    let mut group = c.benchmark_group("routing_load_models");
+    for load in [LoadModel::None, LoadModel::Linear, LoadModel::Quadratic] {
+        let ctx = SimContext::new(&env.graph, &env.matrix, CostParams::default(), load);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{load}")),
+            &ctx,
+            |bch, ctx| bch.iter(|| route(ctx, &s, &b_)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_policies, bench_load_models);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Strategy benches: full short runs of each algorithm on identical
+//! traces, measuring decision-making overhead (the dominant per-round
+//! cost is the best-candidate search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flexserve_bench::bench_env;
+use flexserve_core::{initial_center, offstat, OnBr, OnConf, OnTh, StaticStrategy};
+use flexserve_sim::{run_online, CostParams, LoadModel, SimContext};
+use flexserve_workload::{record, CommuterScenario, LoadVariant, Trace};
+
+fn make_trace(env: &flexserve_bench::BenchEnv, rounds: u64) -> Trace {
+    let mut scenario = CommuterScenario::with_matrix(
+        &env.graph,
+        &env.matrix,
+        8,
+        5,
+        LoadVariant::Dynamic,
+        7,
+    );
+    record(&mut scenario, rounds)
+}
+
+fn bench_online_strategies(c: &mut Criterion) {
+    let env = bench_env(200, 5);
+    let trace = make_trace(&env, 100);
+    let ctx = SimContext::new(
+        &env.graph,
+        &env.matrix,
+        CostParams::default(),
+        LoadModel::Linear,
+    );
+    let start = initial_center(&ctx);
+
+    let mut group = c.benchmark_group("strategy_runs_100rounds_n200");
+    group.sample_size(10);
+    group.bench_function("STATIC", |b| {
+        b.iter(|| run_online(&ctx, &trace, &mut StaticStrategy::new(), start.clone()))
+    });
+    group.bench_function("ONTH", |b| {
+        b.iter(|| run_online(&ctx, &trace, &mut OnTh::new(), start.clone()))
+    });
+    group.bench_function("ONBR-fixed", |b| {
+        b.iter(|| run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone()))
+    });
+    group.bench_function("ONBR-dyn", |b| {
+        b.iter(|| run_online(&ctx, &trace, &mut OnBr::dynamic(&ctx), start.clone()))
+    });
+    group.finish();
+}
+
+fn bench_onconf_small(c: &mut Criterion) {
+    // ONCONF only runs on small instances: n=12, k=2 -> 78 configurations.
+    let env = bench_env(12, 6);
+    let trace = make_trace(&env, 100);
+    let params = CostParams::default().with_max_servers(2);
+    let ctx = SimContext::new(&env.graph, &env.matrix, params, LoadModel::Linear);
+    let start = initial_center(&ctx);
+    c.bench_function("ONCONF_100rounds_n12k2", |b| {
+        b.iter(|| {
+            run_online(
+                &ctx,
+                &trace,
+                &mut OnConf::new(&ctx, &start, 1),
+                start.clone(),
+            )
+        })
+    });
+}
+
+fn bench_offstat_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offstat");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let env = bench_env(n, 7);
+        let trace = make_trace(&env, 200);
+        let params = CostParams::default().with_max_servers(8);
+        let ctx = SimContext::new(&env.graph, &env.matrix, params, LoadModel::Linear);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ctx, |b, ctx| {
+            b.iter(|| offstat(ctx, &trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_online_strategies,
+    bench_onconf_small,
+    bench_offstat_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! # flexserve-bench
+//!
+//! Criterion performance benches for the flexserve workspace, plus shared
+//! fixtures. The benches cover:
+//!
+//! * `graph_ops` — substrate generation, Dijkstra, all-pairs matrices;
+//! * `routing` — nearest vs load-aware request routing;
+//! * `strategies` — per-round decision cost of ONTH / ONBR / ONCONF and
+//!   full short runs;
+//! * `opt_dp` — the offline DP's scaling with substrate size and horizon;
+//! * `figures` — micro (quick-profile) versions of each paper
+//!   figure/table pipeline, so a regression in any experiment's runtime is
+//!   caught like any other perf regression.
+//!
+//! Cost-level (not time-level) ablations live in the
+//! `flexserve-experiments` crate (`cargo run -p flexserve-experiments
+//! --release --bin ablations`).
+
+#![deny(missing_docs)]
+
+use flexserve_graph::gen::{erdos_renyi, GenConfig};
+use flexserve_graph::{DistanceMatrix, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A seeded ER substrate with its distance matrix (shared bench fixture).
+pub struct BenchEnv {
+    /// The substrate.
+    pub graph: Graph,
+    /// Its APSP matrix.
+    pub matrix: DistanceMatrix,
+}
+
+/// Builds the standard bench fixture: ER(n, 1%), connected, seeded.
+pub fn bench_env(n: usize, seed: u64) -> BenchEnv {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = erdos_renyi(n, 0.01, &GenConfig::default(), &mut rng).expect("valid params");
+    let matrix = DistanceMatrix::build(&graph);
+    BenchEnv { graph, matrix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let env = bench_env(50, 1);
+        assert_eq!(env.graph.node_count(), 50);
+        assert!(env.matrix.is_connected());
+    }
+}

@@ -1,0 +1,75 @@
+//! Static baseline strategy: provision once, never adapt.
+//!
+//! This is the *online* counterpart of static provisioning: a fixed set of
+//! active servers for the whole run. Comparing any adaptive strategy
+//! against it quantifies "the benefit of virtualization" from the online
+//! side, complementing the OFFSTAT-vs-OPT offline comparison.
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
+use flexserve_workload::RoundRequests;
+
+/// A strategy that never reconfigures.
+#[derive(Clone, Debug)]
+pub struct StaticStrategy {
+    name: String,
+}
+
+impl StaticStrategy {
+    /// Creates the baseline. The initial configuration is whatever the
+    /// engine starts the fleet with.
+    pub fn new() -> Self {
+        StaticStrategy {
+            name: "STATIC".to_string(),
+        }
+    }
+}
+
+impl Default for StaticStrategy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStrategy for StaticStrategy {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn decide(
+        &mut self,
+        _ctx: &SimContext<'_>,
+        _t: u64,
+        _requests: &RoundRequests,
+        _access_cost: f64,
+        _fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+    use flexserve_sim::{run_online, CostParams, LoadModel};
+    use flexserve_workload::Trace;
+
+    #[test]
+    fn never_migrates_or_creates() {
+        let g = unit_line(6).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let trace = Trace::new(vec![
+            RoundRequests::new(vec![NodeId::new(5); 4]);
+            20
+        ]);
+        let rec = run_online(&ctx, &trace, &mut StaticStrategy::new(), vec![NodeId::new(0)]);
+        let total = rec.total();
+        assert_eq!(total.migration, 0.0);
+        assert_eq!(total.creation, 0.0);
+        assert_eq!(rec.active_series(), vec![1; 20]);
+        assert_eq!(StaticStrategy::new().name(), "STATIC");
+    }
+}

@@ -1,0 +1,576 @@
+//! Shared epoch bookkeeping and fast candidate evaluation.
+//!
+//! ONBR, ONTH and their offline variants all score the same family of
+//! *neighbor configurations* of the current active set `A`:
+//!
+//! 1. `A` itself (no change),
+//! 2. `A − u + v` — migrate one server (`O(n·k)` candidates),
+//! 3. `A − u` — deactivate one server (`O(k)` candidates),
+//! 4. `A + v` — activate/create one server (`O(n)` candidates),
+//!
+//! each evaluated against the requests of an epoch. A naive evaluation
+//! re-routes every request for every candidate; this module instead
+//! precomputes, per distinct origin, the two nearest current servers
+//! (`d1/s1`, `d2/s2`), after which any single-server change is scored in
+//! `O(1)` per origin — exactly (including non-additive load models),
+//! because per-round per-server request counts are re-derived per
+//! candidate.
+//!
+//! Scores include access cost (delay + load), active running cost
+//! (`Ra·|A'|` per round) and the transition cost of reaching the candidate
+//! (per the planner's pricing rules). The `Ri` cost of cached servers is
+//! identical across candidates up to one server and is deliberately left
+//! out of the *comparison* (the engine charges it exactly).
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{Fleet, SimContext};
+use flexserve_workload::RoundRequests;
+
+/// The requests of an epoch, folded to per-round distinct-origin counts.
+#[derive(Clone, Debug, Default)]
+pub struct EpochWindow {
+    rounds: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl EpochWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        EpochWindow::default()
+    }
+
+    /// Appends one round of requests.
+    pub fn push(&mut self, batch: &RoundRequests) {
+        let mut counts: Vec<(NodeId, usize)> = batch.counts().into_iter().collect();
+        counts.sort_by_key(|&(o, _)| o);
+        self.rounds.push(counts);
+    }
+
+    /// Clears the window (start of a new epoch).
+    pub fn clear(&mut self) {
+        self.rounds.clear();
+    }
+
+    /// Number of rounds currently in the window.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the window holds no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Iterates over the folded rounds.
+    pub fn rounds(&self) -> impl Iterator<Item = &[(NodeId, usize)]> {
+        self.rounds.iter().map(|r| r.as_slice())
+    }
+}
+
+/// Which neighbor families to consider.
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateOptions {
+    /// Allow `A − u + v` moves.
+    pub migrate: bool,
+    /// Allow `A − u` moves (never drops the last server).
+    pub deactivate: bool,
+    /// Allow `A + v` moves (bounded by the `k` budget).
+    pub add: bool,
+}
+
+impl CandidateOptions {
+    /// ONBR's full neighborhood.
+    pub fn all() -> Self {
+        CandidateOptions {
+            migrate: true,
+            deactivate: true,
+            add: true,
+        }
+    }
+
+    /// ONTH's small-epoch neighborhood (no additions — those are the large
+    /// epoch's job).
+    pub fn no_add() -> Self {
+        CandidateOptions {
+            migrate: true,
+            deactivate: true,
+            add: false,
+        }
+    }
+}
+
+/// Exact access cost of serving every round of `window` from `servers`
+/// under nearest routing: `Σ_rounds (Σ delay + Σ load)`.
+pub fn access_cost_window(
+    ctx: &SimContext<'_>,
+    servers: &[NodeId],
+    window: &EpochWindow,
+) -> f64 {
+    if servers.is_empty() {
+        return if window.rounds.iter().all(|r| r.is_empty()) {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    let mut total = 0.0;
+    let mut counts = vec![0usize; servers.len()];
+    for round in &window.rounds {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &(origin, cnt) in round {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &s) in servers.iter().enumerate() {
+                let d = ctx.dist.get(origin, s);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            total += best_d * cnt as f64;
+            counts[best] += cnt;
+        }
+        for (i, &s) in servers.iter().enumerate() {
+            total += ctx.load.load(ctx.graph.strength(s), counts[i]);
+        }
+    }
+    total
+}
+
+/// Per-origin routing info against the current active set.
+struct OriginInfo {
+    origin: NodeId,
+    cnt: usize,
+    d1: f64,
+    s1: usize,
+    d2: f64,
+    s2: usize,
+}
+
+/// Analytic transition cost of a single-server change, mirroring the
+/// planner's rules (validated against the planner in tests).
+fn single_change_cost(ctx: &SimContext<'_>, fleet: &Fleet, kind: ChangeKind) -> f64 {
+    let p = &ctx.params;
+    match kind {
+        ChangeKind::Migrate => {
+            if p.migration_useful() {
+                p.migration_beta
+            } else {
+                p.creation_c
+            }
+        }
+        ChangeKind::Add(v) => {
+            if fleet.is_inactive_at(v) {
+                0.0
+            } else if p.migration_useful() && fleet.inactive_count() > 0 {
+                p.migration_beta
+            } else {
+                p.creation_c
+            }
+        }
+    }
+}
+
+/// Stays and deactivations are free and need no pricing case.
+#[derive(Clone, Copy)]
+enum ChangeKind {
+    Migrate,
+    Add(NodeId),
+}
+
+/// The best neighbor configuration of `fleet.active()` w.r.t. `window`.
+///
+/// Returns `(target_active_set, score)` where the score is
+/// `access(window) + Ra·|A'|·window_len + transition_cost`. The current
+/// configuration is always a candidate, so callers can compare the winner
+/// against "stay" by identity of the returned set.
+pub fn best_candidate(
+    ctx: &SimContext<'_>,
+    fleet: &Fleet,
+    window: &EpochWindow,
+    options: CandidateOptions,
+) -> (Vec<NodeId>, f64) {
+    let a = fleet.active();
+    let k = a.len();
+    assert!(k > 0, "best_candidate: no active servers");
+    let wlen = window.len() as f64;
+    let ra = ctx.params.run_active;
+
+    // Precompute two nearest current servers per (round, origin).
+    let mut infos: Vec<Vec<OriginInfo>> = Vec::with_capacity(window.rounds.len());
+    for round in &window.rounds {
+        let mut v = Vec::with_capacity(round.len());
+        for &(origin, cnt) in round {
+            let (mut d1, mut s1, mut d2, mut s2) = (f64::INFINITY, 0usize, f64::INFINITY, 0usize);
+            for (i, &s) in a.iter().enumerate() {
+                let d = ctx.dist.get(origin, s);
+                if d < d1 {
+                    d2 = d1;
+                    s2 = s1;
+                    d1 = d;
+                    s1 = i;
+                } else if d < d2 {
+                    d2 = d;
+                    s2 = i;
+                }
+            }
+            v.push(OriginInfo {
+                origin,
+                cnt,
+                d1,
+                s1,
+                d2,
+                s2,
+            });
+        }
+        infos.push(v);
+    }
+
+    let strengths: Vec<f64> = a.iter().map(|&s| ctx.graph.strength(s)).collect();
+
+    // Scores a candidate: remove server index `remove` (usize::MAX = none)
+    // and/or add node `add` (None = none). Exact nearest routing + load.
+    // `counts` is scratch of size k+1 (slot k = the added server).
+    let mut counts = vec![0usize; k + 1];
+    let mut eval = |remove: usize, add: Option<NodeId>| -> f64 {
+        let mut total = 0.0;
+        let add_strength = add.map(|v| ctx.graph.strength(v)).unwrap_or(1.0);
+        for round in &infos {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for info in round {
+                // nearest surviving current server
+                let (dcur, scur) = if info.s1 == remove {
+                    (info.d2, info.s2)
+                } else {
+                    (info.d1, info.s1)
+                };
+                let (d, slot) = match add {
+                    Some(v) => {
+                        let dv = ctx.dist.get(info.origin, v);
+                        if dv < dcur {
+                            (dv, k)
+                        } else {
+                            (dcur, scur)
+                        }
+                    }
+                    None => (dcur, scur),
+                };
+                total += d * info.cnt as f64;
+                counts[slot] += info.cnt;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let strength = if i == k { add_strength } else { strengths[i] };
+                total += ctx.load.load(strength, c);
+            }
+        }
+        total
+    };
+
+    const NONE: usize = usize::MAX;
+    let mut best_target: Option<Vec<NodeId>> = None;
+    let mut best_score = f64::INFINITY;
+
+    let consider =
+        |score: f64, best_score: &mut f64, best_target: &mut Option<Vec<NodeId>>, target: Vec<NodeId>| {
+            if score < *best_score {
+                *best_score = score;
+                *best_target = Some(target);
+            }
+        };
+
+    // 1. Stay.
+    let stay_score = eval(NONE, None) + ra * k as f64 * wlen;
+    consider(stay_score, &mut best_score, &mut best_target, a.to_vec());
+
+    // 2. Migrate u -> v.
+    if options.migrate && k >= 1 {
+        let mig_cost = single_change_cost(ctx, fleet, ChangeKind::Migrate);
+        for v in ctx.graph.nodes() {
+            if fleet.is_active_at(v) {
+                continue;
+            }
+            for u_idx in 0..k {
+                let score = eval(u_idx, Some(v)) + ra * k as f64 * wlen + mig_cost;
+                if score < best_score {
+                    let mut target = a.to_vec();
+                    target[u_idx] = v;
+                    consider(score, &mut best_score, &mut best_target, target);
+                }
+            }
+        }
+    }
+
+    // 3. Deactivate u (keep at least one server).
+    if options.deactivate && k >= 2 {
+        for u_idx in 0..k {
+            let score = eval(u_idx, None) + ra * (k - 1) as f64 * wlen;
+            if score < best_score {
+                let mut target = a.to_vec();
+                target.remove(u_idx);
+                consider(score, &mut best_score, &mut best_target, target);
+            }
+        }
+    }
+
+    // 4. Add v (respect the k budget).
+    if options.add && k < ctx.params.max_servers {
+        for v in ctx.graph.nodes() {
+            if fleet.is_active_at(v) {
+                continue;
+            }
+            let trans = single_change_cost(ctx, fleet, ChangeKind::Add(v));
+            let score = eval(NONE, Some(v)) + ra * (k + 1) as f64 * wlen + trans;
+            if score < best_score {
+                let mut target = a.to_vec();
+                target.push(v);
+                consider(score, &mut best_score, &mut best_target, target);
+            }
+        }
+    }
+
+    (best_target.expect("at least the stay candidate exists"), best_score)
+}
+
+/// The node `v ∉ A` minimizing the pure access cost of `window` served by
+/// `A ∪ {v}` — ONTH's "optimal position with respect to the access cost of
+/// the latest large epoch". Returns `None` when every node already hosts a
+/// server.
+pub fn best_new_server_position(
+    ctx: &SimContext<'_>,
+    fleet: &Fleet,
+    window: &EpochWindow,
+) -> Option<NodeId> {
+    let a = fleet.active();
+    let mut best: Option<(NodeId, f64)> = None;
+    let mut with_v: Vec<NodeId> = a.to_vec();
+    with_v.push(NodeId::new(0)); // placeholder, replaced per candidate
+    for v in ctx.graph.nodes() {
+        if fleet.is_active_at(v) {
+            continue;
+        }
+        *with_v.last_mut().unwrap() = v;
+        let cost = access_cost_window(ctx, &with_v, window);
+        if best.map_or(true, |(_, c)| cost < c) {
+            best = Some((v, cost));
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+    use flexserve_sim::{CostParams, LoadModel, TransitionPlanner};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn window_at(origins: &[(usize, usize)], rounds: usize) -> EpochWindow {
+        let mut w = EpochWindow::new();
+        for _ in 0..rounds {
+            let mut batch = RoundRequests::empty();
+            for &(o, cnt) in origins {
+                batch.push_many(n(o), cnt);
+            }
+            w.push(&batch);
+        }
+        w
+    }
+
+    struct Fixture {
+        g: flexserve_graph::Graph,
+        m: DistanceMatrix,
+    }
+
+    impl Fixture {
+        fn line(len: usize) -> Self {
+            let g = unit_line(len).unwrap();
+            let m = DistanceMatrix::build(&g);
+            Fixture { g, m }
+        }
+        fn ctx(&self, load: LoadModel) -> SimContext<'_> {
+            SimContext::new(&self.g, &self.m, CostParams::default(), load)
+        }
+    }
+
+    #[test]
+    fn window_folds_duplicates() {
+        let w = window_at(&[(3, 5)], 2);
+        assert_eq!(w.len(), 2);
+        let first: Vec<_> = w.rounds().next().unwrap().to_vec();
+        assert_eq!(first, vec![(n(3), 5)]);
+    }
+
+    #[test]
+    fn access_cost_window_matches_route() {
+        let f = Fixture::line(10);
+        let ctx = f.ctx(LoadModel::Linear);
+        let servers = [n(1), n(8)];
+        let mut batch = RoundRequests::empty();
+        batch.push_many(n(0), 3);
+        batch.push_many(n(9), 2);
+        batch.push(n(4));
+        let mut w = EpochWindow::new();
+        w.push(&batch);
+        w.push(&batch);
+        let direct = ctx.access_cost(&servers, &batch) * 2.0;
+        let windowed = access_cost_window(&ctx, &servers, &w);
+        assert!((direct - windowed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_servers_infinite_unless_empty_window() {
+        let f = Fixture::line(4);
+        let ctx = f.ctx(LoadModel::None);
+        let w = window_at(&[(0, 1)], 1);
+        assert!(access_cost_window(&ctx, &[], &w).is_infinite());
+        let empty = EpochWindow::new();
+        assert_eq!(access_cost_window(&ctx, &[], &empty), 0.0);
+    }
+
+    #[test]
+    fn best_candidate_migrates_toward_demand() {
+        let f = Fixture::line(20);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        // heavy demand at node 19 for many rounds: migration (β=40) pays off
+        let w = window_at(&[(19, 10)], 5);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target, vec![n(19)]);
+    }
+
+    #[test]
+    fn best_candidate_stays_for_trivial_demand() {
+        let f = Fixture::line(20);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(10)], &ctx.params);
+        let w = window_at(&[(10, 1)], 1);
+        let (target, score) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target, vec![n(10)]);
+        // score = access 0 + running 2.5
+        assert!((score - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_candidate_adds_server_for_split_demand() {
+        let f = Fixture::line(40);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        // two heavy clusters at the ends over many rounds: creating a second
+        // server at 39 (cost 400) beats hauling 10 requests 39 hops for 10
+        // rounds (3900).
+        let w = window_at(&[(0, 10), (39, 10)], 10);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target, vec![n(0), n(39)]);
+    }
+
+    #[test]
+    fn no_add_options_respected() {
+        let f = Fixture::line(40);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        let w = window_at(&[(0, 10), (39, 10)], 10);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::no_add());
+        assert_eq!(target.len(), 1, "no_add must not grow the fleet");
+    }
+
+    #[test]
+    fn deactivate_wins_when_demand_collapses() {
+        let f = Fixture::line(10);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0), n(9)], &ctx.params);
+        // all demand at node 0: the second server only costs Ra
+        let w = window_at(&[(0, 3)], 4);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target, vec![n(0)]);
+    }
+
+    #[test]
+    fn never_drops_last_server() {
+        let f = Fixture::line(5);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(2)], &ctx.params);
+        let w = window_at(&[], 3); // empty demand
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target.len(), 1);
+    }
+
+    #[test]
+    fn respects_k_budget() {
+        let f = Fixture::line(30);
+        let mut params = CostParams::default();
+        params.max_servers = 1;
+        let ctx = SimContext::new(&f.g, &f.m, params, LoadModel::None);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        let w = window_at(&[(0, 10), (29, 10)], 10);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert!(target.len() <= 1);
+    }
+
+    #[test]
+    fn analytic_transition_cost_matches_planner() {
+        let f = Fixture::line(12);
+        for params in [CostParams::default(), CostParams::flipped()] {
+            let ctx = SimContext::new(&f.g, &f.m, params, LoadModel::None);
+            // fleet with one cached inactive server at node 5
+            let mut fleet = Fleet::new(vec![n(0), n(5)], &ctx.params);
+            TransitionPlanner::apply(&mut fleet, &[n(0)], &ctx.params);
+            assert!(fleet.is_inactive_at(n(5)));
+
+            // Add at the cached node: free
+            let analytic = single_change_cost(&ctx, &fleet, ChangeKind::Add(n(5)));
+            let planner = TransitionPlanner::price(&fleet, &[n(0), n(5)], &ctx.params);
+            assert_eq!(analytic, planner);
+
+            // Add elsewhere: migrate cache (β) or create (c)
+            let analytic = single_change_cost(&ctx, &fleet, ChangeKind::Add(n(9)));
+            let planner = TransitionPlanner::price(&fleet, &[n(0), n(9)], &ctx.params);
+            assert_eq!(analytic, planner);
+
+            // Migrate the active server
+            let analytic = single_change_cost(&ctx, &fleet, ChangeKind::Migrate);
+            // price from a fleet with no cache: build fresh
+            let fresh = Fleet::new(vec![n(0)], &ctx.params);
+            let planner = TransitionPlanner::price(&fresh, &[n(9)], &ctx.params);
+            assert_eq!(analytic, planner);
+        }
+    }
+
+    #[test]
+    fn quadratic_load_prefers_spreading() {
+        let f = Fixture::line(3);
+        let ctx = f.ctx(LoadModel::Quadratic);
+        let fleet = Fleet::new(vec![n(1)], &ctx.params);
+        // 30 requests at the server node each round: quadratic load 900/round.
+        // Adding a server at node 0 or 2 halves nothing under nearest
+        // routing (all requests at node 1 stay there) — but demand at two
+        // origins spreads.
+        let w = window_at(&[(0, 15), (2, 15)], 4);
+        let (target, _) = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+        assert_eq!(target.len(), 2, "quadratic load should add a server");
+    }
+
+    #[test]
+    fn best_new_server_position_picks_demand_hotspot() {
+        let f = Fixture::line(30);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        let w = window_at(&[(0, 5), (25, 9)], 3);
+        let v = best_new_server_position(&ctx, &fleet, &w).unwrap();
+        assert_eq!(v, n(25));
+    }
+
+    #[test]
+    fn best_new_server_position_none_when_full() {
+        let f = Fixture::line(2);
+        let ctx = f.ctx(LoadModel::None);
+        let fleet = Fleet::new(vec![n(0), n(1)], &ctx.params);
+        let w = window_at(&[(0, 1)], 1);
+        assert_eq!(best_new_server_position(&ctx, &fleet, &w), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Competitive-ratio helpers.
+//!
+//! "To evaluate the efficiency of an online algorithm, its performance is
+//! often compared to the performance of a (sometimes hypothetical) optimal
+//! offline algorithm for the given request sequence. The ratio of the two
+//! costs is called the competitive ratio." (§II-E)
+
+/// The empirical competitive ratio `cost(ALG) / cost(OPT)`.
+///
+/// Returns 1.0 when both costs are zero (an algorithm cannot beat doing
+/// nothing about nothing) and `f64::INFINITY` when OPT is zero but the
+/// algorithm paid something.
+///
+/// # Panics
+///
+/// Panics on negative or NaN inputs — costs are sums of non-negative
+/// charges by construction.
+pub fn competitive_ratio(alg_cost: f64, opt_cost: f64) -> f64 {
+    assert!(
+        alg_cost >= 0.0 && opt_cost >= 0.0,
+        "negative cost: alg={alg_cost}, opt={opt_cost}"
+    );
+    if opt_cost == 0.0 {
+        if alg_cost == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        alg_cost / opt_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        assert_eq!(competitive_ratio(200.0, 100.0), 2.0);
+        assert_eq!(competitive_ratio(100.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn zero_edge_cases() {
+        assert_eq!(competitive_ratio(0.0, 0.0), 1.0);
+        assert_eq!(competitive_ratio(5.0, 0.0), f64::INFINITY);
+        assert_eq!(competitive_ratio(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cost")]
+    fn negative_rejected() {
+        competitive_ratio(-1.0, 1.0);
+    }
+}

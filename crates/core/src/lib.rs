@@ -1,0 +1,75 @@
+//! # flexserve-core
+//!
+//! The paper's contribution: online and offline strategies for flexible
+//! server allocation and migration.
+//!
+//! ## Online strategies (§III)
+//!
+//! * [`onconf::OnConf`] — the configuration-counter algorithm ONCONF:
+//!   maintains a counter per configuration and randomly moves among
+//!   configurations whose epoch cost is still below `k·c`. Exponential
+//!   state space; only for small instances (as in the paper).
+//! * [`onbr::OnBr`] — ONBR, the sequential best-response variant: when the
+//!   epoch cost reaches a threshold `θ` (fixed `2c` or dynamic `2c/ℓ`), it
+//!   switches to the cheapest single-server change (stay / migrate one /
+//!   deactivate one / activate-or-create one) w.r.t. the passed epoch.
+//! * [`onth::OnTh`] — ONTH, the threshold algorithm with small epochs
+//!   (cost `y·β`: stay / migrate one / deactivate one) and large epochs
+//!   (`Cost_acc/(k_cur+1) − Cost_run > c`: activate a new server at the
+//!   best position of the passed large epoch).
+//! * [`sampledconf::SampledConf`] — the §III-A *sampling* speed-up of
+//!   ONCONF: only `k` configurations are tracked, one per server count.
+//! * [`baseline::StaticStrategy`] — never reconfigures (the online
+//!   counterpart of static provisioning).
+//!
+//! ## Offline strategies (§IV)
+//!
+//! * [`opt::optimal_plan`] — the optimal offline dynamic program over
+//!   time × configurations, with path reconstruction.
+//! * [`offbr::OffBr`] / [`offth::OffTh`] — the best-response/threshold
+//!   strategies with one-epoch lookahead ("switch to the configuration of
+//!   lowest cost in the *upcoming* epoch").
+//! * [`offstat::offstat`] — OFFSTAT, the optimal *static* allocation:
+//!   greedy placement of `i = 1..k` always-active servers, picking the
+//!   cheapest `i` (`k_opt`).
+//!
+//! All strategies price configuration changes through the shared
+//! transition planner of `flexserve-sim`, so costs are directly comparable.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod candidates;
+pub mod competitive;
+pub mod offbr;
+pub mod offstat;
+pub mod offth;
+pub mod onbr;
+pub mod onconf;
+pub mod onth;
+pub mod opt;
+pub mod sampledconf;
+
+pub use baseline::StaticStrategy;
+pub use candidates::{
+    access_cost_window, best_candidate, best_new_server_position, CandidateOptions, EpochWindow,
+};
+pub use competitive::competitive_ratio;
+pub use offbr::OffBr;
+pub use offstat::{offstat, OffStatResult};
+pub use offth::OffTh;
+pub use onbr::{OnBr, ThresholdMode};
+pub use onconf::OnConf;
+pub use onth::OnTh;
+pub use opt::{optimal_plan, OptResult};
+pub use sampledconf::SampledConf;
+
+use flexserve_graph::NodeId;
+use flexserve_sim::SimContext;
+
+/// The paper's canonical initial configuration: one server at the network
+/// center.
+pub fn initial_center(ctx: &SimContext<'_>) -> Vec<NodeId> {
+    vec![flexserve_graph::metrics::metrics_from_matrix(ctx.dist).center]
+}

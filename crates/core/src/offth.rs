@@ -1,0 +1,185 @@
+//! OFFTH — the threshold strategy with lookahead (§IV-B).
+//!
+//! "A similar transformation can be done from ONTH to OFFTH: we simply
+//! compute optimal strategies of small epochs at hindsight."
+//!
+//! OFFTH keeps ONTH's two-level epoch structure and triggers, but when a
+//! small epoch ends, the candidate configurations are scored on the
+//! *upcoming* small epoch (rounds scanned forward until the `y·β`
+//! threshold would fire again under the current configuration). The
+//! large-epoch scale-out condition and the new server's position remain
+//! those of ONTH: placement reacts to sustained overload, which foresight
+//! does not change qualitatively — and this matches the paper's framing of
+//! OFFTH as the small-epoch transformation only.
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
+use flexserve_workload::{RoundRequests, Trace};
+
+use crate::candidates::{
+    best_candidate, best_new_server_position, CandidateOptions, EpochWindow,
+};
+
+/// The OFFTH strategy (lookahead threshold algorithm).
+pub struct OffTh {
+    trace: Trace,
+    y: f64,
+    small_cost: f64,
+    large_window: EpochWindow,
+    large_access: f64,
+    large_running: f64,
+}
+
+impl OffTh {
+    /// OFFTH with the paper's `y = 2`.
+    pub fn new(trace: Trace) -> Self {
+        Self::with_y(trace, 2.0)
+    }
+
+    /// OFFTH with an explicit small-epoch factor.
+    pub fn with_y(trace: Trace, y: f64) -> Self {
+        assert!(y.is_finite() && y > 0.0, "OFFTH: y must be positive");
+        OffTh {
+            trace,
+            y,
+            small_cost: 0.0,
+            large_window: EpochWindow::new(),
+            large_access: 0.0,
+            large_running: 0.0,
+        }
+    }
+
+    fn upcoming_small_window(
+        &self,
+        ctx: &SimContext<'_>,
+        fleet: &Fleet,
+        from: usize,
+    ) -> EpochWindow {
+        let mut window = EpochWindow::new();
+        let mut acc = 0.0;
+        let theta = self.y * ctx.params.migration_beta;
+        let running = ctx.running_cost(fleet.active_count(), fleet.inactive_count());
+        for t in from..self.trace.len() {
+            let batch = self.trace.round(t);
+            window.push(batch);
+            acc += ctx.access_cost(fleet.active(), batch) + running;
+            if acc >= theta {
+                break;
+            }
+        }
+        window
+    }
+}
+
+impl OnlineStrategy for OffTh {
+    fn name(&self) -> String {
+        "OFFTH".to_string()
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &SimContext<'_>,
+        t: u64,
+        requests: &RoundRequests,
+        access_cost: f64,
+        fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        let running = ctx.running_cost(fleet.active_count(), fleet.inactive_count());
+        self.small_cost += access_cost + running;
+        self.large_window.push(requests);
+        self.large_access += access_cost;
+        self.large_running += running;
+
+        // Large epoch: same as ONTH.
+        let k_cur = fleet.active_count();
+        if k_cur < ctx.params.max_servers
+            && self.large_access / (k_cur as f64 + 1.0) - self.large_running
+                > ctx.params.creation_c
+        {
+            if let Some(v) = best_new_server_position(ctx, fleet, &self.large_window) {
+                let mut target = fleet.active().to_vec();
+                target.push(v);
+                self.large_window.clear();
+                self.large_access = 0.0;
+                self.large_running = 0.0;
+                self.small_cost = 0.0;
+                return Some(target);
+            }
+        }
+
+        // Small epoch with lookahead.
+        if self.small_cost >= self.y * ctx.params.migration_beta {
+            self.small_cost = 0.0;
+            let window = self.upcoming_small_window(ctx, fleet, t as usize + 1);
+            if window.is_empty() {
+                return None;
+            }
+            let (target, _) = best_candidate(ctx, fleet, &window, CandidateOptions::no_add());
+            return Some(target);
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+    use flexserve_sim::{run_online, CostParams, LoadModel};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn anticipates_demand_flip() {
+        let g = unit_line(30).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        // demand flips ends every 20 rounds
+        let mut rounds = Vec::new();
+        for t in 0..120usize {
+            let node = if (t / 20) % 2 == 0 { 0 } else { 29 };
+            rounds.push(RoundRequests::new(vec![n(node); 8]));
+        }
+        let trace = Trace::new(rounds);
+        let mut offth = OffTh::new(trace.clone());
+        let off = run_online(&ctx, &trace, &mut offth, vec![n(15)]);
+        let mut onth = crate::onth::OnTh::new();
+        let on = run_online(&ctx, &trace, &mut onth, vec![n(15)]);
+        assert!(
+            off.total().total() <= on.total().total() * 1.1,
+            "OFFTH {} vs ONTH {}",
+            off.total().total(),
+            on.total().total()
+        );
+    }
+
+    #[test]
+    fn converges_on_constant_demand() {
+        let g = unit_line(15).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let trace = Trace::new(vec![RoundRequests::new(vec![n(14); 6]); 150]);
+        let mut alg = OffTh::new(trace.clone());
+        let rec = run_online(&ctx, &trace, &mut alg, vec![n(0)]);
+        let tail_reconf: f64 = rec.rounds[100..]
+            .iter()
+            .map(|r| r.costs.reconfiguration())
+            .sum();
+        assert_eq!(tail_reconf, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "y must be positive")]
+    fn bad_y_rejected() {
+        OffTh::with_y(Trace::default(), 0.0);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(OffTh::new(Trace::default()).name(), "OFFTH");
+    }
+}

@@ -1,0 +1,253 @@
+//! ONCONF — the configuration-counter online algorithm (§III).
+//!
+//! "ONCONF uses a counter `C(γ)` for each configuration γ. Time is divided
+//! into epochs. In each epoch ONCONF monitors, for each configuration γ,
+//! the cost of serving all requests from this epoch by servers kept in
+//! configuration γ, including the access costs (latency plus induced load)
+//! of the requests, the server running costs, and possible creation costs.
+//! The servers are kept in a given configuration γ̂ until `C(γ̂)` reaches
+//! `k·c`. In this case, ONCONF changes to a configuration γ̂′ chosen
+//! uniformly at random among configurations with the property
+//! `C(γ) < k·c`. If there is no such configuration left, we do not migrate
+//! and the epoch ends in that round; the next epoch starts in the next
+//! round and the counters are reset to zero."
+//!
+//! The configuration space has `Σ_{i=1}^{k} (n choose i)` members, so the
+//! algorithm "is only acceptable for a small number of servers k" — the
+//! constructor refuses instances whose configuration count exceeds a
+//! safety bound.
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
+use flexserve_workload::RoundRequests;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hard cap on the number of tracked configurations.
+pub const MAX_CONFIGURATIONS: usize = 50_000;
+
+/// The ONCONF strategy.
+pub struct OnConf {
+    /// All configurations (active sets, sorted node lists).
+    configs: Vec<Vec<NodeId>>,
+    /// Epoch cost counters `C(γ)`.
+    counters: Vec<f64>,
+    /// Index of the current configuration γ̂.
+    current: usize,
+    rng: SmallRng,
+}
+
+impl OnConf {
+    /// Builds ONCONF over all configurations of at most
+    /// `ctx.params.max_servers` servers on the substrate, starting from the
+    /// given initial active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration space exceeds [`MAX_CONFIGURATIONS`] or
+    /// the initial configuration is not one of them.
+    pub fn new(ctx: &SimContext<'_>, initial: &[NodeId], seed: u64) -> Self {
+        let n = ctx.graph.node_count();
+        let k = ctx.params.max_servers.min(n);
+        let count = config_count(n, k);
+        assert!(
+            count <= MAX_CONFIGURATIONS,
+            "ONCONF: {count} configurations (n={n}, k={k}) exceed the cap of {MAX_CONFIGURATIONS}; \
+             use ONBR/ONTH for large instances"
+        );
+        let mut configs = Vec::with_capacity(count);
+        let mut scratch = Vec::new();
+        enumerate_subsets(n, k, 0, &mut scratch, &mut configs);
+        let mut initial_sorted: Vec<NodeId> = initial.to_vec();
+        initial_sorted.sort();
+        let current = configs
+            .iter()
+            .position(|c| *c == initial_sorted)
+            .expect("initial configuration not in the enumerated space");
+        let counters = vec![0.0; configs.len()];
+        OnConf {
+            configs,
+            counters,
+            current,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of tracked configurations.
+    pub fn config_space(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+/// `Σ_{i=1}^{k} (n choose i)`, saturating.
+fn config_count(n: usize, k: usize) -> usize {
+    let mut total = 0usize;
+    let mut choose = 1usize; // (n choose 0)
+    for i in 1..=k.min(n) {
+        choose = choose.saturating_mul(n - i + 1) / i;
+        total = total.saturating_add(choose);
+        if total > MAX_CONFIGURATIONS {
+            return total;
+        }
+    }
+    total
+}
+
+fn enumerate_subsets(
+    n: usize,
+    k: usize,
+    start: usize,
+    scratch: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if !scratch.is_empty() {
+        out.push(scratch.clone());
+    }
+    if scratch.len() == k {
+        return;
+    }
+    for i in start..n {
+        scratch.push(NodeId::new(i));
+        enumerate_subsets(n, k, i + 1, scratch, out);
+        scratch.pop();
+    }
+}
+
+impl OnlineStrategy for OnConf {
+    fn name(&self) -> String {
+        "ONCONF".to_string()
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &SimContext<'_>,
+        _t: u64,
+        requests: &RoundRequests,
+        _access_cost: f64,
+        _fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        let budget = ctx.params.max_servers as f64 * ctx.params.creation_c;
+
+        // Charge every configuration with this round's hypothetical cost.
+        for (i, cfg) in self.configs.iter().enumerate() {
+            let access = ctx.access_cost(cfg, requests);
+            let running = ctx.params.run_active * cfg.len() as f64;
+            self.counters[i] += access + running;
+        }
+
+        if self.counters[self.current] < budget {
+            return None;
+        }
+
+        // Move uniformly among configurations still under budget.
+        let alive: Vec<usize> = (0..self.configs.len())
+            .filter(|&i| self.counters[i] < budget)
+            .collect();
+        if alive.is_empty() {
+            // Epoch over: reset all counters, stay put.
+            self.counters.iter_mut().for_each(|c| *c = 0.0);
+            return None;
+        }
+        self.current = alive[self.rng.gen_range(0..alive.len())];
+        Some(self.configs[self.current].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+    use flexserve_sim::{run_online, CostParams, LoadModel};
+    use flexserve_workload::Trace;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    struct Fx {
+        g: flexserve_graph::Graph,
+        m: DistanceMatrix,
+    }
+    impl Fx {
+        fn new(len: usize) -> Self {
+            let g = unit_line(len).unwrap();
+            let m = DistanceMatrix::build(&g);
+            Fx { g, m }
+        }
+        fn ctx(&self, k: usize) -> SimContext<'_> {
+            SimContext::new(
+                &self.g,
+                &self.m,
+                CostParams::default().with_max_servers(k),
+                LoadModel::Linear,
+            )
+        }
+    }
+
+    #[test]
+    fn config_count_formula() {
+        assert_eq!(config_count(4, 1), 4);
+        assert_eq!(config_count(4, 2), 4 + 6);
+        assert_eq!(config_count(5, 3), 5 + 10 + 10);
+        assert_eq!(config_count(3, 5), 3 + 3 + 1); // k clamped by n
+    }
+
+    #[test]
+    fn enumerates_all_configs() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(2);
+        let alg = OnConf::new(&ctx, &[n(2)], 0);
+        assert_eq!(alg.config_space(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the cap")]
+    fn refuses_large_spaces() {
+        let g = unit_line(200).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(
+            &g,
+            &m,
+            CostParams::default().with_max_servers(5),
+            LoadModel::Linear,
+        );
+        OnConf::new(&ctx, &[n(0)], 0);
+    }
+
+    #[test]
+    fn stays_put_while_under_budget() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(2);
+        // tiny demand: counters grow slowly, no move for a long time
+        let trace = Trace::new(vec![RoundRequests::new(vec![n(2)]); 10]);
+        let mut alg = OnConf::new(&ctx, &[n(2)], 1);
+        let rec = run_online(&ctx, &trace, &mut alg, vec![n(2)]);
+        assert_eq!(rec.total().migration + rec.total().creation, 0.0);
+    }
+
+    #[test]
+    fn eventually_leaves_expensive_configuration() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(1);
+        // heavy demand far from the server: C(γ̂) grows fast
+        let trace = Trace::new(vec![RoundRequests::new(vec![n(4); 50]); 60]);
+        let mut alg = OnConf::new(&ctx, &[n(0)], 7);
+        let rec = run_online(&ctx, &trace, &mut alg, vec![n(0)]);
+        assert!(
+            rec.total().reconfiguration() > 0.0,
+            "ONCONF should have moved"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(2);
+        let trace = Trace::new(vec![RoundRequests::new(vec![n(4); 30]); 50]);
+        let r1 = run_online(&ctx, &trace, &mut OnConf::new(&ctx, &[n(0)], 9), vec![n(0)]);
+        let r2 = run_online(&ctx, &trace, &mut OnConf::new(&ctx, &[n(0)], 9), vec![n(0)]);
+        assert_eq!(r1.total().total(), r2.total().total());
+    }
+}

@@ -1,0 +1,377 @@
+//! OPT — the optimal offline algorithm (§IV-A).
+//!
+//! A dynamic program over `time × configurations`. A configuration
+//! describes, for each server, whether it is not in use, inactive, or
+//! active, and where it is hosted (Definition 3.1). The DP exploits the
+//! optimal-substructure property: the cheapest way to be in configuration
+//! `γ` at time `t` extends the cheapest way to be in some `γ′` at `t−1` by
+//! the transition `γ′ → γ`:
+//!
+//! ```text
+//! opt[t][γ] = min_γ′ ( opt[t−1][γ′] + Cost(γ′→γ) ) + Cost_run(γ) + Cost_acc(σt, γ)
+//! ```
+//!
+//! The state space is `3^n` filtered to `1 ≤ |A|` and `|A| + |I| ≤ k` —
+//! "the computational complexity of OPT is rather high", which is why the
+//! paper (and this crate's experiments) run it on small line graphs. OPT
+//! manages its inactive servers optimally (no FIFO-cache restriction): it
+//! is the *reference optimum* the online algorithms are measured against.
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{config_transition_cost, Plan, SimContext};
+use flexserve_workload::Trace;
+
+/// Safety cap on the configuration count (the DP is quadratic in it).
+pub const MAX_STATES: usize = 4_000;
+
+/// One DP configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Config {
+    active: Vec<NodeId>,
+    inactive: Vec<NodeId>,
+}
+
+/// The result of the offline optimization.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// Optimal per-round active sets (apply before serving the round).
+    pub plan: Plan,
+    /// Optimal per-round inactive sets (for inspection).
+    pub inactive_plan: Vec<Vec<NodeId>>,
+    /// The optimal total cost (transitions + running + access over the
+    /// whole trace).
+    pub cost: f64,
+    /// Size of the explored configuration space.
+    pub states: usize,
+}
+
+/// Runs the optimal offline DP over `trace`, starting from `initial`
+/// active servers (no inactive servers cached initially; the starting
+/// configuration is free, matching the engine convention).
+///
+/// # Panics
+///
+/// Panics if the configuration space exceeds [`MAX_STATES`] — OPT is meant
+/// for small substrates (the paper uses five-node line graphs) — or if the
+/// trace is empty.
+pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> OptResult {
+    assert!(!trace.is_empty(), "OPT: empty trace");
+    let n = ctx.graph.node_count();
+    let k = ctx.params.max_servers.min(n);
+
+    // --- Enumerate configurations -------------------------------------
+    let configs = enumerate_configs(n, k);
+    let s = configs.len();
+    assert!(
+        s <= MAX_STATES,
+        "OPT: {s} configurations (n={n}, k={k}) exceed MAX_STATES={MAX_STATES}; \
+         use a smaller substrate or server budget"
+    );
+
+    // --- Precompute per-config running cost and transition matrix ------
+    let running: Vec<f64> = configs
+        .iter()
+        .map(|c| ctx.running_cost(c.active.len(), c.inactive.len()))
+        .collect();
+
+    let mut trans = vec![0.0f64; s * s];
+    for (i, from) in configs.iter().enumerate() {
+        for (j, to) in configs.iter().enumerate() {
+            trans[i * s + j] = config_transition_cost(
+                &from.active,
+                &from.inactive,
+                &to.active,
+                &to.inactive,
+                &ctx.params,
+            );
+        }
+    }
+
+    // Initial configuration γ0.
+    let mut init_sorted: Vec<NodeId> = initial.to_vec();
+    init_sorted.sort();
+    let gamma0 = Config {
+        active: init_sorted,
+        inactive: Vec::new(),
+    };
+
+    // --- DP -------------------------------------------------------------
+    let t_max = trace.len();
+    let mut cur = vec![f64::INFINITY; s];
+    let mut parents: Vec<Vec<u32>> = Vec::with_capacity(t_max);
+
+    // Round 0: transition from γ0.
+    {
+        let mut parent = vec![u32::MAX; s];
+        for (j, cfg) in configs.iter().enumerate() {
+            let tcost = config_transition_cost(
+                &gamma0.active,
+                &gamma0.inactive,
+                &cfg.active,
+                &cfg.inactive,
+                &ctx.params,
+            );
+            let acc = ctx.access_cost(&cfg.active, trace.round(0));
+            cur[j] = tcost + running[j] + acc;
+            parent[j] = u32::MAX; // root
+        }
+        parents.push(parent);
+    }
+
+    let mut prev = vec![0.0f64; s];
+    for t in 1..t_max {
+        std::mem::swap(&mut prev, &mut cur);
+        let mut parent = vec![u32::MAX; s];
+        for (j, cfg) in configs.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            let mut best_p = u32::MAX;
+            let row_t = j; // trans is from-major: trans[i*s + j]
+            for i in 0..s {
+                let v = prev[i] + trans[i * s + row_t];
+                if v < best {
+                    best = v;
+                    best_p = i as u32;
+                }
+            }
+            let acc = ctx.access_cost(&cfg.active, trace.round(t));
+            cur[j] = best + running[j] + acc;
+            parent[j] = best_p;
+        }
+        parents.push(parent);
+    }
+
+    // --- Backtrack -------------------------------------------------------
+    let (mut best_j, mut best_cost) = (0usize, f64::INFINITY);
+    for (j, &v) in cur.iter().enumerate() {
+        if v < best_cost {
+            best_cost = v;
+            best_j = j;
+        }
+    }
+    let mut order = vec![best_j; t_max];
+    for t in (1..t_max).rev() {
+        order[t - 1] = parents[t][order[t]] as usize;
+    }
+    let plan: Plan = order.iter().map(|&j| configs[j].active.clone()).collect();
+    let inactive_plan: Vec<Vec<NodeId>> =
+        order.iter().map(|&j| configs[j].inactive.clone()).collect();
+
+    OptResult {
+        plan,
+        inactive_plan,
+        cost: best_cost,
+        states: s,
+    }
+}
+
+/// Enumerates all configurations: each node is empty, inactive, or active;
+/// at least one active server; at most `k` servers total.
+fn enumerate_configs(n: usize, k: usize) -> Vec<Config> {
+    let mut out = Vec::new();
+    let mut active = Vec::new();
+    let mut inactive = Vec::new();
+    fn rec(
+        n: usize,
+        k: usize,
+        node: usize,
+        active: &mut Vec<NodeId>,
+        inactive: &mut Vec<NodeId>,
+        out: &mut Vec<Config>,
+    ) {
+        if active.len() + inactive.len() > k {
+            return;
+        }
+        if node == n {
+            if !active.is_empty() {
+                out.push(Config {
+                    active: active.clone(),
+                    inactive: inactive.clone(),
+                });
+            }
+            return;
+        }
+        // empty
+        rec(n, k, node + 1, active, inactive, out);
+        // active
+        active.push(NodeId::new(node));
+        rec(n, k, node + 1, active, inactive, out);
+        active.pop();
+        // inactive
+        inactive.push(NodeId::new(node));
+        rec(n, k, node + 1, active, inactive, out);
+        inactive.pop();
+    }
+    rec(n, k, 0, &mut active, &mut inactive, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+    use flexserve_sim::{CostParams, LoadModel};
+    use flexserve_workload::RoundRequests;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    struct Fx {
+        g: flexserve_graph::Graph,
+        m: DistanceMatrix,
+    }
+    impl Fx {
+        fn new(len: usize) -> Self {
+            let g = unit_line(len).unwrap();
+            let m = DistanceMatrix::build(&g);
+            Fx { g, m }
+        }
+        fn ctx(&self, k: usize) -> SimContext<'_> {
+            SimContext::new(
+                &self.g,
+                &self.m,
+                CostParams::default().with_max_servers(k),
+                LoadModel::None,
+            )
+        }
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // n=2, k=2: states with >=1 active:
+        // (A,_),( _,A),(A,A),(A,I),(I,A) = 5
+        assert_eq!(enumerate_configs(2, 2).len(), 5);
+        // n=1: single active config
+        assert_eq!(enumerate_configs(1, 1).len(), 1);
+        // n=3, k=1: one active, no inactive (budget 1): 3
+        assert_eq!(enumerate_configs(3, 1).len(), 3);
+    }
+
+    #[test]
+    fn static_demand_no_moves() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(2);
+        let trace =
+            flexserve_workload::Trace::new(vec![RoundRequests::new(vec![n(2)]); 10]);
+        let res = optimal_plan(&ctx, &trace, &[n(2)]);
+        // server already on the demand: cost = running only (Ra per round)
+        assert!((res.cost - 10.0 * 2.5).abs() < 1e-9, "cost {}", res.cost);
+        for round in &res.plan {
+            assert_eq!(round, &vec![n(2)]);
+        }
+    }
+
+    #[test]
+    fn migrates_when_demand_justifies() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(1);
+        // demand far from the initial server for long: OPT moves immediately
+        let trace =
+            flexserve_workload::Trace::new(vec![RoundRequests::new(vec![n(4); 10]); 30]);
+        let res = optimal_plan(&ctx, &trace, &[n(0)]);
+        assert_eq!(res.plan[0], vec![n(4)], "OPT should move before round 0");
+        // cost = migration 40 + running 2.5*30
+        assert!((res.cost - (40.0 + 75.0)).abs() < 1e-9, "cost {}", res.cost);
+    }
+
+    #[test]
+    fn stays_for_brief_demand() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(1);
+        // demand at node 4 for a single round only: paying 4 hops once is
+        // cheaper than a 40-cost migration there and 40 back... OPT serves
+        // remotely.
+        let mut rounds = vec![RoundRequests::new(vec![n(0)]); 6];
+        rounds[3] = RoundRequests::new(vec![n(4)]);
+        let trace = flexserve_workload::Trace::new(rounds);
+        let res = optimal_plan(&ctx, &trace, &[n(0)]);
+        for round in &res.plan {
+            assert_eq!(round, &vec![n(0)]);
+        }
+    }
+
+    #[test]
+    fn scales_out_for_persistent_split_demand() {
+        let fx = Fx::new(5);
+        let ctx = fx.ctx(2);
+        let mut batch = RoundRequests::empty();
+        batch.push_many(n(0), 20);
+        batch.push_many(n(4), 20);
+        let trace = flexserve_workload::Trace::new(vec![batch; 50]);
+        let res = optimal_plan(&ctx, &trace, &[n(0)]);
+        assert_eq!(res.plan.last().unwrap().len(), 2, "OPT should use 2 servers");
+    }
+
+    #[test]
+    fn opt_is_lower_bound_for_any_plan() {
+        use flexserve_sim::run_plan;
+        let fx = Fx::new(4);
+        let ctx = fx.ctx(2);
+        let mut rounds = Vec::new();
+        for t in 0..12u64 {
+            let node = if (t / 3) % 2 == 0 { 0 } else { 3 };
+            rounds.push(RoundRequests::new(vec![n(node); 3]));
+        }
+        let trace = flexserve_workload::Trace::new(rounds);
+        let res = optimal_plan(&ctx, &trace, &[n(0)]);
+        // compare against a handful of fixed plans
+        for static_node in 0..4 {
+            let plan: Plan = vec![vec![n(static_node)]; 12];
+            let rec = run_plan(&ctx, &trace, &plan, vec![n(0)]);
+            assert!(
+                res.cost <= rec.total().total() + 1e-9,
+                "OPT {} beat by static@{static_node} {}",
+                res.cost,
+                rec.total().total()
+            );
+        }
+    }
+
+    #[test]
+    fn uses_inactive_cache_when_demand_oscillates() {
+        let fx = Fx::new(5);
+        // cheap creation would make caching pointless; use expensive c and
+        // moderate beta so keeping an inactive server at the far end pays.
+        let params = CostParams::default()
+            .with_max_servers(2)
+            .with_costs(40.0, 4000.0)
+            .with_running(2.5, 0.1);
+        let ctx = SimContext::new(&fx.g, &fx.m, params, LoadModel::None);
+        let mut rounds = Vec::new();
+        for t in 0..40u64 {
+            let node = if (t / 10) % 2 == 0 { 0 } else { 4 };
+            rounds.push(RoundRequests::new(vec![n(node); 8]));
+        }
+        let trace = flexserve_workload::Trace::new(rounds);
+        let res = optimal_plan(&ctx, &trace, &[n(0)]);
+        // the optimal solution either runs two servers or parks one
+        // inactive; either way it never pays full cross-line latency for
+        // long.
+        let naive_static = 8.0 * 4.0 * 20.0 + 2.5 * 40.0; // stay at 0
+        assert!(res.cost < naive_static);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_STATES")]
+    fn refuses_big_instances() {
+        let g = unit_line(12).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(
+            &g,
+            &m,
+            CostParams::default().with_max_servers(12),
+            LoadModel::None,
+        );
+        let trace = flexserve_workload::Trace::new(vec![RoundRequests::new(vec![n(0)])]);
+        optimal_plan(&ctx, &trace, &[n(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn refuses_empty_trace() {
+        let fx = Fx::new(3);
+        let ctx = fx.ctx(1);
+        optimal_plan(&ctx, &flexserve_workload::Trace::default(), &[n(0)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Runs every figure and table of the paper in sequence.
+//!
+//! Profiles: `FLEXSERVE_QUICK=1` for a fast smoke pass,
+//! `FLEXSERVE_FULL=1` for the paper-exact sweep sizes (slow on one core),
+//! default is the standard profile.
+use flexserve_experiments::figures as f;
+
+fn main() {
+    let p = f::profile_from_env();
+    eprintln!("profile: {p:?}");
+    let t0 = std::time::Instant::now();
+    let figs: &[(&str, fn(f::Profile) -> flexserve_experiments::Table)] = &[
+        ("fig01", f::fig01),
+        ("fig02", f::fig02),
+        ("fig03", f::fig03),
+        ("fig04", f::fig04),
+        ("fig05", f::fig05),
+        ("fig06", f::fig06),
+        ("fig07", f::fig07),
+        ("fig08", f::fig08),
+        ("fig09", f::fig09),
+        ("fig10", f::fig10),
+        ("fig11", f::fig11),
+        ("fig12", f::fig12),
+        ("fig13", f::fig13),
+        ("fig14", f::fig14),
+        ("fig15", f::fig15),
+        ("fig16", f::fig16),
+        ("fig17", f::fig17),
+        ("fig18", f::fig18),
+        ("fig19", f::fig19),
+        ("table1", f::table1),
+    ];
+    for (name, fun) in figs {
+        let t = std::time::Instant::now();
+        fun(p);
+        eprintln!("[{name}] done in {:.1}s", t.elapsed().as_secs_f64());
+        println!();
+    }
+    eprintln!("all figures done in {:.1}s", t0.elapsed().as_secs_f64());
+}

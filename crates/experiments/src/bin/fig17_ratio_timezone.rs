@@ -1,0 +1,5 @@
+//! Regenerates Figure 17 of the paper. See `flexserve_experiments::figures`.
+fn main() {
+    let profile = flexserve_experiments::figures::profile_from_env();
+    flexserve_experiments::figures::fig17(profile);
+}

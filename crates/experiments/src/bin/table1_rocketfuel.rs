@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper. See `flexserve_experiments::figures`.
+fn main() {
+    let profile = flexserve_experiments::figures::profile_from_env();
+    flexserve_experiments::figures::table1(profile);
+}

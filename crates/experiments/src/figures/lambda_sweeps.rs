@@ -1,0 +1,121 @@
+//! Figures 7–10: cost as a function of T and λ.
+//!
+//! * Fig 7 — cost vs `T` in the commuter scenario with static load
+//!   (600 rounds, λ=20, n=1000, 10 runs). Cost grows with `T` because the
+//!   request horizon (peak volume `2^{T/2}`) grows.
+//! * Fig 8 — cost vs `λ` in the commuter scenario with dynamic load
+//!   (900 rounds, T=10, n=200, 10 runs): roughly λ-independent, with ONTH
+//!   about a factor two better.
+//! * Fig 9 — the same with static load.
+//! * Fig 10 — the same for the time-zones scenario (p=50%): cost slightly
+//!   decreases with λ (fewer migrations needed).
+
+use flexserve_sim::{CostParams, LoadModel};
+use flexserve_workload::record;
+
+use crate::output::Table;
+use crate::runner::{average, run_algorithm, Algorithm};
+use crate::setup::{make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
+
+use super::Profile;
+
+const ALGS: [Algorithm; 3] = [Algorithm::OnBrFixed, Algorithm::OnBrDyn, Algorithm::OnTh];
+
+/// Figure 7: cost vs T (commuter static, λ=20, n=1000 in the paper).
+pub fn fig07(profile: Profile) -> Table {
+    let rounds = profile.rounds(600);
+    let lambda = 20u64;
+    let n = profile.exemplary_n(1000);
+    let seeds = profile.seeds(10);
+
+    let mut table = Table::new(
+        format!(
+            "Fig 7: cost vs T, commuter static load (n={n}, {rounds} rounds, lambda={lambda}, {} seeds)",
+            seeds.len()
+        ),
+        &["T", "ONBR-fixed", "ONBR-dyn", "ONTH"],
+    );
+    for t in profile.t_values() {
+        let mut cells = Vec::new();
+        for alg in ALGS {
+            let summary = average(&seeds, |seed| {
+                let env = ExperimentEnv::erdos_renyi(n, seed);
+                let ctx = env.context(CostParams::default(), LoadModel::Linear);
+                let mut scenario = make_scenario(
+                    ScenarioKind::CommuterStatic,
+                    &env,
+                    t,
+                    lambda,
+                    50,
+                    seed ^ 0xBEEF,
+                );
+                let trace = record(scenario.as_mut(), rounds);
+                run_algorithm(&ctx, &trace, alg).total()
+            });
+            cells.push(summary.mean_total());
+        }
+        table.row_f64(t, &cells);
+    }
+    table.print();
+    table.save_csv("fig07").expect("write csv");
+    table
+}
+
+fn cost_vs_lambda(name: &str, title: &str, kind: ScenarioKind, profile: Profile) -> Table {
+    let rounds = profile.rounds(900);
+    let n = 200usize.min(profile.exemplary_n(200));
+    let t = paper_t_for(n); // = 10 at n=200, as in the paper
+    let seeds = profile.seeds(10);
+
+    let mut table = Table::new(
+        format!("{title} (n={n}, T={t}, {rounds} rounds, {} seeds)", seeds.len()),
+        &["lambda", "ONBR-fixed", "ONBR-dyn", "ONTH"],
+    );
+    for lambda in profile.lambdas() {
+        let mut cells = Vec::new();
+        for alg in ALGS {
+            let summary = average(&seeds, |seed| {
+                let env = ExperimentEnv::erdos_renyi(n, seed);
+                let ctx = env.context(CostParams::default(), LoadModel::Linear);
+                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xF00D);
+                let trace = record(scenario.as_mut(), rounds);
+                run_algorithm(&ctx, &trace, alg).total()
+            });
+            cells.push(summary.mean_total());
+        }
+        table.row_f64(lambda, &cells);
+    }
+    table.print();
+    table.save_csv(name).expect("write csv");
+    table
+}
+
+/// Figure 8: cost vs λ, commuter dynamic load.
+pub fn fig08(profile: Profile) -> Table {
+    cost_vs_lambda(
+        "fig08",
+        "Fig 8: cost vs lambda, commuter dynamic load",
+        ScenarioKind::CommuterDynamic,
+        profile,
+    )
+}
+
+/// Figure 9: cost vs λ, commuter static load.
+pub fn fig09(profile: Profile) -> Table {
+    cost_vs_lambda(
+        "fig09",
+        "Fig 9: cost vs lambda, commuter static load",
+        ScenarioKind::CommuterStatic,
+        profile,
+    )
+}
+
+/// Figure 10: cost vs λ, time-zones scenario (p = 50%).
+pub fn fig10(profile: Profile) -> Table {
+    cost_vs_lambda(
+        "fig10",
+        "Fig 10: cost vs lambda, time-zones scenario (p=50%)",
+        ScenarioKind::TimeZones,
+        profile,
+    )
+}

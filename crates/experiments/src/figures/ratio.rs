@@ -1,0 +1,248 @@
+//! Figures 11 and 13–19: comparisons against the optimal offline
+//! algorithm OPT on small line substrates ("To simulate OPT, we constrain
+//! ourselves to line graphs"; network size five, T=4, 200 rounds, averaged
+//! over 10 runs).
+//!
+//! * Fig 11 — the empirical competitive ratio ONTH/OPT vs λ per scenario.
+//! * Fig 13/14 — absolute costs of OFFSTAT and OPT vs λ (β<c / β>c).
+//! * Fig 15/16/17 — the ratio OFFSTAT/OPT vs λ for both β regimes:
+//!   the benefit of dynamic allocation peaks at *moderate* dynamics.
+//! * Fig 18/19 — the ratio OFFSTAT/OPT vs T (λ=10): a larger request
+//!   horizon increases the benefit of flexibility.
+
+use flexserve_sim::{CostParams, LoadModel};
+use flexserve_workload::record;
+
+use flexserve_core::{competitive_ratio, initial_center, offstat, optimal_plan};
+
+use crate::output::Table;
+use crate::runner::{average, run_algorithm, Algorithm};
+use crate::setup::{make_scenario, ExperimentEnv, ScenarioKind};
+
+use super::Profile;
+
+/// Line-substrate size for all OPT experiments (paper: five nodes).
+const OPT_N: usize = 5;
+/// Server budget on the line (bounded by the substrate anyway).
+const OPT_K: usize = 4;
+/// Time-zones request volume on the tiny substrate (paper Fig 17:
+/// "three requests per round").
+const OPT_TZ_REQUESTS: usize = 3;
+
+fn opt_params(flipped: bool) -> CostParams {
+    let base = if flipped {
+        CostParams::flipped()
+    } else {
+        CostParams::default()
+    };
+    base.with_max_servers(OPT_K)
+}
+
+/// Mean costs of (OFFSTAT, OPT) over seeds for one scenario/λ/T cell.
+fn offstat_and_opt(
+    kind: ScenarioKind,
+    t_periods: u32,
+    lambda: u64,
+    rounds: u64,
+    seeds: &[u64],
+    flipped: bool,
+) -> (f64, f64) {
+    let params = opt_params(flipped);
+    let stat = average(seeds, |seed| {
+        let env = ExperimentEnv::random_line(OPT_N, seed);
+        let ctx = env.context(params, LoadModel::Linear);
+        let mut scenario = make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
+        let trace = record(scenario.as_mut(), rounds);
+        flexserve_sim::CostBreakdown::from_access(offstat(&ctx, &trace).best_cost)
+    });
+    let opt = average(seeds, |seed| {
+        let env = ExperimentEnv::random_line(OPT_N, seed);
+        let ctx = env.context(params, LoadModel::Linear);
+        let mut scenario = make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
+        let trace = record(scenario.as_mut(), rounds);
+        let initial = initial_center(&ctx);
+        flexserve_sim::CostBreakdown::from_access(optimal_plan(&ctx, &trace, &initial).cost)
+    });
+    (stat.mean_total(), opt.mean_total())
+}
+
+/// Figure 11: competitive ratio ONTH/OPT vs λ, all three scenarios.
+pub fn fig11(profile: Profile) -> Table {
+    let rounds = profile.rounds(200);
+    let seeds = profile.seeds(10);
+    let t_periods = 4u32;
+    let params = opt_params(false);
+
+    let mut table = Table::new(
+        format!(
+            "Fig 11: ONTH/OPT competitive ratio vs lambda (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)",
+            seeds.len()
+        ),
+        &["lambda", "commuter-dynamic", "commuter-static", "time-zones"],
+    );
+    for lambda in profile.lambdas() {
+        let mut cells = Vec::new();
+        for kind in [
+            ScenarioKind::CommuterDynamic,
+            ScenarioKind::CommuterStatic,
+            ScenarioKind::TimeZones,
+        ] {
+            let ratios = average(&seeds, |seed| {
+                let env = ExperimentEnv::random_line(OPT_N, seed);
+                let ctx = env.context(params, LoadModel::Linear);
+                let mut scenario =
+                    make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
+                let trace = record(scenario.as_mut(), rounds);
+                let alg = run_algorithm(&ctx, &trace, Algorithm::OnTh).total().total();
+                let initial = initial_center(&ctx);
+                let opt = optimal_plan(&ctx, &trace, &initial).cost;
+                flexserve_sim::CostBreakdown::from_access(competitive_ratio(alg, opt))
+            });
+            cells.push(ratios.mean_total());
+        }
+        table.row_f64(lambda, &cells);
+    }
+    table.print();
+    table.save_csv("fig11").expect("write csv");
+    table
+}
+
+fn absolute_costs_vs_lambda(name: &str, title: &str, flipped: bool, profile: Profile) -> Table {
+    let rounds = profile.rounds(200);
+    let seeds = profile.seeds(10);
+    let t_periods = 4u32;
+
+    let mut table = Table::new(
+        format!("{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)", seeds.len()),
+        &["lambda", "OFFSTAT", "OPT"],
+    );
+    for lambda in profile.lambdas() {
+        let (stat, opt) = offstat_and_opt(
+            ScenarioKind::CommuterDynamic,
+            t_periods,
+            lambda,
+            rounds,
+            &seeds,
+            flipped,
+        );
+        table.row_f64(lambda, &[stat, opt]);
+    }
+    table.print();
+    table.save_csv(name).expect("write csv");
+    table
+}
+
+/// Figure 13: absolute OFFSTAT vs OPT costs, commuter dynamic, β<c.
+pub fn fig13(profile: Profile) -> Table {
+    absolute_costs_vs_lambda(
+        "fig13",
+        "Fig 13: OFFSTAT and OPT cost vs lambda, commuter dynamic (beta=40 < c=400)",
+        false,
+        profile,
+    )
+}
+
+/// Figure 14: the same in the flipped regime β=400 > c=40.
+pub fn fig14(profile: Profile) -> Table {
+    absolute_costs_vs_lambda(
+        "fig14",
+        "Fig 14: OFFSTAT and OPT cost vs lambda, commuter dynamic (beta=400 > c=40)",
+        true,
+        profile,
+    )
+}
+
+fn ratio_vs_lambda(name: &str, title: &str, kind: ScenarioKind, profile: Profile) -> Table {
+    let rounds = profile.rounds(200);
+    let seeds = profile.seeds(10);
+    let t_periods = 4u32;
+
+    let mut table = Table::new(
+        format!("{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)", seeds.len()),
+        &["lambda", "beta<c", "beta>c"],
+    );
+    for lambda in profile.lambdas() {
+        let mut cells = Vec::new();
+        for flipped in [false, true] {
+            let (stat, opt) =
+                offstat_and_opt(kind, t_periods, lambda, rounds, &seeds, flipped);
+            cells.push(competitive_ratio(stat, opt));
+        }
+        table.row_f64(lambda, &cells);
+    }
+    table.print();
+    table.save_csv(name).expect("write csv");
+    table
+}
+
+/// Figure 15: OFFSTAT/OPT ratio vs λ, commuter dynamic load.
+pub fn fig15(profile: Profile) -> Table {
+    ratio_vs_lambda(
+        "fig15",
+        "Fig 15: OFFSTAT/OPT ratio vs lambda, commuter dynamic load",
+        ScenarioKind::CommuterDynamic,
+        profile,
+    )
+}
+
+/// Figure 16: OFFSTAT/OPT ratio vs λ, commuter static load.
+pub fn fig16(profile: Profile) -> Table {
+    ratio_vs_lambda(
+        "fig16",
+        "Fig 16: OFFSTAT/OPT ratio vs lambda, commuter static load",
+        ScenarioKind::CommuterStatic,
+        profile,
+    )
+}
+
+/// Figure 17: OFFSTAT/OPT ratio vs λ, time-zones scenario (3 req/round).
+pub fn fig17(profile: Profile) -> Table {
+    ratio_vs_lambda(
+        "fig17",
+        "Fig 17: OFFSTAT/OPT ratio vs lambda, time-zones (p=50%)",
+        ScenarioKind::TimeZones,
+        profile,
+    )
+}
+
+fn ratio_vs_t(name: &str, title: &str, kind: ScenarioKind, profile: Profile) -> Table {
+    let rounds = profile.rounds(200);
+    let seeds = profile.seeds(10);
+    let lambda = 10u64;
+
+    let mut table = Table::new(
+        format!("{title} (n={OPT_N} line, lambda={lambda}, {rounds} rounds, {} seeds)", seeds.len()),
+        &["T", "beta<c", "beta>c"],
+    );
+    for t in profile.t_values() {
+        let mut cells = Vec::new();
+        for flipped in [false, true] {
+            let (stat, opt) = offstat_and_opt(kind, t, lambda, rounds, &seeds, flipped);
+            cells.push(competitive_ratio(stat, opt));
+        }
+        table.row_f64(t, &cells);
+    }
+    table.print();
+    table.save_csv(name).expect("write csv");
+    table
+}
+
+/// Figure 18: OFFSTAT/OPT ratio vs T, commuter dynamic load.
+pub fn fig18(profile: Profile) -> Table {
+    ratio_vs_t(
+        "fig18",
+        "Fig 18: OFFSTAT/OPT ratio vs T, commuter dynamic load",
+        ScenarioKind::CommuterDynamic,
+        profile,
+    )
+}
+
+/// Figure 19: OFFSTAT/OPT ratio vs T, commuter static load.
+pub fn fig19(profile: Profile) -> Table {
+    ratio_vs_t(
+        "fig19",
+        "Fig 19: OFFSTAT/OPT ratio vs T, commuter static load",
+        ScenarioKind::CommuterStatic,
+        profile,
+    )
+}

@@ -1,0 +1,79 @@
+//! Table 1: the Rocketfuel AS-7018 experiment.
+//!
+//! "Finally, we briefly report on the results we obtained in the
+//! Rocketfuel network AS-7018 of ATT under the time zone scenario
+//! (c = 400, β = 40, Ra = 2.5, Ri = 0.5, runtime 600 rounds, λ = 20,
+//! p = 50%): the total cost of OFFSTAT was 26063.81…; ONTH was a factor
+//! less than two higher (cost 44176.28…) while ONBR had costs 111470.29…"
+//!
+//! We run on the synthetic AS-7018-like substrate (DESIGN.md §5) and
+//! compare the *relationships*: ONTH/OFFSTAT < 2 and ONBR several times
+//! OFFSTAT.
+
+use flexserve_sim::{CostParams, LoadModel};
+use flexserve_workload::{record, TimeZonesScenario};
+
+use flexserve_core::offstat;
+use flexserve_topology::{as7018_like, As7018Config};
+
+use crate::output::Table;
+use crate::runner::{run_algorithm, Algorithm};
+use crate::setup::ExperimentEnv;
+
+use super::Profile;
+
+/// Paper reference values for the three algorithms.
+pub const PAPER_OFFSTAT: f64 = 26063.8129053;
+/// Paper reference: ONTH total cost.
+pub const PAPER_ONTH: f64 = 44176.288923;
+/// Paper reference: ONBR total cost.
+pub const PAPER_ONBR: f64 = 111470.296256;
+
+/// Table 1: OFFSTAT vs ONTH vs ONBR on the AS-7018-like substrate.
+pub fn table1(profile: Profile) -> Table {
+    let rounds = match profile {
+        Profile::Quick => 60,
+        _ => 600,
+    };
+    let lambda = 20u64;
+    let t_periods = 12u32;
+    let seed = 20110331u64; // fixed: the paper reports a single run
+
+    let (graph, _backbone) = as7018_like(&As7018Config::default()).expect("static topology");
+    let env = ExperimentEnv::from_graph(graph);
+    let params = CostParams::default(); // c=400, beta=40, Ra=2.5, Ri=0.5
+    let ctx = env.context(params, LoadModel::Linear);
+
+    let mut scenario = TimeZonesScenario::new(&env.graph, t_periods, lambda, 0.5, 50, seed);
+    let trace = record(&mut scenario, rounds);
+
+    let stat_cost = offstat(&ctx, &trace).best_cost;
+    let onth_cost = run_algorithm(&ctx, &trace, Algorithm::OnTh).total().total();
+    let onbr_cost = run_algorithm(&ctx, &trace, Algorithm::OnBrFixed)
+        .total()
+        .total();
+
+    let mut table = Table::new(
+        format!(
+            "Table 1: AS-7018 time-zones (c=400, beta=40, Ra=2.5, Ri=0.5, {rounds} rounds, lambda={lambda}, p=50%)"
+        ),
+        &["algorithm", "measured cost", "x OFFSTAT", "paper cost", "paper x OFFSTAT"],
+    );
+    let rows: [(&str, f64, f64); 3] = [
+        ("OFFSTAT", stat_cost, PAPER_OFFSTAT),
+        ("ONTH", onth_cost, PAPER_ONTH),
+        ("ONBR", onbr_cost, PAPER_ONBR),
+    ];
+    for (name, measured, paper) in rows {
+        table.row(vec![
+            name.to_string(),
+            format!("{measured:.2}"),
+            format!("{:.2}", measured / stat_cost),
+            format!("{paper:.2}"),
+            format!("{:.2}", paper / PAPER_OFFSTAT),
+        ]);
+    }
+    table.print();
+    table.save_csv("table1").expect("write csv");
+    table
+}

@@ -1,0 +1,137 @@
+//! Figures 3–6: cost as a function of network size.
+//!
+//! * Fig 3 — commuter scenario, dynamic load (500 rounds, λ=10, averaged
+//!   over 5 runs; `T` grows with network size).
+//! * Fig 4 — the same with static load.
+//! * Fig 5 — the same for the time-zones scenario.
+//! * Fig 6 — cost *breakdown* of ONBR in all three scenarios for the
+//!   flipped regime β=400 > c=40 (where the three algorithms coincide and
+//!   the paper considers ONBR with fixed threshold 2c).
+
+use flexserve_sim::{CostParams, LoadModel};
+use flexserve_workload::record;
+
+use crate::output::Table;
+use crate::runner::{average, run_algorithm, Algorithm};
+use crate::setup::{make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
+
+use super::Profile;
+
+const ALGS: [Algorithm; 3] = [Algorithm::OnBrFixed, Algorithm::OnBrDyn, Algorithm::OnTh];
+
+fn cost_vs_n(
+    name: &str,
+    title: &str,
+    kind: ScenarioKind,
+    profile: Profile,
+    params: CostParams,
+) -> Table {
+    let rounds = profile.rounds(500);
+    let lambda = 10u64;
+    let seeds = profile.seeds(5);
+
+    let mut table = Table::new(
+        format!("{title} ({rounds} rounds, lambda={lambda}, {} seeds)", seeds.len()),
+        &["n", "ONBR-fixed", "ONBR-dyn", "ONTH"],
+    );
+
+    for n in profile.network_sizes() {
+        let t = paper_t_for(n);
+        let mut cells = Vec::with_capacity(ALGS.len());
+        for alg in ALGS {
+            let summary = average(&seeds, |seed| {
+                let env = ExperimentEnv::erdos_renyi(n, seed);
+                let ctx = env.context(params, LoadModel::Linear);
+                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xABCD);
+                let trace = record(scenario.as_mut(), rounds);
+                run_algorithm(&ctx, &trace, alg).total()
+            });
+            cells.push(summary.mean_total());
+        }
+        table.row_f64(n, &cells);
+    }
+    table.print();
+    table.save_csv(name).expect("write csv");
+    table
+}
+
+/// Figure 3: commuter / dynamic load, cost vs n.
+pub fn fig03(profile: Profile) -> Table {
+    cost_vs_n(
+        "fig03",
+        "Fig 3: cost vs network size, commuter dynamic load",
+        ScenarioKind::CommuterDynamic,
+        profile,
+        CostParams::default(),
+    )
+}
+
+/// Figure 4: commuter / static load, cost vs n.
+pub fn fig04(profile: Profile) -> Table {
+    cost_vs_n(
+        "fig04",
+        "Fig 4: cost vs network size, commuter static load",
+        ScenarioKind::CommuterStatic,
+        profile,
+        CostParams::default(),
+    )
+}
+
+/// Figure 5: time-zones scenario, cost vs n.
+pub fn fig05(profile: Profile) -> Table {
+    cost_vs_n(
+        "fig05",
+        "Fig 5: cost vs network size, time-zones scenario",
+        ScenarioKind::TimeZones,
+        profile,
+        CostParams::default(),
+    )
+}
+
+/// Figure 6: ONBR cost breakdown by scenario, flipped regime (β=400, c=40).
+pub fn fig06(profile: Profile) -> Table {
+    let rounds = profile.rounds(500);
+    let lambda = 10u64;
+    let seeds = profile.seeds(5);
+    let params = CostParams::flipped();
+
+    let mut table = Table::new(
+        format!(
+            "Fig 6: ONBR cost breakdown (beta=400 > c=40; {rounds} rounds, lambda={lambda}, {} seeds)",
+            seeds.len()
+        ),
+        &[
+            "n", "scenario", "access", "running", "migration", "creation", "total",
+        ],
+    );
+
+    for n in profile.network_sizes() {
+        let t = paper_t_for(n);
+        for kind in [
+            ScenarioKind::CommuterDynamic,
+            ScenarioKind::CommuterStatic,
+            ScenarioKind::TimeZones,
+        ] {
+            let summary = average(&seeds, |seed| {
+                let env = ExperimentEnv::erdos_renyi(n, seed);
+                let ctx = env.context(params, LoadModel::Linear);
+                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xABCD);
+                let trace = record(scenario.as_mut(), rounds);
+                run_algorithm(&ctx, &trace, Algorithm::OnBrFixed).total()
+            });
+            let mean = summary.mean();
+            table.row(vec![
+                n.to_string(),
+                kind.to_string(),
+                format!("{:.2}", mean.access),
+                format!("{:.2}", mean.running),
+                format!("{:.2}", mean.migration),
+                format!("{:.2}", mean.creation),
+                format!("{:.2}", mean.total()),
+            ]);
+        }
+    }
+    table.print();
+    table.save_csv("fig06").expect("write csv");
+    table
+}

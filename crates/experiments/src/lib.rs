@@ -1,0 +1,29 @@
+//! # flexserve-experiments
+//!
+//! The experiment harness that regenerates every figure and table of the
+//! paper's evaluation (§V). One binary per figure lives in `src/bin/`; this
+//! library holds the shared machinery:
+//!
+//! * [`setup`] — substrate/scenario/context builders matching the paper's
+//!   parameters (Erdős–Rényi p=1%, T1/T2 bandwidths, β=40/c=400, …),
+//! * [`runner`] — strategy dispatch and seed-parallel averaging,
+//! * [`output`] — aligned-table stdout reporting plus CSV files under
+//!   `results/`.
+//!
+//! Every binary prints the series the paper plots and records the same
+//! numbers as CSV, which `EXPERIMENTS.md` summarizes against the paper's
+//! qualitative claims.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod output;
+pub mod runner;
+pub mod setup;
+
+pub use output::{write_csv, Table};
+pub use runner::{average, run_algorithm, Algorithm, SeedSummary};
+pub use setup::{
+    build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind,
+};

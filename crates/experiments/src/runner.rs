@@ -1,0 +1,174 @@
+//! Strategy dispatch and seed-parallel experiment execution.
+
+use flexserve_graph::NodeId;
+use flexserve_sim::{run_online, CostBreakdown, RunRecord, SimContext};
+use flexserve_workload::Trace;
+
+use flexserve_core::{initial_center, OffBr, OffTh, OnBr, OnTh, StaticStrategy};
+
+/// The algorithms the figure binaries compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// ONTH (`y = 2`).
+    OnTh,
+    /// ONBR with fixed threshold `2c`.
+    OnBrFixed,
+    /// ONBR with dynamic threshold `2c/ℓ`.
+    OnBrDyn,
+    /// OFFBR (lookahead best response, fixed threshold).
+    OffBr,
+    /// OFFTH (lookahead threshold algorithm).
+    OffTh,
+    /// Static baseline: never reconfigures.
+    Static,
+}
+
+impl Algorithm {
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::OnTh => "ONTH",
+            Algorithm::OnBrFixed => "ONBR-fixed",
+            Algorithm::OnBrDyn => "ONBR-dyn",
+            Algorithm::OffBr => "OFFBR",
+            Algorithm::OffTh => "OFFTH",
+            Algorithm::Static => "STATIC",
+        }
+    }
+}
+
+/// Runs `alg` over `trace`, starting from one server at the network center
+/// (the paper's canonical start), and returns the full run record.
+pub fn run_algorithm(ctx: &SimContext<'_>, trace: &Trace, alg: Algorithm) -> RunRecord {
+    let initial: Vec<NodeId> = initial_center(ctx);
+    match alg {
+        Algorithm::OnTh => run_online(ctx, trace, &mut OnTh::new(), initial),
+        Algorithm::OnBrFixed => run_online(ctx, trace, &mut OnBr::fixed(ctx), initial),
+        Algorithm::OnBrDyn => run_online(ctx, trace, &mut OnBr::dynamic(ctx), initial),
+        Algorithm::OffBr => {
+            run_online(ctx, trace, &mut OffBr::fixed(ctx, trace.clone()), initial)
+        }
+        Algorithm::OffTh => run_online(ctx, trace, &mut OffTh::new(trace.clone()), initial),
+        Algorithm::Static => run_online(ctx, trace, &mut StaticStrategy::new(), initial),
+    }
+}
+
+/// Per-seed results of one experimental cell.
+#[derive(Clone, Debug, Default)]
+pub struct SeedSummary {
+    /// One total-cost breakdown per seed.
+    pub per_seed: Vec<CostBreakdown>,
+}
+
+impl SeedSummary {
+    /// Mean breakdown over seeds.
+    pub fn mean(&self) -> CostBreakdown {
+        let n = self.per_seed.len().max(1) as f64;
+        let sum: CostBreakdown = self.per_seed.iter().copied().sum();
+        CostBreakdown {
+            access: sum.access / n,
+            running: sum.running / n,
+            migration: sum.migration / n,
+            creation: sum.creation / n,
+        }
+    }
+
+    /// Mean total cost over seeds.
+    pub fn mean_total(&self) -> f64 {
+        self.mean().total()
+    }
+
+    /// Sample standard deviation of the total cost.
+    pub fn std_total(&self) -> f64 {
+        let n = self.per_seed.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_total();
+        let var: f64 = self
+            .per_seed
+            .iter()
+            .map(|c| (c.total() - mean).powi(2))
+            .sum::<f64>()
+            / (n as f64 - 1.0);
+        var.sqrt()
+    }
+}
+
+/// Runs `f(seed)` for every seed in parallel (crossbeam scoped threads —
+/// seeds are independent games) and collects the breakdowns in seed order.
+pub fn average<F>(seeds: &[u64], f: F) -> SeedSummary
+where
+    F: Fn(u64) -> CostBreakdown + Sync,
+{
+    let mut results: Vec<Option<CostBreakdown>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let f = &f;
+            handles.push((i, scope.spawn(move |_| f(seed))));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("seed worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    SeedSummary {
+        per_seed: results.into_iter().map(|r| r.expect("joined")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::ExperimentEnv;
+    use flexserve_sim::{CostParams, LoadModel};
+    use flexserve_workload::{record, UniformScenario};
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::OnTh.label(), "ONTH");
+        assert_eq!(Algorithm::OnBrDyn.label(), "ONBR-dyn");
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let env = ExperimentEnv::line(8);
+        let ctx = env.context(CostParams::default().with_max_servers(4), LoadModel::Linear);
+        let mut s = UniformScenario::new(&env.graph, 3, 1);
+        let trace = record(&mut s, 25);
+        for alg in [
+            Algorithm::OnTh,
+            Algorithm::OnBrFixed,
+            Algorithm::OnBrDyn,
+            Algorithm::OffBr,
+            Algorithm::OffTh,
+            Algorithm::Static,
+        ] {
+            let rec = run_algorithm(&ctx, &trace, alg);
+            assert_eq!(rec.len(), 25, "{:?}", alg);
+            assert!(rec.total().total().is_finite(), "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn average_is_parallel_and_ordered() {
+        let seeds = [1u64, 2, 3, 4];
+        let s = average(&seeds, |seed| CostBreakdown::from_access(seed as f64));
+        assert_eq!(s.per_seed.len(), 4);
+        assert_eq!(s.per_seed[2].access, 3.0);
+        assert_eq!(s.mean_total(), 2.5);
+        assert!(s.std_total() > 0.0);
+    }
+
+    #[test]
+    fn summary_stats_degenerate() {
+        let s = SeedSummary {
+            per_seed: vec![CostBreakdown::from_access(7.0)],
+        };
+        assert_eq!(s.mean_total(), 7.0);
+        assert_eq!(s.std_total(), 0.0);
+        let empty = SeedSummary::default();
+        assert_eq!(empty.mean_total(), 0.0);
+    }
+}

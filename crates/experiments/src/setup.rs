@@ -1,0 +1,185 @@
+//! Substrate, scenario and context builders mirroring the paper's set-up
+//! (§V-A): Erdős–Rényi random graphs with 1% connection probability and
+//! random T1/T2 bandwidths; commuter and time-zone demand; β=40, c=400
+//! (flipped to β=400, c=40 for the migration-useless regime).
+
+use flexserve_graph::gen::{erdos_renyi, unit_line, GenConfig};
+use flexserve_graph::{DistanceMatrix, Graph};
+use flexserve_sim::{CostParams, LoadModel, SimContext};
+use flexserve_workload::{CommuterScenario, LoadVariant, Scenario, TimeZonesScenario};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Owns a substrate and its distance matrix so a [`SimContext`] can borrow
+/// both (contexts are borrow-based to let many runs share one matrix).
+pub struct ExperimentEnv {
+    /// The substrate graph.
+    pub graph: Graph,
+    /// Its all-pairs shortest-path matrix.
+    pub matrix: DistanceMatrix,
+}
+
+impl ExperimentEnv {
+    /// Erdős–Rényi substrate with the paper's 1% connection probability.
+    pub fn erdos_renyi(n: usize, seed: u64) -> Self {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = erdos_renyi(n, 0.01, &cfg, &mut rng).expect("valid ER parameters");
+        let matrix = DistanceMatrix::build(&graph);
+        ExperimentEnv { graph, matrix }
+    }
+
+    /// Unit-latency line substrate (tests and deterministic examples).
+    pub fn line(n: usize) -> Self {
+        let graph = unit_line(n).expect("n >= 1");
+        let matrix = DistanceMatrix::build(&graph);
+        ExperimentEnv { graph, matrix }
+    }
+
+    /// Line substrate with the same random latency (1–10 ms) and T1/T2
+    /// bandwidth conventions as the Erdős–Rényi substrates — the topology
+    /// the OPT experiments run on ("to simulate OPT, we constrain
+    /// ourselves to line graphs"; link properties random as elsewhere).
+    pub fn random_line(n: usize, seed: u64) -> Self {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graph = flexserve_graph::gen::line(n, &cfg, &mut rng).expect("n >= 1");
+        let matrix = DistanceMatrix::build(&graph);
+        ExperimentEnv { graph, matrix }
+    }
+
+    /// Wraps a prebuilt graph (e.g. the Rocketfuel-like AS-7018).
+    pub fn from_graph(graph: Graph) -> Self {
+        let matrix = DistanceMatrix::build(&graph);
+        ExperimentEnv { graph, matrix }
+    }
+
+    /// A [`SimContext`] over this environment.
+    pub fn context(&self, params: CostParams, load: LoadModel) -> SimContext<'_> {
+        SimContext::new(&self.graph, &self.matrix, params, load)
+    }
+}
+
+/// Builds an [`ExperimentEnv`] and context parameters in one call.
+pub fn build_context_graph(n: usize, seed: u64) -> ExperimentEnv {
+    ExperimentEnv::erdos_renyi(n, seed)
+}
+
+/// The three demand scenarios of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Commuter scenario, dynamic load (total volume varies over the day).
+    CommuterDynamic,
+    /// Commuter scenario, static load (total fixed to `2^{T/2}`).
+    CommuterStatic,
+    /// Time-zones scenario with `p = 50%` hot traffic.
+    TimeZones,
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioKind::CommuterDynamic => write!(f, "commuter-dynamic"),
+            ScenarioKind::CommuterStatic => write!(f, "commuter-static"),
+            ScenarioKind::TimeZones => write!(f, "time-zones"),
+        }
+    }
+}
+
+/// Requests per round used by the time-zones scenario on mid-size
+/// substrates (DESIGN.md §5: the paper leaves this unspecified; 50 keeps
+/// volumes comparable to the commuter peaks).
+pub const TIME_ZONES_REQUESTS_PER_ROUND: usize = 50;
+
+/// The paper's scaling of `T` with network size (matches the explicit
+/// pairs n=1000→14, 500→12, 200→10; see DESIGN.md §5).
+pub fn paper_t_for(n: usize) -> u32 {
+    CommuterScenario::t_for_network_size(n)
+}
+
+/// Instantiates a scenario with the paper's parameters.
+///
+/// * `t_periods` — the `T` parameter (periods per day),
+/// * `lambda` — rounds per period (`λ`, the sweeps' x-axis),
+/// * `requests_per_round` — only used by the time-zones scenario.
+pub fn make_scenario(
+    kind: ScenarioKind,
+    env: &ExperimentEnv,
+    t_periods: u32,
+    lambda: u64,
+    requests_per_round: usize,
+    seed: u64,
+) -> Box<dyn Scenario> {
+    match kind {
+        ScenarioKind::CommuterDynamic => Box::new(CommuterScenario::with_matrix(
+            &env.graph,
+            &env.matrix,
+            t_periods,
+            lambda,
+            LoadVariant::Dynamic,
+            seed,
+        )),
+        ScenarioKind::CommuterStatic => Box::new(CommuterScenario::with_matrix(
+            &env.graph,
+            &env.matrix,
+            t_periods,
+            lambda,
+            LoadVariant::Static,
+            seed,
+        )),
+        ScenarioKind::TimeZones => Box::new(TimeZonesScenario::new(
+            &env.graph,
+            t_periods,
+            lambda,
+            0.5,
+            requests_per_round,
+            seed,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_workload::record;
+
+    #[test]
+    fn er_env_is_connected_and_sized() {
+        let env = ExperimentEnv::erdos_renyi(80, 3);
+        assert_eq!(env.graph.node_count(), 80);
+        assert!(env.matrix.is_connected());
+    }
+
+    #[test]
+    fn line_env() {
+        let env = ExperimentEnv::line(5);
+        assert_eq!(env.graph.node_count(), 5);
+        assert_eq!(env.matrix.get(
+            flexserve_graph::NodeId::new(0),
+            flexserve_graph::NodeId::new(4)
+        ), 4.0);
+    }
+
+    #[test]
+    fn scenarios_instantiate_and_generate() {
+        let env = ExperimentEnv::erdos_renyi(64, 1);
+        for kind in [
+            ScenarioKind::CommuterDynamic,
+            ScenarioKind::CommuterStatic,
+            ScenarioKind::TimeZones,
+        ] {
+            let mut s = make_scenario(kind, &env, 8, 5, 20, 7);
+            let trace = record(s.as_mut(), 30);
+            assert_eq!(trace.len(), 30);
+            assert!(trace.total_requests() > 0, "{kind} generated nothing");
+        }
+    }
+
+    #[test]
+    fn paper_t_pairs() {
+        assert_eq!(paper_t_for(1000), 14);
+        assert_eq!(paper_t_for(500), 12);
+        assert_eq!(paper_t_for(200), 10);
+    }
+}

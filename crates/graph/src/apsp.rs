@@ -1,0 +1,209 @@
+//! All-pairs shortest paths: the [`DistanceMatrix`].
+//!
+//! Every algorithm in the paper evaluates candidate server placements by
+//! summing shortest-path latencies from access points — doing this naively
+//! (one Dijkstra per query) dominates runtime. The simulation layers instead
+//! precompute a dense distance matrix once per substrate; this module also
+//! contains a reference Floyd–Warshall used by property tests to validate
+//! the Dijkstra implementation.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::path::shortest_paths;
+use crate::units::Latency;
+
+/// Dense `n × n` matrix of shortest-path latencies.
+///
+/// Entry `(u, v)` is `f64::INFINITY` when `v` is unreachable from `u`.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths by running Dijkstra from every node
+    /// (`O(n · (m + n) log n)`), which beats Floyd–Warshall on the sparse
+    /// substrates used throughout the paper.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for u in g.nodes() {
+            let sp = shortest_paths(g, u);
+            dist[u.index() * n..(u.index() + 1) * n].copy_from_slice(sp.distances());
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Reference Floyd–Warshall construction, `O(n³)`. Exists so property
+    /// tests can cross-validate [`DistanceMatrix::build`]; not used on hot
+    /// paths.
+    pub fn build_floyd_warshall(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            dist[i * n + i] = 0.0;
+        }
+        for e in g.edges() {
+            let (u, v) = (e.source.index(), e.target.index());
+            if e.latency < dist[u * n + v] {
+                dist[u * n + v] = e.latency;
+                dist[v * n + u] = e.latency;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if !dik.is_finite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let alt = dik + dist[k * n + j];
+                    if alt < dist[i * n + j] {
+                        dist[i * n + j] = alt;
+                    }
+                }
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path latency `u -> v` (`INFINITY` if unreachable).
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> Latency {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Finite distance or `None` when unreachable.
+    #[inline]
+    pub fn get_finite(&self, u: NodeId, v: NodeId) -> Option<Latency> {
+        let d = self.get(u, v);
+        d.is_finite().then_some(d)
+    }
+
+    /// Row of distances from `u`, indexed by `NodeId::index()`.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[f64] {
+        &self.dist[u.index() * self.n..(u.index() + 1) * self.n]
+    }
+
+    /// Eccentricity of `u`: max distance from `u` to any node
+    /// (`INFINITY` on disconnected graphs).
+    pub fn eccentricity(&self, u: NodeId) -> f64 {
+        self.row(u).iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Whether every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.n == 0 || self.dist.iter().all(|d| d.is_finite())
+    }
+
+    /// Maximum finite pairwise distance, ignoring unreachable pairs.
+    pub fn max_finite(&self) -> f64 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+
+    fn square_with_diagonal() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0 each latency 1; diagonal 0-2 latency 1.5
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(1.0)).collect();
+        g.add_edge(n[0], n[1], 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[1], n[2], 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[2], n[3], 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[3], n[0], 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[0], n[2], 1.5, Bandwidth::T2).unwrap();
+        g
+    }
+
+    #[test]
+    fn matches_floyd_warshall() {
+        let g = square_with_diagonal();
+        let a = DistanceMatrix::build(&g);
+        let b = DistanceMatrix::build_floyd_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!(
+                    (a.get(u, v) - b.get(u, v)).abs() < 1e-12,
+                    "mismatch at ({u},{v}): {} vs {}",
+                    a.get(u, v),
+                    b.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_shortcut_used() {
+        let g = square_with_diagonal();
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(2)), 1.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = square_with_diagonal();
+        let m = DistanceMatrix::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(m.get(u, v), m.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = square_with_diagonal();
+        assert!(DistanceMatrix::build(&g).is_connected());
+
+        let mut g2 = Graph::new();
+        g2.add_node(1.0);
+        g2.add_node(1.0);
+        let m = DistanceMatrix::build(&g2);
+        assert!(!m.is_connected());
+        assert_eq!(m.get_finite(NodeId::new(0), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new();
+        assert!(DistanceMatrix::build(&g).is_connected());
+    }
+
+    #[test]
+    fn eccentricity_of_square() {
+        let g = square_with_diagonal();
+        let m = DistanceMatrix::build(&g);
+        // node 1: dist to 3 is 2.0 (1-0-3 or 1-2-3); to 0 and 2 it's 1.0
+        assert_eq!(m.eccentricity(NodeId::new(1)), 2.0);
+        assert_eq!(m.max_finite(), 2.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let g = square_with_diagonal();
+        let m = DistanceMatrix::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for w in g.nodes() {
+                    assert!(m.get(u, w) <= m.get(u, v) + m.get(v, w) + 1e-12);
+                }
+            }
+        }
+    }
+}

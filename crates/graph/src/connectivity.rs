@@ -1,0 +1,176 @@
+//! Connectivity utilities: BFS components and connected-graph repair.
+//!
+//! Erdős–Rényi graphs with 1% connection probability (the paper's setting)
+//! are frequently disconnected at small `n`; the generators use
+//! [`connect_components`] to repair them (documented substitution: the paper
+//! does not say how it handles disconnected samples; bridging components
+//! with fresh random-latency links is the minimal intervention).
+
+use rand::Rng;
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::units::Bandwidth;
+
+/// Assigns each node a component label (`0..component_count`), by BFS.
+pub fn components(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(NodeId::new(start));
+        while let Some(u) = queue.pop_front() {
+            for e in g.neighbors(u) {
+                let v = e.target;
+                if comp[v.index()] == usize::MAX {
+                    comp[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components (0 for the empty graph).
+pub fn component_count(g: &Graph) -> usize {
+    components(g).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Whether the graph is connected (true for empty and singleton graphs).
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Repairs a disconnected graph by adding random bridge edges between
+/// components until connected. Each bridge connects a random node of the
+/// running giant component to a random node of the next component; latency
+/// is drawn from `latency_range` and bandwidth is T1/T2 with equal
+/// probability, mirroring the generator conventions.
+///
+/// Returns the number of edges added.
+pub fn connect_components<R: Rng>(
+    g: &mut Graph,
+    rng: &mut R,
+    latency_range: (f64, f64),
+) -> usize {
+    let comp = components(g);
+    let k = comp.iter().copied().max().map_or(0, |m| m + 1);
+    if k <= 1 {
+        return 0;
+    }
+    // Bucket nodes by component.
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (i, &c) in comp.iter().enumerate() {
+        buckets[c].push(NodeId::new(i));
+    }
+    // Merge every further component into component 0's growing pool.
+    let mut pool: Vec<NodeId> = buckets[0].clone();
+    let mut added = 0;
+    for bucket in buckets.iter().skip(1) {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = bucket[rng.gen_range(0..bucket.len())];
+        let lat = rng.gen_range(latency_range.0..=latency_range.1);
+        let bw = if rng.gen_bool(0.5) {
+            Bandwidth::T1
+        } else {
+            Bandwidth::T2
+        };
+        // The pair is guaranteed non-adjacent (different components).
+        g.add_edge(a, b, lat, bw)
+            .expect("bridge endpoints are in different components");
+        pool.extend_from_slice(bucket);
+        added += 1;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = Graph::new();
+        assert_eq!(component_count(&g), 0);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_own_components() {
+        let mut g = Graph::new();
+        for _ in 0..4 {
+            g.add_node(1.0);
+        }
+        assert_eq!(component_count(&g), 4);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn single_edge_merges_two() {
+        let mut g = Graph::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_node(1.0);
+        g.add_edge(a, b, 1.0, Bandwidth::T1).unwrap();
+        let comp = components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn connect_components_repairs() {
+        let mut g = Graph::new();
+        for _ in 0..10 {
+            g.add_node(1.0);
+        }
+        // two chains: 0-1-2-3-4 and 5-6-7-8-9
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0, Bandwidth::T1)
+                .unwrap();
+            g.add_edge(NodeId::new(i + 5), NodeId::new(i + 6), 1.0, Bandwidth::T1)
+                .unwrap();
+        }
+        assert_eq!(component_count(&g), 2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let added = connect_components(&mut g, &mut rng, (1.0, 10.0));
+        assert_eq!(added, 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn connect_components_noop_when_connected() {
+        let mut g = Graph::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b, 1.0, Bandwidth::T1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(connect_components(&mut g, &mut rng, (1.0, 2.0)), 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn connect_many_singletons() {
+        let mut g = Graph::new();
+        for _ in 0..20 {
+            g.add_node(1.0);
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        let added = connect_components(&mut g, &mut rng, (1.0, 5.0));
+        assert_eq!(added, 19);
+        assert!(is_connected(&g));
+        // all bridge latencies within range
+        for e in g.edges() {
+            assert!(e.latency >= 1.0 && e.latency <= 5.0);
+        }
+    }
+}

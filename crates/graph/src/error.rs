@@ -1,0 +1,67 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced while building or querying a substrate graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An endpoint passed to `add_edge` (or a query) does not exist.
+    UnknownNode(NodeId),
+    /// Self-loops are not allowed in the substrate model.
+    SelfLoop(NodeId),
+    /// The two nodes are already connected; the substrate is a simple graph.
+    DuplicateEdge(NodeId, NodeId),
+    /// A latency must be non-negative and finite.
+    InvalidLatency(f64),
+    /// A node strength must be strictly positive and finite (the load
+    /// function divides by it).
+    InvalidStrength(f64),
+    /// A generator was asked for an impossible topology
+    /// (e.g. a line graph with zero nodes).
+    InvalidGeneratorArgs(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            GraphError::DuplicateEdge(a, b) => {
+                write!(f, "edge between {a} and {b} already exists")
+            }
+            GraphError::InvalidLatency(l) => {
+                write!(f, "invalid latency {l}: must be finite and >= 0")
+            }
+            GraphError::InvalidStrength(s) => {
+                write!(f, "invalid node strength {s}: must be finite and > 0")
+            }
+            GraphError::InvalidGeneratorArgs(msg) => write!(f, "invalid generator args: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offender() {
+        let e = GraphError::UnknownNode(NodeId::new(3));
+        assert!(e.to_string().contains("n3"));
+        let e = GraphError::InvalidLatency(-1.0);
+        assert!(e.to_string().contains("-1"));
+        let e = GraphError::DuplicateEdge(NodeId::new(0), NodeId::new(1));
+        assert!(e.to_string().contains("n0"));
+        assert!(e.to_string().contains("n1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::SelfLoop(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use rand::Rng;
+
+use crate::connectivity::connect_components;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a connected Erdős–Rényi `G(n, p)` substrate.
+///
+/// Each of the `n·(n-1)/2` node pairs is connected independently with
+/// probability `p` (the paper uses `p = 0.01`). Because `p = 1%` samples
+/// are often disconnected below the connectivity threshold
+/// (`p ≈ ln n / n`), the generator afterwards bridges components with
+/// random links so the substrate is usable — see `connectivity` module
+/// docs for the rationale.
+pub fn erdos_renyi<R: Rng>(
+    n: usize,
+    p: f64,
+    cfg: &GenConfig,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "erdos_renyi: n must be >= 1".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidGeneratorArgs(format!(
+            "erdos_renyi: p = {p} must be in [0, 1]"
+        )));
+    }
+    let mut g = Graph::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize + n);
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                let lat = cfg.sample_latency(rng);
+                let bw = cfg.sample_bandwidth(rng);
+                g.add_edge(NodeId::new(i), NodeId::new(j), lat, bw)?;
+            }
+        }
+    }
+    connect_components(&mut g, rng, cfg.latency_range);
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_connected() {
+        let cfg = GenConfig::default();
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = erdos_renyi(100, 0.01, &cfg, &mut rng).unwrap();
+            assert_eq!(g.node_count(), 100);
+            assert!(is_connected(&g), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn edge_density_roughly_matches_p() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 300;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &cfg, &mut rng).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.edge_count() as f64;
+        // within 25% (plus possible connectivity bridges)
+        assert!(
+            actual > expected * 0.75 && actual < expected * 1.35,
+            "expected ~{expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn p_zero_becomes_spanning_bridges() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = erdos_renyi(10, 0.0, &cfg, &mut rng).unwrap();
+        // all edges come from connectivity repair: exactly n-1 bridges
+        assert_eq!(g.edge_count(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn p_one_is_complete() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = erdos_renyi(8, 1.0, &cfg, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(erdos_renyi(0, 0.5, &cfg, &mut rng).is_err());
+        assert!(erdos_renyi(5, 1.5, &cfg, &mut rng).is_err());
+        assert!(erdos_renyi(5, -0.1, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GenConfig::default();
+        let g1 = erdos_renyi(50, 0.05, &cfg, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let g2 = erdos_renyi(50, 0.05, &cfg, &mut SmallRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.total_latency(), g2.total_latency());
+    }
+}

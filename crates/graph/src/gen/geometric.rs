@@ -1,0 +1,97 @@
+//! Random geometric graphs: nodes on the unit square, edges between nodes
+//! within radius `r`, latency proportional to Euclidean distance. A more
+//! "geographic" substrate than Erdős–Rényi; used in ablations to check that
+//! results are not artifacts of the ER topology.
+
+use rand::Rng;
+
+use crate::connectivity::connect_components;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a connected random geometric graph.
+///
+/// `latency_scale` converts unit-square Euclidean distance into
+/// milliseconds (latency = distance × scale; a unit-square diagonal is
+/// `sqrt(2) × scale` ms).
+pub fn random_geometric<R: Rng>(
+    n: usize,
+    radius: f64,
+    latency_scale: f64,
+    cfg: &GenConfig,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "random_geometric: n must be >= 1".into(),
+        ));
+    }
+    if !(0.0..=2.0).contains(&radius) {
+        return Err(GraphError::InvalidGeneratorArgs(format!(
+            "random_geometric: radius {radius} out of range"
+        )));
+    }
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut g = Graph::with_capacity(n, n * 4);
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            let d2 = dx * dx + dy * dy;
+            if d2 <= r2 {
+                let lat = d2.sqrt() * latency_scale;
+                let bw = cfg.sample_bandwidth(rng);
+                g.add_edge(NodeId::new(i), NodeId::new(j), lat, bw)?;
+            }
+        }
+    }
+    connect_components(&mut g, rng, (latency_scale * radius, latency_scale));
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connected_and_sized() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = random_geometric(80, 0.2, 10.0, &cfg, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 80);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn latencies_bounded_by_radius() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let scale = 5.0;
+        let radius = 0.3;
+        let g = random_geometric(60, radius, scale, &cfg, &mut rng).unwrap();
+        // geometric edges obey latency <= radius*scale; bridges may reach
+        // up to `scale`.
+        for e in g.edges() {
+            assert!(e.latency <= scale + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(random_geometric(0, 0.2, 1.0, &cfg, &mut rng).is_err());
+        assert!(random_geometric(5, 3.0, 1.0, &cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! 2-D grid graphs — the commuter scenario's "downtown and suburbs" picture
+//! maps naturally onto a grid with the center playing downtown.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a `rows × cols` 4-neighbor grid. Node `(r, c)` has id
+/// `r * cols + c`.
+pub fn grid<R: Rng>(
+    rows: usize,
+    cols: usize,
+    cfg: &GenConfig,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "grid: rows and cols must be >= 1".into(),
+        ));
+    }
+    let n = rows * cols;
+    let mut g = Graph::with_capacity(n, 2 * n);
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = NodeId::new(r * cols + c);
+            if c + 1 < cols {
+                let right = NodeId::new(r * cols + c + 1);
+                g.add_edge(id, right, cfg.sample_latency(rng), cfg.sample_bandwidth(rng))?;
+            }
+            if r + 1 < rows {
+                let down = NodeId::new((r + 1) * cols + c);
+                g.add_edge(id, down, cfg.sample_latency(rng), cfg.sample_bandwidth(rng))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = grid(3, 4, &cfg, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn corner_degree_is_two() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = grid(3, 3, &cfg, &mut rng).unwrap();
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(4)), 4); // middle of 3x3
+    }
+
+    #[test]
+    fn one_by_one() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = grid(1, 1, &cfg, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(grid(0, 5, &cfg, &mut rng).is_err());
+        assert!(grid(5, 0, &cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Line (path) graphs — the topology the paper restricts to when running
+//! the optimal offline DP: "To simulate OPT, we constrain ourselves to line
+//! graphs."
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a line graph `0 - 1 - 2 - ... - (n-1)` with latencies and
+/// bandwidths drawn from `cfg`.
+pub fn line<R: Rng>(n: usize, cfg: &GenConfig, rng: &mut R) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "line: n must be >= 1".into(),
+        ));
+    }
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 0..n.saturating_sub(1) {
+        let lat = cfg.sample_latency(rng);
+        let bw = cfg.sample_bandwidth(rng);
+        g.add_edge(NodeId::new(i), NodeId::new(i + 1), lat, bw)?;
+    }
+    Ok(g)
+}
+
+/// Generates a line graph with unit latencies — the canonical instance used
+/// by the competitive-ratio experiments where exact positions matter.
+pub fn unit_line(n: usize) -> Result<Graph, GraphError> {
+    let cfg = GenConfig {
+        latency_range: (1.0, 1.0),
+        ..GenConfig::default()
+    };
+    // RNG never consulted for constant ranges, but the API wants one.
+    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+    line(n, &cfg, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use crate::metrics::metrics;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_is_a_path() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = line(6, &cfg, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(5)), 1);
+        for i in 1..5 {
+            assert_eq!(g.degree(NodeId::new(i)), 2);
+        }
+    }
+
+    #[test]
+    fn unit_line_diameter() {
+        let g = unit_line(5).unwrap();
+        let m = metrics(&g);
+        assert_eq!(m.diameter, 4.0);
+        assert_eq!(m.center, NodeId::new(2));
+        assert_eq!(m.radius, 2.0);
+    }
+
+    #[test]
+    fn singleton_line() {
+        let g = unit_line(1).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn zero_rejected() {
+        assert!(unit_line(0).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Substrate topology generators.
+//!
+//! The paper evaluates on (a) Erdős–Rényi random graphs with connection
+//! probability 1%, (b) line graphs (for the optimal offline DP), and
+//! (c) Rocketfuel ISP maps (provided by the `flexserve-topology` crate).
+//! This module supplies (a), (b) and a family of additional structured and
+//! random topologies used by tests, examples and ablation benches.
+//!
+//! All generators share [`GenConfig`]: node strengths, the edge-latency
+//! range, and the T1/T2 bandwidth mix (the paper: "link bandwidths are
+//! chosen at random (either T1 (1.544 Mbit/s) or T2 (6.312 Mbit/s))").
+//! Latencies on artificial graphs are drawn uniformly from
+//! `latency_range` (default 1..=10 ms — documented substitution, the paper
+//! does not state latencies for artificial graphs).
+
+mod erdos_renyi;
+mod geometric;
+mod grid;
+mod line;
+mod ring;
+mod star;
+mod tree;
+mod waxman;
+
+pub use erdos_renyi::erdos_renyi;
+pub use geometric::random_geometric;
+pub use grid::grid;
+pub use line::{line, unit_line};
+pub use ring::ring;
+pub use star::star;
+pub use tree::random_tree;
+pub use waxman::waxman;
+
+use rand::Rng;
+
+use crate::units::Bandwidth;
+
+/// Shared configuration for all substrate generators.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Node strength `ω(v)` assigned to every node (uniform in
+    /// `strength_range`).
+    pub strength_range: (f64, f64),
+    /// Uniform range for edge latencies in milliseconds.
+    pub latency_range: (f64, f64),
+    /// Probability that a link is T1 (otherwise T2).
+    pub t1_probability: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            strength_range: (1.0, 1.0),
+            latency_range: (1.0, 10.0),
+            t1_probability: 0.5,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Samples a node strength.
+    pub fn sample_strength<R: Rng>(&self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.strength_range;
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Samples an edge latency.
+    pub fn sample_latency<R: Rng>(&self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.latency_range;
+        if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Samples a T1-or-T2 bandwidth.
+    pub fn sample_bandwidth<R: Rng>(&self, rng: &mut R) -> Bandwidth {
+        if rng.gen_bool(self.t1_probability) {
+            Bandwidth::T1
+        } else {
+            Bandwidth::T2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_config_sane() {
+        let c = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let s = c.sample_strength(&mut rng);
+            assert_eq!(s, 1.0);
+            let l = c.sample_latency(&mut rng);
+            assert!((1.0..=10.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn bandwidth_mix_respects_probability() {
+        let mut c = GenConfig::default();
+        c.t1_probability = 1.0;
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(c.sample_bandwidth(&mut rng), Bandwidth::T1);
+        }
+        c.t1_probability = 0.0;
+        for _ in 0..50 {
+            assert_eq!(c.sample_bandwidth(&mut rng), Bandwidth::T2);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let c = GenConfig {
+            strength_range: (2.0, 2.0),
+            latency_range: (3.0, 3.0),
+            t1_probability: 0.5,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(c.sample_strength(&mut rng), 2.0);
+        assert_eq!(c.sample_latency(&mut rng), 3.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Ring (cycle) graphs — useful for modelling backbone loops and as a
+//! worst-case topology for migration strategies (two escape directions).
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a cycle `0 - 1 - ... - (n-1) - 0`. Requires `n >= 3`.
+pub fn ring<R: Rng>(n: usize, cfg: &GenConfig, rng: &mut R) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "ring: n must be >= 3".into(),
+        ));
+    }
+    let mut g = Graph::with_capacity(n, n);
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let lat = cfg.sample_latency(rng);
+        let bw = cfg.sample_bandwidth(rng);
+        g.add_edge(NodeId::new(i), NodeId::new(j), lat, bw)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_node_has_degree_two() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = ring(7, &cfg, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert!(is_connected(&g));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(ring(2, &cfg, &mut rng).is_err());
+    }
+}

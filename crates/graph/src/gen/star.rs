@@ -1,0 +1,59 @@
+//! Star graphs — one hub, `n-1` leaves. The extreme "everything close to
+//! the center" topology: a single well-placed server is optimal, which makes
+//! stars good sanity fixtures for OFFSTAT and the convergence tests.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a star with hub `n0` and leaves `n1..n(n-1)`. Requires `n >= 1`.
+pub fn star<R: Rng>(n: usize, cfg: &GenConfig, rng: &mut R) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "star: n must be >= 1".into(),
+        ));
+    }
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 1..n {
+        let lat = cfg.sample_latency(rng);
+        let bw = cfg.sample_bandwidth(rng);
+        g.add_edge(NodeId::new(0), NodeId::new(i), lat, bw)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::center;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hub_is_center() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = star(9, &cfg, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(NodeId::new(0)), 8);
+        assert_eq!(center(&g), NodeId::new(0));
+    }
+
+    #[test]
+    fn degenerate_star() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = star(1, &cfg, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(star(0, &cfg, &mut rng).is_err());
+    }
+}

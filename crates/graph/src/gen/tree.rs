@@ -1,0 +1,59 @@
+//! Uniform random trees (random attachment) — sparse, loop-free substrates
+//! with pronounced centers; used by tests and the ablation benches.
+
+use rand::Rng;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a random tree on `n` nodes: node `i > 0` attaches to a uniform
+/// random node `j < i` (random recursive tree).
+pub fn random_tree<R: Rng>(n: usize, cfg: &GenConfig, rng: &mut R) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "random_tree: n must be >= 1".into(),
+        ));
+    }
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        let lat = cfg.sample_latency(rng);
+        let bw = cfg.sample_bandwidth(rng);
+        g.add_edge(NodeId::new(parent), NodeId::new(i), lat, bw)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_invariant_edges_eq_n_minus_1() {
+        let cfg = GenConfig::default();
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = random_tree(40, &cfg, &mut rng).unwrap();
+            assert_eq!(g.edge_count(), 39);
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = random_tree(1, &cfg, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Waxman random graphs — the classic internet-topology model
+//! (Waxman 1988): nodes on the unit square, edge probability
+//! `α · exp(−d / (β_w · L))` where `d` is Euclidean distance and `L` the
+//! maximum possible distance. Long links exist but are rare, which mimics
+//! real ISP maps better than Erdős–Rényi.
+
+use rand::Rng;
+
+use crate::connectivity::connect_components;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+use super::GenConfig;
+
+/// Generates a connected Waxman graph.
+///
+/// * `alpha` — overall edge density (0, 1];
+/// * `beta_w` — distance decay (0, 1]: larger ⇒ more long edges;
+/// * `latency_scale` — ms per unit Euclidean distance.
+pub fn waxman<R: Rng>(
+    n: usize,
+    alpha: f64,
+    beta_w: f64,
+    latency_scale: f64,
+    cfg: &GenConfig,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidGeneratorArgs(
+            "waxman: n must be >= 1".into(),
+        ));
+    }
+    if !(0.0 < alpha && alpha <= 1.0) || !(0.0 < beta_w && beta_w <= 1.0) {
+        return Err(GraphError::InvalidGeneratorArgs(format!(
+            "waxman: alpha {alpha} and beta {beta_w} must be in (0, 1]"
+        )));
+    }
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let l = 2f64.sqrt();
+    let mut g = Graph::with_capacity(n, n * 3);
+    for _ in 0..n {
+        let s = cfg.sample_strength(rng);
+        g.try_add_node(s)?;
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = alpha * (-d / (beta_w * l)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let lat = d * latency_scale;
+                let bw = cfg.sample_bandwidth(rng);
+                g.add_edge(NodeId::new(i), NodeId::new(j), lat, bw)?;
+            }
+        }
+    }
+    connect_components(&mut g, rng, (0.1 * latency_scale, latency_scale));
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connected_and_plausible_density() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = waxman(100, 0.4, 0.2, 10.0, &cfg, &mut rng).unwrap();
+        assert!(is_connected(&g));
+        assert!(g.edge_count() >= 99); // at least spanning
+    }
+
+    #[test]
+    fn higher_alpha_more_edges() {
+        let cfg = GenConfig::default();
+        let sparse = waxman(80, 0.1, 0.15, 1.0, &cfg, &mut SmallRng::seed_from_u64(2)).unwrap();
+        let dense = waxman(80, 0.9, 0.15, 1.0, &cfg, &mut SmallRng::seed_from_u64(2)).unwrap();
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(waxman(0, 0.5, 0.5, 1.0, &cfg, &mut rng).is_err());
+        assert!(waxman(5, 0.0, 0.5, 1.0, &cfg, &mut rng).is_err());
+        assert!(waxman(5, 0.5, 1.5, 1.0, &cfg, &mut rng).is_err());
+    }
+}

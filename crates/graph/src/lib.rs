@@ -1,0 +1,59 @@
+//! # flexserve-graph
+//!
+//! Substrate network model for the flexible server allocation system.
+//!
+//! The paper ("On the Benefit of Virtualization: Strategies for Flexible
+//! Server Allocation", Arora et al.) models the physical infrastructure as a
+//! substrate network `G = (V, E)` where every node `v` carries a *strength*
+//! `ω(v)` (CPU cores, memory, bus speed, ...) and every link `e` carries a
+//! bandwidth capacity `ω(e)` and a latency `λ(e)`.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — an undirected weighted multigraph-free substrate graph with
+//!   per-node strength and per-edge latency/bandwidth,
+//! * shortest-path machinery ([`path`], [`apsp`]) used for request access
+//!   costs,
+//! * graph metrics ([`metrics`]) such as the network *center*, where online
+//!   algorithms start their first server,
+//! * connectivity utilities ([`connectivity`]),
+//! * random and structured topology generators ([`gen`]): Erdős–Rényi
+//!   (connection probability 1% in the paper), line graphs (used for the
+//!   optimal offline algorithm), rings, stars, grids, trees, random
+//!   geometric and Waxman graphs.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexserve_graph::{Graph, NodeId};
+//! use flexserve_graph::path::shortest_paths;
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node(1.0);
+//! let b = g.add_node(1.0);
+//! let c = g.add_node(2.0);
+//! g.add_edge(a, b, 5.0, flexserve_graph::Bandwidth::T1).unwrap();
+//! g.add_edge(b, c, 2.0, flexserve_graph::Bandwidth::T2).unwrap();
+//!
+//! let sp = shortest_paths(&g, a);
+//! assert_eq!(sp.distance(c), Some(7.0));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apsp;
+pub mod connectivity;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod path;
+pub mod units;
+
+pub use apsp::DistanceMatrix;
+pub use error::GraphError;
+pub use graph::{EdgeRef, Graph};
+pub use ids::{EdgeId, NodeId};
+pub use units::{Bandwidth, Latency, Strength};

@@ -1,0 +1,162 @@
+//! Graph metrics: center, diameter, radius, average path length.
+//!
+//! The online algorithms in the paper "start in an arbitrary configuration,
+//! e.g., hosting one server at the network center" — the center is the node
+//! of minimum eccentricity, computed here.
+
+use crate::apsp::DistanceMatrix;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Summary metrics of a substrate graph, derived from a [`DistanceMatrix`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphMetrics {
+    /// Node with minimal eccentricity (ties broken by smallest id).
+    pub center: NodeId,
+    /// Minimum eccentricity (= eccentricity of the center).
+    pub radius: f64,
+    /// Maximum finite eccentricity.
+    pub diameter: f64,
+    /// Mean shortest-path latency over ordered reachable pairs `u != v`.
+    pub avg_path_latency: f64,
+    /// Whether the graph is connected.
+    pub connected: bool,
+}
+
+/// Computes [`GraphMetrics`] from a prebuilt distance matrix.
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+pub fn metrics_from_matrix(m: &DistanceMatrix) -> GraphMetrics {
+    let n = m.node_count();
+    assert!(n > 0, "metrics of an empty graph are undefined");
+    let mut center = NodeId::new(0);
+    let mut radius = f64::INFINITY;
+    let mut diameter: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    let mut connected = true;
+
+    for ui in 0..n {
+        let u = NodeId::new(ui);
+        let mut ecc: f64 = 0.0;
+        for vi in 0..n {
+            let d = m.get(u, NodeId::new(vi));
+            if d.is_finite() {
+                ecc = ecc.max(d);
+                if ui != vi {
+                    sum += d;
+                    pairs += 1;
+                }
+            } else {
+                connected = false;
+            }
+        }
+        if ecc < radius {
+            radius = ecc;
+            center = u;
+        }
+        diameter = diameter.max(ecc);
+    }
+
+    GraphMetrics {
+        center,
+        radius,
+        diameter,
+        avg_path_latency: if pairs > 0 { sum / pairs as f64 } else { 0.0 },
+        connected,
+    }
+}
+
+/// Convenience: builds the distance matrix and computes metrics.
+pub fn metrics(g: &Graph) -> GraphMetrics {
+    metrics_from_matrix(&DistanceMatrix::build(g))
+}
+
+/// The network center (minimum-eccentricity node, smallest id on ties).
+pub fn center(g: &Graph) -> NodeId {
+    metrics(g).center
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+
+    fn path_graph(n: usize, lat: f64) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..n).map(|_| g.add_node(1.0)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], lat, Bandwidth::T1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn center_of_odd_path_is_midpoint() {
+        let g = path_graph(5, 1.0);
+        let m = metrics(&g);
+        assert_eq!(m.center, NodeId::new(2));
+        assert_eq!(m.radius, 2.0);
+        assert_eq!(m.diameter, 4.0);
+        assert!(m.connected);
+    }
+
+    #[test]
+    fn center_of_even_path_breaks_ties_low() {
+        let g = path_graph(4, 1.0);
+        let m = metrics(&g);
+        // nodes 1 and 2 both have eccentricity 2; smallest id wins
+        assert_eq!(m.center, NodeId::new(1));
+        assert_eq!(m.radius, 2.0);
+        assert_eq!(m.diameter, 3.0);
+    }
+
+    #[test]
+    fn star_center() {
+        let mut g = Graph::new();
+        let hub = g.add_node(1.0);
+        for _ in 0..6 {
+            let leaf = g.add_node(1.0);
+            g.add_edge(hub, leaf, 3.0, Bandwidth::T2).unwrap();
+        }
+        let m = metrics(&g);
+        assert_eq!(m.center, hub);
+        assert_eq!(m.radius, 3.0);
+        assert_eq!(m.diameter, 6.0);
+    }
+
+    #[test]
+    fn avg_path_latency_of_two_nodes() {
+        let g = path_graph(2, 5.0);
+        let m = metrics(&g);
+        assert_eq!(m.avg_path_latency, 5.0);
+    }
+
+    #[test]
+    fn disconnected_flagged() {
+        let mut g = Graph::new();
+        g.add_node(1.0);
+        g.add_node(1.0);
+        let m = metrics(&g);
+        assert!(!m.connected);
+    }
+
+    #[test]
+    fn single_node_metrics() {
+        let mut g = Graph::new();
+        g.add_node(1.0);
+        let m = metrics(&g);
+        assert_eq!(m.center, NodeId::new(0));
+        assert_eq!(m.radius, 0.0);
+        assert_eq!(m.diameter, 0.0);
+        assert!(m.connected);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_panics() {
+        metrics(&Graph::new());
+    }
+}

@@ -1,0 +1,219 @@
+//! Single-source shortest paths (Dijkstra).
+//!
+//! Access cost in the paper is "the sum of the requests' latencies to the
+//! corresponding servers (e.g., along the shortest paths on the substrate
+//! network)", so shortest-path latency is the workhorse of the whole cost
+//! model.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::units::Latency;
+
+/// Result of a single-source Dijkstra run: distances and predecessor tree.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The source node of this run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest-path latency from the source to `v`, or `None` when `v` is
+    /// unreachable.
+    pub fn distance(&self, v: NodeId) -> Option<Latency> {
+        let d = self.dist[v.index()];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// All distances as a slice (`f64::INFINITY` = unreachable), indexed by
+    /// `NodeId::index()`.
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Reconstructs the node sequence of the shortest path `source -> v`
+    /// (inclusive on both ends). Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[v.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&self.source));
+        Some(path)
+    }
+
+    /// Number of hops (edges) on the shortest path to `v`.
+    pub fn hops_to(&self, v: NodeId) -> Option<usize> {
+        self.path_to(v).map(|p| p.len() - 1)
+    }
+}
+
+/// Heap entry; `BinaryHeap` is a max-heap so ordering is reversed.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller distance = greater priority. Distances are finite
+        // non-NaN by construction (only finite latencies enter the graph).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Runs Dijkstra from `source` over link latencies.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn shortest_paths(g: &Graph, source: NodeId) -> ShortestPaths {
+    assert!(
+        g.contains_node(source),
+        "shortest_paths: unknown source {source}"
+    );
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.neighbors(u) {
+            let v = e.target;
+            if settled[v.index()] {
+                continue;
+            }
+            let nd = d + e.latency;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    ShortestPaths { source, dist, prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+
+    /// 0 --1-- 1 --1-- 2
+    ///  \------10-----/      (direct shortcut is worse)
+    fn shortcut_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b, 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(b, c, 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(a, c, 10.0, Bandwidth::T1).unwrap();
+        g
+    }
+
+    #[test]
+    fn prefers_multi_hop_when_cheaper() {
+        let g = shortcut_graph();
+        let sp = shortest_paths(&g, NodeId::new(0));
+        assert_eq!(sp.distance(NodeId::new(2)), Some(2.0));
+        assert_eq!(
+            sp.path_to(NodeId::new(2)).unwrap(),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(sp.hops_to(NodeId::new(2)), Some(2));
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let g = shortcut_graph();
+        let sp = shortest_paths(&g, NodeId::new(1));
+        assert_eq!(sp.distance(NodeId::new(1)), Some(0.0));
+        assert_eq!(sp.path_to(NodeId::new(1)).unwrap(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_node(1.0);
+        let _lonely = g.add_node(1.0);
+        let sp = shortest_paths(&g, a);
+        assert_eq!(sp.distance(NodeId::new(1)), None);
+        assert_eq!(sp.path_to(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn zero_latency_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b, 0.0, Bandwidth::T1).unwrap();
+        g.add_edge(b, c, 3.0, Bandwidth::T1).unwrap();
+        let sp = shortest_paths(&g, a);
+        assert_eq!(sp.distance(c), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn panics_on_unknown_source() {
+        let g = Graph::new();
+        shortest_paths(&g, NodeId::new(0));
+    }
+
+    #[test]
+    fn line_graph_distances_are_prefix_sums() {
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..5).map(|_| g.add_node(1.0)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], 2.5, Bandwidth::T2).unwrap();
+        }
+        let sp = shortest_paths(&g, nodes[0]);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(sp.distance(v), Some(2.5 * i as f64));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Physical units attached to substrate nodes and links.
+//!
+//! The paper characterizes a node by its *strength* `ω(v)` and a link by a
+//! *bandwidth capacity* `ω(e)` and a *latency* `λ(e)`. The simulations assign
+//! link bandwidths at random as either T1 (1.544 Mbit/s) or T2
+//! (6.312 Mbit/s) lines.
+
+use std::fmt;
+
+/// Link latency in milliseconds.
+///
+/// A plain `f64` alias kept as its own name for documentation purposes;
+/// all cost arithmetic in the higher layers is performed in `f64`.
+pub type Latency = f64;
+
+/// Node strength `ω(v)` — an abstract capacity figure (CPU cores, memory
+/// size, bus speed, ...). Larger is stronger; the load a node experiences
+/// for a given number of requests decreases with its strength.
+pub type Strength = f64;
+
+/// Link bandwidth capacity `ω(e)`.
+///
+/// The paper's simulation set-up: "link bandwidths are chosen at random
+/// (either T1 (1.544 Mbit/s) or T2 (6.312 Mbit/s))". The simplified cost
+/// model charges a constant `β` per migration, so bandwidth does not enter
+/// the headline cost numbers, but it is carried through the substrate so
+/// extensions (e.g. bandwidth-dependent migration duration, documented in
+/// DESIGN.md) can use it.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Bandwidth {
+    /// A T1 line: 1.544 Mbit/s.
+    T1,
+    /// A T2 line: 6.312 Mbit/s.
+    T2,
+    /// Arbitrary capacity in Mbit/s (used by the Rocketfuel-like topology
+    /// where backbone links are much fatter than access links).
+    Custom(f64),
+}
+
+impl Bandwidth {
+    /// Capacity in Mbit/s.
+    #[inline]
+    pub fn mbps(self) -> f64 {
+        match self {
+            Bandwidth::T1 => 1.544,
+            Bandwidth::T2 => 6.312,
+            Bandwidth::Custom(v) => v,
+        }
+    }
+
+    /// Time (in milliseconds) to transfer `megabits` over this link,
+    /// ignoring propagation. Used by the ablation bench that models
+    /// bandwidth-dependent migration cost.
+    #[inline]
+    pub fn transfer_ms(self, megabits: f64) -> f64 {
+        (megabits / self.mbps()) * 1000.0
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bandwidth::T1 => write!(f, "T1(1.544 Mbit/s)"),
+            Bandwidth::T2 => write!(f, "T2(6.312 Mbit/s)"),
+            Bandwidth::Custom(v) => write!(f, "{v} Mbit/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_t2_capacities_match_paper() {
+        assert!((Bandwidth::T1.mbps() - 1.544).abs() < 1e-12);
+        assert!((Bandwidth::T2.mbps() - 6.312).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_capacity() {
+        assert_eq!(Bandwidth::Custom(100.0).mbps(), 100.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely_with_bandwidth() {
+        let t1 = Bandwidth::T1.transfer_ms(10.0);
+        let t2 = Bandwidth::T2.transfer_ms(10.0);
+        assert!(t1 > t2);
+        // T2 is ~4.09x faster than T1.
+        assert!((t1 / t2 - 6.312 / 1.544).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert!(format!("{}", Bandwidth::T1).contains("T1"));
+        assert!(format!("{}", Bandwidth::Custom(2.0)).contains("2 Mbit/s"));
+    }
+}

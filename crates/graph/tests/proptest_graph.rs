@@ -1,0 +1,165 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Invariants checked:
+//! * Dijkstra == Floyd–Warshall on arbitrary random graphs,
+//! * distance matrices are symmetric and satisfy the triangle inequality,
+//! * generator structural invariants hold for arbitrary parameters,
+//! * the connectivity repair always yields connected graphs.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use flexserve_graph::connectivity::{component_count, is_connected};
+use flexserve_graph::gen::{erdos_renyi, grid, line, random_tree, ring, star, GenConfig};
+use flexserve_graph::path::shortest_paths;
+use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+
+/// Builds a random graph directly from proptest-chosen edge list.
+fn graph_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_node(1.0);
+    }
+    for &(a, b, lat) in edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let _ = g.add_edge(
+            NodeId::new(a),
+            NodeId::new(b),
+            lat,
+            flexserve_graph::Bandwidth::T1,
+        );
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20, 0.0f64..100.0), 0..60)
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let fast = DistanceMatrix::build(&g);
+        let slow = DistanceMatrix::build_floyd_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let (a, b) = (fast.get(u, v), slow.get(u, v));
+                if a.is_finite() || b.is_finite() {
+                    prop_assert!((a - b).abs() < 1e-9, "({u},{v}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_and_triangle(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15, 0.0f64..50.0), 0..40)
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = DistanceMatrix::build(&g);
+        for u in g.nodes() {
+            prop_assert_eq!(m.get(u, u), 0.0);
+            for v in g.nodes() {
+                let (duv, dvu) = (m.get(u, v), m.get(v, u));
+                if duv.is_finite() || dvu.is_finite() {
+                    prop_assert!((duv - dvu).abs() < 1e-9);
+                }
+                for w in g.nodes() {
+                    if m.get(u, v).is_finite() && m.get(v, w).is_finite() {
+                        prop_assert!(m.get(u, w) <= m.get(u, v) + m.get(v, w) + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_consistency(
+        n in 2usize..15,
+        edges in prop::collection::vec((0usize..15, 0usize..15, 0.1f64..50.0), 1..40),
+        src in 0usize..15,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let src = NodeId::new(src % n);
+        let sp = shortest_paths(&g, src);
+        for v in g.nodes() {
+            if let Some(path) = sp.path_to(v) {
+                prop_assert_eq!(path[0], src);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                // path edge sum equals reported distance
+                let mut sum = 0.0;
+                for w in path.windows(2) {
+                    let lat = g.edge_latency(w[0], w[1]);
+                    prop_assert!(lat.is_some(), "path uses a non-edge");
+                    sum += lat.unwrap();
+                }
+                prop_assert!((sum - sp.distance(v).unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_always_connected(n in 1usize..120, p in 0.0f64..0.2, seed in 0u64..1000) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &cfg, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn line_is_path(n in 1usize..50, seed in 0u64..100) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = line(n, &cfg, &mut rng).unwrap();
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges(n in 1usize..80, seed in 0u64..100) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = random_tree(n, &cfg, &mut rng).unwrap();
+        prop_assert_eq!(g.edge_count(), n - 1);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn ring_degrees(n in 3usize..60, seed in 0u64..100) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = ring(n, &cfg, &mut rng).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_shape(n in 1usize..60, seed in 0u64..100) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = star(n, &cfg, &mut rng).unwrap();
+        prop_assert_eq!(g.edge_count(), n - 1);
+        if n > 1 {
+            prop_assert_eq!(g.degree(NodeId::new(0)), n - 1);
+        }
+    }
+
+    #[test]
+    fn grid_shape(r in 1usize..8, c in 1usize..8, seed in 0u64..100) {
+        let cfg = GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = grid(r, c, &cfg, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), r * c);
+        prop_assert_eq!(g.edge_count(), r * (c - 1) + (r - 1) * c);
+        prop_assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,114 @@
+//! The shared, immutable simulation context.
+
+use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+
+use crate::load::LoadModel;
+use crate::params::CostParams;
+use crate::routing::{route, RoutingPolicy};
+use flexserve_workload::RoundRequests;
+
+/// Everything an algorithm or the engine needs to price decisions:
+/// the substrate, its precomputed distance matrix, the cost parameters,
+/// the load model and the routing policy.
+///
+/// Borrowed (not owned) so one substrate/matrix pair can back many parallel
+/// runs without cloning an `n × n` matrix per run.
+#[derive(Clone, Copy)]
+pub struct SimContext<'a> {
+    /// The substrate network.
+    pub graph: &'a Graph,
+    /// All-pairs shortest path latencies of `graph`.
+    pub dist: &'a DistanceMatrix,
+    /// Cost model parameters.
+    pub params: CostParams,
+    /// Server load model.
+    pub load: LoadModel,
+    /// How requests pick among the active servers.
+    pub routing: RoutingPolicy,
+}
+
+impl<'a> SimContext<'a> {
+    /// Creates a context with the default nearest-server routing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation, the graph is empty, or the
+    /// matrix size does not match the graph.
+    pub fn new(
+        graph: &'a Graph,
+        dist: &'a DistanceMatrix,
+        params: CostParams,
+        load: LoadModel,
+    ) -> Self {
+        params.validate().expect("invalid cost parameters");
+        assert!(!graph.is_empty(), "SimContext: empty substrate");
+        assert_eq!(
+            graph.node_count(),
+            dist.node_count(),
+            "SimContext: distance matrix does not match graph"
+        );
+        SimContext {
+            graph,
+            dist,
+            params,
+            load,
+            routing: RoutingPolicy::Nearest,
+        }
+    }
+
+    /// Builder-style override of the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Access cost `Cost_acc` of serving `batch` from the active `servers`
+    /// under this context's routing policy and load model:
+    /// `Σ_r delay(r) + Σ_v load(v)`.
+    ///
+    /// Returns `f64::INFINITY` when `servers` is empty but requests exist.
+    pub fn access_cost(&self, servers: &[NodeId], batch: &RoundRequests) -> f64 {
+        route(self, servers, batch).cost
+    }
+
+    /// Running cost of one round for `n_active` active and `n_inactive`
+    /// inactive servers: `Ra·n_active + Ri·n_inactive`.
+    #[inline]
+    pub fn running_cost(&self, n_active: usize, n_inactive: usize) -> f64 {
+        self.params.run_active * n_active as f64 + self.params.run_inactive * n_inactive as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+
+    #[test]
+    fn running_cost_formula() {
+        let g = unit_line(3).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        assert_eq!(ctx.running_cost(2, 3), 2.0 * 2.5 + 3.0 * 0.5);
+        assert_eq!(ctx.running_cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn access_cost_empty_servers_is_infinite() {
+        let g = unit_line(3).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let batch = RoundRequests::new(vec![NodeId::new(0)]);
+        assert_eq!(ctx.access_cost(&[], &batch), f64::INFINITY);
+        assert_eq!(ctx.access_cost(&[], &RoundRequests::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance matrix does not match")]
+    fn mismatched_matrix_rejected() {
+        let g = unit_line(3).unwrap();
+        let g2 = unit_line(4).unwrap();
+        let m = DistanceMatrix::build(&g2);
+        SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+    }
+}

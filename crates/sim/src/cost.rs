@@ -1,0 +1,148 @@
+//! Cost accounting: the [`CostBreakdown`] ledger.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Cost totals split by source, mirroring the paper's cost taxonomy:
+/// access (`Cost_acc`), running (`Cost_run`), migration (`Cost_mig`), and
+/// creation costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Request latency plus load-induced latency.
+    pub access: f64,
+    /// `Ra`/`Ri` per-round running costs of active/inactive servers.
+    pub running: f64,
+    /// `β` per server migration.
+    pub migration: f64,
+    /// `c` per server creation.
+    pub creation: f64,
+}
+
+impl CostBreakdown {
+    /// A zeroed ledger.
+    pub fn zero() -> Self {
+        CostBreakdown::default()
+    }
+
+    /// Grand total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.access + self.running + self.migration + self.creation
+    }
+
+    /// Ledger with only an access component.
+    pub fn from_access(access: f64) -> Self {
+        CostBreakdown {
+            access,
+            ..CostBreakdown::default()
+        }
+    }
+
+    /// Reconfiguration part of the ledger (migration + creation).
+    #[inline]
+    pub fn reconfiguration(&self) -> f64 {
+        self.migration + self.creation
+    }
+
+    /// Elementwise maximum-absolute difference; handy for float comparisons
+    /// in tests.
+    pub fn max_abs_diff(&self, other: &CostBreakdown) -> f64 {
+        (self.access - other.access)
+            .abs()
+            .max((self.running - other.running).abs())
+            .max((self.migration - other.migration).abs())
+            .max((self.creation - other.creation).abs())
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+    fn add(self, o: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            access: self.access + o.access,
+            running: self.running + o.running,
+            migration: self.migration + o.migration,
+            creation: self.creation + o.creation,
+        }
+    }
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, o: CostBreakdown) {
+        *self = *self + o;
+    }
+}
+
+impl Sum for CostBreakdown {
+    fn sum<I: Iterator<Item = CostBreakdown>>(iter: I) -> Self {
+        iter.fold(CostBreakdown::zero(), |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "total {:.2} (access {:.2}, running {:.2}, migration {:.2}, creation {:.2})",
+            self.total(),
+            self.access,
+            self.running,
+            self.migration,
+            self.creation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let c = CostBreakdown {
+            access: 1.0,
+            running: 2.0,
+            migration: 3.0,
+            creation: 4.0,
+        };
+        assert_eq!(c.total(), 10.0);
+        assert_eq!(c.reconfiguration(), 7.0);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = CostBreakdown::from_access(5.0);
+        let b = CostBreakdown {
+            migration: 40.0,
+            ..CostBreakdown::default()
+        };
+        let s = a + b;
+        assert_eq!(s.total(), 45.0);
+        let total: CostBreakdown = vec![a, b, s].into_iter().sum();
+        assert_eq!(total.total(), 90.0);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut c = CostBreakdown::zero();
+        c += CostBreakdown::from_access(2.5);
+        c += CostBreakdown::from_access(2.5);
+        assert_eq!(c.access, 5.0);
+    }
+
+    #[test]
+    fn diff_metric() {
+        let a = CostBreakdown::from_access(1.0);
+        let b = CostBreakdown::from_access(1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn display_contains_components() {
+        let c = CostBreakdown::from_access(1.0);
+        let s = format!("{c}");
+        assert!(s.contains("access 1.00"));
+        assert!(s.contains("total 1.00"));
+    }
+}

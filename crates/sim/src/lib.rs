@@ -1,0 +1,38 @@
+//! # flexserve-sim
+//!
+//! Discrete-time simulation engine for the flexible server allocation
+//! problem: the cost model, request routing, the server-fleet state
+//! machine (active / inactive / not-in-use with the paper's FIFO cache of
+//! inactive servers), the transition planner that prices configuration
+//! changes, and the synchronous round-based game loop of §II-E:
+//!
+//! 1. requests `σt` arrive at access points,
+//! 2. the algorithm pays the access cost `Cost_acc(t)` to the current
+//!    servers,
+//! 3. the algorithm reconfigures (allocate / remove / migrate /
+//!    (de)activate servers) and pays running and migration costs.
+//!
+//! The engine is deliberately synchronous and single-threaded per run — the
+//! problem is a sequential online game; parallelism lives one level up
+//! (the experiment harness runs independent seeds on threads).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod context;
+pub mod cost;
+pub mod engine;
+pub mod fleet;
+pub mod load;
+pub mod params;
+pub mod routing;
+pub mod transition;
+
+pub use context::SimContext;
+pub use cost::CostBreakdown;
+pub use engine::{run_online, run_plan, OnlineStrategy, Plan, RoundRecord, RunRecord};
+pub use fleet::{Fleet, InactiveServer};
+pub use load::LoadModel;
+pub use params::CostParams;
+pub use routing::{route, RoutingOutcome, RoutingPolicy};
+pub use transition::{config_transition_cost, TransitionOutcome, TransitionPlanner};

@@ -1,0 +1,130 @@
+//! Server load functions.
+//!
+//! The paper models access cost as request latency *plus* the latency due
+//! to server load, `load(v,t) = f(ω(v), η(v,t))` — a function of node
+//! strength and the number of requests handled by `v` in round `t`.
+//! "For example, a simple model where the load increases linearly would be
+//! `load(v,t) = η(v,t)/ω(v)`"; the exemplary executions (Figs 1–2) also use
+//! a *quadratic* load function, under which overloaded servers become
+//! disproportionally expensive and more servers are allocated.
+
+/// The load model `f(ω, η)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadModel {
+    /// No load term: access cost is pure latency.
+    None,
+    /// `η / ω` — the paper's simple linear model.
+    Linear,
+    /// `η² / ω` — the paper's steeper model from the Fig. 1–2 examples.
+    Quadratic,
+    /// `η^p / ω` for arbitrary exponent `p >= 1` (ablations).
+    Power(f64),
+}
+
+impl LoadModel {
+    /// Load latency contributed by a server of strength `strength` serving
+    /// `eta` requests this round.
+    #[inline]
+    pub fn load(self, strength: f64, eta: usize) -> f64 {
+        if eta == 0 {
+            return 0.0;
+        }
+        let eta = eta as f64;
+        match self {
+            LoadModel::None => 0.0,
+            LoadModel::Linear => eta / strength,
+            LoadModel::Quadratic => eta * eta / strength,
+            LoadModel::Power(p) => eta.powf(p) / strength,
+        }
+    }
+
+    /// Marginal load of adding one more request when the server currently
+    /// serves `eta` requests — used by the load-aware router.
+    #[inline]
+    pub fn marginal(self, strength: f64, eta: usize) -> f64 {
+        self.load(strength, eta + 1) - self.load(strength, eta)
+    }
+
+    /// Whether total load is additive over requests for fixed assignment
+    /// (`true` only for the linear and none models). Algorithms may exploit
+    /// additivity for fast candidate evaluation.
+    #[inline]
+    pub fn is_additive(self) -> bool {
+        matches!(self, LoadModel::None | LoadModel::Linear)
+    }
+}
+
+impl std::fmt::Display for LoadModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadModel::None => write!(f, "none"),
+            LoadModel::Linear => write!(f, "linear"),
+            LoadModel::Quadratic => write!(f, "quadratic"),
+            LoadModel::Power(p) => write!(f, "power({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_paper_formula() {
+        assert_eq!(LoadModel::Linear.load(2.0, 10), 5.0);
+        assert_eq!(LoadModel::Linear.load(1.0, 0), 0.0);
+    }
+
+    #[test]
+    fn quadratic_grows_faster() {
+        let lin = LoadModel::Linear.load(1.0, 8);
+        let quad = LoadModel::Quadratic.load(1.0, 8);
+        assert_eq!(lin, 8.0);
+        assert_eq!(quad, 64.0);
+    }
+
+    #[test]
+    fn power_generalizes() {
+        assert_eq!(LoadModel::Power(1.0).load(2.0, 6), 3.0);
+        assert_eq!(LoadModel::Power(2.0).load(1.0, 3), 9.0);
+        let p3 = LoadModel::Power(3.0).load(1.0, 2);
+        assert!((p3 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_nodes_carry_more() {
+        let weak = LoadModel::Linear.load(1.0, 10);
+        let strong = LoadModel::Linear.load(4.0, 10);
+        assert!(strong < weak);
+    }
+
+    #[test]
+    fn marginal_linear_is_constant() {
+        let m0 = LoadModel::Linear.marginal(2.0, 0);
+        let m9 = LoadModel::Linear.marginal(2.0, 9);
+        assert!((m0 - 0.5).abs() < 1e-12);
+        assert!((m9 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_quadratic_increases() {
+        let m0 = LoadModel::Quadratic.marginal(1.0, 0);
+        let m5 = LoadModel::Quadratic.marginal(1.0, 5);
+        assert!(m5 > m0);
+        assert_eq!(m0, 1.0); // 1² − 0²
+        assert_eq!(m5, 11.0); // 6² − 5²
+    }
+
+    #[test]
+    fn additivity_flags() {
+        assert!(LoadModel::None.is_additive());
+        assert!(LoadModel::Linear.is_additive());
+        assert!(!LoadModel::Quadratic.is_additive());
+        assert!(!LoadModel::Power(1.5).is_additive());
+    }
+
+    #[test]
+    fn none_is_free() {
+        assert_eq!(LoadModel::None.load(0.5, 1000), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cost-model parameters (§II-C of the paper).
+
+/// All scalar parameters of the cost model.
+///
+/// Paper defaults (§V-A): `β = 40`, `c = 400`; for the `β > c` experiments
+/// `β = 400`, `c = 40`. Running costs from the Rocketfuel experiment:
+/// `Ra = 2.5`, `Ri = 0.5`. The inactive-server cache holds 3 servers and
+/// entries expire after 20 epochs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// Migration cost `β`: charged per server migration (bulk transfer of
+    /// configuration and state over the network, opportunistic costs).
+    pub migration_beta: f64,
+    /// Creation cost `c`: installing the box and template, configuring
+    /// addresses, starting the server.
+    pub creation_c: f64,
+    /// Running cost `Ra` per *active* server per round (CPU, RAM state,
+    /// bandwidth).
+    pub run_active: f64,
+    /// Running cost `Ri` per *inactive* server per round (storing the
+    /// application software plus maintenance).
+    pub run_inactive: f64,
+    /// Maximum number of servers `k = |S|` the service may use
+    /// (active + inactive combined).
+    pub max_servers: usize,
+    /// Capacity of the FIFO cache of inactive servers (paper: 3).
+    pub inactive_queue_len: usize,
+    /// Inactive servers expire after this many epochs in the cache
+    /// (paper: `x = 20`).
+    pub inactive_expiry_epochs: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            migration_beta: 40.0,
+            creation_c: 400.0,
+            run_active: 2.5,
+            run_inactive: 0.5,
+            max_servers: 16,
+            inactive_queue_len: 3,
+            inactive_expiry_epochs: 20,
+        }
+    }
+}
+
+impl CostParams {
+    /// The paper's flipped regime where migration is never worthwhile:
+    /// `β = 400 > c = 40` (all other fields unchanged).
+    pub fn flipped() -> Self {
+        CostParams {
+            migration_beta: 400.0,
+            creation_c: 40.0,
+            ..CostParams::default()
+        }
+    }
+
+    /// Whether migration can ever beat creating a fresh server.
+    #[inline]
+    pub fn migration_useful(&self) -> bool {
+        self.migration_beta < self.creation_c
+    }
+
+    /// Builder-style override of the server budget `k`.
+    pub fn with_max_servers(mut self, k: usize) -> Self {
+        self.max_servers = k;
+        self
+    }
+
+    /// Builder-style override of `β` and `c`.
+    pub fn with_costs(mut self, beta: f64, c: f64) -> Self {
+        self.migration_beta = beta;
+        self.creation_c = c;
+        self
+    }
+
+    /// Builder-style override of the running costs.
+    pub fn with_running(mut self, ra: f64, ri: f64) -> Self {
+        self.run_active = ra;
+        self.run_inactive = ri;
+        self
+    }
+
+    /// Validates the parameter combination, returning a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("migration_beta", self.migration_beta),
+            ("creation_c", self.creation_c),
+            ("run_active", self.run_active),
+            ("run_inactive", self.run_inactive),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+        }
+        if self.max_servers == 0 {
+            return Err("max_servers must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = CostParams::default();
+        assert_eq!(p.migration_beta, 40.0);
+        assert_eq!(p.creation_c, 400.0);
+        assert_eq!(p.run_active, 2.5);
+        assert_eq!(p.run_inactive, 0.5);
+        assert_eq!(p.inactive_queue_len, 3);
+        assert_eq!(p.inactive_expiry_epochs, 20);
+        assert!(p.migration_useful());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn flipped_regime() {
+        let p = CostParams::flipped();
+        assert_eq!(p.migration_beta, 400.0);
+        assert_eq!(p.creation_c, 40.0);
+        assert!(!p.migration_useful());
+    }
+
+    #[test]
+    fn builders() {
+        let p = CostParams::default()
+            .with_max_servers(4)
+            .with_costs(10.0, 100.0)
+            .with_running(1.0, 0.1);
+        assert_eq!(p.max_servers, 4);
+        assert_eq!(p.migration_beta, 10.0);
+        assert_eq!(p.run_active, 1.0);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut p = CostParams::default();
+        p.migration_beta = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = CostParams::default();
+        p.max_servers = 0;
+        assert!(p.validate().is_err());
+        let mut p = CostParams::default();
+        p.creation_c = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+}

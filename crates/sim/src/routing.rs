@@ -1,0 +1,258 @@
+//! Request routing: assigning each request of a round to an active server.
+//!
+//! The paper assumes "requests are routed to the server of minimal access
+//! costs". Two policies implement this:
+//!
+//! * [`RoutingPolicy::Nearest`] — each request goes to the server of
+//!   minimal shortest-path latency; the load term is then computed from the
+//!   resulting per-server request counts. Deterministic and decomposable
+//!   per origin, which the strategies exploit for fast candidate
+//!   evaluation. This is the default and the policy used in all paper
+//!   reproductions.
+//! * [`RoutingPolicy::LoadAware`] — requests are assigned one at a time to
+//!   the server minimizing `latency + marginal load`; with a convex load
+//!   function this greedy assignment spreads a hot origin over several
+//!   servers. Used by the routing ablation bench.
+
+use std::collections::HashMap;
+
+use flexserve_graph::NodeId;
+use flexserve_workload::RoundRequests;
+
+use crate::context::SimContext;
+
+/// How requests pick among the active servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Latency-only nearest server (default; see module docs).
+    Nearest,
+    /// Greedy latency-plus-marginal-load assignment.
+    LoadAware,
+}
+
+/// Result of routing one round of requests.
+#[derive(Clone, Debug)]
+pub struct RoutingOutcome {
+    /// Sum of request latencies `Σ_r delay(r)`.
+    pub total_delay: f64,
+    /// Sum of server load latencies `Σ_v load(v, t)`.
+    pub total_load: f64,
+    /// `total_delay + total_load` (the round's `Cost_acc`);
+    /// `f64::INFINITY` when requests exist but no server is active.
+    pub cost: f64,
+    /// Requests assigned to each active server (same order as the `servers`
+    /// slice passed to [`route`]).
+    pub assigned: Vec<usize>,
+}
+
+/// Routes `batch` onto the active `servers` under `ctx`'s policy.
+///
+/// An empty batch costs 0 regardless of servers; a non-empty batch with no
+/// servers costs `f64::INFINITY`.
+pub fn route(ctx: &SimContext<'_>, servers: &[NodeId], batch: &RoundRequests) -> RoutingOutcome {
+    if batch.is_empty() {
+        return RoutingOutcome {
+            total_delay: 0.0,
+            total_load: 0.0,
+            cost: 0.0,
+            assigned: vec![0; servers.len()],
+        };
+    }
+    if servers.is_empty() {
+        return RoutingOutcome {
+            total_delay: 0.0,
+            total_load: 0.0,
+            cost: f64::INFINITY,
+            assigned: Vec::new(),
+        };
+    }
+    match ctx.routing {
+        RoutingPolicy::Nearest => route_nearest(ctx, servers, batch),
+        RoutingPolicy::LoadAware => route_load_aware(ctx, servers, batch),
+    }
+}
+
+fn route_nearest(
+    ctx: &SimContext<'_>,
+    servers: &[NodeId],
+    batch: &RoundRequests,
+) -> RoutingOutcome {
+    let mut assigned = vec![0usize; servers.len()];
+    let mut total_delay = 0.0;
+    // Fold duplicate origins first: one nearest-server lookup per distinct
+    // origin instead of per request.
+    let counts: HashMap<NodeId, usize> = batch.counts();
+    for (origin, cnt) in counts {
+        let (best_idx, best_d) = nearest_server(ctx, servers, origin);
+        total_delay += best_d * cnt as f64;
+        assigned[best_idx] += cnt;
+    }
+    finish(ctx, servers, assigned, total_delay)
+}
+
+fn route_load_aware(
+    ctx: &SimContext<'_>,
+    servers: &[NodeId],
+    batch: &RoundRequests,
+) -> RoutingOutcome {
+    let mut assigned = vec![0usize; servers.len()];
+    let mut total_delay = 0.0;
+    for origin in batch.iter() {
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (i, &s) in servers.iter().enumerate() {
+            let d = ctx.dist.get(origin, s);
+            let marginal = ctx.load.marginal(ctx.graph.strength(s), assigned[i]);
+            let c = d + marginal;
+            if c < best_cost {
+                best_cost = c;
+                best = i;
+            }
+        }
+        total_delay += ctx.dist.get(origin, servers[best]);
+        assigned[best] += 1;
+    }
+    finish(ctx, servers, assigned, total_delay)
+}
+
+fn finish(
+    ctx: &SimContext<'_>,
+    servers: &[NodeId],
+    assigned: Vec<usize>,
+    total_delay: f64,
+) -> RoutingOutcome {
+    let total_load: f64 = servers
+        .iter()
+        .zip(&assigned)
+        .map(|(&s, &eta)| ctx.load.load(ctx.graph.strength(s), eta))
+        .sum();
+    RoutingOutcome {
+        total_delay,
+        total_load,
+        cost: total_delay + total_load,
+        assigned,
+    }
+}
+
+/// Index and distance of the server nearest to `origin` (ties broken by
+/// slice order).
+#[inline]
+pub fn nearest_server(
+    ctx: &SimContext<'_>,
+    servers: &[NodeId],
+    origin: NodeId,
+) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, &s) in servers.iter().enumerate() {
+        let d = ctx.dist.get(origin, s);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadModel;
+    use crate::params::CostParams;
+    use flexserve_graph::gen::unit_line;
+    use flexserve_graph::DistanceMatrix;
+
+    fn ctx_on_line<'a>(
+        g: &'a flexserve_graph::Graph,
+        m: &'a DistanceMatrix,
+        load: LoadModel,
+    ) -> SimContext<'a> {
+        SimContext::new(g, m, CostParams::default(), load)
+    }
+
+    #[test]
+    fn nearest_picks_closest_server() {
+        let g = unit_line(10).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = ctx_on_line(&g, &m, LoadModel::None);
+        let servers = [NodeId::new(0), NodeId::new(9)];
+        let batch = RoundRequests::new(vec![NodeId::new(2), NodeId::new(8)]);
+        let out = route(&ctx, &servers, &batch);
+        assert_eq!(out.total_delay, 2.0 + 1.0);
+        assert_eq!(out.assigned, vec![1, 1]);
+        assert_eq!(out.cost, 3.0);
+    }
+
+    #[test]
+    fn load_term_added_for_linear() {
+        let g = unit_line(5).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = ctx_on_line(&g, &m, LoadModel::Linear);
+        let servers = [NodeId::new(2)];
+        let batch = RoundRequests::new(vec![NodeId::new(2); 4]);
+        let out = route(&ctx, &servers, &batch);
+        assert_eq!(out.total_delay, 0.0);
+        assert_eq!(out.total_load, 4.0); // 4 requests / strength 1
+        assert_eq!(out.cost, 4.0);
+    }
+
+    #[test]
+    fn load_aware_spreads_under_quadratic() {
+        let g = unit_line(3).unwrap(); // 0 - 1 - 2
+        let m = DistanceMatrix::build(&g);
+        let ctx = ctx_on_line(&g, &m, LoadModel::Quadratic).with_routing(RoutingPolicy::LoadAware);
+        let servers = [NodeId::new(0), NodeId::new(2)];
+        // 6 requests all at node 0: nearest would pile them on server 0
+        // (load 36); load-aware pays latency 2 to offload some.
+        let batch = RoundRequests::new(vec![NodeId::new(0); 6]);
+        let aware = route(&ctx, &servers, &batch);
+        let ctx_near = ctx_on_line(&g, &m, LoadModel::Quadratic);
+        let near = route(&ctx_near, &servers, &batch);
+        assert_eq!(near.assigned, vec![6, 0]);
+        assert!(aware.assigned[1] > 0, "load-aware should offload");
+        assert!(aware.cost < near.cost);
+    }
+
+    #[test]
+    fn nearest_and_load_aware_agree_without_load() {
+        let g = unit_line(8).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let batch = RoundRequests::new(vec![
+            NodeId::new(0),
+            NodeId::new(3),
+            NodeId::new(7),
+            NodeId::new(4),
+        ]);
+        let servers = [NodeId::new(1), NodeId::new(6)];
+        let a = route(&ctx_on_line(&g, &m, LoadModel::None), &servers, &batch);
+        let b = route(
+            &ctx_on_line(&g, &m, LoadModel::None).with_routing(RoutingPolicy::LoadAware),
+            &servers,
+            &batch,
+        );
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.assigned, b.assigned);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let g = unit_line(3).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = ctx_on_line(&g, &m, LoadModel::Linear);
+        let out = route(&ctx, &[NodeId::new(0)], &RoundRequests::empty());
+        assert_eq!(out.cost, 0.0);
+        let out = route(&ctx, &[], &RoundRequests::new(vec![NodeId::new(1)]));
+        assert!(out.cost.is_infinite());
+    }
+
+    #[test]
+    fn server_on_origin_costs_only_load() {
+        let g = unit_line(4).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = ctx_on_line(&g, &m, LoadModel::Linear);
+        let batch = RoundRequests::new(vec![NodeId::new(1)]);
+        let out = route(&ctx, &[NodeId::new(1)], &batch);
+        assert_eq!(out.total_delay, 0.0);
+        assert_eq!(out.total_load, 1.0);
+    }
+}

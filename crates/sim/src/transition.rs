@@ -1,0 +1,459 @@
+//! The transition planner: pricing and applying configuration changes.
+//!
+//! The paper's Examples 1–3 (§II-C) define how a new server comes up at a
+//! node `v`:
+//!
+//! 1. an inactive server already cached at `v` is activated — **free**;
+//! 2. an inactive server cached elsewhere is migrated to `v` — costs `β`
+//!    (and its old slot is vacated);
+//! 3. a surplus active server is migrated to `v` — costs `β`;
+//! 4. otherwise a fresh server is created — costs `c`.
+//!
+//! When `β ≥ c` migration is never used (the paper: "if β ≥ c, migration is
+//! never beneficial") and every new position is a creation. Deactivation
+//! and deletion are free; deactivated servers enter the FIFO cache.
+//!
+//! Every strategy prices its candidate configurations through this planner
+//! (or the stateless [`config_transition_cost`] used by the offline DP), so
+//! all algorithms are charged under identical semantics.
+
+use flexserve_graph::NodeId;
+
+use crate::cost::CostBreakdown;
+use crate::fleet::Fleet;
+use crate::params::CostParams;
+
+/// One elementary reconfiguration step (for event logs and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionOp {
+    /// A cached inactive server at this node became active (free).
+    ActivateInPlace(NodeId),
+    /// An inactive server migrated from `from` to `to` and became active
+    /// (`β`).
+    MigrateInactive {
+        /// Old slot (now vacated).
+        from: NodeId,
+        /// New active location.
+        to: NodeId,
+    },
+    /// An active server migrated from `from` to `to` (`β`).
+    MigrateActive {
+        /// Old slot (now vacated).
+        from: NodeId,
+        /// New active location.
+        to: NodeId,
+    },
+    /// A fresh server was created at this node (`c`).
+    Create(NodeId),
+    /// An active server became inactive and entered the cache (free).
+    Deactivate(NodeId),
+    /// A cached server fell out of use (queue overflow, expiry, or `k`
+    /// budget).
+    EvictInactive(NodeId),
+}
+
+/// Result of applying a transition.
+#[derive(Clone, Debug)]
+pub struct TransitionOutcome {
+    /// Migration + creation costs of this transition.
+    pub cost: CostBreakdown,
+    /// The elementary steps, in application order.
+    pub ops: Vec<TransitionOp>,
+}
+
+impl TransitionOutcome {
+    /// Number of migrations performed.
+    pub fn migrations(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    TransitionOp::MigrateInactive { .. } | TransitionOp::MigrateActive { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of servers created.
+    pub fn creations(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, TransitionOp::Create(_)))
+            .count()
+    }
+}
+
+/// Plans and applies transitions on a [`Fleet`].
+pub struct TransitionPlanner;
+
+impl TransitionPlanner {
+    /// Prices the transition from the fleet's current configuration to the
+    /// target active set **without** mutating the fleet.
+    pub fn price(fleet: &Fleet, target: &[NodeId], params: &CostParams) -> f64 {
+        let mut scratch = fleet.clone();
+        Self::apply(&mut scratch, target, params).cost.total()
+    }
+
+    /// Reconfigures `fleet` so that its active set equals `target`
+    /// (duplicates ignored), returning the costs and the op list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is larger than the `k` budget or empty targets
+    /// would orphan requests — strategies must keep at least one server;
+    /// an empty `target` is allowed here (used by tests) but discouraged.
+    pub fn apply(fleet: &mut Fleet, target: &[NodeId], params: &CostParams) -> TransitionOutcome {
+        let mut target: Vec<NodeId> = target.to_vec();
+        target.sort();
+        target.dedup();
+        assert!(
+            target.len() <= params.max_servers,
+            "target ({}) exceeds max_servers ({})",
+            target.len(),
+            params.max_servers
+        );
+
+        let mut ops = Vec::new();
+        let mut cost = CostBreakdown::zero();
+
+        // Classify.
+        let to_deactivate: Vec<NodeId> = fleet
+            .active()
+            .iter()
+            .copied()
+            .filter(|v| target.binary_search(v).is_err())
+            .collect();
+        let mut to_bring_up: Vec<NodeId> = target
+            .iter()
+            .copied()
+            .filter(|&v| !fleet.is_active_at(v))
+            .collect();
+
+        // Step 1: in-place activations from the cache are free and never
+        // worse than any alternative — do them first.
+        to_bring_up.retain(|&v| {
+            if fleet.take_inactive_at(v) {
+                fleet.push_active(v);
+                ops.push(TransitionOp::ActivateInPlace(v));
+                false
+            } else {
+                true
+            }
+        });
+
+        let migration_useful = params.migration_useful();
+
+        // Step 2: remaining bring-ups, cheapest source first. Preference
+        // order per the paper's Example 2: migrate a cached inactive server
+        // (oldest first — FIFO), then migrate a surplus active server, then
+        // create. If β ≥ c we always create.
+        let mut surplus = to_deactivate.clone();
+        let mut deactivated_directly: Vec<NodeId> = Vec::new();
+        for &v in &to_bring_up {
+            if migration_useful {
+                if let Some(from) = fleet.take_oldest_inactive() {
+                    fleet.push_active(v);
+                    ops.push(TransitionOp::MigrateInactive { from, to: v });
+                    cost.migration += params.migration_beta;
+                    continue;
+                }
+                if let Some(from) = surplus.pop() {
+                    assert!(fleet.remove_active(from));
+                    deactivated_directly.push(from);
+                    fleet.push_active(v);
+                    ops.push(TransitionOp::MigrateActive { from, to: v });
+                    cost.migration += params.migration_beta;
+                    continue;
+                }
+            }
+            // Creation: make room in the k budget first. Surplus actives
+            // are leaving the configuration anyway, so dropping one is free
+            // and must happen before the creation (otherwise a full fleet
+            // would transiently exceed k); after that, cached servers are
+            // evicted as usual.
+            while fleet.total_count() >= params.max_servers {
+                match surplus.pop() {
+                    Some(s) => {
+                        assert!(fleet.remove_active(s));
+                        ops.push(TransitionOp::Deactivate(s));
+                        ops.push(TransitionOp::EvictInactive(s));
+                    }
+                    None => break,
+                }
+            }
+            for evicted in fleet.make_room(1) {
+                ops.push(TransitionOp::EvictInactive(evicted));
+            }
+            fleet.push_active(v);
+            ops.push(TransitionOp::Create(v));
+            cost.creation += params.creation_c;
+        }
+
+        // Step 3: deactivate the remaining surplus actives into the cache.
+        for v in surplus {
+            if let Some(evicted) = fleet.deactivate(v) {
+                ops.push(TransitionOp::Deactivate(v));
+                ops.push(TransitionOp::EvictInactive(evicted));
+            } else {
+                ops.push(TransitionOp::Deactivate(v));
+            }
+        }
+
+        debug_assert_eq!(fleet.active(), &target[..], "planner postcondition");
+        TransitionOutcome { cost, ops }
+    }
+}
+
+/// Stateless transition cost between two *full* configurations
+/// `(active, inactive)` — the pricing used by the optimal offline DP, where
+/// inactive placement is part of the searched state (no FIFO queue
+/// semantics).
+///
+/// Servers are fungible: positions in `P2 = A2 ∪ I2` not present in
+/// `P1 = A1 ∪ I1` must be filled by migrating vacated servers
+/// (`β` each, if `β < c`) or by creating (`c` each); activation state flips
+/// at a node are free. Sets must be internally disjoint.
+pub fn config_transition_cost(
+    active_from: &[NodeId],
+    inactive_from: &[NodeId],
+    active_to: &[NodeId],
+    inactive_to: &[NodeId],
+    params: &CostParams,
+) -> f64 {
+    let mut p1: Vec<NodeId> = active_from.iter().chain(inactive_from).copied().collect();
+    let mut p2: Vec<NodeId> = active_to.iter().chain(inactive_to).copied().collect();
+    p1.sort();
+    p2.sort();
+    debug_assert!(p1.windows(2).all(|w| w[0] != w[1]), "overlapping from-sets");
+    debug_assert!(p2.windows(2).all(|w| w[0] != w[1]), "overlapping to-sets");
+
+    // new = |P2 \ P1|, vacated = |P1 \ P2| via sorted merge.
+    let mut new_positions = 0usize;
+    let mut vacated = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < p1.len() || j < p2.len() {
+        if i == p1.len() {
+            new_positions += 1;
+            j += 1;
+        } else if j == p2.len() {
+            vacated += 1;
+            i += 1;
+        } else if p1[i] == p2[j] {
+            i += 1;
+            j += 1;
+        } else if p1[i] < p2[j] {
+            vacated += 1;
+            i += 1;
+        } else {
+            new_positions += 1;
+            j += 1;
+        }
+    }
+
+    if params.migration_useful() {
+        let migrations = new_positions.min(vacated);
+        let creations = new_positions - migrations;
+        migrations as f64 * params.migration_beta + creations as f64 * params.creation_c
+    } else {
+        new_positions as f64 * params.creation_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn params() -> CostParams {
+        CostParams::default().with_max_servers(8)
+    }
+
+    fn fleet(active: &[usize]) -> Fleet {
+        Fleet::new(active.iter().map(|&i| n(i)).collect(), &params())
+    }
+
+    // --- Paper Example 1: three active at v1,v2,v3; add server at v4 ---
+
+    #[test]
+    fn example1_no_inactive_creates() {
+        let mut f = fleet(&[1, 2, 3]);
+        let out =
+            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        assert_eq!(out.cost.creation, 400.0);
+        assert_eq!(out.cost.migration, 0.0);
+        assert_eq!(out.creations(), 1);
+    }
+
+    #[test]
+    fn example1_inactive_at_v4_is_free() {
+        let mut f = fleet(&[1, 2, 3, 4]);
+        // make v4 inactive first
+        TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3)], &params());
+        assert!(f.is_inactive_at(n(4)));
+        let out =
+            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        assert_eq!(out.cost.total(), 0.0);
+        assert_eq!(out.ops, vec![TransitionOp::ActivateInPlace(n(4))]);
+    }
+
+    #[test]
+    fn example1_inactive_elsewhere_migrates() {
+        let mut f = fleet(&[1, 2, 3, 5]);
+        TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3)], &params()); // v5 inactive
+        let out =
+            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        assert_eq!(out.cost.migration, 40.0);
+        assert_eq!(out.cost.creation, 0.0);
+        assert_eq!(
+            out.ops,
+            vec![TransitionOp::MigrateInactive { from: n(5), to: n(4) }]
+        );
+        // no server remains at v5
+        assert!(!f.is_inactive_at(n(5)));
+        assert!(!f.is_active_at(n(5)));
+    }
+
+    // --- Paper Example 2: v1,v2,v3 -> v1,v2,v4 ---
+
+    #[test]
+    fn example2_surplus_active_migrates_when_no_inactive() {
+        let mut f = fleet(&[1, 2, 3]);
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(4)], &params());
+        assert_eq!(out.cost.migration, 40.0);
+        assert_eq!(out.cost.creation, 0.0);
+        assert_eq!(
+            out.ops,
+            vec![TransitionOp::MigrateActive { from: n(3), to: n(4) }]
+        );
+        assert!(!f.is_active_at(n(3)));
+        assert!(!f.is_inactive_at(n(3)));
+    }
+
+    #[test]
+    fn example2_prefers_migrating_cached_inactive() {
+        let mut f = fleet(&[1, 2, 3, 5]);
+        TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3)], &params()); // v5 cached
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(4)], &params());
+        assert_eq!(out.cost.migration, 40.0);
+        // inactive v5 moved; surplus v3 went to the cache
+        assert!(out
+            .ops
+            .contains(&TransitionOp::MigrateInactive { from: n(5), to: n(4) }));
+        assert!(out.ops.contains(&TransitionOp::Deactivate(n(3))));
+        assert!(f.is_inactive_at(n(3)));
+    }
+
+    // --- Paper Example 3: removing a server is free ---
+
+    #[test]
+    fn example3_removal_free_and_cached() {
+        let mut f = fleet(&[1, 2, 3]);
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(3)], &params());
+        assert_eq!(out.cost.total(), 0.0);
+        assert_eq!(out.ops, vec![TransitionOp::Deactivate(n(2))]);
+        assert!(f.is_inactive_at(n(2)));
+        assert_eq!(f.active(), &[n(1), n(3)]);
+    }
+
+    #[test]
+    fn beta_greater_than_c_always_creates() {
+        let p = CostParams::flipped().with_max_servers(8);
+        let mut f = Fleet::new(vec![n(1), n(2)], &p);
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(3)], &p);
+        // never migrate: create at v3 (40), deactivate v2 (free)
+        assert_eq!(out.cost.creation, 40.0);
+        assert_eq!(out.cost.migration, 0.0);
+        assert!(out.ops.contains(&TransitionOp::Create(n(3))));
+    }
+
+    #[test]
+    fn no_change_costs_nothing() {
+        let mut f = fleet(&[1, 2]);
+        let out = TransitionPlanner::apply(&mut f, &[n(2), n(1)], &params());
+        assert_eq!(out.cost.total(), 0.0);
+        assert!(out.ops.is_empty());
+    }
+
+    #[test]
+    fn price_does_not_mutate() {
+        let f = fleet(&[1, 2]);
+        let cost = TransitionPlanner::price(&f, &[n(3), n(4)], &params());
+        // two bring-ups: one migrates the surplus... wait, both 1 and 2 are
+        // surplus; two migrations.
+        assert_eq!(cost, 80.0);
+        assert_eq!(f.active(), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn budget_enforced_by_evicting_cache() {
+        let p = CostParams::flipped().with_max_servers(3);
+        let mut f = Fleet::new(vec![n(0), n(1), n(2)], &p);
+        TransitionPlanner::apply(&mut f, &[n(0), n(1)], &p); // n2 cached, total 3
+        // bring up n3 by creation (β>c): needs room -> evict n2
+        let out = TransitionPlanner::apply(&mut f, &[n(0), n(1), n(3)], &p);
+        assert!(out.ops.contains(&TransitionOp::EvictInactive(n(2))));
+        assert_eq!(f.total_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_servers")]
+    fn oversized_target_panics() {
+        let p = CostParams::default().with_max_servers(2);
+        let mut f = Fleet::new(vec![n(0)], &p);
+        TransitionPlanner::apply(&mut f, &[n(0), n(1), n(2)], &p);
+    }
+
+    // --- config_transition_cost (the DP pricing) ---
+
+    #[test]
+    fn dp_cost_no_change_is_zero() {
+        let p = params();
+        assert_eq!(
+            config_transition_cost(&[n(1), n(2)], &[n(3)], &[n(1), n(2)], &[n(3)], &p),
+            0.0
+        );
+        // activation flips at the same node are free
+        assert_eq!(
+            config_transition_cost(&[n(1)], &[n(2)], &[n(2)], &[n(1)], &p),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dp_cost_migration_matching() {
+        let p = params();
+        // one vacated (n1), one new (n4): a single migration
+        assert_eq!(
+            config_transition_cost(&[n(1), n(2)], &[], &[n(2), n(4)], &[], &p),
+            40.0
+        );
+        // two new, one vacated: migration + creation
+        assert_eq!(
+            config_transition_cost(&[n(1)], &[], &[n(2), n(3)], &[], &p),
+            440.0
+        );
+        // pure growth: creations only
+        assert_eq!(
+            config_transition_cost(&[n(1)], &[], &[n(1), n(2)], &[], &p),
+            400.0
+        );
+        // pure shrink: free
+        assert_eq!(
+            config_transition_cost(&[n(1), n(2)], &[], &[n(1)], &[], &p),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dp_cost_flipped_regime_never_migrates() {
+        let p = CostParams::flipped();
+        assert_eq!(
+            config_transition_cost(&[n(1)], &[], &[n(2)], &[], &p),
+            40.0 // creation at new node; old server deleted free
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Synthetic AT&T-like backbone (AS-7018) substrate.
+//!
+//! The paper's final experiment runs on "the Rocketfuel network AS-7018 of
+//! ATT under the time zone scenario". The Rocketfuel dataset is not
+//! redistributable, so this module generates a *deterministic* stand-in
+//! with the properties the experiment actually exercises:
+//!
+//! * PoP-level scale (~115 nodes, matching the published AS-7018 PoP count),
+//! * hierarchical structure: a continental backbone mesh plus per-city
+//!   access PoPs,
+//! * heterogeneous, *metric* latencies derived from real city coordinates
+//!   (great-circle distance at fiber propagation speed with 1.3× routing
+//!   inflation),
+//! * heterogeneous bandwidths: fat backbone pipes, thin T1/T2 access links.
+//!
+//! The generator takes no RNG: the same call always yields byte-identical
+//! topologies, so experiment randomness lives entirely in the workloads.
+
+use flexserve_graph::{Bandwidth, Graph, GraphError, NodeId};
+
+use crate::geo::propagation_latency_ms;
+
+/// One backbone city: name, (lat, lon), number of attached access PoPs, and
+/// indices (into [`BACKBONE_CITIES`]) of its backbone neighbors.
+struct City {
+    name: &'static str,
+    coord: (f64, f64),
+    access_pops: usize,
+    neighbors: &'static [usize],
+}
+
+/// AT&T IP backbone cities (public PoP locations circa 2010) with a
+/// hand-curated adjacency that follows the well-known continental fiber
+/// routes (two coastal north–south chains, three east–west trunks).
+/// Neighbor lists only mention each undirected edge once (from the lower
+/// index).
+const BACKBONE_CITIES: &[City] = &[
+    // 0
+    City { name: "New York, NY", coord: (40.7128, -74.0060), access_pops: 5, neighbors: &[1, 2, 5, 7] },
+    // 1
+    City { name: "Cambridge, MA", coord: (42.3736, -71.1097), access_pops: 3, neighbors: &[2] },
+    // 2
+    City { name: "Philadelphia, PA", coord: (39.9526, -75.1652), access_pops: 3, neighbors: &[3] },
+    // 3
+    City { name: "Washington, DC", coord: (38.9072, -77.0369), access_pops: 4, neighbors: &[4, 5, 8] },
+    // 4
+    City { name: "Atlanta, GA", coord: (33.7490, -84.3880), access_pops: 4, neighbors: &[6, 9, 10] },
+    // 5
+    City { name: "Chicago, IL", coord: (41.8781, -87.6298), access_pops: 5, neighbors: &[7, 8, 11, 12, 13] },
+    // 6
+    City { name: "Orlando, FL", coord: (28.5383, -81.3792), access_pops: 3, neighbors: &[10] },
+    // 7
+    City { name: "Detroit, MI", coord: (42.3314, -83.0458), access_pops: 2, neighbors: &[8] },
+    // 8
+    City { name: "Cleveland, OH", coord: (41.4993, -81.6944), access_pops: 2, neighbors: &[] },
+    // 9
+    City { name: "Nashville, TN", coord: (36.1627, -86.7816), access_pops: 2, neighbors: &[11, 14] },
+    // 10
+    City { name: "Miami, FL", coord: (25.7617, -80.1918), access_pops: 3, neighbors: &[14] },
+    // 11
+    City { name: "St. Louis, MO", coord: (38.6270, -90.1994), access_pops: 3, neighbors: &[12, 15] },
+    // 12
+    City { name: "Kansas City, MO", coord: (39.0997, -94.5786), access_pops: 2, neighbors: &[16] },
+    // 13
+    City { name: "Minneapolis, MN", coord: (44.9778, -93.2650), access_pops: 2, neighbors: &[16, 17] },
+    // 14
+    City { name: "New Orleans, LA", coord: (29.9511, -90.0715), access_pops: 2, neighbors: &[15] },
+    // 15
+    City { name: "Dallas, TX", coord: (32.7767, -96.7970), access_pops: 5, neighbors: &[16, 18, 19, 20] },
+    // 16
+    City { name: "Denver, CO", coord: (39.7392, -104.9903), access_pops: 3, neighbors: &[17, 21] },
+    // 17
+    City { name: "Salt Lake City, UT", coord: (40.7608, -111.8910), access_pops: 2, neighbors: &[21, 22] },
+    // 18
+    City { name: "Houston, TX", coord: (29.7604, -95.3698), access_pops: 3, neighbors: &[19] },
+    // 19
+    City { name: "San Antonio, TX", coord: (29.4241, -98.4936), access_pops: 2, neighbors: &[20] },
+    // 20
+    City { name: "Phoenix, AZ", coord: (33.4484, -112.0740), access_pops: 3, neighbors: &[23, 24] },
+    // 21
+    City { name: "Sacramento, CA", coord: (38.5816, -121.4944), access_pops: 2, neighbors: &[22, 25] },
+    // 22
+    City { name: "Seattle, WA", coord: (47.6062, -122.3321), access_pops: 3, neighbors: &[26] },
+    // 23
+    City { name: "San Diego, CA", coord: (32.7157, -117.1611), access_pops: 2, neighbors: &[24] },
+    // 24
+    City { name: "Los Angeles, CA", coord: (34.0522, -118.2437), access_pops: 5, neighbors: &[25] },
+    // 25
+    City { name: "San Francisco, CA", coord: (37.7749, -122.4194), access_pops: 4, neighbors: &[26] },
+    // 26
+    City { name: "Portland, OR", coord: (45.5152, -122.6784), access_pops: 2, neighbors: &[] },
+];
+
+/// Long-haul express links (beyond the chain structure above) present in
+/// AT&T's backbone: coast-to-coast and diagonal trunks.
+const EXPRESS_LINKS: &[(usize, usize)] = &[
+    (0, 5),   // NYC - Chicago (already in neighbors; kept once, see dedup)
+    (0, 25),  // NYC - San Francisco
+    (0, 24),  // NYC - Los Angeles
+    (3, 15),  // DC - Dallas
+    (4, 15),  // Atlanta - Dallas
+    (5, 16),  // Chicago - Denver
+    (5, 22),  // Chicago - Seattle
+    (15, 24), // Dallas - Los Angeles
+    (4, 24),  // Atlanta - Los Angeles
+];
+
+/// Configuration for the synthetic AS-7018-like generator.
+#[derive(Clone, Debug)]
+pub struct As7018Config {
+    /// Strength `ω(v)` of backbone PoP nodes (they host big servers).
+    pub backbone_strength: f64,
+    /// Strength of access PoP nodes.
+    pub access_strength: f64,
+    /// Latency of an access link in ms (intra-metro fiber + equipment).
+    /// Access PoP `i` of a city gets `access_latency_ms * (1 + i/4)` so
+    /// access links are not all identical.
+    pub access_latency_ms: f64,
+    /// Bandwidth of backbone links in Mbit/s (default OC-12, 622 Mbit/s).
+    pub backbone_mbps: f64,
+}
+
+impl Default for As7018Config {
+    fn default() -> Self {
+        As7018Config {
+            backbone_strength: 4.0,
+            access_strength: 1.0,
+            access_latency_ms: 0.8,
+            backbone_mbps: 622.08,
+        }
+    }
+}
+
+/// Generates the synthetic AS-7018-like substrate.
+///
+/// Layout: backbone city `i` gets `NodeId` `i`; access PoPs follow in city
+/// order. Returns the graph together with the list of backbone node ids.
+pub fn as7018_like(cfg: &As7018Config) -> Result<(Graph, Vec<NodeId>), GraphError> {
+    let ncities = BACKBONE_CITIES.len();
+    let total_access: usize = BACKBONE_CITIES.iter().map(|c| c.access_pops).sum();
+    let mut g = Graph::with_capacity(ncities + total_access, ncities * 3 + total_access);
+
+    let mut backbone = Vec::with_capacity(ncities);
+    for city in BACKBONE_CITIES {
+        backbone.push(g.add_labeled_node(cfg.backbone_strength, city.name)?);
+    }
+
+    // Backbone chain edges.
+    for (i, city) in BACKBONE_CITIES.iter().enumerate() {
+        for &j in city.neighbors {
+            add_backbone_edge(&mut g, cfg, &backbone, i, j)?;
+        }
+    }
+    // Express links (skip ones already present).
+    for &(i, j) in EXPRESS_LINKS {
+        if g.find_edge(backbone[i], backbone[j]).is_none() {
+            add_backbone_edge(&mut g, cfg, &backbone, i, j)?;
+        }
+    }
+
+    // Access PoPs.
+    for (i, city) in BACKBONE_CITIES.iter().enumerate() {
+        for a in 0..city.access_pops {
+            let label = format!("{} (access {})", city.name, a + 1);
+            let pop = g.add_labeled_node(cfg.access_strength, label)?;
+            let lat = cfg.access_latency_ms * (1.0 + a as f64 / 4.0);
+            let bw = if a % 2 == 0 { Bandwidth::T1 } else { Bandwidth::T2 };
+            g.add_edge(backbone[i], pop, lat, bw)?;
+        }
+    }
+
+    Ok((g, backbone))
+}
+
+fn add_backbone_edge(
+    g: &mut Graph,
+    cfg: &As7018Config,
+    backbone: &[NodeId],
+    i: usize,
+    j: usize,
+) -> Result<(), GraphError> {
+    let lat = propagation_latency_ms(BACKBONE_CITIES[i].coord, BACKBONE_CITIES[j].coord);
+    g.add_edge(
+        backbone[i],
+        backbone[j],
+        lat,
+        Bandwidth::Custom(cfg.backbone_mbps),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::connectivity::is_connected;
+    use flexserve_graph::metrics::metrics;
+    use flexserve_graph::DistanceMatrix;
+
+    #[test]
+    fn scale_matches_as7018() {
+        let (g, backbone) = as7018_like(&As7018Config::default()).unwrap();
+        assert_eq!(backbone.len(), 27);
+        // ~115 PoPs like the real AS-7018 map
+        assert!(
+            (100..=130).contains(&g.node_count()),
+            "got {} nodes",
+            g.node_count()
+        );
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g1, _) = as7018_like(&As7018Config::default()).unwrap();
+        let (g2, _) = as7018_like(&As7018Config::default()).unwrap();
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.total_latency(), g2.total_latency());
+    }
+
+    #[test]
+    fn latencies_are_metric_and_plausible() {
+        let (g, backbone) = as7018_like(&As7018Config::default()).unwrap();
+        let m = DistanceMatrix::build(&g);
+        // NYC (0) to San Francisco (25): one-way ~27 ms; with routing
+        // anything between 20 and 45 is plausible.
+        let d = m.get(backbone[0], backbone[25]);
+        assert!((20.0..45.0).contains(&d), "NYC->SF = {d}");
+        // east coast short hop: NYC -> Philadelphia < 5 ms
+        let d2 = m.get(backbone[0], backbone[2]);
+        assert!(d2 < 5.0, "NYC->PHL = {d2}");
+    }
+
+    #[test]
+    fn center_is_an_interior_city() {
+        let (g, backbone) = as7018_like(&As7018Config::default()).unwrap();
+        let met = metrics(&g);
+        // The graph center must be a backbone node (access PoPs are leaves).
+        assert!(backbone.contains(&met.center));
+        assert!(met.connected);
+        // Continental diameter: tens of ms, not thousands.
+        assert!(met.diameter > 30.0 && met.diameter < 120.0, "diameter {}", met.diameter);
+    }
+
+    #[test]
+    fn backbone_nodes_are_stronger() {
+        let cfg = As7018Config::default();
+        let (g, backbone) = as7018_like(&cfg).unwrap();
+        for &b in &backbone {
+            assert_eq!(g.strength(b), cfg.backbone_strength);
+        }
+        // any non-backbone node has access strength
+        let access = g
+            .nodes()
+            .find(|v| !backbone.contains(v))
+            .expect("there are access PoPs");
+        assert_eq!(g.strength(access), cfg.access_strength);
+    }
+
+    #[test]
+    fn access_pops_are_leaves_on_their_city() {
+        let (g, backbone) = as7018_like(&As7018Config::default()).unwrap();
+        for v in g.nodes() {
+            if backbone.contains(&v) {
+                continue;
+            }
+            assert_eq!(g.degree(v), 1, "access PoP {v} should be a leaf");
+            let e = g.neighbors(v).next().unwrap();
+            assert!(backbone.contains(&e.target));
+        }
+    }
+}

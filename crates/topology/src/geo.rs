@@ -1,0 +1,66 @@
+//! Geographic helpers: great-circle distance and fiber propagation latency.
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Propagation speed of light in optical fiber, in km per millisecond
+/// (≈ 2/3 of c: 200 000 km/s).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Great-circle (haversine) distance between two (latitude, longitude)
+/// points, in kilometres. Arguments in degrees.
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// One-way propagation latency in milliseconds over a fiber link following
+/// (approximately) the great circle between the two points. A routing
+/// inflation factor of 1.3 accounts for real fiber paths not following
+/// great circles (Rocketfuel's own path-inflation work motivates this).
+pub fn propagation_latency_ms(a: (f64, f64), b: (f64, f64)) -> f64 {
+    const INFLATION: f64 = 1.3;
+    haversine_km(a, b) * INFLATION / FIBER_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NYC: (f64, f64) = (40.7128, -74.0060);
+    const LA: (f64, f64) = (34.0522, -118.2437);
+    const SF: (f64, f64) = (37.7749, -122.4194);
+
+    #[test]
+    fn nyc_la_distance_is_about_3940km() {
+        let d = haversine_km(NYC, LA);
+        assert!((d - 3940.0).abs() < 50.0, "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        assert_eq!(haversine_km(NYC, NYC), 0.0);
+        let ab = haversine_km(NYC, SF);
+        let ba = haversine_km(SF, NYC);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coast_to_coast_latency_plausible() {
+        // NYC <-> LA one-way fiber latency is ~25-30 ms in practice.
+        let l = propagation_latency_ms(NYC, LA);
+        assert!((20.0..35.0).contains(&l), "got {l}");
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let ab = haversine_km(NYC, SF);
+        let bc = haversine_km(SF, LA);
+        let ac = haversine_km(NYC, LA);
+        assert!(ac <= ab + bc + 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! # flexserve-topology
+//!
+//! Realistic ISP substrate topologies for the flexible server allocation
+//! experiments.
+//!
+//! The paper evaluates on "more realistic graphs taken from the Rocketfuel
+//! project (including the corresponding latencies for the access cost)",
+//! specifically the AT&T backbone **AS-7018**. The original Rocketfuel data
+//! files cannot be redistributed nor fetched in this environment, so this
+//! crate provides two things (substitution documented in `DESIGN.md` §5):
+//!
+//! 1. [`rocketfuel`] — a parser for Rocketfuel-style weighted ISP map files,
+//!    so the real data can be dropped in when available;
+//! 2. [`as7018`] — a deterministic *synthetic* AT&T-like PoP-level topology:
+//!    real AT&T backbone city coordinates, hierarchical backbone + access
+//!    structure, and great-circle-derived latencies (fiber propagation at
+//!    2/3 the speed of light, the standard ISP latency model). It exercises
+//!    the same code paths as the real data: an ISP-scale graph with
+//!    heterogeneous metric latencies.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod as7018;
+pub mod geo;
+pub mod rocketfuel;
+
+pub use as7018::{as7018_like, As7018Config};
+pub use geo::{haversine_km, propagation_latency_ms};
+pub use rocketfuel::{parse_rocketfuel_weights, RocketfuelError};

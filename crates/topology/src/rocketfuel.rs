@@ -1,0 +1,246 @@
+//! Parser for Rocketfuel-style weighted ISP maps.
+//!
+//! The Rocketfuel project ("Measuring ISP Topologies with Rocketfuel",
+//! Spring et al., ToN 2004) published inferred PoP-level ISP maps. The
+//! *weights* files have one edge per line:
+//!
+//! ```text
+//! # comment
+//! <node-a> <node-b> <weight>
+//! ```
+//!
+//! where node names may contain spaces when quoted or use the
+//! `asn:City, ST` convention without internal whitespace ambiguity — in the
+//! published `weights` files the name fields are separated from the weight
+//! by whitespace and the names themselves contain no tabs. We accept both
+//! tab-separated (`a\tb\tw`) and the whitespace form where the *last* token
+//! is the weight and the first two quoted/comma-joined tokens are names.
+//!
+//! Weights are interpreted as link latencies in milliseconds (the paper:
+//! "including the corresponding latencies for the access cost").
+//! Bandwidths are assigned T1/T2 round-robin deterministically (the raw maps
+//! carry no capacity data; the paper randomizes — we keep it deterministic
+//! so a parsed topology is reproducible byte-for-byte).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use flexserve_graph::{Bandwidth, Graph, GraphError, NodeId};
+
+/// Errors produced while parsing a Rocketfuel weights file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RocketfuelError {
+    /// A line could not be split into two names and a weight.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The weight field failed to parse as a non-negative float.
+    BadWeight {
+        /// 1-based line number.
+        line: usize,
+        /// The offending weight token.
+        token: String,
+    },
+    /// The underlying graph construction failed (e.g. duplicate edge with
+    /// conflicting weight is mapped to this).
+    Graph(GraphError),
+}
+
+impl fmt::Display for RocketfuelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RocketfuelError::MalformedLine { line, content } => {
+                write!(f, "line {line}: malformed edge line: {content:?}")
+            }
+            RocketfuelError::BadWeight { line, token } => {
+                write!(f, "line {line}: bad weight {token:?}")
+            }
+            RocketfuelError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RocketfuelError {}
+
+impl From<GraphError> for RocketfuelError {
+    fn from(e: GraphError) -> Self {
+        RocketfuelError::Graph(e)
+    }
+}
+
+/// Parses Rocketfuel weights-format text into a substrate [`Graph`].
+///
+/// * Lines starting with `#` (after trimming) and blank lines are skipped.
+/// * Duplicate edges are tolerated when the weight matches the first
+///   occurrence (the published maps list some edges in both directions);
+///   conflicting duplicates keep the *first* weight.
+/// * All nodes get strength 1.0 (the maps carry no node capacities).
+pub fn parse_rocketfuel_weights(text: &str) -> Result<Graph, RocketfuelError> {
+    let mut g = Graph::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut edge_no = 0usize;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (a, b, w) = split_edge_line(line).ok_or_else(|| RocketfuelError::MalformedLine {
+            line: line_no,
+            content: line.to_string(),
+        })?;
+        let weight: f64 = w.parse().map_err(|_| RocketfuelError::BadWeight {
+            line: line_no,
+            token: w.to_string(),
+        })?;
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(RocketfuelError::BadWeight {
+                line: line_no,
+                token: w.to_string(),
+            });
+        }
+        let ida = intern(&mut g, &mut ids, a)?;
+        let idb = intern(&mut g, &mut ids, b)?;
+        if ida == idb {
+            // Self-loops appear in some raw files; skip them.
+            continue;
+        }
+        if g.find_edge(ida, idb).is_some() {
+            continue; // duplicate listing (reverse direction)
+        }
+        let bw = if edge_no % 2 == 0 {
+            Bandwidth::T1
+        } else {
+            Bandwidth::T2
+        };
+        edge_no += 1;
+        g.add_edge(ida, idb, weight, bw)?;
+    }
+    Ok(g)
+}
+
+fn intern(
+    g: &mut Graph,
+    ids: &mut HashMap<String, NodeId>,
+    name: &str,
+) -> Result<NodeId, RocketfuelError> {
+    if let Some(&id) = ids.get(name) {
+        return Ok(id);
+    }
+    let id = g.add_labeled_node(1.0, name)?;
+    ids.insert(name.to_string(), id);
+    Ok(id)
+}
+
+/// Splits one edge line into (name-a, name-b, weight-token).
+///
+/// Supported shapes:
+/// * `a<TAB>b<TAB>w`
+/// * `"name a" "name b" w` (quoted names)
+/// * `a b w` (simple whitespace, names without spaces)
+fn split_edge_line(line: &str) -> Option<(&str, &str, &str)> {
+    // Tab-separated first: names may contain spaces.
+    let tabs: Vec<&str> = line.split('\t').map(str::trim).collect();
+    if tabs.len() == 3 && !tabs[0].is_empty() && !tabs[1].is_empty() {
+        return Some((tabs[0], tabs[1], tabs[2]));
+    }
+    // Quoted names.
+    if line.starts_with('"') {
+        let rest = &line[1..];
+        let end_a = rest.find('"')?;
+        let a = &rest[..end_a];
+        let rest = rest[end_a + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end_b = stripped.find('"')?;
+            let b = &stripped[..end_b];
+            let w = stripped[end_b + 1..].trim();
+            if !w.is_empty() {
+                return Some((a, b, w));
+            }
+        }
+        return None;
+    }
+    // Plain whitespace: exactly three tokens.
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() == 3 {
+        return Some((toks[0], toks[1], toks[2]));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::connectivity::is_connected;
+
+    #[test]
+    fn parses_simple_triplets() {
+        let g = parse_rocketfuel_weights("a b 1.5\nb c 2\n# comment\n\nc a 3\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn parses_tab_separated_city_names() {
+        let text = "7018:New York, NY\t7018:Washington, DC\t3.2\n7018:Washington, DC\t7018:Atlanta, GA\t7.1\n";
+        let g = parse_rocketfuel_weights(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(NodeId::new(0)), "7018:New York, NY");
+    }
+
+    #[test]
+    fn parses_quoted_names() {
+        let text = r#""New York, NY" "Los Angeles, CA" 30.5"#;
+        let g = parse_rocketfuel_weights(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(
+            g.edge_latency(NodeId::new(0), NodeId::new(1)),
+            Some(30.5)
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reverse_edges_collapse() {
+        let g = parse_rocketfuel_weights("a b 1\nb a 1\na b 1\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_skipped() {
+        let g = parse_rocketfuel_weights("a a 5\na b 1\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_number() {
+        let err = parse_rocketfuel_weights("a b 1\nnonsense\n").unwrap_err();
+        match err {
+            RocketfuelError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_weight_reports_token() {
+        let err = parse_rocketfuel_weights("a b heavy\n").unwrap_err();
+        match err {
+            RocketfuelError::BadWeight { token, .. } => assert_eq!(token, "heavy"),
+            other => panic!("unexpected: {other}"),
+        }
+        assert!(parse_rocketfuel_weights("a b -3\n").is_err());
+        assert!(parse_rocketfuel_weights("a b inf\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_rocketfuel_weights("# only comments\n\n").unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The commuter scenario (§V-A of the paper).
+//!
+//! "Commuters travel downtown for work in the morning and return back to
+//! the suburbs in the evening." A day is divided into `T` phase steps; each
+//! step lasts `λ` rounds. During the first half of the day, demand *fans
+//! out* from the network center: at step `s < T/2` the requests originate
+//! from `2^s` access points around the center. During the second half the
+//! process reverses until all requests again originate from the center
+//! alone, and a new day starts.
+//!
+//! Two load variants:
+//! * [`LoadVariant::Static`] — the total number of requests per round is
+//!   fixed to `2^{T/2}`, split evenly over the active access points;
+//! * [`LoadVariant::Dynamic`] — one request per active access point, so the
+//!   total varies between 1 and `2^{T/2}`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use flexserve_graph::{DistanceMatrix, Graph};
+
+use crate::proximity::ProximityOrder;
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
+
+/// Which commuter load model to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadVariant {
+    /// Fixed total of `2^{T/2}` requests per round.
+    Static,
+    /// One request per active access point (total varies over the day).
+    Dynamic,
+}
+
+impl std::fmt::Display for LoadVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadVariant::Static => write!(f, "static"),
+            LoadVariant::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+/// The commuter demand generator.
+#[derive(Clone, Debug)]
+pub struct CommuterScenario {
+    order: ProximityOrder,
+    /// Number of phase steps per day (`T`, even, ≥ 2).
+    t_periods: u32,
+    /// Rounds per phase step (`λ`, ≥ 1).
+    lambda: u64,
+    variant: LoadVariant,
+    rng: SmallRng,
+    /// Cache: the phase step the current origins were sampled for.
+    cached_step: Option<u64>,
+    cached_origins: Vec<flexserve_graph::NodeId>,
+}
+
+impl CommuterScenario {
+    /// Creates a commuter scenario over substrate `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_periods` is odd or zero, or `lambda == 0`.
+    pub fn new(g: &Graph, t_periods: u32, lambda: u64, variant: LoadVariant, seed: u64) -> Self {
+        Self::with_matrix(g, &DistanceMatrix::build(g), t_periods, lambda, variant, seed)
+    }
+
+    /// Like [`CommuterScenario::new`] but reuses a precomputed distance
+    /// matrix (the experiment harness builds one per substrate anyway).
+    pub fn with_matrix(
+        g: &Graph,
+        m: &DistanceMatrix,
+        t_periods: u32,
+        lambda: u64,
+        variant: LoadVariant,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            t_periods >= 2 && t_periods % 2 == 0,
+            "commuter: T must be even and >= 2, got {t_periods}"
+        );
+        assert!(lambda >= 1, "commuter: lambda must be >= 1");
+        CommuterScenario {
+            order: ProximityOrder::from_matrix(g, m),
+            t_periods,
+            lambda,
+            variant,
+            rng: SmallRng::seed_from_u64(seed),
+            cached_step: None,
+            cached_origins: Vec::new(),
+        }
+    }
+
+    /// The paper's scaling of `T` with network size for the
+    /// cost-vs-network-size sweeps: matches the paper's explicit pairs
+    /// (n=1000 → T=14, n=500 → T=12, n=200 → T=10):
+    /// `T(n) = 2·(⌊log₂ n⌋ − 2)`, clamped to at least 2.
+    pub fn t_for_network_size(n: usize) -> u32 {
+        let log = (usize::BITS - 1 - n.max(1).leading_zeros()) as i64; // floor(log2 n)
+        (2 * (log - 2)).max(2) as u32
+    }
+
+    /// Fan-out exponent at phase step `s`: `s` in the first half of the
+    /// day, `T − s` in the second half.
+    fn exponent(&self, step: u64) -> u32 {
+        let s = (step % self.t_periods as u64) as u32;
+        if s <= self.t_periods / 2 {
+            s
+        } else {
+            self.t_periods - s
+        }
+    }
+
+    /// Total requests per round in the static variant: `2^{T/2}`.
+    pub fn static_total(&self) -> usize {
+        1usize << (self.t_periods / 2)
+    }
+
+    /// Number of rounds in one day (`T · λ`).
+    pub fn day_length(&self) -> u64 {
+        self.t_periods as u64 * self.lambda
+    }
+}
+
+impl Scenario for CommuterScenario {
+    fn requests(&mut self, t: u64) -> RoundRequests {
+        let step = t / self.lambda;
+        if self.cached_step != Some(step) {
+            let e = self.exponent(step);
+            let want = 1usize << e;
+            self.cached_origins = self.order.sample_around_center(want, &mut self.rng);
+            self.cached_step = Some(step);
+        }
+        let origins = &self.cached_origins;
+        let mut out = RoundRequests::empty();
+        match self.variant {
+            LoadVariant::Dynamic => {
+                for &o in origins {
+                    out.push(o);
+                }
+            }
+            LoadVariant::Static => {
+                let total = self.static_total();
+                let p = origins.len().max(1);
+                let base = total / p;
+                let extra = total % p;
+                for (i, &o) in origins.iter().enumerate() {
+                    out.push_many(o, base + usize::from(i < extra));
+                }
+            }
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "commuter({} load, T={}, lambda={})",
+            self.variant, self.t_periods, self.lambda
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use flexserve_graph::gen::unit_line;
+
+    fn line_scenario(variant: LoadVariant) -> CommuterScenario {
+        let g = unit_line(64).unwrap();
+        CommuterScenario::new(&g, 8, 2, variant, 7)
+    }
+
+    #[test]
+    fn static_total_is_constant_every_round() {
+        let mut s = line_scenario(LoadVariant::Static);
+        let total = s.static_total();
+        assert_eq!(total, 16); // 2^(8/2)
+        let trace = record(&mut s, 40);
+        for (t, round) in trace.iter().enumerate() {
+            assert_eq!(round.len(), total, "round {t}");
+        }
+    }
+
+    #[test]
+    fn dynamic_load_doubles_and_halves() {
+        let mut s = line_scenario(LoadVariant::Dynamic);
+        // lambda=2, T=8: steps 0..8 have exponents 0,1,2,3,4,3,2,1
+        let trace = record(&mut s, 16);
+        let sizes: Vec<usize> = trace.iter().map(|r| r.len()).collect();
+        assert_eq!(
+            sizes,
+            vec![1, 1, 2, 2, 4, 4, 8, 8, 16, 16, 8, 8, 4, 4, 2, 2]
+        );
+    }
+
+    #[test]
+    fn day_wraps_around() {
+        let mut s = line_scenario(LoadVariant::Dynamic);
+        let day = s.day_length();
+        assert_eq!(day, 16);
+        let trace = record(&mut s, 34);
+        // round 16 starts a new day: exponent 0 again
+        assert_eq!(trace.round(16).len(), 1);
+        assert_eq!(trace.round(17).len(), 1);
+        assert_eq!(trace.round(18).len(), 2);
+    }
+
+    #[test]
+    fn peak_starts_from_center_only() {
+        let mut s = line_scenario(LoadVariant::Dynamic);
+        let r0 = s.requests(0);
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r0.origins()[0], s.order.center());
+    }
+
+    #[test]
+    fn origins_stable_within_a_phase_step() {
+        let mut s = line_scenario(LoadVariant::Dynamic);
+        let a = s.requests(4);
+        let b = s.requests(5);
+        assert_eq!(a, b, "same step (lambda=2) must reuse origins");
+    }
+
+    #[test]
+    fn static_split_handles_clamping() {
+        // tiny graph: 2^{T/2}=16 requests but only 5 nodes
+        let g = unit_line(5).unwrap();
+        let mut s = CommuterScenario::new(&g, 8, 1, LoadVariant::Static, 3);
+        let trace = record(&mut s, 9);
+        for round in trace.iter() {
+            assert_eq!(round.len(), 16, "total conserved despite clamping");
+        }
+        // at peak step (t=4): at most 5 distinct origins
+        assert!(trace.round(4).distinct_origins() <= 5);
+    }
+
+    #[test]
+    fn t_for_network_size_matches_paper_pairs() {
+        assert_eq!(CommuterScenario::t_for_network_size(1000), 14);
+        assert_eq!(CommuterScenario::t_for_network_size(500), 12);
+        assert_eq!(CommuterScenario::t_for_network_size(200), 10);
+        assert_eq!(CommuterScenario::t_for_network_size(100), 8);
+        // degenerate sizes stay valid (even, >= 2)
+        assert_eq!(CommuterScenario::t_for_network_size(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "T must be even")]
+    fn odd_t_rejected() {
+        let g = unit_line(8).unwrap();
+        CommuterScenario::new(&g, 7, 1, LoadVariant::Static, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = unit_line(32).unwrap();
+        let t1 = record(&mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42), 30);
+        let t2 = record(&mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42), 30);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # flexserve-workload
+//!
+//! Request/demand generators for the flexible server allocation
+//! experiments.
+//!
+//! The paper's request model (§II-D) and simulation set-up (§V-A) define
+//! two families of synthetic demand — built here, plus the on/off mobility
+//! model sketched in the model section:
+//!
+//! * [`time_zones::TimeZonesScenario`] — "p% of all requests originate from
+//!   a node chosen uniformly at random … these locations are the same each
+//!   day", the remaining requests are uniform background traffic;
+//! * [`commuter::CommuterScenario`] — morning fan-out from the network
+//!   center, evening fan-in, with *static* (fixed total `2^{T/2}` requests)
+//!   or *dynamic* (one request per active access point) load;
+//! * [`onoff::OnOffScenario`] — users appear at an access point, dwell for
+//!   `Δt`, and jump to another uniformly random access point;
+//! * [`uniform::UniformScenario`] — pure background noise (baseline/tests).
+//!
+//! All scenarios implement [`Scenario`] and are deterministic under a seed.
+//! The simulation layers consume a recorded [`Trace`] so online and offline
+//! algorithms are always compared on *identical* request sequences.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod commuter;
+pub mod onoff;
+pub mod proximity;
+pub mod request;
+pub mod scenario;
+pub mod time_zones;
+pub mod uniform;
+
+pub use commuter::{CommuterScenario, LoadVariant};
+pub use onoff::OnOffScenario;
+pub use proximity::ProximityOrder;
+pub use request::RoundRequests;
+pub use scenario::{record, Scenario, Trace};
+pub use time_zones::TimeZonesScenario;
+pub use uniform::UniformScenario;

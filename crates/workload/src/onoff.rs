@@ -1,0 +1,156 @@
+//! The on/off mobility model (§II-D of the paper).
+//!
+//! "We may consider on/off models where a user appears at some access point
+//! `a1 ∈ A` at time `t`, remains there for a certain period `Δt`, before
+//! moving to another arbitrary node `a2 ∈ A` at time `t + Δt`."
+//!
+//! Each simulated user issues one request per round from its current access
+//! point and relocates uniformly at random every `dwell` rounds. Users'
+//! phases are staggered at start-up so relocations do not synchronize
+//! (unless `correlated` is set, which models the paper's "workers commute
+//! downtown in the morning" correlation by moving all users at once).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use flexserve_graph::{Graph, NodeId};
+
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
+
+/// The on/off mobility demand generator.
+#[derive(Clone, Debug)]
+pub struct OnOffScenario {
+    access_points: Vec<NodeId>,
+    /// (current location, next relocation round) per user.
+    users: Vec<(NodeId, u64)>,
+    dwell: u64,
+    correlated: bool,
+    rng: SmallRng,
+}
+
+impl OnOffScenario {
+    /// Creates `num_users` users dwelling `dwell` rounds per location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `dwell == 0`.
+    pub fn new(g: &Graph, num_users: usize, dwell: u64, correlated: bool, seed: u64) -> Self {
+        assert!(!g.is_empty(), "on/off: graph must be non-empty");
+        assert!(dwell > 0, "on/off: dwell must be >= 1");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let access_points: Vec<NodeId> = g.nodes().collect();
+        let users = (0..num_users)
+            .map(|i| {
+                let loc = access_points[rng.gen_range(0..access_points.len())];
+                // stagger initial phases unless correlated
+                let phase = if correlated {
+                    dwell
+                } else {
+                    1 + (i as u64 % dwell) + rng.gen_range(0..dwell)
+                };
+                (loc, phase)
+            })
+            .collect();
+        OnOffScenario {
+            access_points,
+            users,
+            dwell,
+            correlated,
+            rng,
+        }
+    }
+
+    /// Number of simulated users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+impl Scenario for OnOffScenario {
+    fn requests(&mut self, t: u64) -> RoundRequests {
+        let mut out = RoundRequests::empty();
+        for user in &mut self.users {
+            if t >= user.1 {
+                user.0 = self.access_points[self.rng.gen_range(0..self.access_points.len())];
+                user.1 = t + self.dwell;
+            }
+            out.push(user.0);
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "on-off({} users, dwell={}, correlated={})",
+            self.users.len(),
+            self.dwell,
+            self.correlated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use flexserve_graph::gen::unit_line;
+
+    #[test]
+    fn one_request_per_user_per_round() {
+        let g = unit_line(12).unwrap();
+        let mut s = OnOffScenario::new(&g, 9, 4, false, 0);
+        let trace = record(&mut s, 25);
+        for r in trace.iter() {
+            assert_eq!(r.len(), 9);
+        }
+    }
+
+    #[test]
+    fn users_eventually_move() {
+        let g = unit_line(50).unwrap();
+        let mut s = OnOffScenario::new(&g, 5, 3, false, 2);
+        let first = s.requests(0);
+        // after several dwell periods, origins differ w.h.p.
+        let mut moved = false;
+        for t in 1..30 {
+            if s.requests(t) != first {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn correlated_users_move_in_lockstep() {
+        let g = unit_line(40).unwrap();
+        let mut s = OnOffScenario::new(&g, 6, 5, true, 3);
+        // rounds 0..5 keep everyone put
+        let r0 = s.requests(0);
+        for t in 1..5 {
+            assert_eq!(s.requests(t), r0, "round {t}");
+        }
+        // round 5 relocates everybody simultaneously
+        let r5 = s.requests(5);
+        for t in 6..10 {
+            assert_eq!(s.requests(t), r5, "round {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = unit_line(30).unwrap();
+        let t1 = record(&mut OnOffScenario::new(&g, 7, 4, false, 11), 40);
+        let t2 = record(&mut OnOffScenario::new(&g, 7, 4, false, 11), 40);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn zero_users_is_empty_demand() {
+        let g = unit_line(5).unwrap();
+        let mut s = OnOffScenario::new(&g, 0, 2, false, 0);
+        assert!(s.requests(0).is_empty());
+        assert_eq!(s.user_count(), 0);
+    }
+}

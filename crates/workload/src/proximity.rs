@@ -1,0 +1,149 @@
+//! Center-proximity ordering of access points.
+//!
+//! The commuter scenario needs "access points chosen uniformly at random
+//! around the center of the network". [`ProximityOrder`] ranks all nodes by
+//! shortest-path latency from the network center once, so scenarios can
+//! sample origins concentrically in O(1) per draw.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use flexserve_graph::metrics::metrics_from_matrix;
+use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+
+/// Nodes of a substrate ranked by distance from the network center.
+#[derive(Clone, Debug)]
+pub struct ProximityOrder {
+    center: NodeId,
+    /// All nodes sorted by (distance from center, id).
+    ranked: Vec<NodeId>,
+}
+
+impl ProximityOrder {
+    /// Builds the ordering from a substrate graph (computes an APSP matrix
+    /// internally).
+    pub fn new(g: &Graph) -> Self {
+        Self::from_matrix(g, &DistanceMatrix::build(g))
+    }
+
+    /// Builds the ordering from a precomputed distance matrix.
+    pub fn from_matrix(g: &Graph, m: &DistanceMatrix) -> Self {
+        let met = metrics_from_matrix(m);
+        let center = met.center;
+        let mut ranked: Vec<NodeId> = g.nodes().collect();
+        ranked.sort_by(|&a, &b| {
+            m.get(center, a)
+                .partial_cmp(&m.get(center, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        ProximityOrder { center, ranked }
+    }
+
+    /// The network center (rank 0).
+    #[inline]
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// The `k` nodes nearest to the center (including the center itself).
+    pub fn nearest(&self, k: usize) -> &[NodeId] {
+        &self.ranked[..k.min(self.ranked.len())]
+    }
+
+    /// Samples `count` *distinct* origins "around the center": the center
+    /// itself plus `count − 1` nodes drawn uniformly from the `2·count`
+    /// nearest nodes (DESIGN.md §5 substitution for the paper's unspecified
+    /// sampling). Returns fewer nodes when the graph is smaller than
+    /// `count`.
+    pub fn sample_around_center<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<NodeId> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let count = count.min(self.ranked.len());
+        let pool_size = (2 * count).min(self.ranked.len());
+        // pool excludes the center (rank 0) which is always included.
+        let pool = &self.ranked[1..pool_size.max(1)];
+        let mut picked = vec![self.center];
+        picked.extend(pool.choose_multiple(rng, count - 1).copied());
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::{unit_line, GenConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_center_ranks_first() {
+        let g = unit_line(7).unwrap();
+        let p = ProximityOrder::new(&g);
+        assert_eq!(p.center(), NodeId::new(3));
+        assert_eq!(p.ranked[0], NodeId::new(3));
+        // neighbors of the center come next (ids 2 and 4)
+        let next: Vec<_> = p.nearest(3)[1..].to_vec();
+        assert!(next.contains(&NodeId::new(2)));
+        assert!(next.contains(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn sample_includes_center_and_is_distinct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = GenConfig::default();
+        let g = flexserve_graph::gen::erdos_renyi(60, 0.08, &cfg, &mut rng).unwrap();
+        let p = ProximityOrder::new(&g);
+        for count in [1usize, 2, 5, 16] {
+            let s = p.sample_around_center(count, &mut rng);
+            assert_eq!(s.len(), count);
+            assert_eq!(s[0], p.center());
+            let mut sorted = s.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), count, "origins must be distinct");
+        }
+    }
+
+    #[test]
+    fn sample_clamps_to_graph_size() {
+        let g = unit_line(4).unwrap();
+        let p = ProximityOrder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = p.sample_around_center(10, &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn sample_zero_is_empty() {
+        let g = unit_line(4).unwrap();
+        let p = ProximityOrder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(p.sample_around_center(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn samples_stay_near_center() {
+        let g = unit_line(101).unwrap(); // center = 50
+        let p = ProximityOrder::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = p.sample_around_center(8, &mut rng);
+        // pool is the 16 nearest nodes: all within distance 8 of center
+        for v in s {
+            let d = (v.index() as i64 - 50).abs();
+            assert!(d <= 8, "node {v} too far from center");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Request batches: the multi-set `σt` of access points issuing requests in
+//! one round.
+
+use std::collections::HashMap;
+
+use flexserve_graph::NodeId;
+
+/// The requests of one round: a multi-set of access-point origins.
+///
+/// The paper defines `σt` as a multi-set of tuples `(a ∈ A, S ∈ S)`; with a
+/// single replicated service (the paper's evaluation setting) only the
+/// access point matters, so a batch is a bag of origins.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundRequests {
+    origins: Vec<NodeId>,
+}
+
+impl RoundRequests {
+    /// Creates a batch from raw origins.
+    pub fn new(origins: Vec<NodeId>) -> Self {
+        RoundRequests { origins }
+    }
+
+    /// An empty batch (a round with no demand).
+    pub fn empty() -> Self {
+        RoundRequests::default()
+    }
+
+    /// Number of requests in this round (`|σt|`, counting multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Whether the round has no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Iterates over the origins (with multiplicity).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.origins.iter().copied()
+    }
+
+    /// The raw origin slice.
+    pub fn origins(&self) -> &[NodeId] {
+        &self.origins
+    }
+
+    /// Request count per access point (origins with multiplicity folded).
+    pub fn counts(&self) -> HashMap<NodeId, usize> {
+        let mut m = HashMap::new();
+        for &o in &self.origins {
+            *m.entry(o).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Distinct access points used this round.
+    pub fn distinct_origins(&self) -> usize {
+        self.counts().len()
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, origin: NodeId) {
+        self.origins.push(origin);
+    }
+
+    /// Appends `count` requests from the same origin.
+    pub fn push_many(&mut self, origin: NodeId, count: usize) {
+        self.origins.extend(std::iter::repeat(origin).take(count));
+    }
+}
+
+impl FromIterator<NodeId> for RoundRequests {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        RoundRequests {
+            origins: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_fold_multiplicity() {
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let r = RoundRequests::new(vec![a, b, a, a]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.distinct_origins(), 2);
+        let c = r.counts();
+        assert_eq!(c[&a], 3);
+        assert_eq!(c[&b], 1);
+    }
+
+    #[test]
+    fn push_many() {
+        let mut r = RoundRequests::empty();
+        assert!(r.is_empty());
+        r.push_many(NodeId::new(5), 7);
+        r.push(NodeId::new(2));
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.counts()[&NodeId::new(5)], 7);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let r: RoundRequests = (0..4).map(NodeId::new).collect();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.distinct_origins(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`Scenario`] abstraction and recorded [`Trace`]s.
+//!
+//! Online algorithms observe requests round by round; offline algorithms
+//! (OPT, OFFBR, OFFTH, OFFSTAT) see the whole sequence at once. To make the
+//! comparison exact, every experiment first *records* a scenario into a
+//! [`Trace`] and then feeds the same trace to every algorithm.
+
+use crate::request::RoundRequests;
+
+/// A demand generator: produces the request multi-set `σt` for each round.
+///
+/// Implementations are deterministic given their construction-time seed, so
+/// identical scenario objects replay identical demand.
+pub trait Scenario {
+    /// Requests arriving in round `t`. Rounds are queried in increasing
+    /// order starting at 0; implementations may keep internal state.
+    fn requests(&mut self, t: u64) -> RoundRequests;
+
+    /// A short human-readable description used in experiment logs.
+    fn describe(&self) -> String {
+        "scenario".to_string()
+    }
+}
+
+/// A fully materialized request sequence `σ0 … σ(T-1)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    rounds: Vec<RoundRequests>,
+}
+
+impl Trace {
+    /// Wraps an explicit sequence of rounds.
+    pub fn new(rounds: Vec<RoundRequests>) -> Self {
+        Trace { rounds }
+    }
+
+    /// Number of rounds.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the trace has no rounds.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The requests of round `t`.
+    #[inline]
+    pub fn round(&self, t: usize) -> &RoundRequests {
+        &self.rounds[t]
+    }
+
+    /// Iterates over rounds in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &RoundRequests> {
+        self.rounds.iter()
+    }
+
+    /// Total number of requests over the whole trace.
+    pub fn total_requests(&self) -> usize {
+        self.rounds.iter().map(|r| r.len()).sum()
+    }
+
+    /// The sub-trace covering rounds `[from, to)` (clamped to the trace).
+    pub fn slice(&self, from: usize, to: usize) -> Trace {
+        let to = to.min(self.rounds.len());
+        let from = from.min(to);
+        Trace {
+            rounds: self.rounds[from..to].to_vec(),
+        }
+    }
+}
+
+/// Records `rounds` rounds of a scenario into a [`Trace`].
+pub fn record<S: Scenario + ?Sized>(scenario: &mut S, rounds: u64) -> Trace {
+    let mut out = Vec::with_capacity(rounds as usize);
+    for t in 0..rounds {
+        out.push(scenario.requests(t));
+    }
+    Trace::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::NodeId;
+
+    struct CountUp;
+    impl Scenario for CountUp {
+        fn requests(&mut self, t: u64) -> RoundRequests {
+            RoundRequests::new(vec![NodeId::new(t as usize); (t + 1) as usize])
+        }
+    }
+
+    #[test]
+    fn record_materializes_in_order() {
+        let trace = record(&mut CountUp, 4);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.round(0).len(), 1);
+        assert_eq!(trace.round(3).len(), 4);
+        assert_eq!(trace.total_requests(), 10);
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let trace = record(&mut CountUp, 5);
+        let s = trace.slice(2, 99);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.round(0).len(), 3);
+        let e = trace.slice(4, 2);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn default_describe() {
+        assert_eq!(CountUp.describe(), "scenario");
+    }
+}

@@ -1,0 +1,201 @@
+//! The time-zones scenario (§V-A of the paper).
+//!
+//! "We divide a day into `T` time periods. For each time `t`, `p%` of all
+//! requests originate from a node chosen uniformly at random from the
+//! substrate network (we assume that these locations are the same each
+//! day). The sojourn time of the requests at a given location is constant
+//! and given by a parameter `τ`. In addition, there is a background
+//! traffic: the remaining requests originate from nodes chosen uniformly at
+//! random from all access points."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use flexserve_graph::{Graph, NodeId};
+
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
+
+/// The time-zones demand generator.
+#[derive(Clone, Debug)]
+pub struct TimeZonesScenario {
+    /// One hot location per period, drawn once and reused every day.
+    hot_nodes: Vec<NodeId>,
+    /// All access points (background traffic pool).
+    access_points: Vec<NodeId>,
+    /// Sojourn time `τ` (rounds per period; the λ of the sweeps).
+    tau: u64,
+    /// Fraction of requests from the hot node (`p`, in `[0, 1]`).
+    hot_fraction: f64,
+    /// Total requests per round.
+    requests_per_round: usize,
+    rng: SmallRng,
+}
+
+impl TimeZonesScenario {
+    /// Creates a time-zones scenario over substrate `g`, with `periods`
+    /// time periods per day, sojourn `tau` rounds, hot fraction
+    /// `hot_fraction` (e.g. 0.5 for the paper's `p = 50%`), and
+    /// `requests_per_round` total requests each round.
+    ///
+    /// All nodes of `g` serve as access points (the paper issues requests
+    /// from arbitrary substrate nodes in this scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods == 0`, `tau == 0`, the graph is empty, or
+    /// `hot_fraction ∉ [0, 1]`.
+    pub fn new(
+        g: &Graph,
+        periods: u32,
+        tau: u64,
+        hot_fraction: f64,
+        requests_per_round: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(periods > 0, "time zones: periods must be >= 1");
+        assert!(tau > 0, "time zones: tau must be >= 1");
+        assert!(!g.is_empty(), "time zones: graph must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "time zones: hot_fraction must be in [0,1], got {hot_fraction}"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let access_points: Vec<NodeId> = g.nodes().collect();
+        let hot_nodes = (0..periods)
+            .map(|_| access_points[rng.gen_range(0..access_points.len())])
+            .collect();
+        TimeZonesScenario {
+            hot_nodes,
+            access_points,
+            tau,
+            hot_fraction,
+            requests_per_round,
+            rng,
+        }
+    }
+
+    /// The hot node active in round `t`.
+    pub fn hot_node_at(&self, t: u64) -> NodeId {
+        let period = (t / self.tau) as usize % self.hot_nodes.len();
+        self.hot_nodes[period]
+    }
+
+    /// Number of rounds in one day (`T · τ`).
+    pub fn day_length(&self) -> u64 {
+        self.hot_nodes.len() as u64 * self.tau
+    }
+}
+
+impl Scenario for TimeZonesScenario {
+    fn requests(&mut self, t: u64) -> RoundRequests {
+        let hot = self.hot_node_at(t);
+        let n_hot = (self.hot_fraction * self.requests_per_round as f64).round() as usize;
+        let n_hot = n_hot.min(self.requests_per_round);
+        let mut out = RoundRequests::empty();
+        out.push_many(hot, n_hot);
+        for _ in n_hot..self.requests_per_round {
+            let ap = self.access_points[self.rng.gen_range(0..self.access_points.len())];
+            out.push(ap);
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "time-zones(T={}, tau={}, p={:.0}%, {} req/round)",
+            self.hot_nodes.len(),
+            self.tau,
+            self.hot_fraction * 100.0,
+            self.requests_per_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use flexserve_graph::gen::unit_line;
+
+    fn scenario() -> TimeZonesScenario {
+        let g = unit_line(20).unwrap();
+        TimeZonesScenario::new(&g, 4, 5, 0.5, 10, 99)
+    }
+
+    #[test]
+    fn request_volume_is_constant() {
+        let mut s = scenario();
+        let trace = record(&mut s, 50);
+        for r in trace.iter() {
+            assert_eq!(r.len(), 10);
+        }
+    }
+
+    #[test]
+    fn hot_node_gets_at_least_half() {
+        let mut s = scenario();
+        for t in 0..40 {
+            let hot = s.hot_node_at(t);
+            let r = s.requests(t);
+            let c = r.counts();
+            assert!(c[&hot] >= 5, "round {t}: hot node got {}", c[&hot]);
+        }
+    }
+
+    #[test]
+    fn hot_locations_repeat_daily() {
+        let s = scenario();
+        let day = s.day_length();
+        assert_eq!(day, 20);
+        for t in 0..20 {
+            assert_eq!(s.hot_node_at(t), s.hot_node_at(t + day));
+        }
+    }
+
+    #[test]
+    fn hot_node_constant_within_period() {
+        let s = scenario();
+        for period in 0..4u64 {
+            let base = period * 5;
+            let h = s.hot_node_at(base);
+            for dt in 1..5 {
+                assert_eq!(s.hot_node_at(base + dt), h);
+            }
+        }
+    }
+
+    #[test]
+    fn p_one_means_all_from_hot() {
+        let g = unit_line(10).unwrap();
+        let mut s = TimeZonesScenario::new(&g, 3, 2, 1.0, 6, 1);
+        let r = s.requests(0);
+        assert_eq!(r.distinct_origins(), 1);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn p_zero_is_pure_background() {
+        let g = unit_line(10).unwrap();
+        let mut s = TimeZonesScenario::new(&g, 3, 2, 0.0, 200, 1);
+        let r = s.requests(0);
+        assert_eq!(r.len(), 200);
+        // with 200 uniform draws over 10 nodes, >1 origin w.h.p.
+        assert!(r.distinct_origins() > 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = unit_line(15).unwrap();
+        let t1 = record(&mut TimeZonesScenario::new(&g, 4, 3, 0.5, 8, 5), 30);
+        let t2 = record(&mut TimeZonesScenario::new(&g, 4, 3, 0.5, 8, 5), 30);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn bad_fraction_rejected() {
+        let g = unit_line(5).unwrap();
+        TimeZonesScenario::new(&g, 2, 2, 1.5, 5, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Uniform background demand: every request originates from an access point
+//! chosen uniformly at random. The least structured scenario — useful as a
+//! baseline ("dynamic allocation should barely help here") and in tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use flexserve_graph::{Graph, NodeId};
+
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
+
+/// Pure uniform background demand.
+#[derive(Clone, Debug)]
+pub struct UniformScenario {
+    access_points: Vec<NodeId>,
+    requests_per_round: usize,
+    rng: SmallRng,
+}
+
+impl UniformScenario {
+    /// Creates the scenario with `requests_per_round` uniform requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn new(g: &Graph, requests_per_round: usize, seed: u64) -> Self {
+        assert!(!g.is_empty(), "uniform: graph must be non-empty");
+        UniformScenario {
+            access_points: g.nodes().collect(),
+            requests_per_round,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scenario for UniformScenario {
+    fn requests(&mut self, _t: u64) -> RoundRequests {
+        (0..self.requests_per_round)
+            .map(|_| self.access_points[self.rng.gen_range(0..self.access_points.len())])
+            .collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("uniform({} req/round)", self.requests_per_round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use flexserve_graph::gen::unit_line;
+
+    #[test]
+    fn volume_constant() {
+        let g = unit_line(10).unwrap();
+        let mut s = UniformScenario::new(&g, 13, 0);
+        let trace = record(&mut s, 20);
+        for r in trace.iter() {
+            assert_eq!(r.len(), 13);
+        }
+    }
+
+    #[test]
+    fn covers_many_nodes_over_time() {
+        let g = unit_line(10).unwrap();
+        let mut s = UniformScenario::new(&g, 5, 1);
+        let trace = record(&mut s, 50);
+        let mut seen = std::collections::HashSet::new();
+        for r in trace.iter() {
+            seen.extend(r.iter());
+        }
+        assert!(seen.len() >= 9, "only saw {} distinct nodes", seen.len());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = unit_line(8).unwrap();
+        let t1 = record(&mut UniformScenario::new(&g, 4, 9), 15);
+        let t2 = record(&mut UniformScenario::new(&g, 4, 9), 15);
+        assert_eq!(t1, t2);
+    }
+}

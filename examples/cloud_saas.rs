@@ -1,0 +1,79 @@
+//! Cloud SaaS with time-zone demand: "imagine an SAP application in the
+//! cloud which is accessed by different users going online and offline
+//! over time, resulting in a temporal change of the demand
+//! characteristics."
+//!
+//! A business application follows the sun: every few hours the bulk of the
+//! demand shifts to another region. We compare the paper's strategies and
+//! also show the offline planning workflow — if the daily pattern is known
+//! (it repeats!), the operator can precompute tomorrow's plan with the
+//! offline DP and compare what foresight is worth.
+//!
+//! ```sh
+//! cargo run --release --example cloud_saas
+//! ```
+
+use flexserve::prelude::*;
+
+fn main() {
+    // --- Small multi-region topology for exact offline planning ----------
+    // Five "regions" in a line — the topology the paper uses for OPT.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let cfg = GenConfig {
+        latency_range: (5.0, 40.0), // inter-region WAN latencies
+        ..GenConfig::default()
+    };
+    let graph = line(5, &cfg, &mut rng).expect("line(5)");
+    let matrix = DistanceMatrix::build(&graph);
+
+    // --- Demand: follow-the-sun SaaS usage --------------------------------
+    // A day has 4 periods; the hot region rotates; 60% of requests come
+    // from the hot region and the rest is global background noise.
+    let mut scenario = TimeZonesScenario::new(&graph, 4, 15, 0.6, 12, 7);
+    let trace = record(&mut scenario, 240);
+    println!(
+        "SaaS demand: {} rounds, {} requests, day length {} rounds",
+        trace.len(),
+        trace.total_requests(),
+        scenario.day_length()
+    );
+
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&graph, &matrix, params, LoadModel::Linear);
+    let start = initial_center(&ctx);
+
+    // --- Online operation --------------------------------------------------
+    let onth = run_online(&ctx, &trace, &mut OnTh::new(), start.clone());
+    let onbr = run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone());
+
+    // --- Offline planning: the pattern is periodic and known --------------
+    let opt = optimal_plan(&ctx, &trace, &start);
+    let stat = offstat(&ctx, &trace);
+
+    println!("\n{:<28} {:>12}", "strategy", "total cost");
+    println!("{:<28} {:>12.1}", "ONBR (online)", onbr.total().total());
+    println!("{:<28} {:>12.1}", "ONTH (online)", onth.total().total());
+    println!("{:<28} {:>12.1}", "OFFSTAT (static, k_opt)", stat.best_cost);
+    println!("{:<28} {:>12.1}", "OPT (offline optimum)", opt.cost);
+
+    println!(
+        "\ncompetitive ratio ONTH/OPT: {:.2}",
+        competitive_ratio(onth.total().total(), opt.cost)
+    );
+    println!(
+        "benefit of dynamic allocation (OFFSTAT/OPT): {:.2}",
+        competitive_ratio(stat.best_cost, opt.cost)
+    );
+
+    // --- Inspect OPT's plan: where do the servers sit over the day? -------
+    println!("\nOPT server placement over the first day:");
+    let day = scenario.day_length() as usize;
+    let mut last: Vec<NodeId> = Vec::new();
+    for (t, active) in opt.plan.iter().take(day).enumerate() {
+        if *active != last {
+            let spots: Vec<String> = active.iter().map(|v| v.to_string()).collect();
+            println!("  round {t:>3}: servers at [{}]", spots.join(", "));
+            last = active.clone();
+        }
+    }
+}

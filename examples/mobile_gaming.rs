@@ -1,0 +1,72 @@
+//! Mobile gaming: latency-sensitive users on an ISP backbone.
+//!
+//! The paper's motivating example: "a mobile provider which offers a
+//! gaming application to a set of mobile users updating their location
+//! over time, and where access latency is of prime concern."
+//!
+//! Players roam across the AS-7018-like AT&T backbone following the on/off
+//! mobility model (appear at an access point, play for a while, reappear
+//! elsewhere). ONTH migrates and scales game servers to keep round-trip
+//! latency low; we report the latency a player actually experiences.
+//!
+//! ```sh
+//! cargo run --release --example mobile_gaming
+//! ```
+
+use flexserve::prelude::*;
+
+fn main() {
+    // --- Substrate: the synthetic AT&T backbone --------------------------
+    let (graph, backbone) = as7018_like(&As7018Config::default()).expect("static topology");
+    let matrix = DistanceMatrix::build(&graph);
+    println!(
+        "AS-7018-like substrate: {} PoPs ({} backbone cities), diameter {:.1} ms",
+        graph.node_count(),
+        backbone.len(),
+        flexserve::graph::metrics::metrics_from_matrix(&matrix).diameter
+    );
+
+    // --- Demand: 60 roaming players, 25-round play sessions --------------
+    let mut scenario = OnOffScenario::new(&graph, 60, 25, false, 2024);
+    let trace = record(&mut scenario, 600);
+
+    // Gaming cares about latency: use a quadratic load model so overloaded
+    // servers hurt, and a generous server budget.
+    let params = CostParams::default().with_max_servers(12);
+    let ctx = SimContext::new(&graph, &matrix, params, LoadModel::Quadratic);
+    let start = initial_center(&ctx);
+
+    // --- Compare adaptive vs static operation ----------------------------
+    let adaptive = run_online(&ctx, &trace, &mut OnTh::new(), start.clone());
+    let frozen = run_online(&ctx, &trace, &mut StaticStrategy::new(), start);
+
+    let per_round_latency = |rec: &RunRecord| -> f64 {
+        let access: f64 = rec.rounds.iter().map(|r| r.costs.access).sum();
+        let requests: usize = rec.rounds.iter().map(|r| r.requests).sum();
+        access / requests as f64
+    };
+
+    println!("\n{:<22} {:>12} {:>16} {:>10}", "operation", "total cost", "ms/request", "servers@end");
+    println!(
+        "{:<22} {:>12.0} {:>16.2} {:>10}",
+        "static (1 server)",
+        frozen.total().total(),
+        per_round_latency(&frozen),
+        frozen.rounds.last().unwrap().active_servers
+    );
+    println!(
+        "{:<22} {:>12.0} {:>16.2} {:>10}",
+        "ONTH (adaptive)",
+        adaptive.total().total(),
+        per_round_latency(&adaptive),
+        adaptive.rounds.last().unwrap().active_servers
+    );
+
+    let mig = adaptive.total().migration / ctx.params.migration_beta;
+    let created = adaptive.total().creation / ctx.params.creation_c;
+    println!(
+        "\nONTH performed {mig:.0} migrations and created {created:.0} servers, \
+         cutting mean access latency by {:.0}%.",
+        100.0 * (1.0 - per_round_latency(&adaptive) / per_round_latency(&frozen))
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: run every strategy on one commuter trace and compare costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flexserve::prelude::*;
+
+fn main() {
+    // --- Substrate: Erdős–Rényi graph with the paper's 1% density --------
+    let mut rng = SmallRng::seed_from_u64(42);
+    let graph = erdos_renyi(100, 0.01, &GenConfig::default(), &mut rng)
+        .expect("valid generator parameters");
+    let matrix = DistanceMatrix::build(&graph);
+    println!(
+        "substrate: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // --- Demand: commuters fan out from the center every morning ---------
+    let t_periods = 8;
+    let lambda = 10;
+    let mut scenario =
+        CommuterScenario::new(&graph, t_periods, lambda, LoadVariant::Dynamic, 42);
+    let trace = record(&mut scenario, 400);
+    println!(
+        "demand: {} rounds, {} requests total\n",
+        trace.len(),
+        trace.total_requests()
+    );
+
+    // --- Cost model: the paper's defaults (beta=40, c=400, Ra=2.5) -------
+    let ctx = SimContext::new(&graph, &matrix, CostParams::default(), LoadModel::Linear);
+    let start = initial_center(&ctx);
+
+    // --- Compare the strategies ------------------------------------------
+    println!("{:<12} {:>12} {:>10} {:>10} {:>10} {:>10}", "strategy", "total", "access", "running", "migration", "creation");
+    let mut results: Vec<(String, CostBreakdown)> = Vec::new();
+
+    let rec = run_online(&ctx, &trace, &mut StaticStrategy::new(), start.clone());
+    results.push(("STATIC".into(), rec.total()));
+
+    let rec = run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone());
+    results.push(("ONBR-fixed".into(), rec.total()));
+
+    let rec = run_online(&ctx, &trace, &mut OnBr::dynamic(&ctx), start.clone());
+    results.push(("ONBR-dyn".into(), rec.total()));
+
+    let rec = run_online(&ctx, &trace, &mut OnTh::new(), start.clone());
+    results.push(("ONTH".into(), rec.total()));
+
+    let rec = run_online(&ctx, &trace, &mut OffTh::new(trace.clone()), start.clone());
+    results.push(("OFFTH".into(), rec.total()));
+
+    // The optimal static provisioning for this exact trace:
+    let stat = offstat(&ctx, &trace);
+    println!(
+        "{:<12} {:>12.1}   (k_opt = {} static servers)",
+        "OFFSTAT", stat.best_cost, stat.k_opt
+    );
+
+    for (name, c) in &results {
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            name,
+            c.total(),
+            c.access,
+            c.running,
+            c.migration,
+            c.creation
+        );
+    }
+
+    let onth = results.iter().find(|(n, _)| n == "ONTH").unwrap().1.total();
+    let stat_online = results.iter().find(|(n, _)| n == "STATIC").unwrap().1.total();
+    println!(
+        "\nONTH saves {:.0}% over never reconfiguring — the benefit of virtualization.",
+        100.0 * (1.0 - onth / stat_online)
+    );
+}

@@ -1,0 +1,74 @@
+//! # flexserve
+//!
+//! A from-scratch Rust reproduction of *"On the Benefit of Virtualization:
+//! Strategies for Flexible Server Allocation"* (Arora, Feldmann,
+//! Schaffrath, Schmid — arXiv:1011.6594): online and offline strategies
+//! that decide **how many** virtual servers to run, **where** to place
+//! them, and **when** to migrate them as mobile demand shifts across a
+//! substrate network.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `flexserve-graph` | substrate graphs, generators, shortest paths, metrics |
+//! | [`topology`] | `flexserve-topology` | Rocketfuel parser, synthetic AS-7018-like substrate |
+//! | [`workload`] | `flexserve-workload` | time-zones / commuter / on-off demand scenarios |
+//! | [`sim`] | `flexserve-sim` | cost model, routing, server fleet, transition planner, game loop |
+//! | [`core`] | `flexserve-core` | ONCONF, ONBR, ONTH, OPT, OFFBR, OFFTH, OFFSTAT |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flexserve::prelude::*;
+//!
+//! // 1. A substrate: 50-node Erdős–Rényi graph (1% connection probability).
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let g = erdos_renyi(50, 0.01, &GenConfig::default(), &mut rng).unwrap();
+//! let matrix = DistanceMatrix::build(&g);
+//!
+//! // 2. Demand: commuters fanning out from the network center.
+//! let mut scenario = CommuterScenario::new(&g, 8, 5, LoadVariant::Dynamic, 7);
+//! let trace = record(&mut scenario, 100);
+//!
+//! // 3. Run the ONTH strategy and inspect its costs.
+//! let ctx = SimContext::new(&g, &matrix, CostParams::default(), LoadModel::Linear);
+//! let record = run_online(&ctx, &trace, &mut OnTh::new(), initial_center(&ctx));
+//! println!("total cost: {}", record.total());
+//! assert!(record.total().total() > 0.0);
+//! ```
+
+pub use flexserve_core as core;
+pub use flexserve_graph as graph;
+pub use flexserve_sim as sim;
+pub use flexserve_topology as topology;
+pub use flexserve_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use flexserve_graph::gen::{
+        erdos_renyi, grid, line, random_geometric, random_tree, ring, star, unit_line, waxman,
+        GenConfig,
+    };
+    pub use flexserve_graph::{Bandwidth, DistanceMatrix, Graph, NodeId};
+
+    pub use flexserve_topology::{as7018_like, parse_rocketfuel_weights, As7018Config};
+
+    pub use flexserve_workload::{
+        record, CommuterScenario, LoadVariant, OnOffScenario, RoundRequests, Scenario,
+        TimeZonesScenario, Trace, UniformScenario,
+    };
+
+    pub use flexserve_sim::{
+        run_online, run_plan, CostBreakdown, CostParams, Fleet, LoadModel, OnlineStrategy, Plan,
+        RunRecord, SimContext,
+    };
+
+    pub use flexserve_core::{
+        competitive_ratio, initial_center, offstat, optimal_plan, OffBr, OffTh, OnBr, OnConf,
+        OnTh, StaticStrategy, ThresholdMode,
+    };
+
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+}

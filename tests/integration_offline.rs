@@ -1,0 +1,197 @@
+//! Offline-algorithm integration tests: DP internal consistency, plan
+//! validity, and the relationships between OPT, OFFBR, OFFTH and OFFSTAT.
+
+use flexserve::prelude::*;
+use flexserve::sim::config_transition_cost;
+
+fn line_ctx(seed: u64) -> (Graph, DistanceMatrix) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = line(5, &GenConfig::default(), &mut rng).unwrap();
+    let m = DistanceMatrix::build(&g);
+    (g, m)
+}
+
+fn commuter_trace(g: &Graph, seed: u64, rounds: u64) -> Trace {
+    let mut s = CommuterScenario::new(g, 4, 5, LoadVariant::Dynamic, seed);
+    record(&mut s, rounds)
+}
+
+/// Re-derive the DP's reported cost by walking its own plan: per round,
+/// transition cost (DP pricing) + running + access must sum to `res.cost`.
+#[test]
+fn opt_cost_is_reproducible_from_its_plan() {
+    for seed in 0..4u64 {
+        let (g, m) = line_ctx(seed);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let trace = commuter_trace(&g, seed, 80);
+        let start = initial_center(&ctx);
+        let res = optimal_plan(&ctx, &trace, &start);
+
+        let mut total = 0.0;
+        let mut prev_active: Vec<NodeId> = start.clone();
+        let mut prev_inactive: Vec<NodeId> = Vec::new();
+        for t in 0..trace.len() {
+            let active = &res.plan[t];
+            let inactive = &res.inactive_plan[t];
+            total += config_transition_cost(
+                &prev_active,
+                &prev_inactive,
+                active,
+                inactive,
+                &ctx.params,
+            );
+            total += ctx.running_cost(active.len(), inactive.len());
+            total += ctx.access_cost(active, trace.round(t));
+            prev_active = active.clone();
+            prev_inactive = inactive.clone();
+        }
+        assert!(
+            (total - res.cost).abs() < 1e-6,
+            "seed {seed}: replay {total} vs DP {}",
+            res.cost
+        );
+    }
+}
+
+/// The DP plan respects the structural constraints in every round.
+#[test]
+fn opt_plan_is_structurally_valid() {
+    let (g, m) = line_ctx(1);
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let trace = commuter_trace(&g, 1, 60);
+    let res = optimal_plan(&ctx, &trace, &initial_center(&ctx));
+    assert_eq!(res.plan.len(), trace.len());
+    for t in 0..trace.len() {
+        let a = &res.plan[t];
+        let i = &res.inactive_plan[t];
+        assert!(!a.is_empty(), "round {t}: no active servers");
+        assert!(a.len() + i.len() <= 3, "round {t}: k exceeded");
+        // disjoint and sorted
+        let mut all: Vec<NodeId> = a.iter().chain(i.iter()).copied().collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(before, all.len(), "round {t}: overlapping placements");
+    }
+}
+
+/// Lengthening the trace can only increase OPT's total cost (costs are
+/// non-negative per round).
+#[test]
+fn opt_cost_monotone_in_horizon() {
+    let (g, m) = line_ctx(2);
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let trace = commuter_trace(&g, 2, 100);
+    let start = initial_center(&ctx);
+    let mut prev = 0.0;
+    for len in [20usize, 40, 60, 80, 100] {
+        let sub = trace.slice(0, len);
+        let cost = optimal_plan(&ctx, &sub, &start).cost;
+        assert!(
+            cost >= prev - 1e-9,
+            "cost decreased when trace grew: {prev} -> {cost}"
+        );
+        prev = cost;
+    }
+}
+
+/// On a constant-demand trace OPT moves (at most) once and then sits.
+#[test]
+fn opt_converges_on_constant_demand() {
+    let (g, m) = line_ctx(3);
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let batch = RoundRequests::new(vec![NodeId::new(4); 6]);
+    let trace = Trace::new(vec![batch; 60]);
+    let res = optimal_plan(&ctx, &trace, &initial_center(&ctx));
+    // all rounds after the first must keep the same configuration
+    for t in 1..trace.len() {
+        assert_eq!(res.plan[t], res.plan[0], "OPT moved mid-run at {t}");
+    }
+}
+
+/// OFFSTAT's k_opt never exceeds the configured budget and the cost curve
+/// evaluates every candidate count.
+#[test]
+fn offstat_respects_budget() {
+    let (g, m) = line_ctx(4);
+    for k in 1..=4usize {
+        let params = CostParams::default().with_max_servers(k);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let trace = commuter_trace(&g, 4, 60);
+        let res = offstat(&ctx, &trace);
+        assert!(res.k_opt <= k);
+        assert_eq!(res.cost_curve.len(), k.min(g.node_count()));
+    }
+}
+
+/// Offline lookahead variants are still valid online-game players: they
+/// must respect the k budget and never underrun one active server, and
+/// OPT still lower-bounds them.
+#[test]
+fn offline_variants_respect_the_game() {
+    let (g, m) = line_ctx(5);
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let trace = commuter_trace(&g, 5, 100);
+    let start = initial_center(&ctx);
+    let opt = optimal_plan(&ctx, &trace, &start).cost;
+
+    for rec in [
+        run_online(&ctx, &trace, &mut OffBr::fixed(&ctx, trace.clone()), start.clone()),
+        run_online(&ctx, &trace, &mut OffTh::new(trace.clone()), start.clone()),
+    ] {
+        for r in &rec.rounds {
+            assert!(r.active_servers >= 1 && r.active_servers + r.inactive_servers <= 3);
+        }
+        assert!(opt <= rec.total().total() + 1e-6);
+    }
+}
+
+/// run_plan on OPT's plan must cost no less than the DP's own total: the
+/// engine's FIFO-cache semantics are a *restriction* of the DP's free
+/// inactive management, so it can only be as good or worse.
+#[test]
+fn engine_replay_of_opt_plan_is_no_cheaper() {
+    for seed in 0..3u64 {
+        let (g, m) = line_ctx(seed);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let trace = commuter_trace(&g, seed, 80);
+        let start = initial_center(&ctx);
+        let res = optimal_plan(&ctx, &trace, &start);
+        let replay = run_plan(&ctx, &trace, &res.plan, start);
+        assert!(
+            replay.total().total() >= res.cost - 1e-6,
+            "seed {seed}: engine replay {} beat DP {}",
+            replay.total().total(),
+            res.cost
+        );
+    }
+}
+
+/// ONCONF and the neighborhood strategies coexist on the same tiny
+/// instance, and all are bounded below by OPT.
+#[test]
+fn onconf_vs_opt_on_tiny_instance() {
+    let (g, m) = line_ctx(6);
+    let params = CostParams::default().with_max_servers(2);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let trace = commuter_trace(&g, 6, 80);
+    let start = initial_center(&ctx);
+    let opt = optimal_plan(&ctx, &trace, &start).cost;
+    let onconf = run_online(
+        &ctx,
+        &trace,
+        &mut OnConf::new(&ctx, &start, 99),
+        start.clone(),
+    )
+    .total()
+    .total();
+    assert!(opt <= onconf + 1e-6);
+    // ONCONF is the crudest strategy; sanity-bound its damage.
+    assert!(onconf < opt * 50.0, "ONCONF {onconf} vs OPT {opt}");
+}

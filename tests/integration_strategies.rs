@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: every strategy against the engine, the
+//! offline DP as the universal lower bound, and the paper's qualitative
+//! claims on real scenario traces.
+
+use flexserve::prelude::*;
+
+/// Builds a seeded random-latency line substrate (the OPT topology).
+fn line_env(n: usize, seed: u64) -> (Graph, DistanceMatrix) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = line(n, &GenConfig::default(), &mut rng).unwrap();
+    let m = DistanceMatrix::build(&g);
+    (g, m)
+}
+
+fn er_env(n: usize, seed: u64) -> (Graph, DistanceMatrix) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = erdos_renyi(n, 0.05, &GenConfig::default(), &mut rng).unwrap();
+    let m = DistanceMatrix::build(&g);
+    (g, m)
+}
+
+/// OPT must lower-bound every online and offline strategy on the same
+/// trace — the fundamental sanity property of the whole system.
+#[test]
+fn opt_lower_bounds_every_strategy() {
+    for seed in 0..3u64 {
+        let (g, m) = line_env(5, seed);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let mut scenario = CommuterScenario::new(&g, 4, 5, LoadVariant::Dynamic, seed);
+        let trace = record(&mut scenario, 120);
+        let start = initial_center(&ctx);
+
+        let opt = optimal_plan(&ctx, &trace, &start).cost;
+
+        let mut costs: Vec<(String, f64)> = Vec::new();
+        let rec = run_online(&ctx, &trace, &mut OnTh::new(), start.clone());
+        costs.push(("ONTH".into(), rec.total().total()));
+        let rec = run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone());
+        costs.push(("ONBR-fixed".into(), rec.total().total()));
+        let rec = run_online(&ctx, &trace, &mut OnBr::dynamic(&ctx), start.clone());
+        costs.push(("ONBR-dyn".into(), rec.total().total()));
+        let rec = run_online(&ctx, &trace, &mut StaticStrategy::new(), start.clone());
+        costs.push(("STATIC".into(), rec.total().total()));
+        let rec = run_online(&ctx, &trace, &mut OnConf::new(&ctx, &start, seed), start.clone());
+        costs.push(("ONCONF".into(), rec.total().total()));
+        let rec = run_online(&ctx, &trace, &mut OffTh::new(trace.clone()), start.clone());
+        costs.push(("OFFTH".into(), rec.total().total()));
+        let rec = run_online(
+            &ctx,
+            &trace,
+            &mut OffBr::fixed(&ctx, trace.clone()),
+            start.clone(),
+        );
+        costs.push(("OFFBR".into(), rec.total().total()));
+
+        for (name, cost) in costs {
+            assert!(
+                opt <= cost + 1e-6,
+                "seed {seed}: OPT ({opt}) beaten by {name} ({cost})"
+            );
+        }
+    }
+}
+
+/// OFFSTAT's best static configuration can never beat OPT by more than the
+/// initial-placement asymmetry (OPT starts at the center, OFFSTAT places
+/// greedily — worth at most one migration β).
+#[test]
+fn offstat_nearly_lower_bounded_by_opt() {
+    for seed in 0..3u64 {
+        let (g, m) = line_env(5, seed);
+        let params = CostParams::default().with_max_servers(4);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let mut scenario = TimeZonesScenario::new(&g, 4, 10, 0.5, 3, seed);
+        let trace = record(&mut scenario, 100);
+        let start = initial_center(&ctx);
+        let opt = optimal_plan(&ctx, &trace, &start).cost;
+        let stat = offstat(&ctx, &trace).best_cost;
+        assert!(
+            opt <= stat + ctx.params.migration_beta + 1e-6,
+            "seed {seed}: OPT {opt} vs OFFSTAT {stat}"
+        );
+    }
+}
+
+/// The competitive ratio of every online strategy is ≥ 1 (up to the same
+/// initial-placement slack) and finite.
+#[test]
+fn competitive_ratios_are_sane() {
+    let (g, m) = line_env(5, 9);
+    let params = CostParams::default().with_max_servers(4);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+    let mut scenario = CommuterScenario::new(&g, 4, 10, LoadVariant::Static, 9);
+    let trace = record(&mut scenario, 150);
+    let start = initial_center(&ctx);
+    let opt = optimal_plan(&ctx, &trace, &start).cost;
+    let onth = run_online(&ctx, &trace, &mut OnTh::new(), start).total().total();
+    let ratio = competitive_ratio(onth, opt);
+    assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
+    assert!(ratio.is_finite());
+    assert!(ratio < 20.0, "implausibly bad ratio {ratio}");
+}
+
+/// Paper claim (Figs 3–5, Table 1): ONTH outperforms ONBR on the standard
+/// scenarios.
+#[test]
+fn onth_beats_onbr_on_commuter_scenarios() {
+    let mut onth_total = 0.0;
+    let mut onbr_total = 0.0;
+    for seed in 0..3u64 {
+        let (g, m) = er_env(120, seed);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let mut scenario = CommuterScenario::new(&g, 8, 10, LoadVariant::Dynamic, seed);
+        let trace = record(&mut scenario, 300);
+        let start = initial_center(&ctx);
+        onth_total += run_online(&ctx, &trace, &mut OnTh::new(), start.clone())
+            .total()
+            .total();
+        onbr_total += run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start)
+            .total()
+            .total();
+    }
+    assert!(
+        onth_total < onbr_total,
+        "ONTH {onth_total} should beat ONBR {onbr_total}"
+    );
+}
+
+/// Paper claim: dynamic allocation beats static provisioning when demand
+/// moves (the headline "benefit of virtualization").
+#[test]
+fn adaptive_beats_static_under_mobility() {
+    let (g, m) = er_env(100, 5);
+    let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+    let mut scenario = OnOffScenario::new(&g, 30, 40, false, 5);
+    let trace = record(&mut scenario, 400);
+    let start = initial_center(&ctx);
+    let adaptive = run_online(&ctx, &trace, &mut OnTh::new(), start.clone())
+        .total()
+        .total();
+    let frozen = run_online(&ctx, &trace, &mut StaticStrategy::new(), start)
+        .total()
+        .total();
+    assert!(
+        adaptive < frozen,
+        "ONTH {adaptive} should beat STATIC {frozen}"
+    );
+}
+
+/// All strategies keep the fleet invariants on every round: at least one
+/// active server, never more than k total.
+#[test]
+fn fleet_invariants_hold_throughout() {
+    let (g, m) = er_env(60, 2);
+    let params = CostParams::default().with_max_servers(3);
+    let ctx = SimContext::new(&g, &m, params, LoadModel::Quadratic);
+    let mut scenario = TimeZonesScenario::new(&g, 6, 8, 0.5, 30, 2);
+    let trace = record(&mut scenario, 250);
+    let start = initial_center(&ctx);
+
+    for rec in [
+        run_online(&ctx, &trace, &mut OnTh::new(), start.clone()),
+        run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone()),
+        run_online(&ctx, &trace, &mut OffTh::new(trace.clone()), start.clone()),
+    ] {
+        for r in &rec.rounds {
+            assert!(r.active_servers >= 1, "round {} lost all servers", r.t);
+            assert!(
+                r.active_servers + r.inactive_servers <= 3,
+                "round {} exceeded the k budget",
+                r.t
+            );
+            assert!(r.costs.access.is_finite());
+        }
+    }
+}
+
+/// Engine determinism: identical seeds and strategies give identical runs.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let (g, m) = er_env(80, 11);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let mut scenario = CommuterScenario::new(&g, 6, 5, LoadVariant::Static, 11);
+        let trace = record(&mut scenario, 200);
+        let start = initial_center(&ctx);
+        run_online(&ctx, &trace, &mut OnTh::new(), start)
+            .total()
+            .total()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The flipped β>c regime never migrates — all reconfiguration is
+/// creation.
+#[test]
+fn flipped_regime_never_migrates() {
+    let (g, m) = er_env(80, 3);
+    let ctx = SimContext::new(&g, &m, CostParams::flipped(), LoadModel::Linear);
+    let mut scenario = CommuterScenario::new(&g, 8, 5, LoadVariant::Dynamic, 3);
+    let trace = record(&mut scenario, 300);
+    let start = initial_center(&ctx);
+    for rec in [
+        run_online(&ctx, &trace, &mut OnTh::new(), start.clone()),
+        run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone()),
+    ] {
+        assert_eq!(rec.total().migration, 0.0, "migration in flipped regime");
+    }
+}
+
+/// Rocketfuel-style workflow: parse a weights file, run a strategy on it.
+#[test]
+fn rocketfuel_parser_to_simulation() {
+    let text = "\
+# tiny ISP
+pop-a pop-b 3.0
+pop-b pop-c 2.0
+pop-c pop-d 4.5
+pop-d pop-a 1.5
+pop-a pop-c 6.0
+";
+    let g = parse_rocketfuel_weights(text).unwrap();
+    let m = DistanceMatrix::build(&g);
+    let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+    let mut scenario = UniformScenario::new(&g, 5, 1);
+    let trace = record(&mut scenario, 50);
+    let rec = run_online(&ctx, &trace, &mut OnTh::new(), initial_center(&ctx));
+    assert!(rec.total().total() > 0.0);
+    assert!(rec.total().total().is_finite());
+}
+
+/// The AS-7018-like substrate supports the full Table 1 pipeline.
+#[test]
+fn as7018_pipeline() {
+    let (g, _) = as7018_like(&As7018Config::default()).unwrap();
+    let m = DistanceMatrix::build(&g);
+    let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+    let mut scenario = TimeZonesScenario::new(&g, 6, 10, 0.5, 25, 42);
+    let trace = record(&mut scenario, 120);
+    let stat = offstat(&ctx, &trace);
+    let onth = run_online(&ctx, &trace, &mut OnTh::new(), initial_center(&ctx));
+    assert!(stat.best_cost > 0.0);
+    assert!(onth.total().total() >= stat.best_cost * 0.5, "sanity band");
+}

@@ -1,0 +1,157 @@
+//! System-level property tests: invariants that must hold for *arbitrary*
+//! demand sequences, cost parameters and substrates.
+
+use proptest::prelude::*;
+
+use flexserve::prelude::*;
+use flexserve::sim::TransitionPlanner;
+
+fn arb_params() -> impl Strategy<Value = CostParams> {
+    (1.0f64..500.0, 1.0f64..500.0, 0.0f64..5.0, 0.0f64..1.0, 1usize..5).prop_map(
+        |(beta, c, ra, ri, k)| {
+            CostParams::default()
+                .with_costs(beta, c)
+                .with_running(ra, ri)
+                .with_max_servers(k)
+        },
+    )
+}
+
+/// A small random trace over `n` nodes.
+fn arb_trace(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::vec(0usize..n, 0..8),
+        1..25,
+    )
+}
+
+fn to_trace(raw: &[Vec<usize>]) -> Trace {
+    Trace::new(
+        raw.iter()
+            .map(|r| RoundRequests::new(r.iter().map(|&i| NodeId::new(i)).collect()))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transition planner always reaches the requested target, never
+    /// exceeds the budget, and its cost is exactly β·migrations +
+    /// c·creations.
+    #[test]
+    fn planner_postconditions(
+        params in arb_params(),
+        initial in prop::collection::hash_set(0usize..8, 1..4),
+        target in prop::collection::hash_set(0usize..8, 1..4),
+    ) {
+        let k = params.max_servers.max(initial.len()).max(target.len());
+        let params = params.with_max_servers(k);
+        let initial: Vec<NodeId> = initial.into_iter().map(NodeId::new).collect();
+        let target: Vec<NodeId> = target.into_iter().map(NodeId::new).collect();
+        let mut fleet = Fleet::new(initial, &params);
+        let outcome = TransitionPlanner::apply(&mut fleet, &target, &params);
+
+        let mut sorted = target.clone();
+        sorted.sort();
+        prop_assert_eq!(fleet.active(), &sorted[..]);
+        prop_assert!(fleet.total_count() <= params.max_servers);
+        let expected = outcome.migrations() as f64 * params.migration_beta
+            + outcome.creations() as f64 * params.creation_c;
+        prop_assert!((outcome.cost.total() - expected).abs() < 1e-9);
+        if !params.migration_useful() {
+            prop_assert_eq!(outcome.migrations(), 0);
+        }
+    }
+
+    /// OPT is never beaten by ONTH, ONBR or STATIC on arbitrary demand.
+    #[test]
+    fn opt_dominates_on_arbitrary_demand(
+        raw in arb_trace(4),
+        seed in 0u64..100,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = line(4, &GenConfig::default(), &mut rng).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let params = CostParams::default().with_max_servers(3);
+        let ctx = SimContext::new(&g, &m, params, LoadModel::Linear);
+        let trace = to_trace(&raw);
+        let start = initial_center(&ctx);
+
+        let opt = optimal_plan(&ctx, &trace, &start).cost;
+        for cost in [
+            run_online(&ctx, &trace, &mut OnTh::new(), start.clone()).total().total(),
+            run_online(&ctx, &trace, &mut OnBr::fixed(&ctx), start.clone()).total().total(),
+            run_online(&ctx, &trace, &mut StaticStrategy::new(), start.clone()).total().total(),
+        ] {
+            prop_assert!(opt <= cost + 1e-6, "OPT {} vs {}", opt, cost);
+        }
+    }
+
+    /// Run records always balance: every round's breakdown components are
+    /// non-negative and finite, and the total equals the sum of rounds.
+    #[test]
+    fn cost_accounting_balances(
+        raw in arb_trace(6),
+        seed in 0u64..50,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = line(6, &GenConfig::default(), &mut rng).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let trace = to_trace(&raw);
+        let rec = run_online(&ctx, &trace, &mut OnTh::new(), initial_center(&ctx));
+
+        let mut sum = 0.0;
+        for r in &rec.rounds {
+            for part in [r.costs.access, r.costs.running, r.costs.migration, r.costs.creation] {
+                prop_assert!(part.is_finite() && part >= 0.0);
+            }
+            sum += r.costs.total();
+        }
+        prop_assert!((sum - rec.total().total()).abs() < 1e-6);
+    }
+
+    /// Routing never assigns more requests than arrived, and access cost
+    /// is monotone: more servers can only reduce the (nearest-routing)
+    /// latency part.
+    #[test]
+    fn more_servers_never_hurt_latency(
+        origins in prop::collection::vec(0usize..10, 1..20),
+        s1 in 0usize..10,
+        s2 in 0usize..10,
+        seed in 0u64..50,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = line(10, &GenConfig::default(), &mut rng).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::None);
+        let batch = RoundRequests::new(origins.iter().map(|&i| NodeId::new(i)).collect());
+        let one = ctx.access_cost(&[NodeId::new(s1)], &batch);
+        let mut servers = vec![NodeId::new(s1)];
+        if s1 != s2 {
+            servers.push(NodeId::new(s2));
+        }
+        let two = ctx.access_cost(&servers, &batch);
+        prop_assert!(two <= one + 1e-9, "adding a server increased latency");
+    }
+
+    /// Scenario conservation: the commuter static variant issues exactly
+    /// 2^{T/2} requests per round regardless of substrate or seed.
+    #[test]
+    fn commuter_static_volume_invariant(
+        n in 4usize..40,
+        t_half in 1u32..4,
+        lambda in 1u64..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 0.1, &GenConfig::default(), &mut rng).unwrap();
+        let t = 2 * t_half;
+        let mut s = CommuterScenario::new(&g, t, lambda, LoadVariant::Static, seed);
+        let trace = record(&mut s, 3 * t as u64 * lambda);
+        for round in trace.iter() {
+            prop_assert_eq!(round.len(), 1usize << t_half);
+        }
+    }
+}

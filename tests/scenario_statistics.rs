@@ -1,0 +1,188 @@
+//! Statistical validation of the demand generators: long-run frequencies
+//! must match the scenario definitions of §II-D / §V-A.
+
+use std::collections::HashMap;
+
+use flexserve::prelude::*;
+
+fn er(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    erdos_renyi(n, 0.05, &GenConfig::default(), &mut rng).unwrap()
+}
+
+/// Time zones: over a long run, the hot node of each period receives ~p of
+/// the requests of that period.
+#[test]
+fn time_zones_hot_share_converges_to_p() {
+    let g = er(40, 1);
+    let p = 0.5;
+    let mut s = TimeZonesScenario::new(&g, 4, 10, p, 40, 1);
+    let rounds = 400u64;
+    let mut hot_requests = 0usize;
+    let mut total = 0usize;
+    for t in 0..rounds {
+        let hot = s.hot_node_at(t);
+        let r = s.requests(t);
+        total += r.len();
+        hot_requests += r.counts().get(&hot).copied().unwrap_or(0);
+    }
+    let share = hot_requests as f64 / total as f64;
+    // hot node also receives some background traffic, so share >= p
+    assert!(
+        share >= p - 0.02 && share <= p + 0.1,
+        "hot share {share} should be ~{p}"
+    );
+}
+
+/// Time zones: background requests spread over (nearly) all nodes.
+#[test]
+fn time_zones_background_covers_the_network() {
+    let g = er(30, 2);
+    let mut s = TimeZonesScenario::new(&g, 4, 5, 0.5, 30, 2);
+    let trace = record(&mut s, 300);
+    let mut seen: HashMap<NodeId, usize> = HashMap::new();
+    for round in trace.iter() {
+        for o in round.iter() {
+            *seen.entry(o).or_insert(0) += 1;
+        }
+    }
+    assert!(
+        seen.len() >= 28,
+        "only {} of 30 nodes ever issued requests",
+        seen.len()
+    );
+}
+
+/// Commuter dynamic: the per-day request-count profile is the double
+/// staircase 1, 2, 4, …, 2^{T/2}, …, 2, 1 — and repeats every day.
+#[test]
+fn commuter_dynamic_daily_profile() {
+    let g = er(64, 3);
+    let t_periods = 6u32;
+    let lambda = 3u64;
+    let mut s = CommuterScenario::new(&g, t_periods, lambda, LoadVariant::Dynamic, 3);
+    let day = s.day_length();
+    assert_eq!(day, 18);
+    let trace = record(&mut s, 2 * day);
+    let expected_step = [1usize, 2, 4, 8, 4, 2];
+    for (t, round) in trace.iter().enumerate() {
+        let step = (t as u64 / lambda) as usize % t_periods as usize;
+        assert_eq!(
+            round.len(),
+            expected_step[step],
+            "round {t}: wrong volume for step {step}"
+        );
+    }
+}
+
+/// Commuter static: requests are split evenly across the active access
+/// points (difference at most one per origin).
+#[test]
+fn commuter_static_split_is_even() {
+    let g = er(64, 4);
+    let mut s = CommuterScenario::new(&g, 8, 2, LoadVariant::Static, 4);
+    let trace = record(&mut s, 32);
+    for (t, round) in trace.iter().enumerate() {
+        let counts = round.counts();
+        let min = counts.values().min().copied().unwrap();
+        let max = counts.values().max().copied().unwrap();
+        assert!(max - min <= 1, "round {t}: uneven split {min}..{max}");
+    }
+}
+
+/// Commuter origins concentrate near the network center: the mean
+/// center-distance of request origins must be well below the mean
+/// center-distance of all nodes.
+#[test]
+fn commuter_origins_hug_the_center() {
+    let g = er(100, 5);
+    let m = DistanceMatrix::build(&g);
+    let center = flexserve::graph::metrics::metrics_from_matrix(&m).center;
+    let mut s = CommuterScenario::new(&g, 8, 2, LoadVariant::Dynamic, 5);
+    let trace = record(&mut s, 64);
+
+    let mut origin_sum = 0.0;
+    let mut origin_n = 0usize;
+    for round in trace.iter() {
+        for o in round.iter() {
+            origin_sum += m.get(center, o);
+            origin_n += 1;
+        }
+    }
+    let origin_mean = origin_sum / origin_n as f64;
+    let all_mean: f64 =
+        g.nodes().map(|v| m.get(center, v)).sum::<f64>() / g.node_count() as f64;
+    assert!(
+        origin_mean < all_mean * 0.8,
+        "origins not concentric: {origin_mean} vs network mean {all_mean}"
+    );
+}
+
+/// On/off users relocate roughly every `dwell` rounds: the number of
+/// distinct locations a user visits over `R` rounds is ≈ R/dwell.
+#[test]
+fn onoff_relocation_rate() {
+    let g = er(80, 6);
+    let dwell = 10u64;
+    let rounds = 400u64;
+    let mut s = OnOffScenario::new(&g, 1, dwell, false, 6);
+    let trace = record(&mut s, rounds);
+    // count location changes of the single user
+    let mut changes = 0usize;
+    let mut last: Option<NodeId> = None;
+    for round in trace.iter() {
+        let cur = round.origins()[0];
+        if last.map_or(false, |l| l != cur) {
+            changes += 1;
+        }
+        last = Some(cur);
+    }
+    let expected = (rounds / dwell) as f64;
+    assert!(
+        (changes as f64) > expected * 0.5 && (changes as f64) < expected * 1.5,
+        "user moved {changes} times, expected ~{expected}"
+    );
+}
+
+/// Uniform scenario: empirical origin distribution is close to uniform
+/// (chi-square-style bound on the max deviation).
+#[test]
+fn uniform_scenario_is_uniform() {
+    let g = er(20, 7);
+    let mut s = UniformScenario::new(&g, 100, 7);
+    let trace = record(&mut s, 200);
+    let mut counts: HashMap<NodeId, usize> = HashMap::new();
+    for round in trace.iter() {
+        for o in round.iter() {
+            *counts.entry(o).or_insert(0) += 1;
+        }
+    }
+    let total: usize = counts.values().sum();
+    let expected = total as f64 / 20.0;
+    for v in g.nodes() {
+        let c = counts.get(&v).copied().unwrap_or(0) as f64;
+        assert!(
+            (c - expected).abs() < expected * 0.25,
+            "node {v}: {c} vs expected {expected}"
+        );
+    }
+}
+
+/// Traces are value-identical across re-recordings of the same scenario
+/// (the contract that makes online/offline comparisons fair).
+#[test]
+fn rerecorded_traces_are_identical() {
+    let g = er(50, 8);
+    let t1 = record(
+        &mut CommuterScenario::new(&g, 6, 4, LoadVariant::Static, 99),
+        120,
+    );
+    let t2 = record(
+        &mut CommuterScenario::new(&g, 6, 4, LoadVariant::Static, 99),
+        120,
+    );
+    assert_eq!(t1, t2);
+    let z1 = record(&mut TimeZonesScenario::new(&g, 5, 7, 0.4, 17, 3), 90);
+    let z2 = record(&mut TimeZonesScenario::new(&g, 5, 7, 0.4, 17, 3), 90);
+    assert_eq!(z1, z2);
+}
