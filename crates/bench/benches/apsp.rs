@@ -1,0 +1,28 @@
+//! Before/after APSP benches: the rayon-parallel CSR `DistanceMatrix::build`
+//! against the single-thread CSR reference, on the 500-node Waxman
+//! substrate named by the perf acceptance criteria (plus smaller sizes for
+//! scaling context). `crates/bench/src/bin/perf_report.rs` records the same
+//! comparison into `BENCH_apsp.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flexserve_bench::waxman_env;
+use flexserve_graph::DistanceMatrix;
+
+fn bench_apsp_parallel_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_waxman");
+    group.sample_size(10);
+    for n in [100usize, 250, 500] {
+        let g = waxman_env(n, 7);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", n), &g, |b, g| {
+            b.iter(|| DistanceMatrix::build_serial(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp_parallel_vs_serial);
+criterion_main!(benches);

@@ -15,9 +15,7 @@ macro_rules! fig_bench {
             std::env::set_var("FLEXSERVE_SILENT", "1");
             let mut group = c.benchmark_group("figures");
             group.sample_size(10);
-            group.bench_function(stringify!($fig), |b| {
-                b.iter(|| f::$fig(Profile::Quick))
-            });
+            group.bench_function(stringify!($fig), |b| b.iter(|| f::$fig(Profile::Quick)));
             group.finish();
         }
     };

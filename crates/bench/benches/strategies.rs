@@ -10,14 +10,8 @@ use flexserve_sim::{run_online, CostParams, LoadModel, SimContext};
 use flexserve_workload::{record, CommuterScenario, LoadVariant, Trace};
 
 fn make_trace(env: &flexserve_bench::BenchEnv, rounds: u64) -> Trace {
-    let mut scenario = CommuterScenario::with_matrix(
-        &env.graph,
-        &env.matrix,
-        8,
-        5,
-        LoadVariant::Dynamic,
-        7,
-    );
+    let mut scenario =
+        CommuterScenario::with_matrix(&env.graph, &env.matrix, 8, 5, LoadVariant::Dynamic, 7);
     record(&mut scenario, rounds)
 }
 

@@ -1,0 +1,27 @@
+//! Before/after sweep-cell benches: one 20-seed experiment cell (the unit
+//! of every figure sweep) through the rayon-parallel `average` runner and
+//! the serial reference. `crates/bench/src/bin/perf_report.rs` records the
+//! same comparison into `BENCH_sweeps.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use flexserve_bench::{sweep_cell, SWEEP_SEEDS};
+use flexserve_experiments::setup::ExperimentEnv;
+use flexserve_experiments::{average, average_serial};
+
+fn bench_sweep_cell(c: &mut Criterion) {
+    let env = ExperimentEnv::erdos_renyi(100, 3);
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let mut group = c.benchmark_group("sweep_cell_20seeds");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter(|| average(&seeds, |seed| sweep_cell(&env, seed)))
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| average_serial(&seeds, |seed| sweep_cell(&env, seed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_cell);
+criterion_main!(benches);

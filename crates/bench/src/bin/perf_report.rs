@@ -1,0 +1,83 @@
+//! Before/after perf harness: times the serial reference against the
+//! rayon-parallel implementation of the two hot paths this PR
+//! parallelized — the all-pairs `DistanceMatrix` build (500-node Waxman)
+//! and one 20-seed sweep cell — and records the results as
+//! `BENCH_apsp.json` and `BENCH_sweeps.json` in the repository root.
+//!
+//! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
+//!
+//! Speedup scales with the worker count (`RAYON_NUM_THREADS`, default =
+//! available cores); the JSON records the thread count alongside the
+//! timings so numbers from different machines are comparable.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
+use flexserve_experiments::setup::ExperimentEnv;
+use flexserve_experiments::{average, average_serial};
+use flexserve_graph::DistanceMatrix;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn write_report(path: &str, name: &str, serial_s: f64, parallel_s: f64, detail: &str) {
+    let threads = rayon::current_num_threads();
+    let speedup = serial_s / parallel_s;
+    let json = format!(
+        "{{\n  \"bench\": \"{name}\",\n  \"detail\": \"{detail}\",\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    let mut f = std::fs::File::create(path).expect("create report");
+    f.write_all(json.as_bytes()).expect("write report");
+    println!(
+        "{name}: serial {serial_s:.3}s, parallel {parallel_s:.3}s, speedup {speedup:.2}x \
+         on {threads} thread(s) -> {path}"
+    );
+}
+
+fn main() {
+    let reps = 5;
+
+    // --- APSP: 500-node Waxman ----------------------------------------
+    let g = waxman_env(500, 7);
+    let serial = time_median(reps, || {
+        std::hint::black_box(DistanceMatrix::build_serial(&g));
+    });
+    let parallel = time_median(reps, || {
+        std::hint::black_box(DistanceMatrix::build(&g));
+    });
+    write_report(
+        "BENCH_apsp.json",
+        "apsp_build",
+        serial,
+        parallel,
+        "DistanceMatrix::build on a 500-node Waxman substrate (CSR + per-thread scratch)",
+    );
+
+    // --- Sweep cell: 20 seeds -----------------------------------------
+    let env = ExperimentEnv::erdos_renyi(100, 3);
+    let seeds: Vec<u64> = (0..SWEEP_SEEDS).collect();
+    let serial = time_median(reps, || {
+        std::hint::black_box(average_serial(&seeds, |seed| sweep_cell(&env, seed)));
+    });
+    let parallel = time_median(reps, || {
+        std::hint::black_box(average(&seeds, |seed| sweep_cell(&env, seed)));
+    });
+    write_report(
+        "BENCH_sweeps.json",
+        "sweep_cell",
+        serial,
+        parallel,
+        "20-seed ONTH commuter cell (ER-100 substrate, 240 rounds) through runner::average",
+    );
+}

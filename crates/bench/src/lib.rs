@@ -18,8 +18,10 @@
 
 #![deny(missing_docs)]
 
-use flexserve_graph::gen::{erdos_renyi, GenConfig};
+use flexserve_graph::gen::{erdos_renyi, waxman, GenConfig};
 use flexserve_graph::{DistanceMatrix, Graph};
+use flexserve_sim::{CostBreakdown, CostParams, LoadModel};
+use flexserve_workload::{record, CommuterScenario, LoadVariant};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -37,6 +39,29 @@ pub fn bench_env(n: usize, seed: u64) -> BenchEnv {
     let graph = erdos_renyi(n, 0.01, &GenConfig::default(), &mut rng).expect("valid params");
     let matrix = DistanceMatrix::build(&graph);
     BenchEnv { graph, matrix }
+}
+
+/// Seeded connected Waxman substrate (no matrix — the APSP benches build
+/// it themselves; that *is* the measurement).
+pub fn waxman_env(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    waxman(n, 0.4, 0.15, 10.0, &GenConfig::default(), &mut rng).expect("valid params")
+}
+
+/// Seeds per sweep cell in the before/after perf harness (the acceptance
+/// criterion's "20-seed sweep cell").
+pub const SWEEP_SEEDS: u64 = 20;
+
+/// One per-seed cell of a figure sweep: a commuter trace over the shared
+/// environment, played by ONTH. Exactly the shape every figure binary
+/// hands to `flexserve_experiments::average`.
+pub fn sweep_cell(env: &flexserve_experiments::setup::ExperimentEnv, seed: u64) -> CostBreakdown {
+    let ctx = env.context(CostParams::default(), LoadModel::Linear);
+    let mut scenario =
+        CommuterScenario::with_matrix(&env.graph, &env.matrix, 8, 5, LoadVariant::Dynamic, seed);
+    let trace = record(&mut scenario, 240);
+    flexserve_experiments::run_algorithm(&ctx, &trace, flexserve_experiments::Algorithm::OnTh)
+        .total()
 }
 
 #[cfg(test)]

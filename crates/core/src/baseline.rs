@@ -61,11 +61,13 @@ mod tests {
         let g = unit_line(6).unwrap();
         let m = DistanceMatrix::build(&g);
         let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
-        let trace = Trace::new(vec![
-            RoundRequests::new(vec![NodeId::new(5); 4]);
-            20
-        ]);
-        let rec = run_online(&ctx, &trace, &mut StaticStrategy::new(), vec![NodeId::new(0)]);
+        let trace = Trace::new(vec![RoundRequests::new(vec![NodeId::new(5); 4]); 20]);
+        let rec = run_online(
+            &ctx,
+            &trace,
+            &mut StaticStrategy::new(),
+            vec![NodeId::new(0)],
+        );
         let total = rec.total();
         assert_eq!(total.migration, 0.0);
         assert_eq!(total.creation, 0.0);

@@ -27,9 +27,15 @@ use flexserve_sim::{Fleet, SimContext};
 use flexserve_workload::RoundRequests;
 
 /// The requests of an epoch, folded to per-round distinct-origin counts.
+///
+/// Rows cleared by [`EpochWindow::clear`] are parked in a spare pool and
+/// reused by later pushes, so a strategy's steady state allocates nothing
+/// per round: every epoch recycles the buffers of the previous one.
 #[derive(Clone, Debug, Default)]
 pub struct EpochWindow {
     rounds: Vec<Vec<(NodeId, usize)>>,
+    /// Retired row buffers, kept for their capacity.
+    spare: Vec<Vec<(NodeId, usize)>>,
 }
 
 impl EpochWindow {
@@ -40,14 +46,14 @@ impl EpochWindow {
 
     /// Appends one round of requests.
     pub fn push(&mut self, batch: &RoundRequests) {
-        let mut counts: Vec<(NodeId, usize)> = batch.counts().into_iter().collect();
-        counts.sort_by_key(|&(o, _)| o);
+        let mut counts = self.spare.pop().unwrap_or_default();
+        batch.counts_into(&mut counts);
         self.rounds.push(counts);
     }
 
-    /// Clears the window (start of a new epoch).
+    /// Clears the window (start of a new epoch), recycling the row buffers.
     pub fn clear(&mut self) {
-        self.rounds.clear();
+        self.spare.append(&mut self.rounds);
     }
 
     /// Number of rounds currently in the window.
@@ -100,11 +106,7 @@ impl CandidateOptions {
 
 /// Exact access cost of serving every round of `window` from `servers`
 /// under nearest routing: `Σ_rounds (Σ delay + Σ load)`.
-pub fn access_cost_window(
-    ctx: &SimContext<'_>,
-    servers: &[NodeId],
-    window: &EpochWindow,
-) -> f64 {
+pub fn access_cost_window(ctx: &SimContext<'_>, servers: &[NodeId], window: &EpochWindow) -> f64 {
     if servers.is_empty() {
         return if window.rounds.iter().all(|r| r.is_empty()) {
             0.0
@@ -272,13 +274,15 @@ pub fn best_candidate(
     let mut best_target: Option<Vec<NodeId>> = None;
     let mut best_score = f64::INFINITY;
 
-    let consider =
-        |score: f64, best_score: &mut f64, best_target: &mut Option<Vec<NodeId>>, target: Vec<NodeId>| {
-            if score < *best_score {
-                *best_score = score;
-                *best_target = Some(target);
-            }
-        };
+    let consider = |score: f64,
+                    best_score: &mut f64,
+                    best_target: &mut Option<Vec<NodeId>>,
+                    target: Vec<NodeId>| {
+        if score < *best_score {
+            *best_score = score;
+            *best_target = Some(target);
+        }
+    };
 
     // 1. Stay.
     let stay_score = eval(NONE, None) + ra * k as f64 * wlen;
@@ -330,7 +334,10 @@ pub fn best_candidate(
         }
     }
 
-    (best_target.expect("at least the stay candidate exists"), best_score)
+    (
+        best_target.expect("at least the stay candidate exists"),
+        best_score,
+    )
 }
 
 /// The node `v ∉ A` minimizing the pure access cost of `window` served by
@@ -352,7 +359,7 @@ pub fn best_new_server_position(
         }
         *with_v.last_mut().unwrap() = v;
         let cost = access_cost_window(ctx, &with_v, window);
-        if best.map_or(true, |(_, c)| cost < c) {
+        if best.is_none_or(|(_, c)| cost < c) {
             best = Some((v, cost));
         }
     }
@@ -404,6 +411,34 @@ mod tests {
         assert_eq!(w.len(), 2);
         let first: Vec<_> = w.rounds().next().unwrap().to_vec();
         assert_eq!(first, vec![(n(3), 5)]);
+    }
+
+    #[test]
+    fn window_rows_sorted_by_origin() {
+        let mut batch = RoundRequests::empty();
+        batch.push_many(n(9), 2);
+        batch.push_many(n(1), 3);
+        let mut w = EpochWindow::new();
+        w.push(&batch);
+        let row: Vec<_> = w.rounds().next().unwrap().to_vec();
+        assert_eq!(row, vec![(n(1), 3), (n(9), 2)]);
+    }
+
+    #[test]
+    fn clear_recycles_row_buffers() {
+        let mut w = EpochWindow::new();
+        let batch = RoundRequests::new(vec![n(0); 8]);
+        for _ in 0..4 {
+            w.push(&batch);
+        }
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.spare.len(), 4, "cleared rows must be pooled");
+        for _ in 0..4 {
+            w.push(&batch);
+        }
+        assert_eq!(w.spare.len(), 0, "pushes must drain the pool");
+        assert_eq!(w.len(), 4);
     }
 
     #[test]
@@ -503,8 +538,10 @@ mod tests {
     #[test]
     fn respects_k_budget() {
         let f = Fixture::line(30);
-        let mut params = CostParams::default();
-        params.max_servers = 1;
+        let params = CostParams {
+            max_servers: 1,
+            ..CostParams::default()
+        };
         let ctx = SimContext::new(&f.g, &f.m, params, LoadModel::None);
         let fleet = Fleet::new(vec![n(0)], &ctx.params);
         let w = window_at(&[(0, 10), (29, 10)], 10);

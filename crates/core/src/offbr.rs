@@ -58,12 +58,7 @@ impl OffBr {
     }
 
     /// Builds the upcoming-epoch window starting at round `from`.
-    fn lookahead_window(
-        &self,
-        ctx: &SimContext<'_>,
-        fleet: &Fleet,
-        from: usize,
-    ) -> EpochWindow {
+    fn lookahead_window(&self, ctx: &SimContext<'_>, fleet: &Fleet, from: usize) -> EpochWindow {
         let mut window = EpochWindow::new();
         let mut acc = 0.0;
         let theta = self.threshold();
@@ -137,7 +132,11 @@ mod tests {
     fn flip_trace(len: usize, rounds: usize, period: usize, weight: usize) -> Trace {
         let mut out = Vec::new();
         for t in 0..rounds {
-            let node = if (t / period) % 2 == 0 { 0 } else { len - 1 };
+            let node = if (t / period).is_multiple_of(2) {
+                0
+            } else {
+                len - 1
+            };
             out.push(RoundRequests::new(vec![n(node); weight]));
         }
         Trace::new(out)

@@ -11,9 +11,9 @@
 //! allocation/migration flexibility cost" — Figures 12–19 all build on it.
 //!
 //! Cost of the `i`-server configuration = access cost of the whole trace
-//! + running cost `Ra·i·|trace|` + creation cost `c·(i−1)` (the first
-//! server is the free initial configuration, matching how OPT and the
-//! online algorithms start with one free server).
+//! plus running cost `Ra·i·|trace|` plus creation cost `c·(i−1)` (the
+//! first server is the free initial configuration, matching how OPT and
+//! the online algorithms start with one free server).
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{LoadModel, SimContext};

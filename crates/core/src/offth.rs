@@ -16,9 +16,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::{RoundRequests, Trace};
 
-use crate::candidates::{
-    best_candidate, best_new_server_position, CandidateOptions, EpochWindow,
-};
+use crate::candidates::{best_candidate, best_new_server_position, CandidateOptions, EpochWindow};
 
 /// The OFFTH strategy (lookahead threshold algorithm).
 pub struct OffTh {
@@ -93,8 +91,7 @@ impl OnlineStrategy for OffTh {
         // Large epoch: same as ONTH.
         let k_cur = fleet.active_count();
         if k_cur < ctx.params.max_servers
-            && self.large_access / (k_cur as f64 + 1.0) - self.large_running
-                > ctx.params.creation_c
+            && self.large_access / (k_cur as f64 + 1.0) - self.large_running > ctx.params.creation_c
         {
             if let Some(v) = best_new_server_position(ctx, fleet, &self.large_window) {
                 let mut target = fleet.active().to_vec();

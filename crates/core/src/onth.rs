@@ -21,9 +21,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::RoundRequests;
 
-use crate::candidates::{
-    best_candidate, best_new_server_position, CandidateOptions, EpochWindow,
-};
+use crate::candidates::{best_candidate, best_new_server_position, CandidateOptions, EpochWindow};
 
 /// The ONTH strategy.
 #[derive(Clone, Debug)]
@@ -98,8 +96,7 @@ impl OnlineStrategy for OnTh {
         let k_cur = fleet.active_count();
         let can_grow = k_cur < ctx.params.max_servers;
         if can_grow
-            && self.large_access / (k_cur as f64 + 1.0) - self.large_running
-                > ctx.params.creation_c
+            && self.large_access / (k_cur as f64 + 1.0) - self.large_running > ctx.params.creation_c
         {
             if let Some(v) = best_new_server_position(ctx, fleet, &self.large_window) {
                 let mut target = fleet.active().to_vec();

@@ -66,7 +66,7 @@ impl SampledConf {
                 placed.push(v);
                 let cost = access_cost_window(ctx, &placed, &self.window);
                 placed.pop();
-                if best.map_or(true, |(_, c)| cost < c) {
+                if best.is_none_or(|(_, c)| cost < c) {
                     best = Some((v, cost));
                 }
             }

@@ -44,8 +44,10 @@ fn ablate_cache_capacity() {
         &["capacity", "mean total cost"],
     );
     for cap in [0usize, 1, 3, 8] {
-        let mut params = CostParams::default();
-        params.inactive_queue_len = cap;
+        let params = CostParams {
+            inactive_queue_len: cap,
+            ..CostParams::default()
+        };
         let s = average(&SEEDS, |seed| {
             flexserve_sim::CostBreakdown::from_access(run_with(
                 params,
@@ -66,8 +68,10 @@ fn ablate_cache_expiry() {
         &["expiry", "mean total cost"],
     );
     for expiry in [1u64, 5, 20, 100] {
-        let mut params = CostParams::default();
-        params.inactive_expiry_epochs = expiry;
+        let params = CostParams {
+            inactive_expiry_epochs: expiry,
+            ..CostParams::default()
+        };
         let s = average(&SEEDS, |seed| {
             flexserve_sim::CostBreakdown::from_access(run_with(
                 params,
@@ -116,7 +120,10 @@ fn ablate_onbr_threshold() {
         "Ablation 4: ONBR threshold mode",
         &["mode", "mean total cost"],
     );
-    for (label, alg) in [("fixed 2c", Algorithm::OnBrFixed), ("dyn 2c/l", Algorithm::OnBrDyn)] {
+    for (label, alg) in [
+        ("fixed 2c", Algorithm::OnBrFixed),
+        ("dyn 2c/l", Algorithm::OnBrDyn),
+    ] {
         let s = average(&SEEDS, |seed| {
             flexserve_sim::CostBreakdown::from_access(run_with(
                 CostParams::default(),

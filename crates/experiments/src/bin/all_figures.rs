@@ -9,7 +9,8 @@ fn main() {
     let p = f::profile_from_env();
     eprintln!("profile: {p:?}");
     let t0 = std::time::Instant::now();
-    let figs: &[(&str, fn(f::Profile) -> flexserve_experiments::Table)] = &[
+    type FigFn = fn(f::Profile) -> flexserve_experiments::Table;
+    let figs: &[(&str, FigFn)] = &[
         ("fig01", f::fig01),
         ("fig02", f::fig02),
         ("fig03", f::fig03),

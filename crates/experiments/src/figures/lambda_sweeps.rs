@@ -68,7 +68,10 @@ fn cost_vs_lambda(name: &str, title: &str, kind: ScenarioKind, profile: Profile)
     let seeds = profile.seeds(10);
 
     let mut table = Table::new(
-        format!("{title} (n={n}, T={t}, {rounds} rounds, {} seeds)", seeds.len()),
+        format!(
+            "{title} (n={n}, T={t}, {rounds} rounds, {} seeds)",
+            seeds.len()
+        ),
         &["lambda", "ONBR-fixed", "ONBR-dyn", "ONTH"],
     );
     for lambda in profile.lambdas() {

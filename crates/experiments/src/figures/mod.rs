@@ -34,9 +34,9 @@ pub enum Profile {
 /// [`Profile::Quick`], `FLEXSERVE_FULL=1` → [`Profile::Full`], otherwise
 /// [`Profile::Standard`].
 pub fn profile_from_env() -> Profile {
-    if std::env::var("FLEXSERVE_QUICK").map_or(false, |v| v == "1") {
+    if std::env::var("FLEXSERVE_QUICK").is_ok_and(|v| v == "1") {
         Profile::Quick
-    } else if std::env::var("FLEXSERVE_FULL").map_or(false, |v| v == "1") {
+    } else if std::env::var("FLEXSERVE_FULL").is_ok_and(|v| v == "1") {
         Profile::Full
     } else {
         Profile::Standard
@@ -119,9 +119,7 @@ mod tests {
     #[test]
     fn profiles_are_ordered_by_size() {
         assert!(Profile::Quick.network_sizes().len() <= Profile::Standard.network_sizes().len());
-        assert!(
-            Profile::Standard.network_sizes().last() <= Profile::Full.network_sizes().last()
-        );
+        assert!(Profile::Standard.network_sizes().last() <= Profile::Full.network_sizes().last());
         assert!(Profile::Quick.rounds(1000) < Profile::Full.rounds(1000));
         assert_eq!(Profile::Full.seeds(10).len(), 10);
         assert_eq!(Profile::Standard.seeds(10).len(), 3);

@@ -113,7 +113,10 @@ fn absolute_costs_vs_lambda(name: &str, title: &str, flipped: bool, profile: Pro
     let t_periods = 4u32;
 
     let mut table = Table::new(
-        format!("{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)", seeds.len()),
+        format!(
+            "{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)",
+            seeds.len()
+        ),
         &["lambda", "OFFSTAT", "OPT"],
     );
     for lambda in profile.lambdas() {
@@ -158,14 +161,16 @@ fn ratio_vs_lambda(name: &str, title: &str, kind: ScenarioKind, profile: Profile
     let t_periods = 4u32;
 
     let mut table = Table::new(
-        format!("{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)", seeds.len()),
+        format!(
+            "{title} (n={OPT_N} line, T={t_periods}, {rounds} rounds, {} seeds)",
+            seeds.len()
+        ),
         &["lambda", "beta<c", "beta>c"],
     );
     for lambda in profile.lambdas() {
         let mut cells = Vec::new();
         for flipped in [false, true] {
-            let (stat, opt) =
-                offstat_and_opt(kind, t_periods, lambda, rounds, &seeds, flipped);
+            let (stat, opt) = offstat_and_opt(kind, t_periods, lambda, rounds, &seeds, flipped);
             cells.push(competitive_ratio(stat, opt));
         }
         table.row_f64(lambda, &cells);
@@ -211,7 +216,10 @@ fn ratio_vs_t(name: &str, title: &str, kind: ScenarioKind, profile: Profile) -> 
     let lambda = 10u64;
 
     let mut table = Table::new(
-        format!("{title} (n={OPT_N} line, lambda={lambda}, {rounds} rounds, {} seeds)", seeds.len()),
+        format!(
+            "{title} (n={OPT_N} line, lambda={lambda}, {rounds} rounds, {} seeds)",
+            seeds.len()
+        ),
         &["T", "beta<c", "beta>c"],
     );
     for t in profile.t_values() {

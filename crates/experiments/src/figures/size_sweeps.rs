@@ -31,7 +31,10 @@ fn cost_vs_n(
     let seeds = profile.seeds(5);
 
     let mut table = Table::new(
-        format!("{title} ({rounds} rounds, lambda={lambda}, {} seeds)", seeds.len()),
+        format!(
+            "{title} ({rounds} rounds, lambda={lambda}, {} seeds)",
+            seeds.len()
+        ),
         &["n", "ONBR-fixed", "ONBR-dyn", "ONTH"],
     );
 

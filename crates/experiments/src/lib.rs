@@ -23,7 +23,5 @@ pub mod runner;
 pub mod setup;
 
 pub use output::{write_csv, Table};
-pub use runner::{average, run_algorithm, Algorithm, SeedSummary};
-pub use setup::{
-    build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind,
-};
+pub use runner::{average, average_serial, run_algorithm, Algorithm, SeedSummary};
+pub use setup::{build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};

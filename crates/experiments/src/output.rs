@@ -76,7 +76,7 @@ impl Table {
     /// Prints to stdout (suppressed when `FLEXSERVE_SILENT=1`, which the
     /// figure benches set to keep criterion output readable).
     pub fn print(&self) {
-        if std::env::var("FLEXSERVE_SILENT").map_or(false, |v| v == "1") {
+        if std::env::var("FLEXSERVE_SILENT").is_ok_and(|v| v == "1") {
             return;
         }
         print!("{}", self.render());
@@ -113,11 +113,11 @@ mod tests {
     #[test]
     fn render_aligns_columns() {
         let mut t = Table::new("demo", &["x", "value"]);
-        t.row_f64(1, &[3.14159]);
+        t.row_f64(1, &[2.5]);
         t.row_f64(100, &[2.0]);
         let s = t.render();
         assert!(s.contains("# demo"));
-        assert!(s.contains("3.14"));
+        assert!(s.contains("2.5"));
         let lines: Vec<&str> = s.lines().collect();
         // header + separator + 2 rows + title
         assert_eq!(lines.len(), 5);

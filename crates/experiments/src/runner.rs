@@ -1,5 +1,7 @@
 //! Strategy dispatch and seed-parallel experiment execution.
 
+use rayon::prelude::*;
+
 use flexserve_graph::NodeId;
 use flexserve_sim::{run_online, CostBreakdown, RunRecord, SimContext};
 use flexserve_workload::Trace;
@@ -45,9 +47,7 @@ pub fn run_algorithm(ctx: &SimContext<'_>, trace: &Trace, alg: Algorithm) -> Run
         Algorithm::OnTh => run_online(ctx, trace, &mut OnTh::new(), initial),
         Algorithm::OnBrFixed => run_online(ctx, trace, &mut OnBr::fixed(ctx), initial),
         Algorithm::OnBrDyn => run_online(ctx, trace, &mut OnBr::dynamic(ctx), initial),
-        Algorithm::OffBr => {
-            run_online(ctx, trace, &mut OffBr::fixed(ctx, trace.clone()), initial)
-        }
+        Algorithm::OffBr => run_online(ctx, trace, &mut OffBr::fixed(ctx, trace.clone()), initial),
         Algorithm::OffTh => run_online(ctx, trace, &mut OffTh::new(trace.clone()), initial),
         Algorithm::Static => run_online(ctx, trace, &mut StaticStrategy::new(), initial),
     }
@@ -95,26 +95,34 @@ impl SeedSummary {
     }
 }
 
-/// Runs `f(seed)` for every seed in parallel (crossbeam scoped threads —
-/// seeds are independent games) and collects the breakdowns in seed order.
+/// Runs `f(seed)` for every seed in parallel (rayon — each seed is an
+/// independent game over its own `SimContext` borrow and trace) and
+/// collects the breakdowns in seed order.
+///
+/// Determinism: `f` must derive **all** randomness from its seed argument
+/// (every scenario and strategy in this workspace does), so the collected
+/// summary is bit-identical to [`average_serial`] regardless of thread
+/// count or scheduling — rayon only changes *when* each seed runs, never
+/// what it computes. The figure binaries rely on this to produce identical
+/// CSVs on any machine.
 pub fn average<F>(seeds: &[u64], f: F) -> SeedSummary
 where
     F: Fn(u64) -> CostBreakdown + Sync,
 {
-    let mut results: Vec<Option<CostBreakdown>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &seed) in seeds.iter().enumerate() {
-            let f = &f;
-            handles.push((i, scope.spawn(move |_| f(seed))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("seed worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
     SeedSummary {
-        per_seed: results.into_iter().map(|r| r.expect("joined")).collect(),
+        per_seed: seeds.par_iter().map(|&seed| f(seed)).collect(),
+    }
+}
+
+/// Serial reference implementation of [`average`], used by the perf
+/// harness for before/after comparison and by tests asserting that the
+/// parallel path is bit-identical.
+pub fn average_serial<F>(seeds: &[u64], f: F) -> SeedSummary
+where
+    F: Fn(u64) -> CostBreakdown,
+{
+    SeedSummary {
+        per_seed: seeds.iter().map(|&seed| f(seed)).collect(),
     }
 }
 
@@ -159,6 +167,28 @@ mod tests {
         assert_eq!(s.per_seed[2].access, 3.0);
         assert_eq!(s.mean_total(), 2.5);
         assert!(s.std_total() > 0.0);
+    }
+
+    #[test]
+    fn parallel_average_bit_identical_to_serial() {
+        // A real simulation cell: same seeds through the parallel and the
+        // serial runner must agree to the last bit, not just approximately.
+        let env = ExperimentEnv::erdos_renyi(60, 4);
+        let ctx = env.context(CostParams::default().with_max_servers(3), LoadModel::Linear);
+        let seeds: Vec<u64> = (0..6).collect();
+        let cell = |seed: u64| {
+            let mut s = UniformScenario::new(&env.graph, 4, seed);
+            let trace = record(&mut s, 40);
+            run_algorithm(&ctx, &trace, Algorithm::OnTh).total()
+        };
+        let par = average(&seeds, cell);
+        let ser = average_serial(&seeds, cell);
+        for (p, s) in par.per_seed.iter().zip(&ser.per_seed) {
+            assert_eq!(p.access.to_bits(), s.access.to_bits());
+            assert_eq!(p.running.to_bits(), s.running.to_bits());
+            assert_eq!(p.migration.to_bits(), s.migration.to_bits());
+            assert_eq!(p.creation.to_bits(), s.creation.to_bits());
+        }
     }
 
     #[test]

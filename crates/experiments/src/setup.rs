@@ -155,10 +155,13 @@ mod tests {
     fn line_env() {
         let env = ExperimentEnv::line(5);
         assert_eq!(env.graph.node_count(), 5);
-        assert_eq!(env.matrix.get(
-            flexserve_graph::NodeId::new(0),
-            flexserve_graph::NodeId::new(4)
-        ), 4.0);
+        assert_eq!(
+            env.matrix.get(
+                flexserve_graph::NodeId::new(0),
+                flexserve_graph::NodeId::new(4)
+            ),
+            4.0
+        );
     }
 
     #[test]

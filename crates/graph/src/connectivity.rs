@@ -55,11 +55,7 @@ pub fn is_connected(g: &Graph) -> bool {
 /// probability, mirroring the generator conventions.
 ///
 /// Returns the number of edges added.
-pub fn connect_components<R: Rng>(
-    g: &mut Graph,
-    rng: &mut R,
-    latency_range: (f64, f64),
-) -> usize {
+pub fn connect_components<R: Rng>(g: &mut Graph, rng: &mut R, latency_range: (f64, f64)) -> usize {
     let comp = components(g);
     let k = comp.iter().copied().max().map_or(0, |m| m + 1);
     if k <= 1 {

@@ -1,0 +1,245 @@
+//! Compressed sparse row (CSR) adjacency and the scratch-reusing Dijkstra
+//! that runs on it.
+//!
+//! [`Graph`] stores adjacency as per-node `Vec<(NodeId, EdgeId)>` — ideal
+//! for incremental construction, poor for traversal: every relaxation
+//! chases two pointers (adjacency entry → edge record) across separately
+//! allocated arrays. [`CsrAdjacency`] flattens the graph once into three
+//! parallel arrays (`offsets`, `targets`, `weights`) so the relaxation
+//! loop of one node is a single contiguous scan — the layout every
+//! all-pairs source shares, read-only, across worker threads.
+//!
+//! [`DijkstraScratch`] owns the per-source working set (binary heap,
+//! settled flags). One scratch per worker thread serves all of that
+//! thread's sources, so an `n`-source all-pairs build performs `O(threads)`
+//! heap allocations instead of `O(n)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// Flattened read-only adjacency: the neighbors of node `u` live in
+/// `targets[offsets[u]..offsets[u+1]]` with matching `weights`.
+#[derive(Clone, Debug)]
+pub struct CsrAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrAdjacency {
+    /// Flattens `g` (both directions of every undirected edge) in
+    /// `O(|V| + |E|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` nodes or directed
+    /// edges (the ids are packed into `u32` to halve the traversal
+    /// footprint).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        assert!(n <= u32::MAX as usize, "CSR: too many nodes for u32 ids");
+        let m2 = 2 * g.edge_count();
+        assert!(m2 <= u32::MAX as usize, "CSR: too many edges for u32 ids");
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(m2);
+        let mut weights = Vec::with_capacity(m2);
+        offsets.push(0u32);
+        for u in g.nodes() {
+            for e in g.neighbors(u) {
+                targets.push(e.target.index() as u32);
+                weights.push(e.latency);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrAdjacency {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// The contiguous `(targets, weights)` rows of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+}
+
+/// Heap entry; `BinaryHeap` is a max-heap so ordering is reversed.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller distance = greater priority. Distances are
+        // finite non-NaN by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Reusable per-thread working set for [`dijkstra_into`].
+pub struct DijkstraScratch {
+    heap: BinaryHeap<HeapEntry>,
+    settled: Vec<bool>,
+}
+
+impl DijkstraScratch {
+    /// Scratch sized for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        DijkstraScratch {
+            heap: BinaryHeap::with_capacity(n),
+            settled: vec![false; n],
+        }
+    }
+}
+
+/// Runs Dijkstra from `source` over `csr`, writing all distances into
+/// `dist` (`f64::INFINITY` = unreachable). `scratch` is reset here and can
+/// be reused across any number of sources on the same graph.
+///
+/// # Panics
+///
+/// Panics if `dist` or `scratch` are not sized for `csr`'s node count.
+pub fn dijkstra_into(
+    csr: &CsrAdjacency,
+    source: usize,
+    dist: &mut [f64],
+    scratch: &mut DijkstraScratch,
+) {
+    let n = csr.node_count();
+    assert_eq!(dist.len(), n, "dijkstra_into: row size mismatch");
+    assert_eq!(scratch.settled.len(), n, "dijkstra_into: scratch mismatch");
+
+    dist.fill(f64::INFINITY);
+    scratch.settled.fill(false);
+    scratch.heap.clear();
+
+    dist[source] = 0.0;
+    scratch.heap.push(HeapEntry {
+        dist: 0.0,
+        node: source as u32,
+    });
+
+    while let Some(HeapEntry { dist: d, node: u }) = scratch.heap.pop() {
+        let u = u as usize;
+        if scratch.settled[u] {
+            continue;
+        }
+        scratch.settled[u] = true;
+        let (targets, weights) = csr.neighbors(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let v = v as usize;
+            if scratch.settled[v] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                scratch.heap.push(HeapEntry {
+                    dist: nd,
+                    node: v as u32,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::shortest_paths;
+    use crate::units::Bandwidth;
+    use crate::NodeId;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(1.0)).collect();
+        g.add_edge(n[0], n[1], 1.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[0], n[2], 2.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[1], n[3], 2.0, Bandwidth::T1).unwrap();
+        g.add_edge(n[2], n[3], 0.5, Bandwidth::T1).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency() {
+        let g = diamond();
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        for u in g.nodes() {
+            assert_eq!(csr.degree(u.index()), g.degree(u));
+            let (targets, weights) = csr.neighbors(u.index());
+            let expect: Vec<(u32, f64)> = g
+                .neighbors(u)
+                .map(|e| (e.target.index() as u32, e.latency))
+                .collect();
+            let got: Vec<(u32, f64)> = targets
+                .iter()
+                .copied()
+                .zip(weights.iter().copied())
+                .collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_reference_and_reuses_scratch() {
+        let g = diamond();
+        let csr = CsrAdjacency::from_graph(&g);
+        let mut scratch = DijkstraScratch::new(4);
+        let mut row = vec![0.0; 4];
+        // Same scratch across all sources must not leak state.
+        for src in 0..4 {
+            dijkstra_into(&csr, src, &mut row, &mut scratch);
+            let reference = shortest_paths(&g, NodeId::new(src));
+            for (v, &got) in row.iter().enumerate() {
+                let expect = reference.distance(NodeId::new(v)).unwrap();
+                assert_eq!(got.to_bits(), expect.to_bits(), "src {src} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut g = Graph::new();
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        g.add_node(1.0);
+        let csr = CsrAdjacency::from_graph(&g);
+        let mut row = vec![9.0];
+        dijkstra_into(&csr, 0, &mut row, &mut DijkstraScratch::new(1));
+        assert_eq!(row, vec![0.0]);
+    }
+}

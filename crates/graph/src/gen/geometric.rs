@@ -34,7 +34,9 @@ pub fn random_geometric<R: Rng>(
             "random_geometric: radius {radius} out of range"
         )));
     }
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = Graph::with_capacity(n, n * 4);
     for _ in 0..n {
         let s = cfg.sample_strength(rng);

@@ -33,7 +33,12 @@ pub fn grid<R: Rng>(
             let id = NodeId::new(r * cols + c);
             if c + 1 < cols {
                 let right = NodeId::new(r * cols + c + 1);
-                g.add_edge(id, right, cfg.sample_latency(rng), cfg.sample_bandwidth(rng))?;
+                g.add_edge(
+                    id,
+                    right,
+                    cfg.sample_latency(rng),
+                    cfg.sample_bandwidth(rng),
+                )?;
             }
             if r + 1 < rows {
                 let down = NodeId::new((r + 1) * cols + c);

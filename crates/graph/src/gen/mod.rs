@@ -108,8 +108,10 @@ mod tests {
 
     #[test]
     fn bandwidth_mix_respects_probability() {
-        let mut c = GenConfig::default();
-        c.t1_probability = 1.0;
+        let mut c = GenConfig {
+            t1_probability: 1.0,
+            ..GenConfig::default()
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         for _ in 0..50 {
             assert_eq!(c.sample_bandwidth(&mut rng), Bandwidth::T1);

@@ -31,12 +31,15 @@ pub fn waxman<R: Rng>(
             "waxman: n must be >= 1".into(),
         ));
     }
-    if !(0.0 < alpha && alpha <= 1.0) || !(0.0 < beta_w && beta_w <= 1.0) {
+    let in_unit = |x: f64| x > 0.0 && x <= 1.0;
+    if !in_unit(alpha) || !in_unit(beta_w) {
         return Err(GraphError::InvalidGeneratorArgs(format!(
             "waxman: alpha {alpha} and beta {beta_w} must be in (0, 1]"
         )));
     }
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let l = 2f64.sqrt();
     let mut g = Graph::with_capacity(n, n * 3);
     for _ in 0..n {

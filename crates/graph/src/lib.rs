@@ -44,6 +44,7 @@
 
 pub mod apsp;
 pub mod connectivity;
+pub mod csr;
 pub mod error;
 pub mod gen;
 pub mod graph;
@@ -53,6 +54,7 @@ pub mod path;
 pub mod units;
 
 pub use apsp::DistanceMatrix;
+pub use csr::CsrAdjacency;
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph};
 pub use ids::{EdgeId, NodeId};

@@ -57,6 +57,29 @@ proptest! {
         }
     }
 
+    /// The rayon-parallel APSP build must be *bit-identical* to the serial
+    /// CSR reference on arbitrary graphs — not merely approximately equal:
+    /// parallelism only changes which thread computes a row, never the
+    /// arithmetic within it.
+    #[test]
+    fn parallel_apsp_equals_serial_on_random_graphs(
+        n in 2usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40, 0.0f64..100.0), 0..120)
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let par = DistanceMatrix::build(&g);
+        let ser = DistanceMatrix::build_serial(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    par.get(u, v).to_bits(),
+                    ser.get(u, v).to_bits(),
+                    "({},{}): {} vs {}", u, v, par.get(u, v), ser.get(u, v)
+                );
+            }
+        }
+    }
+
     #[test]
     fn distance_matrix_symmetric_and_triangle(
         n in 2usize..15,

@@ -94,6 +94,14 @@ mod tests {
     }
 
     #[test]
+    fn context_is_send_and_sync() {
+        // The seed-parallel experiment runner shares one context borrow
+        // across rayon workers; this must never silently regress.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimContext<'static>>();
+    }
+
+    #[test]
     fn access_cost_empty_servers_is_infinite() {
         let g = unit_line(3).unwrap();
         let m = DistanceMatrix::build(&g);

@@ -230,11 +230,12 @@ mod tests {
     use super::*;
 
     fn params(queue: usize, expiry: u64, k: usize) -> CostParams {
-        let mut p = CostParams::default();
-        p.inactive_queue_len = queue;
-        p.inactive_expiry_epochs = expiry;
-        p.max_servers = k;
-        p
+        CostParams {
+            inactive_queue_len: queue,
+            inactive_expiry_epochs: expiry,
+            max_servers: k,
+            ..CostParams::default()
+        }
     }
 
     fn n(i: usize) -> NodeId {

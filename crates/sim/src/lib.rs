@@ -14,7 +14,9 @@
 //!
 //! The engine is deliberately synchronous and single-threaded per run — the
 //! problem is a sequential online game; parallelism lives one level up
-//! (the experiment harness runs independent seeds on threads).
+//! (the experiment harness fans independent seeds out over rayon workers;
+//! `SimContext` is `Copy` over shared borrows precisely so many runs can
+//! share one substrate and distance matrix across threads).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -139,14 +139,20 @@ mod tests {
 
     #[test]
     fn validation_catches_problems() {
-        let mut p = CostParams::default();
-        p.migration_beta = -1.0;
+        let p = CostParams {
+            migration_beta: -1.0,
+            ..CostParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CostParams::default();
-        p.max_servers = 0;
+        let p = CostParams {
+            max_servers: 0,
+            ..CostParams::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = CostParams::default();
-        p.creation_c = f64::NAN;
+        let p = CostParams {
+            creation_c: f64::NAN,
+            ..CostParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

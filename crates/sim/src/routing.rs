@@ -14,8 +14,6 @@
 //!   function this greedy assignment spreads a hot origin over several
 //!   servers. Used by the routing ablation bench.
 
-use std::collections::HashMap;
-
 use flexserve_graph::NodeId;
 use flexserve_workload::RoundRequests;
 
@@ -80,9 +78,9 @@ fn route_nearest(
     let mut assigned = vec![0usize; servers.len()];
     let mut total_delay = 0.0;
     // Fold duplicate origins first: one nearest-server lookup per distinct
-    // origin instead of per request.
-    let counts: HashMap<NodeId, usize> = batch.counts();
-    for (origin, cnt) in counts {
+    // origin instead of per request. `counts` is sorted by origin, so the
+    // float accumulation order is deterministic.
+    for (origin, cnt) in batch.counts() {
         let (best_idx, best_d) = nearest_server(ctx, servers, origin);
         total_delay += best_d * cnt as f64;
         assigned[best_idx] += cnt;
@@ -137,11 +135,7 @@ fn finish(
 /// Index and distance of the server nearest to `origin` (ties broken by
 /// slice order).
 #[inline]
-pub fn nearest_server(
-    ctx: &SimContext<'_>,
-    servers: &[NodeId],
-    origin: NodeId,
-) -> (usize, f64) {
+pub fn nearest_server(ctx: &SimContext<'_>, servers: &[NodeId], origin: NodeId) -> (usize, f64) {
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (i, &s) in servers.iter().enumerate() {

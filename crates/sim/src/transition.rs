@@ -281,8 +281,7 @@ mod tests {
     #[test]
     fn example1_no_inactive_creates() {
         let mut f = fleet(&[1, 2, 3]);
-        let out =
-            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
         assert_eq!(out.cost.creation, 400.0);
         assert_eq!(out.cost.migration, 0.0);
         assert_eq!(out.creations(), 1);
@@ -294,8 +293,7 @@ mod tests {
         // make v4 inactive first
         TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3)], &params());
         assert!(f.is_inactive_at(n(4)));
-        let out =
-            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
         assert_eq!(out.cost.total(), 0.0);
         assert_eq!(out.ops, vec![TransitionOp::ActivateInPlace(n(4))]);
     }
@@ -304,13 +302,15 @@ mod tests {
     fn example1_inactive_elsewhere_migrates() {
         let mut f = fleet(&[1, 2, 3, 5]);
         TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3)], &params()); // v5 inactive
-        let out =
-            TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
+        let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(3), n(4)], &params());
         assert_eq!(out.cost.migration, 40.0);
         assert_eq!(out.cost.creation, 0.0);
         assert_eq!(
             out.ops,
-            vec![TransitionOp::MigrateInactive { from: n(5), to: n(4) }]
+            vec![TransitionOp::MigrateInactive {
+                from: n(5),
+                to: n(4)
+            }]
         );
         // no server remains at v5
         assert!(!f.is_inactive_at(n(5)));
@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(out.cost.creation, 0.0);
         assert_eq!(
             out.ops,
-            vec![TransitionOp::MigrateActive { from: n(3), to: n(4) }]
+            vec![TransitionOp::MigrateActive {
+                from: n(3),
+                to: n(4)
+            }]
         );
         assert!(!f.is_active_at(n(3)));
         assert!(!f.is_inactive_at(n(3)));
@@ -340,9 +343,10 @@ mod tests {
         let out = TransitionPlanner::apply(&mut f, &[n(1), n(2), n(4)], &params());
         assert_eq!(out.cost.migration, 40.0);
         // inactive v5 moved; surplus v3 went to the cache
-        assert!(out
-            .ops
-            .contains(&TransitionOp::MigrateInactive { from: n(5), to: n(4) }));
+        assert!(out.ops.contains(&TransitionOp::MigrateInactive {
+            from: n(5),
+            to: n(4)
+        }));
         assert!(out.ops.contains(&TransitionOp::Deactivate(n(3))));
         assert!(f.is_inactive_at(n(3)));
     }
@@ -393,7 +397,7 @@ mod tests {
         let p = CostParams::flipped().with_max_servers(3);
         let mut f = Fleet::new(vec![n(0), n(1), n(2)], &p);
         TransitionPlanner::apply(&mut f, &[n(0), n(1)], &p); // n2 cached, total 3
-        // bring up n3 by creation (β>c): needs room -> evict n2
+                                                             // bring up n3 by creation (β>c): needs room -> evict n2
         let out = TransitionPlanner::apply(&mut f, &[n(0), n(1), n(3)], &p);
         assert!(out.ops.contains(&TransitionOp::EvictInactive(n(2))));
         assert_eq!(f.total_count(), 3);

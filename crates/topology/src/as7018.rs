@@ -36,59 +36,194 @@ struct City {
 /// index).
 const BACKBONE_CITIES: &[City] = &[
     // 0
-    City { name: "New York, NY", coord: (40.7128, -74.0060), access_pops: 5, neighbors: &[1, 2, 5, 7] },
+    City {
+        name: "New York, NY",
+        coord: (40.7128, -74.0060),
+        access_pops: 5,
+        neighbors: &[1, 2, 5, 7],
+    },
     // 1
-    City { name: "Cambridge, MA", coord: (42.3736, -71.1097), access_pops: 3, neighbors: &[2] },
+    City {
+        name: "Cambridge, MA",
+        coord: (42.3736, -71.1097),
+        access_pops: 3,
+        neighbors: &[2],
+    },
     // 2
-    City { name: "Philadelphia, PA", coord: (39.9526, -75.1652), access_pops: 3, neighbors: &[3] },
+    City {
+        name: "Philadelphia, PA",
+        coord: (39.9526, -75.1652),
+        access_pops: 3,
+        neighbors: &[3],
+    },
     // 3
-    City { name: "Washington, DC", coord: (38.9072, -77.0369), access_pops: 4, neighbors: &[4, 5, 8] },
+    City {
+        name: "Washington, DC",
+        coord: (38.9072, -77.0369),
+        access_pops: 4,
+        neighbors: &[4, 5, 8],
+    },
     // 4
-    City { name: "Atlanta, GA", coord: (33.7490, -84.3880), access_pops: 4, neighbors: &[6, 9, 10] },
+    City {
+        name: "Atlanta, GA",
+        coord: (33.7490, -84.3880),
+        access_pops: 4,
+        neighbors: &[6, 9, 10],
+    },
     // 5
-    City { name: "Chicago, IL", coord: (41.8781, -87.6298), access_pops: 5, neighbors: &[7, 8, 11, 12, 13] },
+    City {
+        name: "Chicago, IL",
+        coord: (41.8781, -87.6298),
+        access_pops: 5,
+        neighbors: &[7, 8, 11, 12, 13],
+    },
     // 6
-    City { name: "Orlando, FL", coord: (28.5383, -81.3792), access_pops: 3, neighbors: &[10] },
+    City {
+        name: "Orlando, FL",
+        coord: (28.5383, -81.3792),
+        access_pops: 3,
+        neighbors: &[10],
+    },
     // 7
-    City { name: "Detroit, MI", coord: (42.3314, -83.0458), access_pops: 2, neighbors: &[8] },
+    City {
+        name: "Detroit, MI",
+        coord: (42.3314, -83.0458),
+        access_pops: 2,
+        neighbors: &[8],
+    },
     // 8
-    City { name: "Cleveland, OH", coord: (41.4993, -81.6944), access_pops: 2, neighbors: &[] },
+    City {
+        name: "Cleveland, OH",
+        coord: (41.4993, -81.6944),
+        access_pops: 2,
+        neighbors: &[],
+    },
     // 9
-    City { name: "Nashville, TN", coord: (36.1627, -86.7816), access_pops: 2, neighbors: &[11, 14] },
+    City {
+        name: "Nashville, TN",
+        coord: (36.1627, -86.7816),
+        access_pops: 2,
+        neighbors: &[11, 14],
+    },
     // 10
-    City { name: "Miami, FL", coord: (25.7617, -80.1918), access_pops: 3, neighbors: &[14] },
+    City {
+        name: "Miami, FL",
+        coord: (25.7617, -80.1918),
+        access_pops: 3,
+        neighbors: &[14],
+    },
     // 11
-    City { name: "St. Louis, MO", coord: (38.6270, -90.1994), access_pops: 3, neighbors: &[12, 15] },
+    City {
+        name: "St. Louis, MO",
+        coord: (38.6270, -90.1994),
+        access_pops: 3,
+        neighbors: &[12, 15],
+    },
     // 12
-    City { name: "Kansas City, MO", coord: (39.0997, -94.5786), access_pops: 2, neighbors: &[16] },
+    City {
+        name: "Kansas City, MO",
+        coord: (39.0997, -94.5786),
+        access_pops: 2,
+        neighbors: &[16],
+    },
     // 13
-    City { name: "Minneapolis, MN", coord: (44.9778, -93.2650), access_pops: 2, neighbors: &[16, 17] },
+    City {
+        name: "Minneapolis, MN",
+        coord: (44.9778, -93.2650),
+        access_pops: 2,
+        neighbors: &[16, 17],
+    },
     // 14
-    City { name: "New Orleans, LA", coord: (29.9511, -90.0715), access_pops: 2, neighbors: &[15] },
+    City {
+        name: "New Orleans, LA",
+        coord: (29.9511, -90.0715),
+        access_pops: 2,
+        neighbors: &[15],
+    },
     // 15
-    City { name: "Dallas, TX", coord: (32.7767, -96.7970), access_pops: 5, neighbors: &[16, 18, 19, 20] },
+    City {
+        name: "Dallas, TX",
+        coord: (32.7767, -96.7970),
+        access_pops: 5,
+        neighbors: &[16, 18, 19, 20],
+    },
     // 16
-    City { name: "Denver, CO", coord: (39.7392, -104.9903), access_pops: 3, neighbors: &[17, 21] },
+    City {
+        name: "Denver, CO",
+        coord: (39.7392, -104.9903),
+        access_pops: 3,
+        neighbors: &[17, 21],
+    },
     // 17
-    City { name: "Salt Lake City, UT", coord: (40.7608, -111.8910), access_pops: 2, neighbors: &[21, 22] },
+    City {
+        name: "Salt Lake City, UT",
+        coord: (40.7608, -111.8910),
+        access_pops: 2,
+        neighbors: &[21, 22],
+    },
     // 18
-    City { name: "Houston, TX", coord: (29.7604, -95.3698), access_pops: 3, neighbors: &[19] },
+    City {
+        name: "Houston, TX",
+        coord: (29.7604, -95.3698),
+        access_pops: 3,
+        neighbors: &[19],
+    },
     // 19
-    City { name: "San Antonio, TX", coord: (29.4241, -98.4936), access_pops: 2, neighbors: &[20] },
+    City {
+        name: "San Antonio, TX",
+        coord: (29.4241, -98.4936),
+        access_pops: 2,
+        neighbors: &[20],
+    },
     // 20
-    City { name: "Phoenix, AZ", coord: (33.4484, -112.0740), access_pops: 3, neighbors: &[23, 24] },
+    City {
+        name: "Phoenix, AZ",
+        coord: (33.4484, -112.0740),
+        access_pops: 3,
+        neighbors: &[23, 24],
+    },
     // 21
-    City { name: "Sacramento, CA", coord: (38.5816, -121.4944), access_pops: 2, neighbors: &[22, 25] },
+    City {
+        name: "Sacramento, CA",
+        coord: (38.5816, -121.4944),
+        access_pops: 2,
+        neighbors: &[22, 25],
+    },
     // 22
-    City { name: "Seattle, WA", coord: (47.6062, -122.3321), access_pops: 3, neighbors: &[26] },
+    City {
+        name: "Seattle, WA",
+        coord: (47.6062, -122.3321),
+        access_pops: 3,
+        neighbors: &[26],
+    },
     // 23
-    City { name: "San Diego, CA", coord: (32.7157, -117.1611), access_pops: 2, neighbors: &[24] },
+    City {
+        name: "San Diego, CA",
+        coord: (32.7157, -117.1611),
+        access_pops: 2,
+        neighbors: &[24],
+    },
     // 24
-    City { name: "Los Angeles, CA", coord: (34.0522, -118.2437), access_pops: 5, neighbors: &[25] },
+    City {
+        name: "Los Angeles, CA",
+        coord: (34.0522, -118.2437),
+        access_pops: 5,
+        neighbors: &[25],
+    },
     // 25
-    City { name: "San Francisco, CA", coord: (37.7749, -122.4194), access_pops: 4, neighbors: &[26] },
+    City {
+        name: "San Francisco, CA",
+        coord: (37.7749, -122.4194),
+        access_pops: 4,
+        neighbors: &[26],
+    },
     // 26
-    City { name: "Portland, OR", coord: (45.5152, -122.6784), access_pops: 2, neighbors: &[] },
+    City {
+        name: "Portland, OR",
+        coord: (45.5152, -122.6784),
+        access_pops: 2,
+        neighbors: &[],
+    },
 ];
 
 /// Long-haul express links (beyond the chain structure above) present in
@@ -164,7 +299,11 @@ pub fn as7018_like(cfg: &As7018Config) -> Result<(Graph, Vec<NodeId>), GraphErro
             let label = format!("{} (access {})", city.name, a + 1);
             let pop = g.add_labeled_node(cfg.access_strength, label)?;
             let lat = cfg.access_latency_ms * (1.0 + a as f64 / 4.0);
-            let bw = if a % 2 == 0 { Bandwidth::T1 } else { Bandwidth::T2 };
+            let bw = if a % 2 == 0 {
+                Bandwidth::T1
+            } else {
+                Bandwidth::T2
+            };
             g.add_edge(backbone[i], pop, lat, bw)?;
         }
     }
@@ -239,7 +378,11 @@ mod tests {
         assert!(backbone.contains(&met.center));
         assert!(met.connected);
         // Continental diameter: tens of ms, not thousands.
-        assert!(met.diameter > 30.0 && met.diameter < 120.0, "diameter {}", met.diameter);
+        assert!(
+            met.diameter > 30.0 && met.diameter < 120.0,
+            "diameter {}",
+            met.diameter
+        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub fn parse_rocketfuel_weights(text: &str) -> Result<Graph, RocketfuelError> {
         if g.find_edge(ida, idb).is_some() {
             continue; // duplicate listing (reverse direction)
         }
-        let bw = if edge_no % 2 == 0 {
+        let bw = if edge_no.is_multiple_of(2) {
             Bandwidth::T1
         } else {
             Bandwidth::T2
@@ -149,8 +149,7 @@ fn split_edge_line(line: &str) -> Option<(&str, &str, &str)> {
         return Some((tabs[0], tabs[1], tabs[2]));
     }
     // Quoted names.
-    if line.starts_with('"') {
-        let rest = &line[1..];
+    if let Some(rest) = line.strip_prefix('"') {
         let end_a = rest.find('"')?;
         let a = &rest[..end_a];
         let rest = rest[end_a + 1..].trim_start();
@@ -199,10 +198,7 @@ mod tests {
         let text = r#""New York, NY" "Los Angeles, CA" 30.5"#;
         let g = parse_rocketfuel_weights(text).unwrap();
         assert_eq!(g.node_count(), 2);
-        assert_eq!(
-            g.edge_latency(NodeId::new(0), NodeId::new(1)),
-            Some(30.5)
-        );
+        assert_eq!(g.edge_latency(NodeId::new(0), NodeId::new(1)), Some(30.5));
     }
 
     #[test]

@@ -63,7 +63,14 @@ impl CommuterScenario {
     ///
     /// Panics if `t_periods` is odd or zero, or `lambda == 0`.
     pub fn new(g: &Graph, t_periods: u32, lambda: u64, variant: LoadVariant, seed: u64) -> Self {
-        Self::with_matrix(g, &DistanceMatrix::build(g), t_periods, lambda, variant, seed)
+        Self::with_matrix(
+            g,
+            &DistanceMatrix::build(g),
+            t_periods,
+            lambda,
+            variant,
+            seed,
+        )
     }
 
     /// Like [`CommuterScenario::new`] but reuses a precomputed distance
@@ -77,7 +84,7 @@ impl CommuterScenario {
         seed: u64,
     ) -> Self {
         assert!(
-            t_periods >= 2 && t_periods % 2 == 0,
+            t_periods >= 2 && t_periods.is_multiple_of(2),
             "commuter: T must be even and >= 2, got {t_periods}"
         );
         assert!(lambda >= 1, "commuter: lambda must be >= 1");
@@ -256,8 +263,14 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = unit_line(32).unwrap();
-        let t1 = record(&mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42), 30);
-        let t2 = record(&mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42), 30);
+        let t1 = record(
+            &mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42),
+            30,
+        );
+        let t2 = record(
+            &mut CommuterScenario::new(&g, 6, 3, LoadVariant::Dynamic, 42),
+            30,
+        );
         assert_eq!(t1, t2);
     }
 }

@@ -1,8 +1,6 @@
 //! Request batches: the multi-set `σt` of access points issuing requests in
 //! one round.
 
-use std::collections::HashMap;
-
 use flexserve_graph::NodeId;
 
 /// The requests of one round: a multi-set of access-point origins.
@@ -48,13 +46,33 @@ impl RoundRequests {
         &self.origins
     }
 
-    /// Request count per access point (origins with multiplicity folded).
-    pub fn counts(&self) -> HashMap<NodeId, usize> {
-        let mut m = HashMap::new();
-        for &o in &self.origins {
-            *m.entry(o).or_insert(0) += 1;
-        }
-        m
+    /// Request count per access point (origins with multiplicity folded),
+    /// sorted by origin id.
+    ///
+    /// Returning a sorted `Vec` instead of a `HashMap` keeps downstream
+    /// float accumulation order — and therefore every cost in the system —
+    /// bit-identical across runs and across the serial/parallel execution
+    /// paths, and avoids hashing on the routing hot path.
+    pub fn counts(&self) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        self.counts_into(&mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`RoundRequests::counts`]: clears
+    /// `out` and fills it with the sorted per-origin counts.
+    pub fn counts_into(&self, out: &mut Vec<(NodeId, usize)>) {
+        out.clear();
+        out.extend(self.origins.iter().map(|&o| (o, 1usize)));
+        out.sort_unstable_by_key(|&(o, _)| o);
+        out.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
     }
 
     /// Distinct access points used this round.
@@ -69,7 +87,7 @@ impl RoundRequests {
 
     /// Appends `count` requests from the same origin.
     pub fn push_many(&mut self, origin: NodeId, count: usize) {
-        self.origins.extend(std::iter::repeat(origin).take(count));
+        self.origins.extend(std::iter::repeat_n(origin, count));
     }
 }
 
@@ -89,12 +107,11 @@ mod tests {
     fn counts_fold_multiplicity() {
         let a = NodeId::new(0);
         let b = NodeId::new(1);
-        let r = RoundRequests::new(vec![a, b, a, a]);
+        let r = RoundRequests::new(vec![b, a, a, a]);
         assert_eq!(r.len(), 4);
         assert_eq!(r.distinct_origins(), 2);
-        let c = r.counts();
-        assert_eq!(c[&a], 3);
-        assert_eq!(c[&b], 1);
+        // sorted by origin regardless of arrival order
+        assert_eq!(r.counts(), vec![(a, 3), (b, 1)]);
     }
 
     #[test]
@@ -104,7 +121,19 @@ mod tests {
         r.push_many(NodeId::new(5), 7);
         r.push(NodeId::new(2));
         assert_eq!(r.len(), 8);
-        assert_eq!(r.counts()[&NodeId::new(5)], 7);
+        assert_eq!(r.counts(), vec![(NodeId::new(2), 1), (NodeId::new(5), 7)]);
+    }
+
+    #[test]
+    fn counts_into_reuses_buffer() {
+        let mut buf = Vec::new();
+        let r = RoundRequests::new(vec![NodeId::new(3); 5]);
+        r.counts_into(&mut buf);
+        assert_eq!(buf, vec![(NodeId::new(3), 5)]);
+        let cap = buf.capacity();
+        RoundRequests::empty().counts_into(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "buffer was reallocated");
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn main() {
     let rounds = 200;
     let t_periods = 4;
 
-    println!("commuter scenario (dynamic load) on 5-node lines, {} seeds", seeds.len());
+    println!(
+        "commuter scenario (dynamic load) on 5-node lines, {} seeds",
+        seeds.len()
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>12} {:>14}",
         "lambda", "ONTH/OPT", "ONBR/OPT", "OFFTH/OPT", "OFFSTAT/OPT"

@@ -46,7 +46,10 @@ fn main() {
         access / requests as f64
     };
 
-    println!("\n{:<22} {:>12} {:>16} {:>10}", "operation", "total cost", "ms/request", "servers@end");
+    println!(
+        "\n{:<22} {:>12} {:>16} {:>10}",
+        "operation", "total cost", "ms/request", "servers@end"
+    );
     println!(
         "{:<22} {:>12.0} {:>16.2} {:>10}",
         "static (1 server)",

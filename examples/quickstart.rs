@@ -21,8 +21,7 @@ fn main() {
     // --- Demand: commuters fan out from the center every morning ---------
     let t_periods = 8;
     let lambda = 10;
-    let mut scenario =
-        CommuterScenario::new(&graph, t_periods, lambda, LoadVariant::Dynamic, 42);
+    let mut scenario = CommuterScenario::new(&graph, t_periods, lambda, LoadVariant::Dynamic, 42);
     let trace = record(&mut scenario, 400);
     println!(
         "demand: {} rounds, {} requests total\n",
@@ -35,7 +34,10 @@ fn main() {
     let start = initial_center(&ctx);
 
     // --- Compare the strategies ------------------------------------------
-    println!("{:<12} {:>12} {:>10} {:>10} {:>10} {:>10}", "strategy", "total", "access", "running", "migration", "creation");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "strategy", "total", "access", "running", "migration", "creation"
+    );
     let mut results: Vec<(String, CostBreakdown)> = Vec::new();
 
     let rec = run_online(&ctx, &trace, &mut StaticStrategy::new(), start.clone());
@@ -73,7 +75,12 @@ fn main() {
     }
 
     let onth = results.iter().find(|(n, _)| n == "ONTH").unwrap().1.total();
-    let stat_online = results.iter().find(|(n, _)| n == "STATIC").unwrap().1.total();
+    let stat_online = results
+        .iter()
+        .find(|(n, _)| n == "STATIC")
+        .unwrap()
+        .1
+        .total();
     println!(
         "\nONTH saves {:.0}% over never reconfiguring — the benefit of virtualization.",
         100.0 * (1.0 - onth / stat_online)

@@ -65,8 +65,8 @@ pub mod prelude {
     };
 
     pub use flexserve_core::{
-        competitive_ratio, initial_center, offstat, optimal_plan, OffBr, OffTh, OnBr, OnConf,
-        OnTh, StaticStrategy, ThresholdMode,
+        competitive_ratio, initial_center, offstat, optimal_plan, OffBr, OffTh, OnBr, OnConf, OnTh,
+        StaticStrategy, ThresholdMode,
     };
 
     pub use rand::rngs::SmallRng;

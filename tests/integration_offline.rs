@@ -34,13 +34,8 @@ fn opt_cost_is_reproducible_from_its_plan() {
         for t in 0..trace.len() {
             let active = &res.plan[t];
             let inactive = &res.inactive_plan[t];
-            total += config_transition_cost(
-                &prev_active,
-                &prev_inactive,
-                active,
-                inactive,
-                &ctx.params,
-            );
+            total +=
+                config_transition_cost(&prev_active, &prev_inactive, active, inactive, &ctx.params);
             total += ctx.running_cost(active.len(), inactive.len());
             total += ctx.access_cost(active, trace.round(t));
             prev_active = active.clone();
@@ -141,7 +136,12 @@ fn offline_variants_respect_the_game() {
     let opt = optimal_plan(&ctx, &trace, &start).cost;
 
     for rec in [
-        run_online(&ctx, &trace, &mut OffBr::fixed(&ctx, trace.clone()), start.clone()),
+        run_online(
+            &ctx,
+            &trace,
+            &mut OffBr::fixed(&ctx, trace.clone()),
+            start.clone(),
+        ),
         run_online(&ctx, &trace, &mut OffTh::new(trace.clone()), start.clone()),
     ] {
         for r in &rec.rounds {

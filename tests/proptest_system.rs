@@ -7,22 +7,24 @@ use flexserve::prelude::*;
 use flexserve::sim::TransitionPlanner;
 
 fn arb_params() -> impl Strategy<Value = CostParams> {
-    (1.0f64..500.0, 1.0f64..500.0, 0.0f64..5.0, 0.0f64..1.0, 1usize..5).prop_map(
-        |(beta, c, ra, ri, k)| {
+    (
+        1.0f64..500.0,
+        1.0f64..500.0,
+        0.0f64..5.0,
+        0.0f64..1.0,
+        1usize..5,
+    )
+        .prop_map(|(beta, c, ra, ri, k)| {
             CostParams::default()
                 .with_costs(beta, c)
                 .with_running(ra, ri)
                 .with_max_servers(k)
-        },
-    )
+        })
 }
 
 /// A small random trace over `n` nodes.
 fn arb_trace(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(
-        prop::collection::vec(0usize..n, 0..8),
-        1..25,
-    )
+    prop::collection::vec(prop::collection::vec(0usize..n, 0..8), 1..25)
 }
 
 fn to_trace(raw: &[Vec<usize>]) -> Trace {

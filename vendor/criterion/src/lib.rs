@@ -1,0 +1,361 @@
+//! Vendored subset of the `criterion` API.
+//!
+//! The build environment has no network access, so this crate implements
+//! the benchmarking surface the workspace uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], `black_box`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: one warm-up call, then timed batches whose iteration
+//! count adapts until either `sample_size` samples are taken or the
+//! per-benchmark time budget (default 2 s, `FLEXSERVE_BENCH_BUDGET_MS`)
+//! is spent. Mean/min/max per-iteration wall time is printed; when
+//! `FLEXSERVE_BENCH_JSON` names a file, one JSON object per benchmark is
+//! appended to it (the before/after perf harness consumes this).
+//!
+//! `cargo test`/`cargo bench -- --test` runs each benchmark exactly once,
+//! like upstream criterion's smoke mode.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    stats: &'a mut Option<Stats>,
+    mode: Mode,
+    sample_size: usize,
+    budget: Duration,
+}
+
+/// Aggregated timing result of one benchmark.
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Measure,
+    /// `--test`: run the routine once and record nothing.
+    Smoke,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, adapting the iteration count to the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim each sample at ~budget/sample_size, at least one iteration.
+        let per_sample = self.budget.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample =
+            ((per_sample / estimate.as_secs_f64()).floor() as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.budget;
+        let (mut total, mut iterations) = (0.0f64, 0u64);
+        let (mut min_ns, mut max_ns) = (f64::INFINITY, 0.0f64);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total += ns * iters_per_sample as f64;
+            iterations += iters_per_sample;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        *self.stats = Some(Stats {
+            mean_ns: total / iterations as f64,
+            min_ns,
+            max_ns,
+            iterations,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; output is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filters: Vec<String>,
+    budget: Duration,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            filters: Vec::new(),
+            budget: Duration::from_millis(
+                std::env::var("FLEXSERVE_BENCH_BUDGET_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(2_000),
+            ),
+            json_path: std::env::var("FLEXSERVE_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process CLI arguments (`--test` enables
+    /// smoke mode; bare arguments are substring filters).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Smoke,
+                s if !s.starts_with('-') => c.filters.push(s.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), 20, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return;
+        }
+        let mut stats = None;
+        let mut b = Bencher {
+            stats: &mut stats,
+            mode: self.mode,
+            sample_size,
+            budget: self.budget,
+        };
+        f(&mut b);
+        match (self.mode, stats) {
+            (Mode::Smoke, _) => println!("{id}: smoke ok"),
+            (Mode::Measure, Some(s)) => {
+                println!(
+                    "{id}: time [{} .. {} .. {}] ({} iters)",
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.mean_ns),
+                    fmt_ns(s.max_ns),
+                    s.iterations
+                );
+                if let Some(path) = &self.json_path {
+                    let line = format!(
+                        "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iterations\":{}}}\n",
+                        id.replace('"', "'"),
+                        s.mean_ns,
+                        s.min_ns,
+                        s.max_ns,
+                        s.iterations
+                    );
+                    let _ = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut fh| fh.write_all(line.as_bytes()));
+                }
+            }
+            (Mode::Measure, None) => println!("{id}: no measurement (b.iter never called)"),
+        }
+    }
+
+    /// Prints the trailing summary (kept for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            ..Criterion::default()
+        };
+        let mut count = 0u32;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filters_skip_benchmarks() {
+        let mut c = Criterion {
+            filters: vec!["match-me".into()],
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+        c.bench_function("match-me-too", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(500).to_string(), "500");
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

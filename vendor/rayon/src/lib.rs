@@ -1,0 +1,396 @@
+//! Vendored subset of the `rayon` API.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of rayon this workspace uses, backed by `std::thread::scope`
+//! instead of a work-stealing pool: indexed parallel iterators over ranges
+//! and slices (`into_par_iter`, `par_iter`, `map`, `enumerate`, `for_each`,
+//! `collect`), `par_chunks_mut`, and [`scope`]. Work is split into one
+//! contiguous block per worker thread — the right shape for the coarse,
+//! uniform tasks here (Dijkstra sources, DP columns, simulation seeds).
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set, else
+//! `std::thread::available_parallelism()`. With one thread (or one item)
+//! everything runs inline on the caller's stack, so tiny inputs pay no
+//! spawn overhead.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Number of worker threads used by all parallel operations.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Runs every closure in `tasks`, distributing contiguous blocks over the
+/// worker threads. Consumes the items (used by the mutable-chunk paths).
+fn drive<W: Send>(tasks: Vec<W>, run: impl Fn(W) + Sync) {
+    let n = tasks.len();
+    let nt = current_num_threads().min(n);
+    if nt <= 1 {
+        for t in tasks {
+            run(t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(nt);
+    let mut blocks: Vec<Vec<W>> = Vec::with_capacity(nt);
+    let mut tasks = tasks;
+    // Peel blocks off the back so each Vec::split_off is O(block).
+    for t in (0..nt).rev() {
+        blocks.push(tasks.split_off((t * chunk).min(tasks.len())));
+    }
+    let run = &run;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            handles.push(s.spawn(move || {
+                for w in block {
+                    run(w);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon worker panicked");
+        }
+    });
+}
+
+/// An indexed source of parallel items: length plus random access.
+///
+/// `fetch` must be safe to call concurrently from many threads with
+/// distinct indices (enforced by the `Sync` bound).
+pub trait IndexedSource: Sync + Sized {
+    /// The yielded item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `i` (`i < len`).
+    fn fetch(&self, i: usize) -> Self::Item;
+}
+
+/// The parallel-iterator adapters, blanket-implemented for every
+/// [`IndexedSource`].
+pub trait ParallelIterator: IndexedSource {
+    /// Maps each item through `f` (lazily; runs at the terminal operation).
+    fn map<T: Send, F: Fn(Self::Item) -> T + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item across the worker threads.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let n = self.len();
+        let nt = current_num_threads().min(n.max(1));
+        if nt <= 1 {
+            for i in 0..n {
+                f(self.fetch(i));
+            }
+            return;
+        }
+        let chunk = n.div_ceil(nt);
+        let this = &self;
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nt);
+            for t in 0..nt {
+                handles.push(s.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    for i in lo..hi {
+                        f(this.fetch(i));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("rayon worker panicked");
+            }
+        });
+    }
+
+    /// Collects all items in index order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let n = self.len();
+        let nt = current_num_threads().min(n.max(1));
+        if nt <= 1 {
+            return (0..n).map(|i| self.fetch(i)).collect::<Vec<_>>().into();
+        }
+        let chunk = n.div_ceil(nt);
+        let this = &self;
+        let mut out: Vec<Self::Item> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nt)
+                .map(|t| {
+                    s.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        (lo..hi).map(|i| this.fetch(i)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.append(&mut h.join().expect("rayon worker panicked"));
+            }
+        });
+        out.into()
+    }
+
+    /// Sums the items.
+    fn sum<T: Send + std::iter::Sum<Self::Item>>(self) -> T
+    where
+        Self::Item: Send,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+impl<S: IndexedSource> ParallelIterator for S {}
+
+/// Lazy `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: IndexedSource, T: Send, F: Fn(B::Item) -> T + Sync> IndexedSource for Map<B, F> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn fetch(&self, i: usize) -> T {
+        (self.f)(self.base.fetch(i))
+    }
+}
+
+/// Lazy `enumerate` adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: IndexedSource> IndexedSource for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn fetch(&self, i: usize) -> (usize, B::Item) {
+        (i, self.base.fetch(i))
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl IndexedSource for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn fetch(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Parallel iterator over shared slice references.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn fetch(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry point).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter` on slices and `Vec`s.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+///
+/// Unlike the read-only sources this one pre-splits the borrow with
+/// `chunks_mut` (safe disjointness) and hands whole chunks to workers.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Runs `f` on every chunk across the worker threads.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        drive(self.chunks, f);
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair across the worker threads.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let indexed: Vec<(usize, &'a mut [T])> =
+            self.inner.chunks.into_iter().enumerate().collect();
+        drive(indexed, |(i, c)| f((i, c)));
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into chunks of `size` (last may be shorter), processed in
+    /// parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Scoped task spawning (subset of `rayon::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(f)
+}
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        IndexedSource, IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_ordered() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn slice_par_iter() {
+        let data: Vec<u64> = (0..500).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(doubled[499], 500);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut buf = vec![0usize; 103];
+        buf.par_chunks_mut(10).enumerate().for_each(|(b, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = b * 10 + i;
+            }
+        });
+        assert!(buf.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn for_each_runs_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..777).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = (5..5).into_par_iter().collect();
+        assert!(v.is_empty());
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_chunks_mut(4).for_each(|_| panic!("no chunks"));
+    }
+}
