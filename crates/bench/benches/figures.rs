@@ -2,7 +2,7 @@
 //! experiment pipeline on the quick profile, so the time to regenerate any
 //! figure is tracked like any other performance number. (The *values* the
 //! experiments produce are checked by the experiment integration tests and
-//! recorded in EXPERIMENTS.md; here we watch the cost of producing them.)
+//! mapped in docs/FIGURES.md; here we watch the cost of producing them.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -1,8 +1,9 @@
 //! Before/after perf harness: times the serial reference against the
-//! rayon-parallel implementation of the two hot paths this PR
-//! parallelized — the all-pairs `DistanceMatrix` build (500-node Waxman)
-//! and one 20-seed sweep cell — and records the results as
-//! `BENCH_apsp.json` and `BENCH_sweeps.json` in the repository root.
+//! optimized implementation of the measured hot paths — the all-pairs
+//! `DistanceMatrix` build (500-node Waxman), one 20-seed sweep cell, and
+//! a cold-vs-warm substrate fetch through the distance-matrix cache — and
+//! records the results as `BENCH_apsp.json`, `BENCH_sweeps.json` and
+//! `BENCH_cache.json` in the repository root (schema: docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
 //!
@@ -15,7 +16,7 @@ use std::time::Instant;
 
 use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
 use flexserve_experiments::setup::ExperimentEnv;
-use flexserve_experiments::{average, average_serial};
+use flexserve_experiments::{average, average_serial, DistCache, TopologySpec};
 use flexserve_graph::DistanceMatrix;
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -34,8 +35,11 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 fn write_report(path: &str, name: &str, serial_s: f64, parallel_s: f64, detail: &str) {
     let threads = rayon::current_num_threads();
     let speedup = serial_s / parallel_s;
+    // 9 decimals: warm cache fetches are sub-microsecond, and the schema
+    // promises speedup == serial_seconds / parallel_seconds is
+    // reproducible from the recorded values.
     let json = format!(
-        "{{\n  \"bench\": \"{name}\",\n  \"detail\": \"{detail}\",\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_s:.6},\n  \"parallel_seconds\": {parallel_s:.6},\n  \"speedup\": {speedup:.3}\n}}\n"
+        "{{\n  \"bench\": \"{name}\",\n  \"detail\": \"{detail}\",\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_s:.9},\n  \"parallel_seconds\": {parallel_s:.9},\n  \"speedup\": {speedup:.3}\n}}\n"
     );
     let mut f = std::fs::File::create(path).expect("create report");
     f.write_all(json.as_bytes()).expect("write report");
@@ -79,5 +83,40 @@ fn main() {
         serial,
         parallel,
         "20-seed ONTH commuter cell (ER-100 substrate, 240 rounds) through runner::average",
+    );
+
+    // --- Distance-matrix cache: cold vs warm substrate fetch ------------
+    // The multi-figure redundancy the cache removes: the same (topology,
+    // seed) substrate requested again (as every extra algorithm or
+    // workload on one substrate does) costs a map lookup instead of a
+    // full graph build + APSP.
+    let cache = DistCache::with_capacity_bytes(DistCache::DEFAULT_CAPACITY_BYTES);
+    let spec: TopologySpec = "er:300".parse().expect("valid spec");
+    let key = spec.to_string();
+    let cold = time_median(reps, || {
+        cache.clear();
+        std::hint::black_box(
+            cache
+                .get_or_build(&key, 11, || spec.build(11))
+                .expect("er:300 builds"),
+        );
+    });
+    cache.clear();
+    cache
+        .get_or_build(&key, 11, || spec.build(11))
+        .expect("er:300 builds");
+    let warm = time_median(reps, || {
+        std::hint::black_box(
+            cache
+                .get_or_build(&key, 11, || spec.build(11))
+                .expect("er:300 builds"),
+        );
+    });
+    write_report(
+        "BENCH_cache.json",
+        "dist_cache",
+        cold,
+        warm,
+        "ER-300 substrate fetch through DistCache: cold build+APSP vs warm cache hit",
     );
 }

@@ -80,8 +80,12 @@ impl OnConf {
     }
 }
 
-/// `Σ_{i=1}^{k} (n choose i)`, saturating.
-fn config_count(n: usize, k: usize) -> usize {
+/// `Σ_{i=1}^{k} (n choose i)`, saturating: the number of configurations
+/// ONCONF tracks for `n` nodes and server budget `k`. Public so callers
+/// (e.g. the experiment CLI) can check feasibility against
+/// [`MAX_CONFIGURATIONS`] *before* construction instead of hitting the
+/// panic in [`OnConf::new`].
+pub fn config_count(n: usize, k: usize) -> usize {
     let mut total = 0usize;
     let mut choose = 1usize; // (n choose 0)
     for i in 1..=k.min(n) {

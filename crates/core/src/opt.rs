@@ -339,6 +339,26 @@ fn access_cost_counts(
     total_delay + total_load
 }
 
+/// Number of configurations [`optimal_plan`] enumerates for `n` positions
+/// and server budget `k`: position sets of size `1..=min(n,k)` with a
+/// non-empty active subset, `Σ_{j=1}^{min(n,k)} C(n,j)·(2^j − 1)`.
+/// Public so callers (e.g. the experiment CLI) can check feasibility
+/// against [`MAX_STATES`] *before* invoking the DP instead of hitting its
+/// panic (pinned to `enumerate_configs().len()` by a test).
+pub fn state_count(n: usize, k: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut choose: u128 = 1; // C(n, 0)
+    for j in 1..=k.min(n) {
+        choose = choose * (n - j + 1) as u128 / j as u128;
+        let active = (1u128 << j) - 1;
+        total = total.saturating_add(choose.saturating_mul(active));
+        if total > u128::from(u64::MAX) {
+            break; // far beyond any feasible DP anyway
+        }
+    }
+    total
+}
+
 /// Enumerates all configurations: each node is empty, inactive, or active;
 /// at least one active server; at most `k` servers total.
 fn enumerate_configs(n: usize, k: usize) -> Vec<Config> {
@@ -476,6 +496,17 @@ mod tests {
         assert_eq!(enumerate_configs(1, 1).len(), 1);
         // n=3, k=1: one active, no inactive (budget 1): 3
         assert_eq!(enumerate_configs(3, 1).len(), 3);
+    }
+
+    #[test]
+    fn state_count_matches_enumeration() {
+        for (n, k) in [(1usize, 1usize), (2, 2), (3, 1), (4, 3), (5, 4), (6, 6)] {
+            assert_eq!(
+                state_count(n, k),
+                enumerate_configs(n, k).len() as u128,
+                "n={n} k={k}"
+            );
+        }
     }
 
     #[test]

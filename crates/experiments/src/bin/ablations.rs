@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md calls out.
+//! Ablation studies for the design choices docs/DESIGN.md calls out.
 //!
 //! Unlike the criterion benches (which track *runtime*), these report the
 //! *cost* impact of each design knob, averaged over seeds:

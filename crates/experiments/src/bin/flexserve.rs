@@ -1,0 +1,365 @@
+//! The unified experiment CLI: one binary for every figure, table, cell
+//! and sweep of the evaluation.
+//!
+//! ```text
+//! flexserve list
+//! flexserve run fig03 [fig04 ...] | all        [--profile quick|standard|full]
+//! flexserve run topo=er:100 wl=commuter-dynamic strat=onth [t=8 lambda=10 ...]
+//! flexserve sweep topo=er:100 wl=commuter-dynamic strat=onth+onbr-fixed lambda=5+10 ...
+//! ```
+//!
+//! Cell/sweep keys: `topo`, `wl`, `strat` (see `flexserve list` for the
+//! spec grammar), `t`, `lambda`, `rounds`, `seeds` (`a..b` range or
+//! `a+b+c` list), `load` (`linear`, `quadratic`, `power(<p>)`), `beta`,
+//! `c`, `ra`, `ri`, `k`, `flipped` and `out` (CSV base name). In `sweep`,
+//! the axes `topo`/`wl`/`strat`/`t`/`lambda` accept `+`-separated lists
+//! and the cross product of all lists is run, cell by cell.
+//!
+//! Every invocation writes `manifest.json` next to its CSVs (under
+//! `results/` or `$FLEXSERVE_RESULTS_DIR`) recording the spec, seeds, git
+//! revision and the distance-matrix cache counters of the run.
+
+use std::process::ExitCode;
+
+use flexserve_experiments::figures::{profile_from_env, Profile};
+use flexserve_experiments::manifest::{Manifest, ManifestEntry};
+use flexserve_experiments::output::results_dir;
+use flexserve_experiments::registry;
+use flexserve_experiments::spec::{CellSpec, StrategySpec, TopologySpec, WorkloadSpec};
+use flexserve_experiments::{DistCache, Table};
+use flexserve_sim::{CostParams, LoadModel};
+
+const USAGE: &str = "\
+usage: flexserve <subcommand> [args]
+
+subcommands:
+  list                         print every figure, topology, workload and strategy
+  run <figure>... | all        regenerate paper figures by registry name
+  run <key=value>...           run a single experiment cell
+  sweep <key=value>...         run the cross product of +-separated axis lists
+  help                         this text
+
+options for `run <figure>`:
+  --profile quick|standard|full   sweep sizing (default: standard, or
+                                  FLEXSERVE_QUICK=1 / FLEXSERVE_FULL=1)
+
+cell/sweep keys (see `flexserve list` for spec grammars):
+  topo=er:100   wl=commuter-dynamic   strat=onth
+  t=8  lambda=10  rounds=200  seeds=1000..1003  load=linear
+  beta=40  c=400  ra=2.5  ri=0.5  k=16  flipped=true  out=sweep
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command_line = args.join(" ");
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            print!("{}", registry::list_text());
+            Ok(Manifest::new())
+        }
+        Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..], false),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(Manifest::new())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(manifest) => {
+            if !manifest.is_empty() {
+                let stats = DistCache::global().stats();
+                match manifest.write(&command_line, stats) {
+                    Ok(path) => eprintln!(
+                        "manifest: {} ({} artifacts; cache {} hits / {} misses)",
+                        path.display(),
+                        manifest.len(),
+                        stats.hits,
+                        stats.misses
+                    ),
+                    Err(e) => {
+                        eprintln!("error: cannot write manifest: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `run` dispatch: figure names (or `all`) vs a cell expression.
+fn run(args: &[String]) -> Result<Manifest, String> {
+    if args.is_empty() {
+        return Err(format!("run: nothing to run\n{USAGE}"));
+    }
+    if args.iter().any(|a| a.contains('=') && !a.starts_with("--")) {
+        return sweep(args, true);
+    }
+
+    let mut profile = profile_from_env();
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = it.next().ok_or("run: --profile needs a value")?;
+                profile = match v.as_str() {
+                    "quick" => Profile::Quick,
+                    "standard" => Profile::Standard,
+                    "full" => Profile::Full,
+                    _ => return Err(format!("run: unknown profile {v:?}")),
+                };
+            }
+            name => names.push(name),
+        }
+    }
+    if names == ["all"] {
+        names = registry::FIGURES.iter().map(|f| f.name).collect();
+    }
+    for name in &names {
+        if registry::figure(name).is_none() {
+            return Err(format!(
+                "run: unknown figure {name:?} (see `flexserve list`)"
+            ));
+        }
+    }
+
+    let mut manifest = Manifest::new();
+    for name in names {
+        let entry = registry::figure(name).expect("checked above");
+        let t0 = std::time::Instant::now();
+        (entry.run)(profile);
+        eprintln!("[{name}] done in {:.1}s", t0.elapsed().as_secs_f64());
+        manifest.add(ManifestEntry {
+            artifact: format!("{name}.csv"),
+            kind: "figure".into(),
+            spec: format!("{name} ({profile:?} profile)"),
+            seeds: Vec::new(),
+            fingerprints: Vec::new(),
+        });
+    }
+    Ok(manifest)
+}
+
+/// Parsed key=value arguments of a cell expression or sweep.
+struct SweepArgs {
+    topologies: Vec<TopologySpec>,
+    workloads: Vec<WorkloadSpec>,
+    strategies: Vec<StrategySpec>,
+    t_values: Vec<u32>,
+    lambdas: Vec<u64>,
+    rounds: u64,
+    seeds: Vec<u64>,
+    load: LoadModel,
+    params: CostParams,
+    out: String,
+}
+
+fn parse_seeds(v: &str) -> Result<Vec<u64>, String> {
+    if let Some((a, b)) = v.split_once("..") {
+        let a: u64 = a.parse().map_err(|_| format!("seeds: bad start {a:?}"))?;
+        let b: u64 = b.parse().map_err(|_| format!("seeds: bad end {b:?}"))?;
+        if b <= a {
+            return Err(format!("seeds: empty range {v:?}"));
+        }
+        Ok((a..b).collect())
+    } else {
+        v.split('+')
+            .map(|s| s.parse().map_err(|_| format!("seeds: bad seed {s:?}")))
+            .collect()
+    }
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    key: &str,
+    v: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    v.split('+')
+        .map(|part| parse(part).map_err(|e| format!("{key}: {e}")))
+        .collect()
+}
+
+fn parse_args(args: &[String], single_cell: bool) -> Result<SweepArgs, String> {
+    let mut parsed = SweepArgs {
+        topologies: Vec::new(),
+        workloads: Vec::new(),
+        strategies: Vec::new(),
+        t_values: vec![8],
+        lambdas: vec![10],
+        rounds: 200,
+        seeds: vec![1000, 1001, 1002],
+        load: LoadModel::Linear,
+        params: CostParams::default(),
+        out: if single_cell { "cell" } else { "sweep" }.to_string(),
+    };
+    // `flipped=true` is a shorthand for the paper's beta=400/c=40 regime;
+    // explicit beta=/c= arguments always win, regardless of order.
+    let mut flipped = false;
+    let (mut beta, mut c): (Option<f64>, Option<f64>) = (None, None);
+    for arg in args {
+        let (key, v) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {arg:?}\n{USAGE}"))?;
+        match key {
+            "topo" => parsed.topologies = parse_list(key, v, str::parse::<TopologySpec>)?,
+            "wl" => parsed.workloads = parse_list(key, v, str::parse::<WorkloadSpec>)?,
+            "strat" => parsed.strategies = parse_list(key, v, str::parse::<StrategySpec>)?,
+            "t" => {
+                parsed.t_values = parse_list(key, v, |s| s.parse::<u32>().map_err(|_| "bad value"))?
+            }
+            "lambda" => {
+                parsed.lambdas = parse_list(key, v, |s| s.parse::<u64>().map_err(|_| "bad value"))?
+            }
+            "rounds" => {
+                parsed.rounds = v.parse().map_err(|_| format!("rounds: bad value {v:?}"))?
+            }
+            "seeds" => parsed.seeds = parse_seeds(v)?,
+            "load" => parsed.load = v.parse()?,
+            "beta" => beta = Some(v.parse().map_err(|_| format!("beta: bad value {v:?}"))?),
+            "c" => c = Some(v.parse().map_err(|_| format!("c: bad value {v:?}"))?),
+            "ra" => {
+                parsed.params.run_active = v.parse().map_err(|_| format!("ra: bad value {v:?}"))?
+            }
+            "ri" => {
+                parsed.params.run_inactive =
+                    v.parse().map_err(|_| format!("ri: bad value {v:?}"))?
+            }
+            "k" => {
+                parsed.params.max_servers = v.parse().map_err(|_| format!("k: bad value {v:?}"))?
+            }
+            "flipped" => flipped = v.parse().map_err(|_| format!("flipped: bad value {v:?}"))?,
+            "out" => parsed.out = v.to_string(),
+            _ => return Err(format!("unknown key {key:?}\n{USAGE}")),
+        }
+    }
+    if flipped {
+        parsed.params = parsed.params.with_costs(
+            CostParams::flipped().migration_beta,
+            CostParams::flipped().creation_c,
+        );
+    }
+    if let Some(beta) = beta {
+        parsed.params.migration_beta = beta;
+    }
+    if let Some(c) = c {
+        parsed.params.creation_c = c;
+    }
+    if parsed.topologies.is_empty() || parsed.workloads.is_empty() || parsed.strategies.is_empty() {
+        return Err("topo=, wl= and strat= are required (see `flexserve list`)".into());
+    }
+    if single_cell {
+        let cells = parsed.topologies.len()
+            * parsed.workloads.len()
+            * parsed.strategies.len()
+            * parsed.t_values.len()
+            * parsed.lambdas.len();
+        if cells != 1 {
+            return Err(format!(
+                "run: a cell expression must name exactly one cell ({cells} given); \
+                 use `flexserve sweep` for lists"
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
+/// Runs all cells of the cross product and writes one CSV + manifest.
+fn sweep(args: &[String], single_cell: bool) -> Result<Manifest, String> {
+    let parsed = parse_args(args, single_cell)?;
+    let mut table = Table::new(
+        format!(
+            "flexserve {}: {} (rounds={}, {} seeds, load={}, {})",
+            if single_cell { "cell" } else { "sweep" },
+            parsed.out,
+            parsed.rounds,
+            parsed.seeds.len(),
+            parsed.load,
+            parsed.params.summary()
+        ),
+        &[
+            "topology",
+            "workload",
+            "strategy",
+            "T",
+            "lambda",
+            "mean_total",
+            "std_total",
+            "access",
+            "running",
+            "migration",
+            "creation",
+        ],
+    );
+
+    // Materialize the cross product and validate every cell before any
+    // expensive work: a mid-sweep infeasibility (e.g. OPT on a too-large
+    // substrate) must reject the sweep up front, not discard hours of
+    // completed cells.
+    let mut cells = Vec::new();
+    for topo in &parsed.topologies {
+        for wl in &parsed.workloads {
+            for strat in &parsed.strategies {
+                for &t in &parsed.t_values {
+                    for &lambda in &parsed.lambdas {
+                        cells.push(CellSpec {
+                            topology: topo.clone(),
+                            workload: wl.clone(),
+                            strategy: *strat,
+                            t_periods: t,
+                            lambda,
+                            rounds: parsed.rounds,
+                            seeds: parsed.seeds.clone(),
+                            params: parsed.params,
+                            load: parsed.load,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for cell in &cells {
+        cell.validate()
+            .map_err(|e| format!("infeasible cell [{}]: {e}", cell.describe()))?;
+    }
+
+    let mut manifest = Manifest::new();
+    for cell in &cells {
+        let res = cell.run()?;
+        let mean = res.summary.mean();
+        table.row(vec![
+            cell.topology.to_string(),
+            cell.workload.to_string(),
+            cell.strategy.to_string(),
+            cell.t_periods.to_string(),
+            cell.lambda.to_string(),
+            format!("{:.2}", res.summary.mean_total()),
+            format!("{:.2}", res.summary.std_total()),
+            format!("{:.2}", mean.access),
+            format!("{:.2}", mean.running),
+            format!("{:.2}", mean.migration),
+            format!("{:.2}", mean.creation),
+        ]);
+        manifest.add(ManifestEntry {
+            artifact: format!("{}.csv", parsed.out),
+            kind: if single_cell { "cell" } else { "sweep" }.into(),
+            spec: cell.describe(),
+            seeds: parsed.seeds.clone(),
+            fingerprints: vec![res.fingerprint],
+        });
+    }
+    table.print();
+    table
+        .save_csv(&parsed.out)
+        .map_err(|e| format!("cannot write {}.csv: {e}", parsed.out))?;
+    eprintln!(
+        "wrote {}",
+        results_dir().join(format!("{}.csv", parsed.out)).display()
+    );
+    Ok(manifest)
+}

@@ -1,0 +1,351 @@
+//! Process-wide cache of substrates and their distance matrices.
+//!
+//! The dominant redundant cost in multi-cell experiment runs is the
+//! all-pairs shortest-path build: a figure sweep evaluates three
+//! algorithms × several seeds on the *same* `(topology, seed)` substrate,
+//! and consecutive figures (e.g. Figs 3–5) reuse identical substrates with
+//! different workloads. Before this cache every cell rebuilt graph and
+//! matrix from scratch; now the first builder per key pays and everyone
+//! else shares the [`Arc`].
+//!
+//! Keys are `(canonical topology spec string, seed)` — see
+//! [`TopologySpec`](crate::spec::TopologySpec), whose `Display` impl
+//! produces the canonical string. Because every generator is deterministic
+//! under its seed, a cached entry is bit-identical to a fresh build, so
+//! cache hits can never change experiment output (the golden CSV tests pin
+//! this).
+//!
+//! The cache is bounded: entries are evicted least-recently-used once the
+//! matrices exceed [`DistCache::DEFAULT_CAPACITY_BYTES`] (override with the
+//! `FLEXSERVE_CACHE_BYTES` environment variable; `0` disables caching).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use flexserve_graph::{DistanceMatrix, Graph};
+
+use crate::setup::ExperimentEnv;
+
+struct Entry {
+    env: ExperimentEnv,
+    /// Monotone counter value of the last access (for LRU eviction).
+    last_used: u64,
+    bytes: usize,
+}
+
+/// Hit/miss/eviction counters of a [`DistCache`], snapshotted by
+/// [`DistCache::stats`] and recorded in the result manifest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build graph + matrix.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of `(topology spec, seed) → (graph, distance matrix)`.
+///
+/// Thread-safe: concurrent lookups of the same missing key may both build
+/// (builds happen outside the lock so they don't serialize unrelated
+/// cells), but only the first result is inserted and later callers adopt
+/// it, so all callers observe identical `Arc`s afterwards. A process-wide
+/// instance is available via [`DistCache::global`].
+pub struct DistCache {
+    inner: Mutex<HashMap<(String, u64), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    clock: AtomicU64,
+    capacity_bytes: usize,
+}
+
+impl DistCache {
+    /// Default byte budget for cached matrices (256 MiB — a 1000-node
+    /// matrix is 8 MB, so even full-profile sweeps fit comfortably).
+    pub const DEFAULT_CAPACITY_BYTES: usize = 256 * 1024 * 1024;
+
+    /// Creates an empty cache with the given byte budget for matrices.
+    /// A budget of `0` disables caching (every lookup is a miss and
+    /// nothing is retained).
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
+        DistCache {
+            inner: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            capacity_bytes,
+        }
+    }
+
+    /// The process-wide cache used by
+    /// [`ExperimentEnv`]. Budget comes from
+    /// `FLEXSERVE_CACHE_BYTES` when set, else
+    /// [`Self::DEFAULT_CAPACITY_BYTES`].
+    pub fn global() -> &'static DistCache {
+        static GLOBAL: OnceLock<DistCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let capacity = std::env::var("FLEXSERVE_CACHE_BYTES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(Self::DEFAULT_CAPACITY_BYTES);
+            DistCache::with_capacity_bytes(capacity)
+        })
+    }
+
+    /// Returns the cached substrate for `(topology, seed)`, building it
+    /// with `build` on a miss. `build` returns the graph only; the matrix
+    /// is computed here so every entry pairs a graph with *its own* APSP.
+    /// A failed build inserts nothing (the error propagates unchanged).
+    pub fn get_or_build(
+        &self,
+        topology: &str,
+        seed: u64,
+        build: impl FnOnce() -> Result<Graph, String>,
+    ) -> Result<ExperimentEnv, String> {
+        let key = (topology.to_string(), seed);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = self.inner.lock().unwrap().get_mut(&key) {
+            entry.last_used = now;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry.env.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock: misses on different keys proceed in
+        // parallel (rayon runs seeds concurrently). Two racing builders of
+        // the same key do duplicate work, but the results are bit-identical
+        // and only the first insert is kept.
+        let graph = build()?;
+        let matrix = DistanceMatrix::build(&graph);
+        let env = ExperimentEnv {
+            graph: Arc::new(graph),
+            matrix: Arc::new(matrix),
+        };
+        let n = env.matrix.node_count();
+        let bytes = n * n * std::mem::size_of::<f64>();
+        if bytes > self.capacity_bytes {
+            return Ok(env); // too large to retain (or caching disabled)
+        }
+        let mut map = self.inner.lock().unwrap();
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            env: env.clone(),
+            last_used: now,
+            bytes,
+        });
+        entry.last_used = now;
+        let env = entry.env.clone();
+        self.evict_to_capacity(&mut map);
+        Ok(env)
+    }
+
+    /// Evicts least-recently-used entries until the byte budget holds.
+    /// Caller must hold the lock.
+    fn evict_to_capacity(&self, map: &mut HashMap<(String, u64), Entry>) {
+        let mut total: usize = map.values().map(|e| e.bytes).sum();
+        while total > self.capacity_bytes && !map.is_empty() {
+            let oldest = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            if let Some(e) = map.remove(&oldest) {
+                total -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the cache currently retains nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all entries and resets the counters (between unrelated CLI
+    /// runs, so manifests report per-run stats).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexserve_graph::gen::unit_line;
+
+    fn build_line(n: usize) -> Graph {
+        unit_line(n).unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = DistCache::with_capacity_bytes(1 << 20);
+        let a = cache
+            .get_or_build("unit-line:5", 1, || Ok(build_line(5)))
+            .unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let b = cache
+            .get_or_build("unit-line:5", 1, || panic!("must not rebuild"))
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert!(Arc::ptr_eq(&a.matrix, &b.matrix), "hits share the Arc");
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_seed_isolation() {
+        // Same topology string, different seeds → distinct entries; the
+        // seed part of the key must never alias.
+        let cache = DistCache::with_capacity_bytes(1 << 20);
+        let a = cache
+            .get_or_build("unit-line:4", 1, || Ok(build_line(4)))
+            .unwrap();
+        let b = cache
+            .get_or_build("unit-line:4", 2, || Ok(build_line(4)))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&a.matrix, &b.matrix));
+        // and different topology strings with the same seed likewise
+        let c = cache
+            .get_or_build("unit-line:5", 1, || Ok(build_line(5)))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_ne!(c.matrix.node_count(), a.matrix.node_count());
+    }
+
+    #[test]
+    fn cached_entry_is_bit_identical_to_fresh_build() {
+        let cache = DistCache::with_capacity_bytes(1 << 20);
+        let cached = cache
+            .get_or_build("unit-line:9", 3, || Ok(build_line(9)))
+            .unwrap();
+        let fresh = DistanceMatrix::build(&build_line(9));
+        for u in cached.graph.nodes() {
+            for v in cached.graph.nodes() {
+                assert_eq!(cached.matrix.get(u, v).to_bits(), fresh.get(u, v).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        // Budget fits exactly two 5-node matrices (5*5*8 = 200 bytes each).
+        let cache = DistCache::with_capacity_bytes(400);
+        cache
+            .get_or_build("unit-line:5", 1, || Ok(build_line(5)))
+            .unwrap();
+        cache
+            .get_or_build("unit-line:5", 2, || Ok(build_line(5)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        // Touch seed 1 so seed 2 is the LRU victim.
+        cache
+            .get_or_build("unit-line:5", 1, || panic!("cached"))
+            .unwrap();
+        cache
+            .get_or_build("unit-line:5", 3, || Ok(build_line(5)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Seed 1 survived, seed 2 was evicted.
+        cache
+            .get_or_build("unit-line:5", 1, || panic!("should still be cached"))
+            .unwrap();
+        let before = cache.stats().misses;
+        cache
+            .get_or_build("unit-line:5", 2, || Ok(build_line(5)))
+            .unwrap();
+        assert_eq!(cache.stats().misses, before + 1, "evicted entry rebuilds");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = DistCache::with_capacity_bytes(0);
+        cache
+            .get_or_build("unit-line:4", 1, || Ok(build_line(4)))
+            .unwrap();
+        cache
+            .get_or_build("unit-line:4", 1, || Ok(build_line(4)))
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = DistCache::with_capacity_bytes(1 << 20);
+        cache
+            .get_or_build("unit-line:4", 1, || Ok(build_line(4)))
+            .unwrap();
+        cache
+            .get_or_build("unit-line:4", 1, || Ok(build_line(4)))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_converge() {
+        use rayon::prelude::*;
+        let cache = DistCache::with_capacity_bytes(1 << 20);
+        let envs: Vec<ExperimentEnv> = (0..8)
+            .into_par_iter()
+            .map(|_| {
+                cache
+                    .get_or_build("unit-line:6", 7, || Ok(build_line(6)))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(cache.len(), 1);
+        let canonical = cache
+            .get_or_build("unit-line:6", 7, || panic!("cached"))
+            .unwrap();
+        for env in envs {
+            // Racing builders may hold a pre-insert copy, but contents are
+            // identical; post-race lookups all share the inserted Arc.
+            assert_eq!(env.matrix.node_count(), canonical.matrix.node_count());
+        }
+        let s = cache.stats();
+        assert!(s.hits + s.misses >= 9);
+    }
+}

@@ -1,8 +1,8 @@
-//! One function per paper figure/table. The `src/bin/figXX` binaries are
-//! thin wrappers; `all_figures` runs everything. Each function prints the
-//! series the paper plots, saves a CSV under `results/`, and returns the
-//! table for programmatic inspection (the integration tests assert the
-//! paper's qualitative shapes on quick profiles).
+//! One function per paper figure/table, dispatched by name through
+//! [`crate::registry`] (`flexserve run <name>`; `flexserve run all` runs
+//! everything). Each function prints the series the paper plots, saves a
+//! CSV under `results/`, and returns the table for programmatic inspection
+//! (the golden tests pin the CSV bytes on quick profiles).
 
 mod exemplary;
 mod lambda_sweeps;

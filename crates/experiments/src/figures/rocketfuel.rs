@@ -6,7 +6,7 @@
 //! p = 50%): the total cost of OFFSTAT was 26063.81…; ONTH was a factor
 //! less than two higher (cost 44176.28…) while ONBR had costs 111470.29…"
 //!
-//! We run on the synthetic AS-7018-like substrate (DESIGN.md §5) and
+//! We run on the synthetic AS-7018-like substrate (docs/DESIGN.md §5) and
 //! compare the *relationships*: ONTH/OFFSTAT < 2 and ONBR several times
 //! OFFSTAT.
 

@@ -1,27 +1,46 @@
 //! # flexserve-experiments
 //!
 //! The experiment harness that regenerates every figure and table of the
-//! paper's evaluation (§V). One binary per figure lives in `src/bin/`; this
-//! library holds the shared machinery:
+//! paper's evaluation (§V), driven by the single `flexserve` CLI
+//! (`cargo run --release -p flexserve-experiments --bin flexserve -- list`).
+//! This library holds the machinery:
 //!
+//! * [`spec`] — declarative [`TopologySpec`] /
+//!   [`WorkloadSpec`] /
+//!   [`StrategySpec`] /
+//!   [`CellSpec`]: every experiment axis as parseable data,
+//! * [`registry`] — the name → figure/topology/workload/strategy catalogs
+//!   behind `flexserve list` and `flexserve run`,
+//! * [`cache`] — the process-wide distance-matrix cache keyed by
+//!   `(topology spec, seed)` that de-duplicates APSP work across cells,
+//! * [`manifest`] — the `results/manifest.json` provenance record (spec,
+//!   seeds, git describe, cache counters for every artifact),
 //! * [`setup`] — substrate/scenario/context builders matching the paper's
 //!   parameters (Erdős–Rényi p=1%, T1/T2 bandwidths, β=40/c=400, …),
+//! * [`figures`] — one pipeline function per paper figure/table,
 //! * [`runner`] — strategy dispatch and seed-parallel averaging,
 //! * [`output`] — aligned-table stdout reporting plus CSV files under
-//!   `results/`.
+//!   `results/` (override with `FLEXSERVE_RESULTS_DIR`).
 //!
-//! Every binary prints the series the paper plots and records the same
-//! numbers as CSV, which `EXPERIMENTS.md` summarizes against the paper's
-//! qualitative claims.
+//! Every figure prints the series the paper plots and records the same
+//! numbers as CSV; `docs/FIGURES.md` maps each figure to its registry name
+//! and output file.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod figures;
+pub mod manifest;
 pub mod output;
+pub mod registry;
 pub mod runner;
 pub mod setup;
+pub mod spec;
 
+pub use cache::{CacheStats, DistCache};
+pub use manifest::{Manifest, ManifestEntry};
 pub use output::{write_csv, Table};
 pub use runner::{average, average_serial, run_algorithm, Algorithm, SeedSummary};
 pub use setup::{build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
+pub use spec::{CellSpec, StrategySpec, TopologySpec, WorkloadSpec};

@@ -1,0 +1,311 @@
+//! The `results/manifest.json` provenance record.
+//!
+//! Every `flexserve` CLI invocation writes one manifest describing the
+//! artifacts it produced: which spec generated each CSV, over which seeds,
+//! at which git revision, plus the distance-matrix cache counters for the
+//! whole run (so multi-cell sweeps document how much APSP work the cache
+//! saved). JSON is emitted by hand — the workspace deliberately has no
+//! serde (no network, vendored deps only) and the schema is flat.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::cache::CacheStats;
+use crate::output::results_dir;
+
+/// Provenance of one artifact (one CSV file).
+#[derive(Clone, Debug)]
+pub struct ManifestEntry {
+    /// Artifact file name (`fig03.csv`, `sweep.csv`, …).
+    pub artifact: String,
+    /// What produced it: `figure`, `cell` or `sweep`.
+    pub kind: String,
+    /// Canonical spec: registry figure name, or the cell description
+    /// including topology/workload/strategy and parameters.
+    pub spec: String,
+    /// Seeds averaged over (empty for figures, which pick seeds per
+    /// profile internally).
+    pub seeds: Vec<u64>,
+    /// `Graph::fingerprint` of the substrates involved (first seed per
+    /// cell; empty when not applicable).
+    pub fingerprints: Vec<u64>,
+}
+
+/// A whole-run manifest: entries plus run-level provenance.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    entries: Vec<ManifestEntry>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable (e.g. running from an exported tarball).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Manifest::default()
+    }
+
+    /// Records one produced artifact.
+    pub fn add(&mut self, entry: ManifestEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of recorded artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no artifacts were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the manifest as pretty-printed JSON.
+    /// Renders the manifest as pretty-printed JSON. Top-level `command`,
+    /// `git` and cache counters describe this invocation; `carried` holds
+    /// pre-rendered artifact blocks of *earlier* invocations (see
+    /// [`Manifest::write`]) appended after this run's entries, so the
+    /// manifest accumulates provenance for everything still in the
+    /// results directory. Each entry records its own `git` revision.
+    pub fn to_json(&self, command: &str, cache: CacheStats, carried: &[String]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"flexserve\",");
+        let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
+        let git = git_describe();
+        let _ = writeln!(out, "  \"git\": \"{}\",", json_escape(&git));
+        let _ = writeln!(out, "  \"distance_matrix_cache\": {{");
+        let _ = writeln!(out, "    \"hits\": {},", cache.hits);
+        let _ = writeln!(out, "    \"misses\": {},", cache.misses);
+        let _ = writeln!(out, "    \"evictions\": {},", cache.evictions);
+        let _ = writeln!(out, "    \"hit_rate\": {:.4}", cache.hit_rate());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"artifacts\": [");
+        let total = self.entries.len() + carried.len();
+        let mut blocks = Vec::with_capacity(total);
+        for e in &self.entries {
+            blocks.push(render_entry(e, &git));
+        }
+        blocks.extend(carried.iter().cloned());
+        for (i, block) in blocks.iter().enumerate() {
+            out.push_str(block);
+            let _ = writeln!(out, "{}", if i + 1 < total { "," } else { "" });
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the manifest to `<results dir>/manifest.json`, creating the
+    /// directory, and returns the path. An existing manifest's entries are
+    /// carried forward for artifacts this run did *not* (re)produce, so
+    /// `run fig03` followed by `run fig04` leaves provenance for both
+    /// CSVs on disk; re-produced artifacts replace their old entry.
+    pub fn write(&self, command: &str, cache: CacheStats) -> std::io::Result<PathBuf> {
+        self.write_to(&results_dir(), command, cache)
+    }
+
+    /// [`Manifest::write`] with an explicit directory (tests use this to
+    /// avoid touching process environment).
+    pub fn write_to(
+        &self,
+        dir: &std::path::Path,
+        command: &str,
+        cache: CacheStats,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("manifest.json");
+        let produced: Vec<&str> = self.entries.iter().map(|e| e.artifact.as_str()).collect();
+        let carried = match std::fs::read_to_string(&path) {
+            Ok(prev) => carry_blocks(&prev, &produced),
+            Err(_) => Vec::new(),
+        };
+        std::fs::write(&path, self.to_json(command, cache, &carried))?;
+        Ok(path)
+    }
+}
+
+/// Renders one artifact entry as a JSON block (4-space indent, no
+/// trailing comma or newline — [`Manifest::to_json`] adds those).
+fn render_entry(e: &ManifestEntry, git: &str) -> String {
+    let seeds = e
+        .seeds
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fps = e
+        .fingerprints
+        .iter()
+        .map(|f| format!("\"{f:016x}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = String::new();
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"artifact\": \"{}\",", json_escape(&e.artifact));
+    let _ = writeln!(out, "      \"kind\": \"{}\",", json_escape(&e.kind));
+    let _ = writeln!(out, "      \"spec\": \"{}\",", json_escape(&e.spec));
+    let _ = writeln!(out, "      \"git\": \"{}\",", json_escape(git));
+    let _ = writeln!(out, "      \"seeds\": [{seeds}],");
+    let _ = writeln!(out, "      \"substrate_fingerprints\": [{fps}]");
+    out.push_str("    }");
+    out
+}
+
+/// Extracts the artifact blocks of a previously written manifest whose
+/// `artifact` is not in `produced` (those entries describe files still on
+/// disk that this run did not touch). Only understands the fixed format
+/// [`render_entry`] emits — a hand-edited manifest may lose carried
+/// entries, which the next full `run all` regenerates.
+fn carry_blocks(prev: &str, produced: &[&str]) -> Vec<String> {
+    let mut carried = Vec::new();
+    let mut block: Option<Vec<&str>> = None;
+    for line in prev.lines() {
+        match (&mut block, line) {
+            (None, "    {") => block = Some(vec![line]),
+            (Some(lines), "    }" | "    },") => {
+                lines.push("    }");
+                let artifact = lines.iter().find_map(|l| {
+                    l.trim_start()
+                        .strip_prefix("\"artifact\": \"")?
+                        .strip_suffix("\",")
+                });
+                if let Some(a) = artifact {
+                    if !produced.contains(&a) {
+                        carried.push(lines.join("\n"));
+                    }
+                }
+                block = None;
+            }
+            (Some(lines), l) => lines.push(l),
+            (None, _) => {}
+        }
+    }
+    carried
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new();
+        m.add(ManifestEntry {
+            artifact: "fig03.csv".into(),
+            kind: "figure".into(),
+            spec: "fig03".into(),
+            seeds: vec![1000, 1001],
+            fingerprints: vec![0xdead_beef],
+        });
+        m
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let json = sample().to_json("run fig03", cache, &[]);
+        // Structural smoke checks (no JSON parser in-tree by design).
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"command\": \"run fig03\""));
+        assert!(json.contains("\"hits\": 3"));
+        assert!(json.contains("\"hit_rate\": 0.7500"));
+        assert!(json.contains("\"seeds\": [1000, 1001]"));
+        assert!(json.contains("\"00000000deadbeef\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    fn one_entry(artifact: &str, spec: &str) -> Manifest {
+        let mut m = Manifest::new();
+        m.add(ManifestEntry {
+            artifact: artifact.into(),
+            kind: "figure".into(),
+            spec: spec.into(),
+            seeds: vec![1],
+            fingerprints: vec![7],
+        });
+        m
+    }
+
+    #[test]
+    fn write_accumulates_and_replaces_entries() {
+        let dir = std::env::temp_dir().join("flexserve-manifest-merge-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CacheStats::default();
+
+        one_entry("fig03.csv", "fig03 v1")
+            .write_to(&dir, "run fig03", cache)
+            .unwrap();
+        one_entry("fig04.csv", "fig04 v1")
+            .write_to(&dir, "run fig04", cache)
+            .unwrap();
+        let json = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        // Both artifacts' provenance survives; balance still holds.
+        assert!(json.contains("\"artifact\": \"fig03.csv\""), "{json}");
+        assert!(json.contains("\"artifact\": \"fig04.csv\""), "{json}");
+        assert!(json.contains("\"command\": \"run fig04\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // Re-producing fig03 replaces its entry rather than duplicating.
+        one_entry("fig03.csv", "fig03 v2")
+            .write_to(&dir, "run fig03", cache)
+            .unwrap();
+        let json = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert_eq!(json.matches("\"artifact\": \"fig03.csv\"").count(), 1);
+        assert!(json.contains("fig03 v2"));
+        assert!(!json.contains("fig03 v1"));
+        assert!(json.contains("\"artifact\": \"fig04.csv\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let d = git_describe();
+        assert!(!d.is_empty());
+    }
+}

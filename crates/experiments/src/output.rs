@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::path::PathBuf;
 
 /// A simple column-aligned table accumulated row by row.
 #[derive(Clone, Debug)]
@@ -99,10 +99,19 @@ impl Table {
     }
 }
 
-/// Writes `content` to `results/<name>.csv`, creating the directory.
+/// Directory all result artifacts (CSVs, the manifest) are written to:
+/// `$FLEXSERVE_RESULTS_DIR` when set, else `results/` under the current
+/// working directory. The golden tests point this at a temp directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FLEXSERVE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `content` to `<results dir>/<name>.csv`, creating the directory.
 pub fn write_csv(name: &str, content: &str) -> std::io::Result<()> {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
     fs::write(dir.join(format!("{name}.csv")), content)
 }
 

@@ -8,7 +8,7 @@ use flexserve_workload::Trace;
 
 use flexserve_core::{initial_center, OffBr, OffTh, OnBr, OnTh, StaticStrategy};
 
-/// The algorithms the figure binaries compare.
+/// The algorithms the figure pipelines compare.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
     /// ONTH (`y = 2`).
@@ -103,8 +103,8 @@ impl SeedSummary {
 /// (every scenario and strategy in this workspace does), so the collected
 /// summary is bit-identical to [`average_serial`] regardless of thread
 /// count or scheduling — rayon only changes *when* each seed runs, never
-/// what it computes. The figure binaries rely on this to produce identical
-/// CSVs on any machine.
+/// what it computes. The figure pipelines rely on this to produce
+/// identical CSVs on any machine.
 pub fn average<F>(seeds: &[u64], f: F) -> SeedSummary
 where
     F: Fn(u64) -> CostBreakdown + Sync,

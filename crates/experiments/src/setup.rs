@@ -3,38 +3,53 @@
 //! random T1/T2 bandwidths; commuter and time-zone demand; β=40, c=400
 //! (flipped to β=400, c=40 for the migration-useless regime).
 
-use flexserve_graph::gen::{erdos_renyi, unit_line, GenConfig};
+use std::sync::Arc;
+
 use flexserve_graph::{DistanceMatrix, Graph};
 use flexserve_sim::{CostParams, LoadModel, SimContext};
 use flexserve_workload::{CommuterScenario, LoadVariant, Scenario, TimeZonesScenario};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::cache::DistCache;
+use crate::spec::TopologySpec;
 
-/// Owns a substrate and its distance matrix so a [`SimContext`] can borrow
-/// both (contexts are borrow-based to let many runs share one matrix).
+/// A substrate and its distance matrix, shared by `Arc` so a
+/// [`SimContext`] can borrow both and many runs (and cache entries) can
+/// share one APSP computation.
+///
+/// All seeded constructors go through the process-wide
+/// [`DistCache`]: requesting the same
+/// `(topology, seed)` twice returns the *same* graph and matrix instead of
+/// recomputing the all-pairs shortest paths — the dominant redundant cost
+/// when a figure evaluates several algorithms or workloads on one
+/// substrate. Cached or fresh, the contents are bit-identical, so results
+/// never depend on cache state.
+#[derive(Clone)]
 pub struct ExperimentEnv {
     /// The substrate graph.
-    pub graph: Graph,
+    pub graph: Arc<Graph>,
     /// Its all-pairs shortest-path matrix.
-    pub matrix: DistanceMatrix,
+    pub matrix: Arc<DistanceMatrix>,
 }
 
 impl ExperimentEnv {
+    /// Builds (or fetches from the cache) the substrate a
+    /// [`TopologySpec`] describes for `seed`.
+    pub fn from_spec(spec: &TopologySpec, seed: u64) -> Result<Self, String> {
+        // Seed-insensitive topologies (as7018, rocketfuel, unit-line)
+        // normalize to one cache entry instead of an identical build per
+        // seed.
+        let seed = if spec.is_seeded() { seed } else { 0 };
+        DistCache::global().get_or_build(&spec.to_string(), seed, || spec.build(seed))
+    }
+
     /// Erdős–Rényi substrate with the paper's 1% connection probability.
     pub fn erdos_renyi(n: usize, seed: u64) -> Self {
-        let cfg = GenConfig::default();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let graph = erdos_renyi(n, 0.01, &cfg, &mut rng).expect("valid ER parameters");
-        let matrix = DistanceMatrix::build(&graph);
-        ExperimentEnv { graph, matrix }
+        Self::from_spec(&TopologySpec::ErdosRenyi { n }, seed).expect("valid ER parameters")
     }
 
     /// Unit-latency line substrate (tests and deterministic examples).
     pub fn line(n: usize) -> Self {
-        let graph = unit_line(n).expect("n >= 1");
-        let matrix = DistanceMatrix::build(&graph);
-        ExperimentEnv { graph, matrix }
+        Self::from_spec(&TopologySpec::UnitLine { n }, 0).expect("n >= 1")
     }
 
     /// Line substrate with the same random latency (1–10 ms) and T1/T2
@@ -42,17 +57,17 @@ impl ExperimentEnv {
     /// the OPT experiments run on ("to simulate OPT, we constrain
     /// ourselves to line graphs"; link properties random as elsewhere).
     pub fn random_line(n: usize, seed: u64) -> Self {
-        let cfg = GenConfig::default();
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let graph = flexserve_graph::gen::line(n, &cfg, &mut rng).expect("n >= 1");
-        let matrix = DistanceMatrix::build(&graph);
-        ExperimentEnv { graph, matrix }
+        Self::from_spec(&TopologySpec::Line { n }, seed).expect("n >= 1")
     }
 
-    /// Wraps a prebuilt graph (e.g. the Rocketfuel-like AS-7018).
+    /// Wraps a prebuilt graph (e.g. the Rocketfuel-like AS-7018). Not
+    /// cached: the caller owns the graph's provenance.
     pub fn from_graph(graph: Graph) -> Self {
         let matrix = DistanceMatrix::build(&graph);
-        ExperimentEnv { graph, matrix }
+        ExperimentEnv {
+            graph: Arc::new(graph),
+            matrix: Arc::new(matrix),
+        }
     }
 
     /// A [`SimContext`] over this environment.
@@ -88,12 +103,12 @@ impl std::fmt::Display for ScenarioKind {
 }
 
 /// Requests per round used by the time-zones scenario on mid-size
-/// substrates (DESIGN.md §5: the paper leaves this unspecified; 50 keeps
+/// substrates (docs/DESIGN.md §5: the paper leaves this unspecified; 50 keeps
 /// volumes comparable to the commuter peaks).
 pub const TIME_ZONES_REQUESTS_PER_ROUND: usize = 50;
 
 /// The paper's scaling of `T` with network size (matches the explicit
-/// pairs n=1000→14, 500→12, 200→10; see DESIGN.md §5).
+/// pairs n=1000→14, 500→12, 200→10; see docs/DESIGN.md §5).
 pub fn paper_t_for(n: usize) -> u32 {
     CommuterScenario::t_for_network_size(n)
 }

@@ -1,0 +1,926 @@
+//! Declarative experiment specifications.
+//!
+//! The paper's evaluation is a grid of {topology × workload × strategy}
+//! cells. This module turns each axis into *data*: a [`TopologySpec`],
+//! [`WorkloadSpec`] and [`StrategySpec`] each parse from and print to a
+//! canonical string (`er:200`, `time-zones:p=50,req=50`, `onth`, …), and a
+//! [`CellSpec`] combines one value per axis with the run parameters
+//! (`T`, `λ`, rounds, seeds, cost model). The `flexserve` CLI's `run` and
+//! `sweep` subcommands are thin drivers over these types, and the topology
+//! spec's canonical string doubles as the distance-matrix cache key
+//! (see [`crate::cache`]).
+//!
+//! Adding a new scenario means adding an enum variant and its parser arm —
+//! not another binary.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use flexserve_graph::gen::{
+    self, erdos_renyi, grid, line, random_geometric, random_tree, ring, star, unit_line, waxman,
+};
+use flexserve_graph::{DistanceMatrix, Graph};
+use flexserve_sim::{CostBreakdown, CostParams, LoadModel, SimContext};
+use flexserve_topology::{as7018_like, parse_rocketfuel_weights, As7018Config};
+use flexserve_workload::{
+    record, CommuterScenario, LoadVariant, OnOffScenario, ProximityScenario, Scenario,
+    TimeZonesScenario, Trace, UniformScenario,
+};
+
+use flexserve_core::{initial_center, offstat, optimal_plan, OnConf, SampledConf};
+
+use crate::runner::{average, run_algorithm, Algorithm, SeedSummary};
+use crate::setup::ExperimentEnv;
+
+/// A substrate topology, identified by a canonical string such as
+/// `er:200`, `waxman:100`, `grid:8x12` or `as7018`.
+///
+/// Every variant builds deterministically from a seed, so
+/// `(canonical string, seed)` fully identifies a substrate — which is
+/// exactly the key of the process-wide distance-matrix cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Erdős–Rényi with the paper's 1% connection probability (`er:<n>`).
+    ErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Connected Waxman graph, α=0.4, β=0.15, 10 ms/unit (`waxman:<n>`).
+    Waxman {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// 4-neighbor grid (`grid:<rows>x<cols>`).
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Connected random geometric graph, radius 0.2, 10 ms/unit
+    /// (`geom:<n>`).
+    Geometric {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Line with random 1–10 ms latencies, as in the OPT experiments
+    /// (`line:<n>`).
+    Line {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Unit-latency line, fully deterministic (`unit-line:<n>`).
+    UnitLine {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Ring with random latencies (`ring:<n>`).
+    Ring {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Star with random latencies (`star:<n>`).
+    Star {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Uniform random tree (`tree:<n>`).
+    Tree {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// The deterministic synthetic AT&T AS-7018-like PoP topology
+    /// (`as7018`; the seed is ignored).
+    As7018,
+    /// A Rocketfuel-style weighted ISP map file
+    /// (`rocketfuel:<path>`; the seed is ignored).
+    Rocketfuel {
+        /// Path to the weights file.
+        path: String,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the substrate for `seed`. Deterministic: equal spec + seed
+    /// always produce an identical graph (pinned by `Graph::fingerprint`).
+    pub fn build(&self, seed: u64) -> Result<Graph, String> {
+        let cfg = gen::GenConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let built = match self {
+            TopologySpec::ErdosRenyi { n } => erdos_renyi(*n, 0.01, &cfg, &mut rng),
+            TopologySpec::Waxman { n } => waxman(*n, 0.4, 0.15, 10.0, &cfg, &mut rng),
+            TopologySpec::Grid { rows, cols } => grid(*rows, *cols, &cfg, &mut rng),
+            TopologySpec::Geometric { n } => random_geometric(*n, 0.2, 10.0, &cfg, &mut rng),
+            TopologySpec::Line { n } => line(*n, &cfg, &mut rng),
+            TopologySpec::UnitLine { n } => unit_line(*n),
+            TopologySpec::Ring { n } => ring(*n, &cfg, &mut rng),
+            TopologySpec::Star { n } => star(*n, &cfg, &mut rng),
+            TopologySpec::Tree { n } => random_tree(*n, &cfg, &mut rng),
+            TopologySpec::As7018 => {
+                return as7018_like(&As7018Config::default())
+                    .map(|(g, _backbone)| g)
+                    .map_err(|e| format!("as7018: {e}"))
+            }
+            TopologySpec::Rocketfuel { path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("rocketfuel: cannot read {path}: {e}"))?;
+                return parse_rocketfuel_weights(&text).map_err(|e| format!("rocketfuel: {e}"));
+            }
+        };
+        built.map_err(|e| format!("{self}: {e}"))
+    }
+
+    /// Whether the seed changes the substrate (false for the deterministic
+    /// AS-7018 and file-based topologies).
+    pub fn is_seeded(&self) -> bool {
+        !matches!(
+            self,
+            TopologySpec::As7018 | TopologySpec::Rocketfuel { .. } | TopologySpec::UnitLine { .. }
+        )
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::ErdosRenyi { n } => write!(f, "er:{n}"),
+            TopologySpec::Waxman { n } => write!(f, "waxman:{n}"),
+            TopologySpec::Grid { rows, cols } => write!(f, "grid:{rows}x{cols}"),
+            TopologySpec::Geometric { n } => write!(f, "geom:{n}"),
+            TopologySpec::Line { n } => write!(f, "line:{n}"),
+            TopologySpec::UnitLine { n } => write!(f, "unit-line:{n}"),
+            TopologySpec::Ring { n } => write!(f, "ring:{n}"),
+            TopologySpec::Star { n } => write!(f, "star:{n}"),
+            TopologySpec::Tree { n } => write!(f, "tree:{n}"),
+            TopologySpec::As7018 => write!(f, "as7018"),
+            TopologySpec::Rocketfuel { path } => write!(f, "rocketfuel:{path}"),
+        }
+    }
+}
+
+fn parse_count(kind: &str, arg: Option<&str>) -> Result<usize, String> {
+    let arg = arg.ok_or_else(|| format!("{kind}: missing node count (expected {kind}:<n>)"))?;
+    arg.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("{kind}: bad node count {arg:?}"))
+}
+
+impl FromStr for TopologySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (s, None),
+        };
+        match kind {
+            "er" => Ok(TopologySpec::ErdosRenyi {
+                n: parse_count(kind, arg)?,
+            }),
+            "waxman" => Ok(TopologySpec::Waxman {
+                n: parse_count(kind, arg)?,
+            }),
+            "grid" => {
+                let arg = arg.ok_or("grid: expected grid:<rows>x<cols>")?;
+                let (r, c) = arg
+                    .split_once('x')
+                    .ok_or("grid: expected grid:<rows>x<cols>")?;
+                let rows = r.parse().ok().filter(|&v: &usize| v >= 1);
+                let cols = c.parse().ok().filter(|&v: &usize| v >= 1);
+                match (rows, cols) {
+                    (Some(rows), Some(cols)) => Ok(TopologySpec::Grid { rows, cols }),
+                    _ => Err(format!("grid: bad dimensions {arg:?}")),
+                }
+            }
+            "geom" => Ok(TopologySpec::Geometric {
+                n: parse_count(kind, arg)?,
+            }),
+            "line" => Ok(TopologySpec::Line {
+                n: parse_count(kind, arg)?,
+            }),
+            "unit-line" => Ok(TopologySpec::UnitLine {
+                n: parse_count(kind, arg)?,
+            }),
+            "ring" => Ok(TopologySpec::Ring {
+                n: parse_count(kind, arg)?,
+            }),
+            "star" => Ok(TopologySpec::Star {
+                n: parse_count(kind, arg)?,
+            }),
+            "tree" => Ok(TopologySpec::Tree {
+                n: parse_count(kind, arg)?,
+            }),
+            "as7018" => Ok(TopologySpec::As7018),
+            "rocketfuel" => {
+                let path = arg.ok_or("rocketfuel: expected rocketfuel:<path>")?;
+                Ok(TopologySpec::Rocketfuel {
+                    path: path.to_string(),
+                })
+            }
+            _ => Err(format!(
+                "unknown topology {s:?} (expected er, waxman, grid, geom, line, unit-line, \
+                 ring, star, tree, as7018 or rocketfuel)"
+            )),
+        }
+    }
+}
+
+/// Splits `"key=1,flag=true"` into key/value pairs, validating keys
+/// against `allowed`.
+fn parse_kv<'a>(
+    kind: &str,
+    args: &'a str,
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out = Vec::new();
+    for part in args.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("{kind}: expected key=value, got {part:?}"))?;
+        if !allowed.contains(&k) {
+            return Err(format!(
+                "{kind}: unknown key {k:?} (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+/// A demand workload, identified by a canonical string such as
+/// `commuter-dynamic` or `time-zones:p=50,req=50`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Commuter scenario, dynamic load (`commuter-dynamic`).
+    CommuterDynamic,
+    /// Commuter scenario, static load (`commuter-static`).
+    CommuterStatic,
+    /// Time-zones scenario (`time-zones:p=<hot %>,req=<requests/round>`).
+    TimeZones {
+        /// Percentage of requests from the period's hot node.
+        hot_percent: u32,
+        /// Requests per round.
+        requests: usize,
+    },
+    /// Stationary center-proximity demand
+    /// (`proximity:req=<requests/round>,pool=<nearest %>`).
+    Proximity {
+        /// Requests per round.
+        requests: usize,
+        /// Percentage of the proximity ranking eligible as origins.
+        pool_percent: u32,
+    },
+    /// Uniform background noise (`uniform:req=<requests/round>`).
+    Uniform {
+        /// Requests per round.
+        requests: usize,
+    },
+    /// On/off user mobility (`onoff:users=<u>,dwell=<rounds>,correlated=<bool>`).
+    OnOff {
+        /// Concurrent users.
+        users: usize,
+        /// Rounds a user dwells at one access point.
+        dwell: u64,
+        /// Whether users move in a correlated wave.
+        correlated: bool,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiates the scenario over a substrate.
+    ///
+    /// `t_periods` and `lambda` parameterize the daily rhythm where the
+    /// scenario has one (commuter, time-zones); stationary workloads
+    /// (proximity, uniform, on/off) ignore them.
+    pub fn instantiate(
+        &self,
+        graph: &Graph,
+        matrix: &DistanceMatrix,
+        t_periods: u32,
+        lambda: u64,
+        seed: u64,
+    ) -> Box<dyn Scenario> {
+        match self {
+            WorkloadSpec::CommuterDynamic => Box::new(CommuterScenario::with_matrix(
+                graph,
+                matrix,
+                t_periods,
+                lambda,
+                LoadVariant::Dynamic,
+                seed,
+            )),
+            WorkloadSpec::CommuterStatic => Box::new(CommuterScenario::with_matrix(
+                graph,
+                matrix,
+                t_periods,
+                lambda,
+                LoadVariant::Static,
+                seed,
+            )),
+            WorkloadSpec::TimeZones {
+                hot_percent,
+                requests,
+            } => Box::new(TimeZonesScenario::new(
+                graph,
+                t_periods,
+                lambda,
+                f64::from(*hot_percent) / 100.0,
+                *requests,
+                seed,
+            )),
+            WorkloadSpec::Proximity {
+                requests,
+                pool_percent,
+            } => Box::new(ProximityScenario::with_matrix(
+                graph,
+                matrix,
+                *requests,
+                f64::from(*pool_percent) / 100.0,
+                seed,
+            )),
+            WorkloadSpec::Uniform { requests } => {
+                Box::new(UniformScenario::new(graph, *requests, seed))
+            }
+            WorkloadSpec::OnOff {
+                users,
+                dwell,
+                correlated,
+            } => Box::new(OnOffScenario::new(graph, *users, *dwell, *correlated, seed)),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpec::CommuterDynamic => write!(f, "commuter-dynamic"),
+            WorkloadSpec::CommuterStatic => write!(f, "commuter-static"),
+            WorkloadSpec::TimeZones {
+                hot_percent,
+                requests,
+            } => write!(f, "time-zones:p={hot_percent},req={requests}"),
+            WorkloadSpec::Proximity {
+                requests,
+                pool_percent,
+            } => write!(f, "proximity:req={requests},pool={pool_percent}"),
+            WorkloadSpec::Uniform { requests } => write!(f, "uniform:req={requests}"),
+            WorkloadSpec::OnOff {
+                users,
+                dwell,
+                correlated,
+            } => write!(
+                f,
+                "onoff:users={users},dwell={dwell},correlated={correlated}"
+            ),
+        }
+    }
+}
+
+fn parse_field<T: FromStr>(kind: &str, key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{kind}: bad value {value:?} for {key}"))
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, args) = match s.split_once(':') {
+            Some((k, a)) => (k, a),
+            None => (s, ""),
+        };
+        match kind {
+            "commuter-dynamic" => Ok(WorkloadSpec::CommuterDynamic),
+            "commuter-static" => Ok(WorkloadSpec::CommuterStatic),
+            "time-zones" => {
+                let (mut p, mut req) = (50u32, 50usize);
+                for (k, v) in parse_kv(kind, args, &["p", "req"])? {
+                    match k {
+                        "p" => p = parse_field(kind, k, v)?,
+                        _ => req = parse_field(kind, k, v)?,
+                    }
+                }
+                if p > 100 {
+                    return Err(format!("time-zones: p must be 0–100, got {p}"));
+                }
+                Ok(WorkloadSpec::TimeZones {
+                    hot_percent: p,
+                    requests: req,
+                })
+            }
+            "proximity" => {
+                let (mut req, mut pool) = (20usize, 20u32);
+                for (k, v) in parse_kv(kind, args, &["req", "pool"])? {
+                    match k {
+                        "req" => req = parse_field(kind, k, v)?,
+                        _ => pool = parse_field(kind, k, v)?,
+                    }
+                }
+                if pool == 0 || pool > 100 {
+                    return Err(format!("proximity: pool must be 1–100, got {pool}"));
+                }
+                Ok(WorkloadSpec::Proximity {
+                    requests: req,
+                    pool_percent: pool,
+                })
+            }
+            "uniform" => {
+                let mut req = 10usize;
+                for (k, v) in parse_kv(kind, args, &["req"])? {
+                    req = parse_field(kind, k, v)?;
+                }
+                Ok(WorkloadSpec::Uniform { requests: req })
+            }
+            "onoff" => {
+                let (mut users, mut dwell, mut correlated) = (40usize, 5u64, false);
+                for (k, v) in parse_kv(kind, args, &["users", "dwell", "correlated"])? {
+                    match k {
+                        "users" => users = parse_field(kind, k, v)?,
+                        "dwell" => dwell = parse_field(kind, k, v)?,
+                        _ => correlated = parse_field(kind, k, v)?,
+                    }
+                }
+                Ok(WorkloadSpec::OnOff {
+                    users,
+                    dwell,
+                    correlated,
+                })
+            }
+            _ => Err(format!(
+                "unknown workload {s:?} (expected commuter-dynamic, commuter-static, \
+                 time-zones, proximity, uniform or onoff)"
+            )),
+        }
+    }
+}
+
+/// An allocation strategy, identified by its paper name (lowercased).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// ONTH, the threshold algorithm (`onth`).
+    OnTh,
+    /// ONBR with fixed threshold `2c` (`onbr-fixed`, alias `onbr`).
+    OnBrFixed,
+    /// ONBR with dynamic threshold `2c/ℓ` (`onbr-dyn`).
+    OnBrDyn,
+    /// ONCONF, the configuration-counter algorithm (`onconf`;
+    /// exponential state space — small substrates only).
+    OnConf,
+    /// SAMPLEDCONF, the §III-A sampling speed-up of ONCONF (`sampledconf`).
+    SampledConf,
+    /// OFFBR, lookahead best response (`offbr`).
+    OffBr,
+    /// OFFTH, lookahead threshold (`offth`).
+    OffTh,
+    /// OFFSTAT, the optimal *static* provisioning (`offstat`).
+    OffStat,
+    /// OPT, the optimal offline dynamic program (`opt`; small substrates
+    /// only).
+    Opt,
+    /// Never reconfigures (`static`).
+    Static,
+}
+
+/// Every strategy the registry exposes, in display order.
+pub const ALL_STRATEGIES: [StrategySpec; 10] = [
+    StrategySpec::OnTh,
+    StrategySpec::OnBrFixed,
+    StrategySpec::OnBrDyn,
+    StrategySpec::OnConf,
+    StrategySpec::SampledConf,
+    StrategySpec::OffBr,
+    StrategySpec::OffTh,
+    StrategySpec::OffStat,
+    StrategySpec::Opt,
+    StrategySpec::Static,
+];
+
+impl StrategySpec {
+    /// Runs the strategy on a recorded trace, starting from one server at
+    /// the network center (the paper's canonical start). `seed` only
+    /// matters for the randomized ONCONF.
+    ///
+    /// OFFSTAT and OPT return their total cost in the `access` component
+    /// (they report a scalar optimum, not a breakdown) — the same
+    /// convention the figure pipelines use.
+    pub fn run(self, ctx: &SimContext<'_>, trace: &Trace, seed: u64) -> CostBreakdown {
+        use flexserve_sim::run_online;
+        match self {
+            StrategySpec::OnTh => run_algorithm(ctx, trace, Algorithm::OnTh).total(),
+            StrategySpec::OnBrFixed => run_algorithm(ctx, trace, Algorithm::OnBrFixed).total(),
+            StrategySpec::OnBrDyn => run_algorithm(ctx, trace, Algorithm::OnBrDyn).total(),
+            StrategySpec::OffBr => run_algorithm(ctx, trace, Algorithm::OffBr).total(),
+            StrategySpec::OffTh => run_algorithm(ctx, trace, Algorithm::OffTh).total(),
+            StrategySpec::Static => run_algorithm(ctx, trace, Algorithm::Static).total(),
+            StrategySpec::OnConf => {
+                let initial = initial_center(ctx);
+                let mut strat = OnConf::new(ctx, &initial, seed);
+                run_online(ctx, trace, &mut strat, initial).total()
+            }
+            StrategySpec::SampledConf => {
+                let initial = initial_center(ctx);
+                let mut strat = SampledConf::new(ctx);
+                run_online(ctx, trace, &mut strat, initial).total()
+            }
+            StrategySpec::OffStat => CostBreakdown::from_access(offstat(ctx, trace).best_cost),
+            StrategySpec::Opt => {
+                let initial = initial_center(ctx);
+                CostBreakdown::from_access(optimal_plan(ctx, trace, &initial).cost)
+            }
+        }
+    }
+
+    /// Whether the strategy enumerates configurations and therefore only
+    /// works on small substrates (each variant is pre-checked against its
+    /// own state cap by [`CellSpec::validate`]).
+    pub fn enumerates_configurations(self) -> bool {
+        matches!(self, StrategySpec::OnConf | StrategySpec::Opt)
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StrategySpec::OnTh => "onth",
+            StrategySpec::OnBrFixed => "onbr-fixed",
+            StrategySpec::OnBrDyn => "onbr-dyn",
+            StrategySpec::OnConf => "onconf",
+            StrategySpec::SampledConf => "sampledconf",
+            StrategySpec::OffBr => "offbr",
+            StrategySpec::OffTh => "offth",
+            StrategySpec::OffStat => "offstat",
+            StrategySpec::Opt => "opt",
+            StrategySpec::Static => "static",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for StrategySpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "onth" => Ok(StrategySpec::OnTh),
+            "onbr" | "onbr-fixed" => Ok(StrategySpec::OnBrFixed),
+            "onbr-dyn" => Ok(StrategySpec::OnBrDyn),
+            "onconf" => Ok(StrategySpec::OnConf),
+            "sampledconf" => Ok(StrategySpec::SampledConf),
+            "offbr" => Ok(StrategySpec::OffBr),
+            "offth" => Ok(StrategySpec::OffTh),
+            "offstat" => Ok(StrategySpec::OffStat),
+            "opt" => Ok(StrategySpec::Opt),
+            "static" => Ok(StrategySpec::Static),
+            _ => Err(format!(
+                "unknown strategy {s:?} (expected onth, onbr-fixed, onbr-dyn, onconf, \
+                 sampledconf, offbr, offth, offstat, opt or static)"
+            )),
+        }
+    }
+}
+
+/// One experimental cell: topology × workload × strategy plus run
+/// parameters. [`CellSpec::run`] averages the cell over its seeds via the
+/// seed-parallel runner, pulling substrates from the distance-matrix cache.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Substrate topology.
+    pub topology: TopologySpec,
+    /// Demand workload.
+    pub workload: WorkloadSpec,
+    /// Allocation strategy.
+    pub strategy: StrategySpec,
+    /// Periods per day `T`.
+    pub t_periods: u32,
+    /// Rounds per period `λ`.
+    pub lambda: u64,
+    /// Total simulated rounds.
+    pub rounds: u64,
+    /// Seeds averaged over (substrate and workload derive from each seed).
+    pub seeds: Vec<u64>,
+    /// Cost-model parameters.
+    pub params: CostParams,
+    /// Server load model.
+    pub load: LoadModel,
+}
+
+impl CellSpec {
+    /// A cell with the paper's default parameters: `T=8`, `λ=10`,
+    /// 200 rounds, seeds 1000–1002, default cost model, linear load.
+    pub fn new(topology: TopologySpec, workload: WorkloadSpec, strategy: StrategySpec) -> Self {
+        CellSpec {
+            topology,
+            workload,
+            strategy,
+            t_periods: 8,
+            lambda: 10,
+            rounds: 200,
+            seeds: vec![1000, 1001, 1002],
+            params: CostParams::default(),
+            load: LoadModel::Linear,
+        }
+    }
+
+    /// Canonical one-line cell description (manifest + sweep CSV rows).
+    pub fn describe(&self) -> String {
+        format!(
+            "{} x {} x {} (T={}, lambda={}, rounds={}, {} seeds, {}, load={})",
+            self.topology,
+            self.workload,
+            self.strategy,
+            self.t_periods,
+            self.lambda,
+            self.rounds,
+            self.seeds.len(),
+            self.params.summary(),
+            self.load
+        )
+    }
+
+    /// Checks the cell is runnable before any expensive work: parameters
+    /// validate, the first seed's substrate builds, and
+    /// configuration-enumerating strategies (OPT, ONCONF) fit their state
+    /// budgets (each checked with its own crate-of-origin count function,
+    /// so the pre-check can never drift from the algorithms' panic caps).
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if self.seeds.is_empty() {
+            return Err("cell: at least one seed is required".into());
+        }
+        if self.rounds == 0 {
+            return Err("cell: rounds must be >= 1".into());
+        }
+        if self.t_periods == 0 || self.lambda == 0 {
+            return Err("cell: T and lambda must be >= 1".into());
+        }
+        // Through the cache: the substrate this builds is the one run()
+        // fetches, so validation costs a cache fill, not duplicate work.
+        let env = ExperimentEnv::from_spec(&self.topology, self.seeds[0])?;
+        let n = env.graph.node_count();
+        let k = self.params.max_servers.min(n);
+        match self.strategy {
+            // The OPT DP mirrors configurations into 64-bit position masks
+            // and enumerates position sets × active subsets.
+            StrategySpec::Opt => {
+                if n > 64 {
+                    return Err(format!(
+                        "opt: {n}-node substrate exceeds the DP's 64-bit configuration \
+                         mask (use a substrate with <= 64 nodes)"
+                    ));
+                }
+                let states = flexserve_core::opt::state_count(n, k);
+                let max = flexserve_core::opt::MAX_STATES as u128;
+                if states > max {
+                    return Err(format!(
+                        "opt: {states} configurations (n={n}, k={k}) exceed MAX_STATES={max}; \
+                         shrink the substrate or the server budget k"
+                    ));
+                }
+            }
+            // ONCONF holds explicit node lists (no bitmask, no node-count
+            // limit) but enumerates all position sets up to size k.
+            StrategySpec::OnConf => {
+                let configs = flexserve_core::onconf::config_count(n, k);
+                let max = flexserve_core::onconf::MAX_CONFIGURATIONS;
+                if configs > max {
+                    return Err(format!(
+                        "onconf: {configs} configurations (n={n}, k={k}) exceed the cap \
+                         of {max}; shrink the substrate or the server budget k"
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Runs the cell: for each seed (in parallel), build or fetch the
+    /// substrate, record the workload trace, play the strategy, and
+    /// collect the cost breakdowns in seed order.
+    ///
+    /// Returns the per-seed summary plus the substrate fingerprint of the
+    /// first seed (recorded in the manifest for provenance).
+    pub fn run(&self) -> Result<CellResult, String> {
+        self.validate()?;
+        let summary = average(&self.seeds, |seed| {
+            let env =
+                ExperimentEnv::from_spec(&self.topology, seed).expect("validated spec must build");
+            let ctx = env.context(self.params, self.load);
+            let mut scenario = self.workload.instantiate(
+                &env.graph,
+                &env.matrix,
+                self.t_periods,
+                self.lambda,
+                seed,
+            );
+            let trace = record(scenario.as_mut(), self.rounds);
+            self.strategy.run(&ctx, &trace, seed)
+        });
+        let fingerprint = ExperimentEnv::from_spec(&self.topology, self.seeds[0])
+            .expect("validated spec must build")
+            .graph
+            .fingerprint();
+        Ok(CellResult {
+            summary,
+            fingerprint,
+        })
+    }
+}
+
+/// The outcome of [`CellSpec::run`].
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Per-seed cost breakdowns, in seed order.
+    pub summary: SeedSummary,
+    /// `Graph::fingerprint` of the first seed's substrate.
+    pub fingerprint: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_round_trip() {
+        for s in [
+            "er:200",
+            "waxman:100",
+            "grid:8x12",
+            "geom:150",
+            "line:5",
+            "unit-line:9",
+            "ring:32",
+            "star:16",
+            "tree:64",
+            "as7018",
+            "rocketfuel:data/as7018.weights",
+        ] {
+            let spec: TopologySpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "canonical form must round-trip");
+        }
+        assert!("er".parse::<TopologySpec>().is_err());
+        assert!("er:0".parse::<TopologySpec>().is_err());
+        assert!("grid:5".parse::<TopologySpec>().is_err());
+        assert!("mesh:5".parse::<TopologySpec>().is_err());
+    }
+
+    #[test]
+    fn workload_specs_round_trip_and_default() {
+        for s in [
+            "commuter-dynamic",
+            "commuter-static",
+            "time-zones:p=50,req=50",
+            "proximity:req=20,pool=20",
+            "uniform:req=10",
+            "onoff:users=40,dwell=5,correlated=false",
+        ] {
+            let spec: WorkloadSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        // bare names parse to the defaults above
+        assert_eq!(
+            "time-zones".parse::<WorkloadSpec>().unwrap().to_string(),
+            "time-zones:p=50,req=50"
+        );
+        assert_eq!(
+            "uniform".parse::<WorkloadSpec>().unwrap().to_string(),
+            "uniform:req=10"
+        );
+        assert!("time-zones:p=200".parse::<WorkloadSpec>().is_err());
+        assert!("time-zones:bogus=1".parse::<WorkloadSpec>().is_err());
+        assert!("rush-hour".parse::<WorkloadSpec>().is_err());
+    }
+
+    #[test]
+    fn strategy_specs_round_trip() {
+        for s in ALL_STRATEGIES {
+            assert_eq!(s.to_string().parse::<StrategySpec>().unwrap(), s);
+        }
+        assert_eq!(
+            "onbr".parse::<StrategySpec>().unwrap(),
+            StrategySpec::OnBrFixed
+        );
+        assert!("greedy".parse::<StrategySpec>().is_err());
+    }
+
+    #[test]
+    fn topologies_build_deterministically() {
+        for s in [
+            "er:40",
+            "waxman:30",
+            "grid:4x5",
+            "geom:30",
+            "ring:12",
+            "tree:20",
+        ] {
+            let spec: TopologySpec = s.parse().unwrap();
+            let a = spec.build(7).unwrap();
+            let b = spec.build(7).unwrap();
+            assert_eq!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "{s} must be deterministic"
+            );
+            if spec.is_seeded() {
+                let c = spec.build(8).unwrap();
+                assert_ne!(a.fingerprint(), c.fingerprint(), "{s} must vary with seed");
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_bounds_come_from_core() {
+        // 5-node line with k=4, the paper's OPT setting, is comfortably
+        // inside MAX_STATES; a 200-node substrate is hopeless.
+        assert!(flexserve_core::opt::state_count(5, 4) < flexserve_core::opt::MAX_STATES as u128);
+        assert!(
+            flexserve_core::opt::state_count(200, 16) > flexserve_core::opt::MAX_STATES as u128
+        );
+    }
+
+    #[test]
+    fn cell_validation_rejects_infeasible_opt() {
+        let cell = CellSpec::new(
+            "er:100".parse().unwrap(),
+            "commuter-dynamic".parse().unwrap(),
+            StrategySpec::Opt,
+        );
+        let err = cell.validate().unwrap_err();
+        assert!(err.contains("64-bit configuration mask"), "{err}");
+        // Within the mask but over the state cap: 40 nodes, k=16.
+        let mut cell40 = CellSpec::new(
+            "er:40".parse().unwrap(),
+            "commuter-dynamic".parse().unwrap(),
+            StrategySpec::Opt,
+        );
+        let err = cell40.validate().unwrap_err();
+        assert!(err.contains("exceed MAX_STATES"), "{err}");
+        cell40.seeds.clear();
+        assert!(cell40.validate().is_err());
+    }
+
+    #[test]
+    fn onconf_has_no_node_count_limit() {
+        // ONCONF holds explicit node lists — no 64-bit mask. 100 nodes
+        // with k=1 is only 100 configurations and must validate.
+        let mut cell = CellSpec::new(
+            "er:100".parse().unwrap(),
+            "commuter-dynamic".parse().unwrap(),
+            StrategySpec::OnConf,
+        );
+        cell.params = cell.params.with_max_servers(1);
+        assert!(cell.validate().is_ok(), "{:?}", cell.validate());
+        // But the default k=16 blows the 50 000-configuration cap.
+        cell.params = cell.params.with_max_servers(16);
+        let err = cell.validate().unwrap_err();
+        assert!(
+            err.contains("onconf") && err.contains("exceed the cap"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn small_cell_runs_end_to_end() {
+        let mut cell = CellSpec::new(
+            "unit-line:8".parse().unwrap(),
+            "uniform:req=3".parse().unwrap(),
+            StrategySpec::OnTh,
+        );
+        cell.rounds = 25;
+        cell.seeds = vec![1, 2];
+        cell.params = cell.params.with_max_servers(4);
+        let res = cell.run().unwrap();
+        assert_eq!(res.summary.per_seed.len(), 2);
+        assert!(res.summary.mean_total().is_finite());
+        assert!(res.summary.mean_total() > 0.0);
+        assert_ne!(res.fingerprint, 0);
+        assert!(cell.describe().contains("unit-line:8"));
+    }
+
+    #[test]
+    fn offline_strategies_run_in_cells() {
+        for strat in [
+            StrategySpec::OffStat,
+            StrategySpec::Opt,
+            StrategySpec::SampledConf,
+        ] {
+            let mut cell = CellSpec::new(
+                "line:5".parse().unwrap(),
+                "commuter-dynamic".parse().unwrap(),
+                strat,
+            );
+            cell.rounds = 16;
+            cell.t_periods = 4;
+            cell.seeds = vec![3];
+            cell.params = cell.params.with_max_servers(4);
+            let res = cell.run().unwrap();
+            assert!(res.summary.mean_total() > 0.0, "{strat}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden tests pinning the `flexserve` CLI surface.
+//!
+//! * `fig03` through the registry must reproduce the CSV the retired
+//!   per-figure binary produced, byte for byte — the distance-matrix cache
+//!   and the registry dispatch may never change experiment output.
+//! * `flexserve list` output must stay stable (the docs and CI smoke job
+//!   reference its names).
+//!
+//! The figure run and the cache assertion share one test: they both
+//! mutate process environment variables and write the same artifact, and
+//! Rust runs a binary's tests on concurrent threads.
+
+use flexserve_experiments::figures::Profile;
+use flexserve_experiments::registry;
+
+/// The quick-profile fig03 CSV captured from the pre-registry
+/// `fig03_cost_vs_n_dynamic` binary before it was deleted.
+const FIG03_QUICK_GOLDEN: &str = include_str!("golden/fig03_quick.csv");
+
+/// `flexserve list` output.
+const LIST_GOLDEN: &str = include_str!("golden/list.txt");
+
+#[test]
+fn fig03_is_byte_identical_to_the_retired_binary_and_hits_the_cache() {
+    // Route artifacts to a scratch dir so the test never touches the
+    // real results/ tree, and silence the table printer. The only other
+    // test in this binary reads no environment variables.
+    let dir = std::env::temp_dir().join("flexserve-golden-fig03");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("FLEXSERVE_RESULTS_DIR", &dir);
+    std::env::set_var("FLEXSERVE_SILENT", "1");
+
+    let entry = registry::figure("fig03").expect("fig03 is registered");
+    let table = (entry.run)(Profile::Quick);
+    assert_eq!(
+        table.to_csv(),
+        FIG03_QUICK_GOLDEN,
+        "registry fig03 must reproduce the retired binary's CSV byte-for-byte"
+    );
+
+    // The file on disk is the same bytes.
+    let on_disk = std::fs::read_to_string(dir.join("fig03.csv")).unwrap();
+    assert_eq!(on_disk, FIG03_QUICK_GOLDEN);
+
+    // fig03 evaluates 3 algorithms × 2 seeds per size on shared
+    // substrates, so the run above must have answered repeated
+    // (topology, seed) lookups from the global distance-matrix cache —
+    // and cached or not, the bytes above stayed golden.
+    let stats = flexserve_experiments::DistCache::global().stats();
+    assert!(
+        stats.hits >= 1,
+        "expected distance-matrix cache hits after a figure run, got {stats:?}"
+    );
+    assert!(stats.misses >= 1);
+}
+
+#[test]
+fn list_output_is_stable() {
+    assert_eq!(
+        registry::list_text(),
+        LIST_GOLDEN,
+        "`flexserve list` changed; update tests/golden/list.txt and docs/FIGURES.md deliberately"
+    );
+}

@@ -13,7 +13,7 @@
 //! exploits the structure on three levels:
 //!
 //! 1. **CSR layout** — the graph is flattened once into a
-//!    [`CsrAdjacency`](crate::csr::CsrAdjacency) (offset/target/weight
+//!    [`CsrAdjacency`] (offset/target/weight
 //!    arrays), so each relaxation scans one contiguous `(targets, weights)`
 //!    row instead of chasing `Vec<(NodeId, EdgeId)> → EdgeData` pointers.
 //! 2. **Row-parallel execution** — the output matrix is split into
@@ -21,7 +21,7 @@
 //!    (`par_chunks_mut`); every worker writes only its own rows, so there
 //!    is no synchronization on the hot path.
 //! 3. **Scratch reuse** — each worker allocates one
-//!    [`DijkstraScratch`](crate::csr::DijkstraScratch) (heap + settled
+//!    [`DijkstraScratch`] (heap + settled
 //!    flags) and reuses it for every source in its block: `O(threads)`
 //!    allocations per build instead of `O(n)`.
 //!

@@ -257,6 +257,41 @@ impl Graph {
     pub fn total_latency(&self) -> f64 {
         self.edges.iter().map(|e| e.latency).sum()
     }
+
+    /// Content fingerprint of the substrate: an FNV-1a hash over node
+    /// strengths and every edge's endpoints, latency bits and bandwidth.
+    ///
+    /// Two graphs built by the same seeded generator hash identically, so
+    /// the experiment layers use this to key distance-matrix caches and to
+    /// record substrate provenance in result manifests without serializing
+    /// the whole graph.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.nodes.len() as u64);
+        for n in &self.nodes {
+            mix(n.strength.to_bits());
+        }
+        mix(self.edges.len() as u64);
+        for e in &self.edges {
+            mix(e.endpoints.0.index() as u64);
+            mix(e.endpoints.1.index() as u64);
+            mix(e.latency.to_bits());
+            mix(match e.bandwidth {
+                Bandwidth::T1 => 1,
+                Bandwidth::T2 => 2,
+                Bandwidth::Custom(mbps) => mbps.to_bits(),
+            });
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -390,5 +425,24 @@ mod tests {
         let total: f64 = g.edges().map(|e| e.latency).sum();
         assert_eq!(total, 7.0);
         assert_eq!(g.total_latency(), 7.0);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let (g1, ..) = triangle();
+        let (g2, ..) = triangle();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+
+        let mut g3 = g1.clone();
+        let d = g3.add_node(1.0);
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+        g3.add_edge(NodeId::new(0), d, 9.0, Bandwidth::T2).unwrap();
+        let with_edge = g3.fingerprint();
+
+        // Same structure but a different latency must hash differently.
+        let (mut g4, a, ..) = triangle();
+        let d4 = g4.add_node(1.0);
+        g4.add_edge(a, d4, 9.5, Bandwidth::T2).unwrap();
+        assert_ne!(with_edge, g4.fingerprint());
     }
 }

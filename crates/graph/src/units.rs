@@ -25,7 +25,7 @@ pub type Strength = f64;
 /// model charges a constant `β` per migration, so bandwidth does not enter
 /// the headline cost numbers, but it is carried through the substrate so
 /// extensions (e.g. bandwidth-dependent migration duration, documented in
-/// DESIGN.md) can use it.
+/// docs/DESIGN.md) can use it.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Bandwidth {
     /// A T1 line: 1.544 Mbit/s.

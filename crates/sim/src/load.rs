@@ -54,6 +54,36 @@ impl LoadModel {
     }
 }
 
+/// Parses the names produced by [`LoadModel`]'s `Display` impl
+/// (`none`, `linear`, `quadratic`, `power(<p>)`); used by the experiment
+/// CLI to read load models from cell expressions.
+impl std::str::FromStr for LoadModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(LoadModel::None),
+            "linear" => Ok(LoadModel::Linear),
+            "quadratic" => Ok(LoadModel::Quadratic),
+            _ => {
+                if let Some(p) = s.strip_prefix("power(").and_then(|r| r.strip_suffix(')')) {
+                    let p: f64 = p
+                        .parse()
+                        .map_err(|_| format!("load model: bad exponent in {s:?}"))?;
+                    if p < 1.0 || !p.is_finite() {
+                        return Err(format!("load model: exponent must be >= 1, got {p}"));
+                    }
+                    Ok(LoadModel::Power(p))
+                } else {
+                    Err(format!(
+                        "unknown load model {s:?} (expected none, linear, quadratic or power(<p>))"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for LoadModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -89,6 +119,21 @@ mod tests {
         assert_eq!(LoadModel::Power(2.0).load(1.0, 3), 9.0);
         let p3 = LoadModel::Power(3.0).load(1.0, 2);
         assert!((p3 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for m in [
+            LoadModel::None,
+            LoadModel::Linear,
+            LoadModel::Quadratic,
+            LoadModel::Power(2.5),
+        ] {
+            assert_eq!(m.to_string().parse::<LoadModel>().unwrap(), m);
+        }
+        assert!("bogus".parse::<LoadModel>().is_err());
+        assert!("power(0.5)".parse::<LoadModel>().is_err());
+        assert!("power(x)".parse::<LoadModel>().is_err());
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl CostParams {
         self
     }
 
+    /// Canonical one-line summary (`beta=40 c=400 Ra=2.5 Ri=0.5 k=16
+    /// cache=3 expiry=20`), recorded by the experiment CLI's result
+    /// manifest so every artifact names the cost model that produced it.
+    pub fn summary(&self) -> String {
+        format!(
+            "beta={} c={} Ra={} Ri={} k={} cache={} expiry={}",
+            self.migration_beta,
+            self.creation_c,
+            self.run_active,
+            self.run_inactive,
+            self.max_servers,
+            self.inactive_queue_len,
+            self.inactive_expiry_epochs
+        )
+    }
+
     /// Validates the parameter combination, returning a description of the
     /// first problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -135,6 +151,18 @@ mod tests {
         assert_eq!(p.max_servers, 4);
         assert_eq!(p.migration_beta, 10.0);
         assert_eq!(p.run_active, 1.0);
+    }
+
+    #[test]
+    fn summary_is_canonical() {
+        assert_eq!(
+            CostParams::default().summary(),
+            "beta=40 c=400 Ra=2.5 Ri=0.5 k=16 cache=3 expiry=20"
+        );
+        assert_eq!(
+            CostParams::flipped().summary(),
+            "beta=400 c=40 Ra=2.5 Ri=0.5 k=16 cache=3 expiry=20"
+        );
     }
 
     #[test]

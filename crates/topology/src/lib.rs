@@ -7,7 +7,7 @@
 //! project (including the corresponding latencies for the access cost)",
 //! specifically the AT&T backbone **AS-7018**. The original Rocketfuel data
 //! files cannot be redistributed nor fetched in this environment, so this
-//! crate provides two things (substitution documented in `DESIGN.md` §5):
+//! crate provides two things (substitution documented in `docs/DESIGN.md` §5):
 //!
 //! 1. [`rocketfuel`] — a parser for Rocketfuel-style weighted ISP map files,
 //!    so the real data can be dropped in when available;

@@ -15,6 +15,9 @@
 //!   or *dynamic* (one request per active access point) load;
 //! * [`onoff::OnOffScenario`] — users appear at an access point, dwell for
 //!   `Δt`, and jump to another uniformly random access point;
+//! * [`proximity::ProximityScenario`] — stationary demand concentrated on
+//!   the nodes nearest the network center (spatially skewed, temporally
+//!   stable);
 //! * [`uniform::UniformScenario`] — pure background noise (baseline/tests).
 //!
 //! All scenarios implement [`Scenario`] and are deterministic under a seed.
@@ -34,7 +37,7 @@ pub mod uniform;
 
 pub use commuter::{CommuterScenario, LoadVariant};
 pub use onoff::OnOffScenario;
-pub use proximity::ProximityOrder;
+pub use proximity::{ProximityOrder, ProximityScenario};
 pub use request::RoundRequests;
 pub use scenario::{record, Scenario, Trace};
 pub use time_zones::TimeZonesScenario;

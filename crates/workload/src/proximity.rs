@@ -1,15 +1,24 @@
-//! Center-proximity ordering of access points.
+//! Center-proximity ordering of access points and the proximity demand
+//! scenario built on it.
 //!
 //! The commuter scenario needs "access points chosen uniformly at random
 //! around the center of the network". [`ProximityOrder`] ranks all nodes by
 //! shortest-path latency from the network center once, so scenarios can
 //! sample origins concentrically in O(1) per draw.
+//! [`ProximityScenario`] turns the ordering into a standalone workload:
+//! stationary demand concentrated on the nodes nearest the center, the
+//! natural "everything happens downtown" counterpart to the commuter and
+//! time-zones scenarios.
 
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use flexserve_graph::metrics::metrics_from_matrix;
 use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
 
 /// Nodes of a substrate ranked by distance from the network center.
 #[derive(Clone, Debug)]
@@ -64,7 +73,7 @@ impl ProximityOrder {
 
     /// Samples `count` *distinct* origins "around the center": the center
     /// itself plus `count − 1` nodes drawn uniformly from the `2·count`
-    /// nearest nodes (DESIGN.md §5 substitution for the paper's unspecified
+    /// nearest nodes (docs/DESIGN.md §5 substitution for the paper's unspecified
     /// sampling). Returns fewer nodes when the graph is smaller than
     /// `count`.
     pub fn sample_around_center<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<NodeId> {
@@ -78,6 +87,88 @@ impl ProximityOrder {
         let mut picked = vec![self.center];
         picked.extend(pool.choose_multiple(rng, count - 1).copied());
         picked
+    }
+}
+
+/// Stationary center-proximity demand: every round issues a fixed number
+/// of requests whose origins are drawn uniformly (with replacement) from
+/// the `pool_fraction` of nodes nearest the network center.
+///
+/// Unlike the commuter scenario there is no daily rhythm — the demand
+/// distribution is the same every round, so this workload isolates how
+/// strategies behave under *spatially skewed but temporally stable* load
+/// (good strategies converge to a static placement near the center and
+/// stop paying migration cost).
+#[derive(Clone, Debug)]
+pub struct ProximityScenario {
+    pool: Vec<NodeId>,
+    requests_per_round: usize,
+    rng: SmallRng,
+}
+
+impl ProximityScenario {
+    /// Builds the scenario (computes an APSP matrix internally).
+    ///
+    /// * `pool_fraction` — fraction of the node ranking eligible as origins
+    ///   (clamped to at least one node; `1.0` degenerates to uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `pool_fraction ∉ (0, 1]`.
+    pub fn new(g: &Graph, requests_per_round: usize, pool_fraction: f64, seed: u64) -> Self {
+        Self::with_matrix(
+            g,
+            &DistanceMatrix::build(g),
+            requests_per_round,
+            pool_fraction,
+            seed,
+        )
+    }
+
+    /// Builds the scenario from a precomputed distance matrix (lets many
+    /// runs share one APSP computation, as the experiment harness does).
+    pub fn with_matrix(
+        g: &Graph,
+        m: &DistanceMatrix,
+        requests_per_round: usize,
+        pool_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!g.is_empty(), "proximity scenario: graph must be non-empty");
+        assert!(
+            pool_fraction > 0.0 && pool_fraction <= 1.0,
+            "proximity scenario: pool_fraction must be in (0, 1], got {pool_fraction}"
+        );
+        let order = ProximityOrder::from_matrix(g, m);
+        let pool_size =
+            ((order.len() as f64 * pool_fraction).ceil() as usize).clamp(1, order.len());
+        ProximityScenario {
+            pool: order.nearest(pool_size).to_vec(),
+            requests_per_round,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of nodes eligible as request origins.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+impl Scenario for ProximityScenario {
+    fn requests(&mut self, _t: u64) -> RoundRequests {
+        let origins = (0..self.requests_per_round)
+            .map(|_| self.pool[self.rng.gen_range(0..self.pool.len())])
+            .collect();
+        RoundRequests::new(origins)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "proximity (pool={} nodes, {} req/round)",
+            self.pool.len(),
+            self.requests_per_round
+        )
     }
 }
 
@@ -132,6 +223,39 @@ mod tests {
         let p = ProximityOrder::new(&g);
         let mut rng = SmallRng::seed_from_u64(0);
         assert!(p.sample_around_center(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn proximity_scenario_is_deterministic_and_concentrated() {
+        use crate::scenario::record;
+        let g = unit_line(101).unwrap(); // center = 50
+        let mut a = ProximityScenario::new(&g, 6, 0.2, 9);
+        let mut b = ProximityScenario::new(&g, 6, 0.2, 9);
+        let ta = record(&mut a, 20);
+        let tb = record(&mut b, 20);
+        assert_eq!(ta, tb, "same seed must replay the same trace");
+        assert_eq!(ta.len(), 20);
+        // pool = ceil(101 * 0.2) = 21 nearest nodes: all within distance
+        // 10 of the center on the line.
+        for round in ta.iter() {
+            assert_eq!(round.len(), 6);
+            for v in round.iter() {
+                assert!(
+                    (v.index() as i64 - 50).abs() <= 10,
+                    "origin {v} outside pool"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_scenario_pool_clamps() {
+        let g = unit_line(5).unwrap();
+        let s = ProximityScenario::new(&g, 2, 0.01, 0);
+        assert_eq!(s.pool_size(), 1, "tiny fraction clamps to one node");
+        let s = ProximityScenario::new(&g, 2, 1.0, 0);
+        assert_eq!(s.pool_size(), 5);
+        assert!(s.describe().contains("proximity"));
     }
 
     #[test]
