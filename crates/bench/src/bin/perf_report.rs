@@ -1,9 +1,11 @@
 //! Before/after perf harness: times the serial reference against the
 //! optimized implementation of the measured hot paths — the all-pairs
-//! `DistanceMatrix` build (500-node Waxman), one 20-seed sweep cell, and
-//! a cold-vs-warm substrate fetch through the distance-matrix cache — and
-//! records the results as `BENCH_apsp.json`, `BENCH_sweeps.json` and
-//! `BENCH_cache.json` in the repository root (schema: docs/BENCHMARKS.md).
+//! `DistanceMatrix` build (500-node Waxman), one 20-seed sweep cell, a
+//! cold-vs-warm substrate fetch through the distance-matrix cache, and
+//! the batch-vs-stepped game loop (`run_online` vs `SimSession::step`,
+//! the serving hot path) — and records the results as `BENCH_apsp.json`,
+//! `BENCH_sweeps.json`, `BENCH_cache.json` and `BENCH_serve.json` in the
+//! repository root (schema: docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
 //!
@@ -15,9 +17,12 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
+use flexserve_core::{initial_center, OnTh};
 use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::{average, average_serial, DistCache, TopologySpec};
 use flexserve_graph::DistanceMatrix;
+use flexserve_sim::{run_online, CostParams, LoadModel, SimSession};
+use flexserve_workload::{record, CommuterScenario, LoadVariant};
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -118,5 +123,46 @@ fn main() {
         cold,
         warm,
         "ER-300 substrate fetch through DistCache: cold build+APSP vs warm cache hit",
+    );
+
+    // --- Serving: batch loop vs stepped SimSession ----------------------
+    // `run_online` is a thin wrapper over `SimSession::step`, so the
+    // stepper must cost the same per round as the batch loop it replaced
+    // (speedup ~1.0 = the serving refactor is free). The recorded
+    // `parallel_seconds / rounds` is the per-round `/step` latency floor
+    // of the `flexserve serve` daemon.
+    let serve_env = ExperimentEnv::erdos_renyi(100, 3);
+    let serve_rounds: u64 = 240;
+    let ctx = serve_env.context(CostParams::default(), LoadModel::Linear);
+    let mut scenario = CommuterScenario::with_matrix(
+        &serve_env.graph,
+        &serve_env.matrix,
+        8,
+        5,
+        LoadVariant::Dynamic,
+        11,
+    );
+    let trace = record(&mut scenario, serve_rounds);
+    let batch = time_median(reps, || {
+        let mut strat = OnTh::new();
+        std::hint::black_box(run_online(&ctx, &trace, &mut strat, initial_center(&ctx)));
+    });
+    let stepped = time_median(reps, || {
+        let mut session = SimSession::new(ctx, OnTh::new(), initial_center(&ctx));
+        for round in trace.iter() {
+            std::hint::black_box(session.step(round));
+        }
+    });
+    println!(
+        "per-round SimSession::step latency: {:.1} us over {serve_rounds} rounds",
+        stepped / serve_rounds as f64 * 1e6
+    );
+    write_report(
+        "BENCH_serve.json",
+        "serve_step",
+        batch,
+        stepped,
+        "ONTH commuter run (ER-100, 240 rounds): batch run_online vs stepped \
+         SimSession::step (per-round serve latency = parallel_seconds / 240)",
     );
 }

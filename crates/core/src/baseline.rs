@@ -7,7 +7,7 @@
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
-use flexserve_workload::RoundRequests;
+use flexserve_workload::{JsonValue, RoundRequests};
 
 /// A strategy that never reconfigures.
 #[derive(Clone, Debug)]
@@ -45,6 +45,18 @@ impl OnlineStrategy for StaticStrategy {
         _fleet: &Fleet,
     ) -> Option<Vec<NodeId>> {
         None
+    }
+
+    /// Stateless: checkpoints carry `null` and restore accepts only that.
+    fn export_state(&self) -> Option<JsonValue> {
+        Some(JsonValue::Null)
+    }
+
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        match state {
+            JsonValue::Null => Ok(()),
+            other => Err(format!("STATIC: unexpected state {}", other.render())),
+        }
     }
 }
 

@@ -24,7 +24,7 @@
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, SimContext};
-use flexserve_workload::RoundRequests;
+use flexserve_workload::{JsonValue, RoundRequests};
 
 /// The requests of an epoch, folded to per-round distinct-origin counts.
 ///
@@ -69,6 +69,59 @@ impl EpochWindow {
     /// Iterates over the folded rounds.
     pub fn rounds(&self) -> impl Iterator<Item = &[(NodeId, usize)]> {
         self.rounds.iter().map(|r| r.as_slice())
+    }
+
+    /// Serializes the window for strategy checkpoints: a JSON array of
+    /// rounds, each round an array of `[origin, count]` pairs. The spare
+    /// pool is a pure allocation optimization and is deliberately not
+    /// part of the state.
+    pub fn export_json(&self) -> JsonValue {
+        JsonValue::Arr(
+            self.rounds
+                .iter()
+                .map(|row| {
+                    JsonValue::Arr(
+                        row.iter()
+                            .map(|&(origin, cnt)| {
+                                JsonValue::Arr(vec![
+                                    JsonValue::from(origin.index()),
+                                    JsonValue::from(cnt),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores a window from [`EpochWindow::export_json`] output. Rows
+    /// are re-sorted by origin, so a restored window is byte-for-byte the
+    /// window `push` would have built from the same rounds.
+    pub fn import_json(value: &JsonValue) -> Result<Self, String> {
+        let rows = value.as_array().ok_or("epoch window: expected an array")?;
+        let mut rounds = Vec::with_capacity(rows.len());
+        for row in rows {
+            let pairs = row
+                .as_array()
+                .ok_or("epoch window: round must be an array")?;
+            let mut counts = Vec::with_capacity(pairs.len());
+            for pair in pairs {
+                match pair.as_array() {
+                    Some([origin, cnt]) => counts.push((
+                        NodeId::new(origin.as_usize().ok_or("epoch window: bad origin id")?),
+                        cnt.as_usize().ok_or("epoch window: bad count")?,
+                    )),
+                    _ => return Err("epoch window: entry must be [origin, count]".into()),
+                }
+            }
+            counts.sort_unstable_by_key(|&(o, _)| o);
+            rounds.push(counts);
+        }
+        Ok(EpochWindow {
+            rounds,
+            spare: Vec::new(),
+        })
     }
 }
 
@@ -439,6 +492,28 @@ mod tests {
         }
         assert_eq!(w.spare.len(), 0, "pushes must drain the pool");
         assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn window_json_round_trips() {
+        let mut w = EpochWindow::new();
+        let mut batch = RoundRequests::empty();
+        batch.push_many(n(9), 2);
+        batch.push_many(n(1), 3);
+        w.push(&batch);
+        w.push(&RoundRequests::empty());
+        let json = w.export_json();
+        let back = EpochWindow::import_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        let rows: Vec<Vec<(NodeId, usize)>> = back.rounds().map(|r| r.to_vec()).collect();
+        let orig: Vec<Vec<(NodeId, usize)>> = w.rounds().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, orig);
+        // malformed inputs are rejected
+        assert!(EpochWindow::import_json(&JsonValue::Null).is_err());
+        assert!(
+            EpochWindow::import_json(&JsonValue::parse("[[[1]]]").unwrap()).is_err(),
+            "pair arity must be checked"
+        );
     }
 
     #[test]

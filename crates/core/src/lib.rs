@@ -31,7 +31,9 @@
 //!   lowest cost in the *upcoming* epoch").
 //! * [`offstat::offstat`] — OFFSTAT, the optimal *static* allocation:
 //!   greedy placement of `i = 1..k` always-active servers, picking the
-//!   cheapest `i` (`k_opt`).
+//!   cheapest `i` (`k_opt`); [`offstat::OffStatPlacement`] is its
+//!   servable form (applied at round 0 through the engine, checkpointable
+//!   like any online strategy).
 //!
 //! All strategies price configuration changes through the shared
 //! transition planner of `flexserve-sim`, so costs are directly comparable.
@@ -57,7 +59,7 @@ pub use candidates::{
 };
 pub use competitive::competitive_ratio;
 pub use offbr::OffBr;
-pub use offstat::{offstat, OffStatResult};
+pub use offstat::{offstat, OffStatPlacement, OffStatResult};
 pub use offth::OffTh;
 pub use onbr::{OnBr, ThresholdMode};
 pub use onconf::OnConf;

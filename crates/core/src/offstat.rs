@@ -16,8 +16,8 @@
 //! the online algorithms start with one free server).
 
 use flexserve_graph::NodeId;
-use flexserve_sim::{LoadModel, SimContext};
-use flexserve_workload::Trace;
+use flexserve_sim::{Fleet, LoadModel, OnlineStrategy, SimContext};
+use flexserve_workload::{JsonValue, RoundRequests, Trace};
 
 use crate::candidates::{access_cost_window, EpochWindow};
 
@@ -141,6 +141,97 @@ pub fn offstat(ctx: &SimContext<'_>, trace: &Trace) -> OffStatResult {
         cost_curve,
         k_opt: k_opt_idx + 1,
         best_cost,
+    }
+}
+
+/// OFFSTAT as a servable strategy: the precomputed optimal static
+/// placement, applied once at round 0 and never changed.
+///
+/// This is the streaming/serving form of [`offstat`] — where the batch
+/// form reports one scalar optimum, this wrapper actually *plays* the
+/// static configuration through the engine (paying real creation and
+/// access costs round by round), so OFFSTAT can be driven by a
+/// [`SimSession`](flexserve_sim::SimSession) and checkpointed like any
+/// online strategy.
+#[derive(Clone, Debug)]
+pub struct OffStatPlacement {
+    target: Vec<NodeId>,
+    applied: bool,
+}
+
+impl OffStatPlacement {
+    /// Wraps an explicit placement (e.g. [`OffStatResult::best_placement`]).
+    pub fn new(target: Vec<NodeId>) -> Self {
+        OffStatPlacement {
+            target,
+            applied: false,
+        }
+    }
+
+    /// Computes the optimal static placement for `trace` and wraps it.
+    pub fn from_trace(ctx: &SimContext<'_>, trace: &Trace) -> Self {
+        Self::new(offstat(ctx, trace).best_placement().to_vec())
+    }
+
+    /// The placement this strategy applies at round 0.
+    pub fn target(&self) -> &[NodeId] {
+        &self.target
+    }
+}
+
+impl OnlineStrategy for OffStatPlacement {
+    fn name(&self) -> String {
+        "OFFSTAT".to_string()
+    }
+
+    fn decide(
+        &mut self,
+        _ctx: &SimContext<'_>,
+        _t: u64,
+        _requests: &RoundRequests,
+        _access_cost: f64,
+        _fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        if self.applied {
+            None
+        } else {
+            self.applied = true;
+            Some(self.target.clone())
+        }
+    }
+
+    fn export_state(&self) -> Option<JsonValue> {
+        Some(JsonValue::Obj(vec![
+            ("applied".into(), JsonValue::from(self.applied)),
+            (
+                "target".into(),
+                JsonValue::Arr(
+                    self.target
+                        .iter()
+                        .map(|n| JsonValue::from(n.index()))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Restores both fields — the placement is part of the checkpoint, so
+    /// resuming does not require recomputing [`offstat`] over the
+    /// original trace.
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        self.applied = state
+            .get("applied")
+            .and_then(JsonValue::as_bool)
+            .ok_or("OFFSTAT: missing \"applied\"")?;
+        self.target = state
+            .get("target")
+            .and_then(JsonValue::as_array)
+            .ok_or("OFFSTAT: missing \"target\"")?
+            .iter()
+            .map(|n| n.as_usize().map(NodeId::new))
+            .collect::<Option<Vec<_>>>()
+            .ok_or("OFFSTAT: bad target node id")?;
+        Ok(())
     }
 }
 
@@ -274,5 +365,35 @@ mod tests {
         let fx = Fx::new(3);
         let ctx = fx.ctx(2, LoadModel::None);
         offstat(&ctx, &Trace::default());
+    }
+
+    #[test]
+    fn placement_wrapper_plays_the_static_config() {
+        let fx = Fx::new(9);
+        let ctx = fx.ctx(4, LoadModel::None);
+        let trace = Trace::new(vec![RoundRequests::new(vec![n(7); 10]); 20]);
+        let mut strat = OffStatPlacement::from_trace(&ctx, &trace);
+        assert_eq!(strat.target(), &[n(7)]);
+        assert_eq!(strat.name(), "OFFSTAT");
+        let rec = flexserve_sim::run_online(&ctx, &trace, &mut strat, vec![n(0)]);
+        // moved once at round 0, then static forever
+        assert_eq!(rec.rounds[0].costs.migration, 40.0);
+        let later: f64 = rec.rounds[1..]
+            .iter()
+            .map(|r| r.costs.migration + r.costs.creation)
+            .sum();
+        assert_eq!(later, 0.0);
+    }
+
+    #[test]
+    fn placement_wrapper_state_round_trips() {
+        let mut strat = OffStatPlacement::new(vec![n(2), n(5)]);
+        strat.applied = true;
+        let state = strat.export_state().unwrap();
+        let mut fresh = OffStatPlacement::new(Vec::new());
+        fresh.import_state(&state).unwrap();
+        assert!(fresh.applied);
+        assert_eq!(fresh.target(), &[n(2), n(5)]);
+        assert!(fresh.import_state(&JsonValue::Null).is_err());
     }
 }

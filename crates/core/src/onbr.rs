@@ -16,7 +16,7 @@
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
-use flexserve_workload::RoundRequests;
+use flexserve_workload::{JsonValue, RoundRequests};
 
 use crate::candidates::{best_candidate, CandidateOptions, EpochWindow};
 
@@ -109,6 +109,65 @@ impl OnlineStrategy for OnBr {
         self.window.clear();
         self.epoch_cost = 0.0;
         Some(target)
+    }
+
+    fn export_state(&self) -> Option<JsonValue> {
+        let mode = match self.mode {
+            ThresholdMode::Fixed => "fixed",
+            ThresholdMode::Dynamic => "dynamic",
+        };
+        Some(JsonValue::Obj(vec![
+            ("mode".into(), JsonValue::from(mode)),
+            (
+                "base_threshold".into(),
+                JsonValue::from(self.base_threshold),
+            ),
+            ("window".into(), self.window.export_json()),
+            ("epoch_cost".into(), JsonValue::from(self.epoch_cost)),
+            (
+                "prev_epoch_len".into(),
+                JsonValue::from(self.prev_epoch_len),
+            ),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        let mode = state
+            .get("mode")
+            .and_then(JsonValue::as_str)
+            .ok_or("ONBR: missing \"mode\"")?;
+        let expected = match self.mode {
+            ThresholdMode::Fixed => "fixed",
+            ThresholdMode::Dynamic => "dynamic",
+        };
+        if mode != expected {
+            return Err(format!(
+                "ONBR: checkpoint is {mode} mode, this instance is {expected}"
+            ));
+        }
+        let base = state
+            .get("base_threshold")
+            .and_then(JsonValue::as_f64)
+            .ok_or("ONBR: missing \"base_threshold\"")?;
+        if base.to_bits() != self.base_threshold.to_bits() {
+            return Err(format!(
+                "ONBR: checkpoint threshold {base} != this instance's {}",
+                self.base_threshold
+            ));
+        }
+        self.window = state
+            .get("window")
+            .ok_or_else(|| "ONBR: missing \"window\"".to_string())
+            .and_then(|v| EpochWindow::import_json(v).map_err(|e| format!("ONBR: {e}")))?;
+        self.epoch_cost = state
+            .get("epoch_cost")
+            .and_then(JsonValue::as_f64)
+            .ok_or("ONBR: missing \"epoch_cost\"")?;
+        self.prev_epoch_len = state
+            .get("prev_epoch_len")
+            .and_then(JsonValue::as_u64)
+            .ok_or("ONBR: missing \"prev_epoch_len\"")?;
+        Ok(())
     }
 }
 

@@ -19,7 +19,7 @@
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
-use flexserve_workload::RoundRequests;
+use flexserve_workload::{JsonValue, RoundRequests};
 
 use crate::candidates::{best_candidate, best_new_server_position, CandidateOptions, EpochWindow};
 
@@ -116,6 +116,45 @@ impl OnlineStrategy for OnTh {
         }
 
         None
+    }
+
+    fn export_state(&self) -> Option<JsonValue> {
+        Some(JsonValue::Obj(vec![
+            ("y".into(), JsonValue::from(self.y)),
+            ("small_window".into(), self.small_window.export_json()),
+            ("small_cost".into(), JsonValue::from(self.small_cost)),
+            ("large_window".into(), self.large_window.export_json()),
+            ("large_access".into(), JsonValue::from(self.large_access)),
+            ("large_running".into(), JsonValue::from(self.large_running)),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        let f = |key: &str| {
+            state
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("ONTH: missing {key:?}"))
+        };
+        let y = f("y")?;
+        if y.to_bits() != self.y.to_bits() {
+            return Err(format!(
+                "ONTH: checkpoint was taken with y={y}, this instance has y={}",
+                self.y
+            ));
+        }
+        let window = |key: &str| {
+            state
+                .get(key)
+                .ok_or_else(|| format!("ONTH: missing {key:?}"))
+                .and_then(|v| EpochWindow::import_json(v).map_err(|e| format!("ONTH: {e}")))
+        };
+        self.small_window = window("small_window")?;
+        self.small_cost = f("small_cost")?;
+        self.large_window = window("large_window")?;
+        self.large_access = f("large_access")?;
+        self.large_running = f("large_running")?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,172 @@
+//! Checkpoint/restore determinism: a run snapshotted at round T/2,
+//! serialized to checkpoint JSON, and resumed into freshly constructed
+//! strategy instances must be **bit-identical** to an uninterrupted run —
+//! for ONTH, ONBR (both threshold modes), OFFSTAT and the static
+//! baseline. This is the contract `flexserve serve` relies on when a
+//! daemon is restarted from a checkpoint file.
+
+use flexserve_core::{OffStatPlacement, OnBr, OnTh, StaticStrategy};
+use flexserve_graph::gen::{erdos_renyi, GenConfig};
+use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+use flexserve_sim::{
+    run_online, CostParams, LoadModel, OnlineStrategy, RunRecord, SessionSnapshot, SimContext,
+    SimSession,
+};
+use flexserve_workload::{record, CommuterScenario, LoadVariant, Trace};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const ROUNDS: u64 = 120;
+
+struct Fx {
+    graph: Graph,
+    matrix: DistanceMatrix,
+}
+
+impl Fx {
+    fn new() -> Self {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let graph = erdos_renyi(60, 0.05, &GenConfig::default(), &mut rng).unwrap();
+        let matrix = DistanceMatrix::build(&graph);
+        Fx { graph, matrix }
+    }
+
+    fn ctx(&self) -> SimContext<'_> {
+        SimContext::new(
+            &self.graph,
+            &self.matrix,
+            CostParams::default().with_max_servers(4),
+            LoadModel::Linear,
+        )
+    }
+
+    fn trace(&self) -> Trace {
+        let mut scenario =
+            CommuterScenario::with_matrix(&self.graph, &self.matrix, 8, 5, LoadVariant::Dynamic, 7);
+        record(&mut scenario, ROUNDS)
+    }
+}
+
+fn assert_bit_identical(label: &str, a: &RunRecord, b: &RunRecord) {
+    assert_eq!(a.len(), b.len(), "{label}: round count");
+    for (x, y) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(x.t, y.t, "{label}: round index");
+        for (cx, cy, part) in [
+            (x.costs.access, y.costs.access, "access"),
+            (x.costs.running, y.costs.running, "running"),
+            (x.costs.migration, y.costs.migration, "migration"),
+            (x.costs.creation, y.costs.creation, "creation"),
+        ] {
+            assert_eq!(
+                cx.to_bits(),
+                cy.to_bits(),
+                "{label}: {part} cost differs at t={} ({cx} vs {cy})",
+                x.t
+            );
+        }
+        assert_eq!(x.active_servers, y.active_servers, "{label}: t={}", x.t);
+        assert_eq!(x.inactive_servers, y.inactive_servers, "{label}: t={}", x.t);
+        assert_eq!(x.requests, y.requests, "{label}: t={}", x.t);
+    }
+}
+
+/// Runs `make()`'s strategy uninterrupted, then again with a
+/// snapshot → JSON → restore cycle at round `ROUNDS/2` into a *fresh*
+/// `make()` instance, and asserts the two logs match bit for bit.
+fn check_resume<S, F>(label: &str, fx: &Fx, trace: &Trace, make: F)
+where
+    S: OnlineStrategy,
+    F: Fn() -> S,
+{
+    let ctx = fx.ctx();
+    let initial = vec![NodeId::new(0)];
+
+    let uninterrupted = run_online(&ctx, trace, &mut make(), initial.clone());
+
+    let half = (ROUNDS / 2) as usize;
+    let mut session = SimSession::new(ctx, make(), initial);
+    let mut resumed = RunRecord::default();
+    for round in trace.iter().take(half) {
+        resumed.rounds.push(session.step(round));
+    }
+
+    // Serialize exactly as the serve daemon writes the checkpoint file…
+    let text = session.snapshot().expect("snapshot").to_json();
+    drop(session);
+    // …and restart from the bytes alone.
+    let snapshot = SessionSnapshot::from_json(&text).expect("parse checkpoint");
+    let mut session = SimSession::resume(ctx, make(), &snapshot).expect("resume");
+    assert_eq!(session.t(), half as u64, "{label}: resumed position");
+    for round in trace.iter().skip(half) {
+        resumed.rounds.push(session.step(round));
+    }
+
+    assert_bit_identical(label, &uninterrupted, &resumed);
+    // The strategies did real work — otherwise this test proves nothing.
+    assert!(
+        uninterrupted.total().total() > 0.0,
+        "{label}: trivial run, test is vacuous"
+    );
+}
+
+#[test]
+fn onth_resumes_bit_identically() {
+    let fx = Fx::new();
+    let trace = fx.trace();
+    check_resume("ONTH", &fx, &trace, OnTh::new);
+    let reconf = run_online(&fx.ctx(), &trace, &mut OnTh::new(), vec![NodeId::new(0)])
+        .total()
+        .migration;
+    assert!(reconf > 0.0, "ONTH must actually reconfigure in this cell");
+}
+
+#[test]
+fn onbr_fixed_resumes_bit_identically() {
+    let fx = Fx::new();
+    let trace = fx.trace();
+    check_resume("ONBR-fixed", &fx, &trace, || OnBr::fixed(&fx.ctx()));
+}
+
+#[test]
+fn onbr_dyn_resumes_bit_identically() {
+    let fx = Fx::new();
+    let trace = fx.trace();
+    check_resume("ONBR-dyn", &fx, &trace, || OnBr::dynamic(&fx.ctx()));
+}
+
+#[test]
+fn offstat_resumes_bit_identically() {
+    let fx = Fx::new();
+    let trace = fx.trace();
+    let ctx = fx.ctx();
+    // The placement is derived from the trace once; resume restores it
+    // from the checkpoint, so the fresh instances start empty.
+    let placement = OffStatPlacement::from_trace(&ctx, &trace).target().to_vec();
+    assert!(!placement.is_empty());
+    check_resume("OFFSTAT", &fx, &trace, || {
+        OffStatPlacement::new(placement.clone())
+    });
+}
+
+#[test]
+fn static_baseline_resumes_bit_identically() {
+    let fx = Fx::new();
+    let trace = fx.trace();
+    check_resume("STATIC", &fx, &trace, StaticStrategy::new);
+}
+
+#[test]
+fn snapshot_rejects_import_into_mismatched_construction() {
+    let fx = Fx::new();
+    let ctx = fx.ctx();
+    let trace = fx.trace();
+    let mut session = SimSession::new(ctx, OnTh::with_y(2.0), vec![NodeId::new(0)]);
+    for round in trace.iter().take(10) {
+        session.step(round);
+    }
+    let snap = session.snapshot().unwrap();
+    // Same strategy name, different construction parameter: refused.
+    let err = SimSession::resume(ctx, OnTh::with_y(3.0), &snap).unwrap_err();
+    assert!(err.contains("y="), "{err}");
+}

@@ -6,6 +6,7 @@
 //! flexserve run fig03 [fig04 ...] | all        [--profile quick|standard|full]
 //! flexserve run topo=er:100 wl=commuter-dynamic strat=onth [t=8 lambda=10 ...]
 //! flexserve sweep topo=er:100 wl=commuter-dynamic strat=onth+onbr-fixed lambda=5+10 ...
+//! flexserve serve topo=er:100 wl=commuter-dynamic strat=onth port=7788 [...]
 //! ```
 //!
 //! Cell/sweep keys: `topo`, `wl`, `strat` (see `flexserve list` for the
@@ -37,6 +38,12 @@ subcommands:
   run <figure>... | all        regenerate paper figures by registry name
   run <key=value>...           run a single experiment cell
   sweep <key=value>...         run the cross product of +-separated axis lists
+  serve <key=value>...         serve one cell as a streaming placement daemon
+                               (HTTP on loopback: POST /step, GET /placement,
+                               GET /metrics, POST /checkpoint, POST /shutdown;
+                               extra keys: seed, port, checkpoint, resume,
+                               source=scenario|stdin|<path.jsonl>; see
+                               docs/SERVING.md)
   help                         this text
 
 options for `run <figure>`:
@@ -59,6 +66,9 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..], false),
+        Some("serve") => {
+            flexserve_experiments::serve::serve_cmd(&args[1..]).map(|()| Manifest::new())
+        }
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(Manifest::new())

@@ -65,6 +65,24 @@ impl CacheStats {
 /// cells), but only the first result is inserted and later callers adopt
 /// it, so all callers observe identical `Arc`s afterwards. A process-wide
 /// instance is available via [`DistCache::global`].
+///
+/// ```
+/// use flexserve_experiments::{DistCache, TopologySpec};
+///
+/// let cache = DistCache::with_capacity_bytes(DistCache::DEFAULT_CAPACITY_BYTES);
+/// let spec: TopologySpec = "unit-line:6".parse().unwrap();
+///
+/// let first = cache
+///     .get_or_build(&spec.to_string(), 0, || spec.build(0))
+///     .unwrap();
+/// // The second lookup is a hit: same Arc, no rebuild.
+/// let again = cache
+///     .get_or_build(&spec.to_string(), 0, || panic!("must not rebuild"))
+///     .unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first.graph, &again.graph));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
 pub struct DistCache {
     inner: Mutex<HashMap<(String, u64), Entry>>,
     hits: AtomicU64,

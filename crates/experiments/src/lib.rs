@@ -19,6 +19,9 @@
 //!   parameters (Erdős–Rényi p=1%, T1/T2 bandwidths, β=40/c=400, …),
 //! * [`figures`] — one pipeline function per paper figure/table,
 //! * [`runner`] — strategy dispatch and seed-parallel averaging,
+//! * [`serve`] — the `flexserve serve` daemon: a streaming placement
+//!   service (HTTP over loopback) with checkpoint/restore, documented in
+//!   `docs/SERVING.md`,
 //! * [`output`] — aligned-table stdout reporting plus CSV files under
 //!   `results/` (override with `FLEXSERVE_RESULTS_DIR`).
 //!
@@ -35,6 +38,7 @@ pub mod manifest;
 pub mod output;
 pub mod registry;
 pub mod runner;
+pub mod serve;
 pub mod setup;
 pub mod spec;
 

@@ -1,0 +1,719 @@
+//! The `flexserve serve` daemon: a streaming placement service over a
+//! [`SimSession`].
+//!
+//! Where `flexserve run` replays a recorded trace in a closed loop,
+//! `serve` keeps the loop open: it loads one [`CellSpec`] cell (substrate
+//! through the process-wide [`DistCache`](crate::cache::DistCache),
+//! workload as a streaming [`RequestSource`]), binds a
+//! `std::net::TcpListener` on loopback, and answers a minimal hand-rolled
+//! HTTP/1.1 surface:
+//!
+//! | endpoint            | effect                                              |
+//! |---------------------|-----------------------------------------------------|
+//! | `POST /step`        | play one round (body `{"origins": [...]}`, or empty to pull the configured source) |
+//! | `GET  /placement`   | current active/inactive servers and epoch           |
+//! | `GET  /metrics`     | cumulative costs, rounds served, step latency       |
+//! | `POST /checkpoint`  | snapshot to the checkpoint file, return the JSON    |
+//! | `POST /shutdown`    | stop the daemon                                     |
+//!
+//! Checkpoints use the engine's [`SessionSnapshot`] format; restarting
+//! with `resume=true` continues **bit-identically** to a daemon that was
+//! never stopped (guaranteed by the strategy state export machinery and
+//! pinned by `crates/core/tests/checkpoint_resume.rs` plus the HTTP
+//! round-trip test in `tests/serve_http.rs`). Endpoint reference, JSONL
+//! replay schema and the checkpoint format live in `docs/SERVING.md`.
+//!
+//! The daemon is deliberately single-threaded: placement is a sequential
+//! online game, so requests are serialized anyway; one accept loop keeps
+//! the whole surface deterministic.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use flexserve_sim::{
+    CostBreakdown, CostParams, LoadModel, OnlineStrategy, RoundRecord, SessionSnapshot, SimSession,
+};
+use flexserve_workload::{
+    file_source, parse_round, record, stdin_source, JsonValue, RequestSource, ScenarioStream, Trace,
+};
+
+use flexserve_core::{initial_center, OffStatPlacement};
+
+use crate::output::results_dir;
+use crate::setup::ExperimentEnv;
+use crate::spec::{CellSpec, StrategySpec};
+
+/// Where the daemon's rounds come from when `POST /step` has an empty
+/// body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// The cell's workload scenario, streamed round by round (capped at
+    /// the cell's `rounds`).
+    Scenario,
+    /// A JSONL replay file (`source=<path>`).
+    File(String),
+    /// JSONL on standard input (`source=stdin`).
+    Stdin,
+}
+
+/// Parsed `flexserve serve` options.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The cell to serve (strategy, substrate, workload, cost model; the
+    /// cell's `rounds` caps the scenario source, its first seed drives
+    /// substrate and workload randomness).
+    pub cell: CellSpec,
+    /// Loopback port to bind (0 = ephemeral, the chosen port is
+    /// announced on stdout).
+    pub port: u16,
+    /// Checkpoint file written by `POST /checkpoint` and read on
+    /// `resume=true`.
+    pub checkpoint: PathBuf,
+    /// Resume from the checkpoint file instead of starting at round 0.
+    pub resume: bool,
+    /// Demand source for source-driven stepping.
+    pub source: SourceKind,
+}
+
+const SERVE_USAGE: &str = "\
+usage: flexserve serve topo=<spec> wl=<spec> strat=<name> [key=value...]
+
+keys: t, lambda, rounds (scenario-source cap), seed, load, beta, c, ra,
+      ri, k, flipped, port (default 7788, 0 = ephemeral),
+      checkpoint=<path> (default <results dir>/checkpoint.json),
+      resume=true|false, source=scenario|stdin|<path.jsonl>
+";
+
+impl ServeOptions {
+    /// Parses `serve` arguments (`key=value` pairs, single-valued axes).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let (mut topo, mut wl, mut strat) = (None, None, None);
+        let (mut t, mut lambda, mut rounds) = (8u32, 10u64, 200u64);
+        let mut seed = 1000u64;
+        let mut load = LoadModel::Linear;
+        let mut params = CostParams::default();
+        let (mut beta, mut c): (Option<f64>, Option<f64>) = (None, None);
+        let mut flipped = false;
+        let mut port = 7788u16;
+        let mut checkpoint: Option<PathBuf> = None;
+        let mut resume = false;
+        let mut source = SourceKind::Scenario;
+
+        for arg in args {
+            let (key, v) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("serve: expected key=value, got {arg:?}\n{SERVE_USAGE}"))?;
+            match key {
+                "topo" => topo = Some(v.parse().map_err(|e| format!("topo: {e}"))?),
+                "wl" => wl = Some(v.parse().map_err(|e| format!("wl: {e}"))?),
+                "strat" => {
+                    strat = Some(
+                        v.parse::<StrategySpec>()
+                            .map_err(|e| format!("strat: {e}"))?,
+                    )
+                }
+                "t" => t = v.parse().map_err(|_| format!("t: bad value {v:?}"))?,
+                "lambda" => lambda = v.parse().map_err(|_| format!("lambda: bad value {v:?}"))?,
+                "rounds" => rounds = v.parse().map_err(|_| format!("rounds: bad value {v:?}"))?,
+                "seed" => seed = v.parse().map_err(|_| format!("seed: bad value {v:?}"))?,
+                "load" => load = v.parse()?,
+                "beta" => beta = Some(v.parse().map_err(|_| format!("beta: bad value {v:?}"))?),
+                "c" => c = Some(v.parse().map_err(|_| format!("c: bad value {v:?}"))?),
+                "ra" => {
+                    params.run_active = v.parse().map_err(|_| format!("ra: bad value {v:?}"))?
+                }
+                "ri" => {
+                    params.run_inactive = v.parse().map_err(|_| format!("ri: bad value {v:?}"))?
+                }
+                "k" => params.max_servers = v.parse().map_err(|_| format!("k: bad value {v:?}"))?,
+                "flipped" => {
+                    flipped = v.parse().map_err(|_| format!("flipped: bad value {v:?}"))?
+                }
+                "port" => port = v.parse().map_err(|_| format!("port: bad value {v:?}"))?,
+                "checkpoint" => checkpoint = Some(PathBuf::from(v)),
+                "resume" => resume = v.parse().map_err(|_| format!("resume: bad value {v:?}"))?,
+                "source" => {
+                    source = match v {
+                        "scenario" => SourceKind::Scenario,
+                        "stdin" => SourceKind::Stdin,
+                        path => SourceKind::File(path.to_string()),
+                    }
+                }
+                _ => return Err(format!("serve: unknown key {key:?}\n{SERVE_USAGE}")),
+            }
+        }
+        if flipped {
+            params = params.with_costs(
+                CostParams::flipped().migration_beta,
+                CostParams::flipped().creation_c,
+            );
+        }
+        if let Some(beta) = beta {
+            params.migration_beta = beta;
+        }
+        if let Some(c) = c {
+            params.creation_c = c;
+        }
+        let (topo, wl, strat) = match (topo, wl, strat) {
+            (Some(t), Some(w), Some(s)) => (t, w, s),
+            _ => {
+                return Err(format!(
+                    "serve: topo=, wl= and strat= are required\n{SERVE_USAGE}"
+                ))
+            }
+        };
+        let mut cell = CellSpec::new(topo, wl, strat);
+        cell.t_periods = t;
+        cell.lambda = lambda;
+        cell.rounds = rounds;
+        cell.seeds = vec![seed];
+        cell.params = params;
+        cell.load = load;
+        Ok(ServeOptions {
+            cell,
+            port,
+            checkpoint: checkpoint.unwrap_or_else(|| results_dir().join("checkpoint.json")),
+            resume,
+            source,
+        })
+    }
+}
+
+/// What a finished daemon reports (mainly for tests and logs).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Rounds stepped by this process (excludes checkpointed history).
+    pub rounds_served: u64,
+    /// The session's round counter at shutdown.
+    pub final_t: u64,
+}
+
+/// Binds `127.0.0.1:port` and serves until `POST /shutdown`. The bound
+/// address is announced on stdout (`port=0` picks an ephemeral port, so
+/// scripts must parse the announcement).
+pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, String> {
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))
+        .map_err(|e| format!("serve: cannot bind 127.0.0.1:{}: {e}", opts.port))?;
+    serve_on(listener, opts)
+}
+
+/// [`serve`] over an already-bound listener (tests bind port 0 themselves
+/// to learn the address before starting the daemon thread).
+pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSummary, String> {
+    opts.cell.validate()?;
+    let seed = opts.cell.seeds[0];
+    let env = ExperimentEnv::from_spec(&opts.cell.topology, seed)?;
+    let ctx = env.context(opts.cell.params, opts.cell.load);
+    let node_count = env.graph.node_count();
+
+    // Resume state, read before anything is constructed so a bad
+    // checkpoint aborts the start instead of a half-served session.
+    let (snapshot, source_consumed) = if opts.resume {
+        let text = std::fs::read_to_string(&opts.checkpoint).map_err(|e| {
+            format!(
+                "serve: cannot read checkpoint {}: {e}",
+                opts.checkpoint.display()
+            )
+        })?;
+        let snap = SessionSnapshot::from_json(&text)?;
+        // The daemon's sidecar field (see `checkpoint()`): how many rounds
+        // came out of the demand source, as opposed to explicit-body
+        // steps. Fast-forwarding by `t` instead would over-skip source
+        // rounds whenever the two were mixed.
+        let consumed = JsonValue::parse(&text)
+            .ok()
+            .and_then(|v| v.get("source_rounds").and_then(JsonValue::as_u64))
+            .unwrap_or(snap.t);
+        if consumed > snap.t {
+            return Err(format!(
+                "serve: corrupt checkpoint: source_rounds {consumed} exceeds t {}",
+                snap.t
+            ));
+        }
+        (Some(snap), consumed)
+    } else {
+        (None, 0)
+    };
+    let resumed_at = snapshot.as_ref().map(|s| s.t).unwrap_or(0);
+
+    // The strategy. OFFSTAT has no pure-streaming form: its placement is
+    // computed from the recorded scenario trace (scenario sources only) —
+    // on resume the placement travels inside the checkpoint instead.
+    let strategy: Box<dyn OnlineStrategy> = if opts.cell.strategy == StrategySpec::OffStat {
+        if snapshot.is_some() {
+            Box::new(OffStatPlacement::new(Vec::new()))
+        } else if opts.source == SourceKind::Scenario {
+            let trace = record_cell_trace(&opts.cell, &env, seed);
+            Box::new(OffStatPlacement::from_trace(&ctx, &trace))
+        } else {
+            return Err(
+                "serve: strat=offstat needs source=scenario (the placement is computed \
+                 from the recorded scenario trace)"
+                    .into(),
+            );
+        }
+    } else {
+        opts.cell.strategy.instantiate_online(&ctx, seed)?
+    };
+
+    let mut session = match &snapshot {
+        Some(snap) => SimSession::resume(ctx, strategy, snap)?,
+        None => SimSession::new(ctx, strategy, initial_center(&ctx)),
+    };
+
+    // The demand source, fast-forwarded past the rounds the checkpointed
+    // history actually consumed from it (explicit-body steps do not
+    // advance the source), so a resumed daemon sees the same source
+    // rounds an uninterrupted one would.
+    let mut source: Box<dyn RequestSource> = match &opts.source {
+        SourceKind::Scenario => {
+            let scenario = opts.cell.workload.instantiate(
+                &env.graph,
+                &env.matrix,
+                opts.cell.t_periods,
+                opts.cell.lambda,
+                seed,
+            );
+            let mut stream = ScenarioStream::new(scenario, Some(opts.cell.rounds));
+            stream.skip_to(source_consumed);
+            Box::new(stream)
+        }
+        SourceKind::File(path) => {
+            let mut replay = file_source(path, node_count)?;
+            for _ in 0..source_consumed {
+                replay.next_round()?.ok_or_else(|| {
+                    format!(
+                        "serve: replay {path} is shorter than the checkpoint \
+                         (source_rounds={source_consumed})"
+                    )
+                })?;
+            }
+            Box::new(replay)
+        }
+        SourceKind::Stdin => Box::new(stdin_source(node_count)),
+    };
+
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("serve: local_addr: {e}"))?;
+    println!(
+        "flexserve serve: listening on http://{addr} [{}] source={} checkpoint={}{}",
+        opts.cell.describe(),
+        source.describe(),
+        opts.checkpoint.display(),
+        if opts.resume {
+            format!(" (resumed at t={resumed_at})")
+        } else {
+            String::new()
+        }
+    );
+    let _ = std::io::stdout().flush();
+
+    let mut state = DaemonState {
+        session: &mut session,
+        source: source.as_mut(),
+        spec: opts.cell.describe(),
+        checkpoint: opts.checkpoint.clone(),
+        resumed_at,
+        source_consumed,
+        rounds_served: 0,
+        totals: CostBreakdown::zero(),
+        step_seconds_total: 0.0,
+    };
+
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: accept error: {e}");
+                continue;
+            }
+        };
+        match handle_connection(stream, &mut state) {
+            Ok(true) => {}
+            Ok(false) => break, // /shutdown
+            Err(e) => eprintln!("serve: connection error: {e}"),
+        }
+    }
+    Ok(ServeSummary {
+        rounds_served: state.rounds_served,
+        final_t: session.t(),
+    })
+}
+
+/// Records the cell's scenario into a trace (OFFSTAT placement input).
+fn record_cell_trace(cell: &CellSpec, env: &ExperimentEnv, seed: u64) -> Trace {
+    let mut scenario =
+        cell.workload
+            .instantiate(&env.graph, &env.matrix, cell.t_periods, cell.lambda, seed);
+    record(scenario.as_mut(), cell.rounds)
+}
+
+struct DaemonState<'s, 'a> {
+    session: &'s mut SimSession<'a, Box<dyn OnlineStrategy>>,
+    source: &'s mut dyn RequestSource,
+    spec: String,
+    checkpoint: PathBuf,
+    resumed_at: u64,
+    /// Rounds ever pulled from the demand source (including checkpointed
+    /// history) — the resume fast-forward distance. Explicit-body steps
+    /// advance `t` but not this.
+    source_consumed: u64,
+    rounds_served: u64,
+    totals: CostBreakdown,
+    step_seconds_total: f64,
+}
+
+/// Handles one HTTP exchange. Returns `Ok(false)` on `/shutdown`.
+fn handle_connection(stream: TcpStream, state: &mut DaemonState<'_, '_>) -> Result<bool, String> {
+    // The daemon is single-threaded: without a timeout, one client that
+    // connects and sends nothing would hang every endpoint forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = respond_json(
+                reader.get_mut(),
+                400,
+                "Bad Request",
+                &error_json(&e).render(),
+            );
+            return Ok(true);
+        }
+    };
+    let out = reader.get_mut();
+    match (method.as_str(), path.as_str()) {
+        ("POST", "/step") => match step(state, &body) {
+            Ok(json) => respond_json(out, 200, "OK", &json.render()),
+            Err(StepError::Exhausted) => respond_json(
+                out,
+                410,
+                "Gone",
+                &error_json("request source exhausted").render(),
+            ),
+            Err(StepError::Bad(e)) => {
+                respond_json(out, 400, "Bad Request", &error_json(&e).render())
+            }
+        },
+        ("GET", "/placement") => respond_json(out, 200, "OK", &placement_json(state).render()),
+        ("GET", "/metrics") => respond_json(out, 200, "OK", &metrics_json(state).render()),
+        ("POST", "/checkpoint") => match checkpoint(state) {
+            Ok(text) => respond_json(out, 200, "OK", &text),
+            Err(e) => respond_json(out, 500, "Internal Server Error", &error_json(&e).render()),
+        },
+        ("POST", "/shutdown") => {
+            respond_json(
+                out,
+                200,
+                "OK",
+                &JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
+            )?;
+            return Ok(false);
+        }
+        _ => respond_json(
+            out,
+            404,
+            "Not Found",
+            &error_json(&format!(
+                "no {method} {path}; endpoints: POST /step, GET /placement, GET /metrics, \
+                 POST /checkpoint, POST /shutdown"
+            ))
+            .render(),
+        ),
+    }?;
+    Ok(true)
+}
+
+enum StepError {
+    Exhausted,
+    Bad(String),
+}
+
+fn step(state: &mut DaemonState<'_, '_>, body: &str) -> Result<JsonValue, StepError> {
+    let batch = if body.trim().is_empty() {
+        let batch = state
+            .source
+            .next_round()
+            .map_err(StepError::Bad)?
+            .ok_or(StepError::Exhausted)?;
+        state.source_consumed += 1;
+        batch
+    } else {
+        let value = JsonValue::parse(body.trim()).map_err(StepError::Bad)?;
+        parse_round(&value, state.session.ctx().graph.node_count()).map_err(StepError::Bad)?
+    };
+    let started = Instant::now();
+    let rec = state.session.step(&batch);
+    state.step_seconds_total += started.elapsed().as_secs_f64();
+    state.rounds_served += 1;
+    state.totals += rec.costs;
+    Ok(round_json(state, &rec))
+}
+
+fn checkpoint(state: &mut DaemonState<'_, '_>) -> Result<String, String> {
+    let text = state.session.snapshot()?.to_json();
+    // Sidecar field for the resume fast-forward: how much of the demand
+    // source the checkpointed history consumed. `SessionSnapshot` ignores
+    // unknown keys, so the file stays a valid engine checkpoint.
+    let mut value = JsonValue::parse(&text).expect("own render must parse");
+    if let JsonValue::Obj(pairs) = &mut value {
+        pairs.push((
+            "source_rounds".into(),
+            JsonValue::from(state.source_consumed),
+        ));
+    }
+    let mut text = value.render();
+    text.push('\n');
+    if let Some(dir) = state.checkpoint.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    // Write-then-rename so a crash mid-write can't truncate the previous
+    // good checkpoint — the one artifact meant to survive crashes.
+    let tmp = state.checkpoint.with_extension("json.tmp");
+    std::fs::write(&tmp, &text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &state.checkpoint)
+        .map_err(|e| format!("cannot rename into {}: {e}", state.checkpoint.display()))?;
+    Ok(text)
+}
+
+fn costs_json(costs: &CostBreakdown) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("access".into(), JsonValue::from(costs.access)),
+        ("running".into(), JsonValue::from(costs.running)),
+        ("migration".into(), JsonValue::from(costs.migration)),
+        ("creation".into(), JsonValue::from(costs.creation)),
+        ("total".into(), JsonValue::from(costs.total())),
+    ])
+}
+
+fn fleet_json(state: &DaemonState<'_, '_>) -> Vec<(String, JsonValue)> {
+    let fleet = state.session.fleet();
+    vec![
+        (
+            "active".into(),
+            JsonValue::Arr(
+                fleet
+                    .active()
+                    .iter()
+                    .map(|n| JsonValue::from(n.index()))
+                    .collect(),
+            ),
+        ),
+        (
+            "inactive".into(),
+            JsonValue::Arr(
+                fleet
+                    .inactive_entries()
+                    .map(|s| {
+                        JsonValue::Arr(vec![
+                            JsonValue::from(s.node.index()),
+                            JsonValue::from(s.expires_epoch),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("epoch".into(), JsonValue::from(fleet.epoch())),
+    ]
+}
+
+fn round_json(state: &DaemonState<'_, '_>, rec: &RoundRecord) -> JsonValue {
+    let mut pairs = vec![
+        ("t".into(), JsonValue::from(rec.t)),
+        ("requests".into(), JsonValue::from(rec.requests)),
+        ("costs".into(), costs_json(&rec.costs)),
+    ];
+    pairs.extend(fleet_json(state));
+    JsonValue::Obj(pairs)
+}
+
+fn placement_json(state: &DaemonState<'_, '_>) -> JsonValue {
+    let mut pairs = vec![("t".into(), JsonValue::from(state.session.t()))];
+    pairs.extend(fleet_json(state));
+    JsonValue::Obj(pairs)
+}
+
+fn metrics_json(state: &DaemonState<'_, '_>) -> JsonValue {
+    JsonValue::Obj(vec![
+        (
+            "strategy".into(),
+            JsonValue::from(state.session.strategy().name()),
+        ),
+        ("spec".into(), JsonValue::from(state.spec.clone())),
+        ("source".into(), JsonValue::from(state.source.describe())),
+        ("next_t".into(), JsonValue::from(state.session.t())),
+        ("resumed_at".into(), JsonValue::from(state.resumed_at)),
+        ("rounds_served".into(), JsonValue::from(state.rounds_served)),
+        (
+            "source_rounds".into(),
+            JsonValue::from(state.source_consumed),
+        ),
+        ("total_cost".into(), costs_json(&state.totals)),
+        (
+            "active_servers".into(),
+            JsonValue::from(state.session.fleet().active_count()),
+        ),
+        (
+            "step_seconds_total".into(),
+            JsonValue::from(state.step_seconds_total),
+        ),
+    ])
+}
+
+fn error_json(message: &str) -> JsonValue {
+    JsonValue::Obj(vec![("error".into(), JsonValue::from(message))])
+}
+
+/// Reads one HTTP request: the request line, headers (only
+/// `Content-Length` matters) and the body.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line has no path")?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    // Cap bodies at 16 MiB: a daemon on loopback still shouldn't let one
+    // request balloon the process.
+    if content_length > 16 * 1024 * 1024 {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the 16 MiB cap"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok((method, path, body))
+}
+
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> Result<(), String> {
+    let mut body = body.to_string();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(response.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write response: {e}"))
+}
+
+/// CLI entry point for `flexserve serve <args>`.
+pub fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let opts = ServeOptions::parse(args)?;
+    let summary = serve(&opts)?;
+    eprintln!(
+        "flexserve serve: stopped after {} rounds (t={})",
+        summary.rounds_served, summary.final_t
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_requires_the_three_axes() {
+        let err = ServeOptions::parse(&args(&["topo=er:50"])).unwrap_err();
+        assert!(err.contains("required"), "{err}");
+        let err = ServeOptions::parse(&args(&["bogus"])).unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        let err = ServeOptions::parse(&args(&["topo=er:50", "wl=uniform", "strat=onth", "zap=1"]))
+            .unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn parse_builds_a_cell_with_defaults_and_overrides() {
+        let opts = ServeOptions::parse(&args(&[
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=onth",
+            "rounds=50",
+            "seed=7",
+            "k=4",
+            "port=0",
+            "checkpoint=/tmp/ck.json",
+            "source=stdin",
+        ]))
+        .unwrap();
+        assert_eq!(opts.cell.rounds, 50);
+        assert_eq!(opts.cell.seeds, vec![7]);
+        assert_eq!(opts.cell.params.max_servers, 4);
+        assert_eq!(opts.port, 0);
+        assert_eq!(opts.checkpoint, PathBuf::from("/tmp/ck.json"));
+        assert_eq!(opts.source, SourceKind::Stdin);
+        assert!(!opts.resume);
+
+        let opts = ServeOptions::parse(&args(&[
+            "topo=er:50",
+            "wl=commuter-dynamic",
+            "strat=onbr",
+            "source=demand.jsonl",
+            "resume=true",
+            "flipped=true",
+        ]))
+        .unwrap();
+        assert_eq!(opts.source, SourceKind::File("demand.jsonl".into()));
+        assert!(opts.resume);
+        assert_eq!(opts.cell.params.migration_beta, 400.0);
+        assert_eq!(opts.cell.params.creation_c, 40.0);
+    }
+
+    #[test]
+    fn offstat_needs_a_scenario_source() {
+        let opts = ServeOptions::parse(&args(&[
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=offstat",
+            "source=stdin",
+            "k=4",
+        ]))
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve_on(listener, &opts).unwrap_err();
+        assert!(err.contains("source=scenario"), "{err}");
+    }
+}

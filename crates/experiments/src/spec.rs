@@ -30,7 +30,10 @@ use flexserve_workload::{
     TimeZonesScenario, Trace, UniformScenario,
 };
 
-use flexserve_core::{initial_center, offstat, optimal_plan, OnConf, SampledConf};
+use flexserve_core::{
+    initial_center, offstat, optimal_plan, OnBr, OnConf, OnTh, SampledConf, StaticStrategy,
+};
+use flexserve_sim::OnlineStrategy;
 
 use crate::runner::{average, run_algorithm, Algorithm, SeedSummary};
 use crate::setup::ExperimentEnv;
@@ -542,6 +545,37 @@ impl StrategySpec {
     pub fn enumerates_configurations(self) -> bool {
         matches!(self, StrategySpec::OnConf | StrategySpec::Opt)
     }
+
+    /// Constructs the strategy in its streaming form — a boxed
+    /// [`OnlineStrategy`] a `SimSession` (and the `flexserve serve`
+    /// daemon) can drive one round at a time, without a recorded trace.
+    ///
+    /// Offline strategies need the full future request sequence and have
+    /// no streaming form: `offbr`, `offth` and `opt` are refused here
+    /// (`offstat` has one — `OffStatPlacement` — but it must be built
+    /// from a recorded trace, which the serve layer does when the request
+    /// source is a scenario).
+    pub fn instantiate_online(
+        self,
+        ctx: &SimContext<'_>,
+        seed: u64,
+    ) -> Result<Box<dyn OnlineStrategy>, String> {
+        match self {
+            StrategySpec::OnTh => Ok(Box::new(OnTh::new())),
+            StrategySpec::OnBrFixed => Ok(Box::new(OnBr::fixed(ctx))),
+            StrategySpec::OnBrDyn => Ok(Box::new(OnBr::dynamic(ctx))),
+            StrategySpec::OnConf => Ok(Box::new(OnConf::new(ctx, &initial_center(ctx), seed))),
+            StrategySpec::SampledConf => Ok(Box::new(SampledConf::new(ctx))),
+            StrategySpec::Static => Ok(Box::new(StaticStrategy::new())),
+            StrategySpec::OffStat
+            | StrategySpec::OffBr
+            | StrategySpec::OffTh
+            | StrategySpec::Opt => Err(format!(
+                "{self}: offline strategies need the whole request sequence up front \
+                     and cannot be driven round-by-round"
+            )),
+        }
+    }
 }
 
 impl fmt::Display for StrategySpec {
@@ -588,6 +622,27 @@ impl FromStr for StrategySpec {
 /// One experimental cell: topology × workload × strategy plus run
 /// parameters. [`CellSpec::run`] averages the cell over its seeds via the
 /// seed-parallel runner, pulling substrates from the distance-matrix cache.
+///
+/// Every axis parses from its canonical string (see `flexserve list`), so
+/// a cell is fully describable as data:
+///
+/// ```
+/// use flexserve_experiments::spec::{CellSpec, StrategySpec};
+///
+/// let mut cell = CellSpec::new(
+///     "unit-line:8".parse().unwrap(),
+///     "uniform:req=3".parse().unwrap(),
+///     StrategySpec::OnTh,
+/// );
+/// cell.rounds = 20;
+/// cell.seeds = vec![1, 2];
+/// cell.params = cell.params.with_max_servers(4);
+///
+/// let result = cell.run().unwrap();
+/// assert_eq!(result.summary.per_seed.len(), 2);
+/// assert!(result.summary.mean_total() > 0.0);
+/// assert!(cell.describe().contains("unit-line:8"));
+/// ```
 #[derive(Clone, Debug)]
 pub struct CellSpec {
     /// Substrate topology.
@@ -883,6 +938,34 @@ mod tests {
             err.contains("onconf") && err.contains("exceed the cap"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn online_strategies_instantiate_for_serving() {
+        let env = ExperimentEnv::line(6);
+        let ctx = env.context(CostParams::default().with_max_servers(3), LoadModel::Linear);
+        for strat in [
+            StrategySpec::OnTh,
+            StrategySpec::OnBrFixed,
+            StrategySpec::OnBrDyn,
+            StrategySpec::SampledConf,
+            StrategySpec::Static,
+        ] {
+            let boxed = strat.instantiate_online(&ctx, 1).unwrap();
+            assert!(!boxed.name().is_empty(), "{strat}");
+        }
+        for strat in [
+            StrategySpec::OffBr,
+            StrategySpec::OffTh,
+            StrategySpec::Opt,
+            StrategySpec::OffStat,
+        ] {
+            let err = match strat.instantiate_online(&ctx, 1) {
+                Err(e) => e,
+                Ok(_) => panic!("{strat} must not instantiate online"),
+            };
+            assert!(err.contains("offline"), "{strat}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Documentation drift guards.
+//!
+//! The figure/table map in `docs/FIGURES.md` and the registry behind
+//! `flexserve list` describe the same catalog; this test golden-snapshots
+//! the doc's cell table against `registry::FIGURES` so neither can change
+//! without the other (the list output itself is pinned separately in
+//! `golden_cli.rs`). `docs/SERVING.md` is likewise pinned to the serve
+//! daemon's endpoint surface, and the doc tree's cross-links are checked
+//! so a renamed file can't leave dangling references.
+
+use flexserve_experiments::registry;
+
+const FIGURES_MD: &str = include_str!("../../../docs/FIGURES.md");
+const SERVING_MD: &str = include_str!("../../../docs/SERVING.md");
+const ARCHITECTURE_MD: &str = include_str!("../../../docs/ARCHITECTURE.md");
+const README_MD: &str = include_str!("../../../README.md");
+
+/// Registry names appearing in the FIGURES.md table, in document order.
+fn doc_table_names() -> Vec<String> {
+    FIGURES_MD
+        .lines()
+        .filter_map(|line| {
+            // table rows look like: | `fig03` | Fig. 3 | ... | `results/fig03.csv` |
+            let rest = line.strip_prefix("| `")?;
+            let (name, rest) = rest.split_once('`')?;
+            rest.starts_with(" |").then(|| name.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn figures_md_table_matches_the_registry_exactly() {
+    let doc = doc_table_names();
+    let registry: Vec<String> = registry::FIGURES
+        .iter()
+        .map(|f| f.name.to_string())
+        .collect();
+    assert_eq!(
+        doc, registry,
+        "docs/FIGURES.md table rows must list exactly the registry figures, in \
+         registry (paper) order — update both together"
+    );
+}
+
+#[test]
+fn figures_md_rows_name_their_csv_artifacts() {
+    for f in registry::FIGURES {
+        let row = FIGURES_MD
+            .lines()
+            .find(|l| l.starts_with(&format!("| `{}` |", f.name)))
+            .unwrap_or_else(|| panic!("docs/FIGURES.md has no row for {}", f.name));
+        assert!(
+            row.contains(&format!("results/{}.csv", f.name)),
+            "{}'s row must name its CSV artifact: {row}",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn serving_md_documents_every_endpoint() {
+    for endpoint in [
+        "POST /step",
+        "GET /placement",
+        "GET /metrics",
+        "POST /checkpoint",
+        "POST /shutdown",
+    ] {
+        assert!(
+            SERVING_MD.contains(&format!("`{endpoint}`")),
+            "docs/SERVING.md must document {endpoint}"
+        );
+    }
+    // the checkpoint format tag is load-bearing for external tooling
+    assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT));
+}
+
+#[test]
+fn doc_tree_cross_links_hold() {
+    assert!(
+        README_MD.contains("docs/SERVING.md"),
+        "README must link the serving guide"
+    );
+    assert!(
+        ARCHITECTURE_MD.contains("SERVING.md"),
+        "ARCHITECTURE must link the serving guide from the module map"
+    );
+    assert!(FIGURES_MD.contains("registry.rs"));
+}

@@ -1,0 +1,307 @@
+//! End-to-end exercise of the `flexserve serve` daemon over real TCP:
+//! drive rounds through `POST /step`, snapshot through `POST /checkpoint`,
+//! restart the daemon from the checkpoint file, and assert the resumed
+//! placement matches an uninterrupted session bit for bit.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use flexserve_core::initial_center;
+use flexserve_experiments::serve::{serve_on, ServeOptions};
+use flexserve_experiments::setup::ExperimentEnv;
+use flexserve_experiments::spec::CellSpec;
+use flexserve_sim::{CostParams, LoadModel, SimSession};
+use flexserve_workload::{JsonValue, RequestSource, ScenarioStream};
+
+/// One HTTP/1.1 exchange against the daemon; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json(body: &str) -> JsonValue {
+    JsonValue::parse(body.trim()).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn the_cell() -> Vec<String> {
+    [
+        "topo=unit-line:12",
+        "wl=uniform:req=4",
+        "strat=onth",
+        "rounds=60",
+        "seed=5",
+        "k=4",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn start_daemon(extra: &[&str]) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let mut args = the_cell();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let opts = ServeOptions::parse(&args).expect("parse serve args");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        serve_on(listener, &opts).expect("daemon run");
+    });
+    (addr, handle)
+}
+
+/// The same cell driven directly through a `SimSession` — the reference
+/// the daemon must match.
+fn reference_placement_after(rounds: usize) -> (u64, Vec<usize>) {
+    let cell = CellSpec::new(
+        "unit-line:12".parse().unwrap(),
+        "uniform:req=4".parse().unwrap(),
+        "onth".parse().unwrap(),
+    );
+    let env = ExperimentEnv::from_spec(&cell.topology, 5).unwrap();
+    let ctx = env.context(CostParams::default().with_max_servers(4), LoadModel::Linear);
+    let strategy = cell.strategy.instantiate_online(&ctx, 5).unwrap();
+    let mut session = SimSession::new(ctx, strategy, initial_center(&ctx));
+    let scenario =
+        cell.workload
+            .instantiate(&env.graph, &env.matrix, cell.t_periods, cell.lambda, 5);
+    let mut source = ScenarioStream::new(scenario, Some(60));
+    for _ in 0..rounds {
+        let batch = source.next_round().unwrap().unwrap();
+        session.step(&batch);
+    }
+    (
+        session.t(),
+        session.fleet().active().iter().map(|n| n.index()).collect(),
+    )
+}
+
+#[test]
+fn serve_steps_checkpoints_and_resumes_identically() {
+    let ck: PathBuf = std::env::temp_dir().join("flexserve-serve-http-test.ckpt.json");
+    let _ = std::fs::remove_file(&ck);
+    let ck_arg = format!("checkpoint={}", ck.display());
+
+    // --- first daemon: 20 source-driven rounds, checkpoint, shutdown ---
+    let (addr, handle) = start_daemon(&[&ck_arg]);
+
+    for t in 0..20u64 {
+        let (status, body) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200, "step {t}: {body}");
+        let v = json(&body);
+        assert_eq!(v.get("t").unwrap().as_u64(), Some(t));
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(4));
+        assert!(
+            v.get("costs")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    // placement + metrics agree on where we are
+    let (status, body) = http(addr, "GET", "/placement", "");
+    assert_eq!(status, 200);
+    let placement_mid = json(&body);
+    assert_eq!(placement_mid.get("t").unwrap().as_u64(), Some(20));
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = json(&body);
+    assert_eq!(metrics.get("rounds_served").unwrap().as_u64(), Some(20));
+    assert_eq!(metrics.get("resumed_at").unwrap().as_u64(), Some(0));
+    assert_eq!(metrics.get("strategy").unwrap().as_str(), Some("ONTH"));
+    assert!(metrics.get("step_seconds_total").unwrap().as_f64().unwrap() >= 0.0);
+
+    // an explicit-origins step works and advances t
+    let (status, body) = http(addr, "POST", "/step", r#"{"origins":[11,11,0]}"#);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json(&body).get("t").unwrap().as_u64(), Some(20));
+    // …but a bogus body is a 400 and does NOT advance t
+    let (status, _) = http(addr, "POST", "/step", r#"{"origins":[99]}"#);
+    assert_eq!(status, 400);
+    let (_, body) = http(addr, "GET", "/placement", "");
+    assert_eq!(json(&body).get("t").unwrap().as_u64(), Some(21));
+
+    // The explicit round above diverged the daemon from the pure-source
+    // run, so restart clean for the determinism half below.
+    let (status, ck_body) = http(addr, "POST", "/checkpoint", "");
+    assert_eq!(status, 200);
+    assert!(ck_body.contains("flexserve-checkpoint-v1"));
+    assert!(ck.exists(), "checkpoint file must be written");
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    // --- determinism: fresh daemon, 20 rounds, checkpoint, restart,
+    //     20 more — must equal 40 uninterrupted rounds ---------------
+    let _ = std::fs::remove_file(&ck);
+    let (addr, handle) = start_daemon(&[&ck_arg]);
+    for _ in 0..20 {
+        let (status, _) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200);
+    }
+    let (status, _) = http(addr, "POST", "/checkpoint", "");
+    assert_eq!(status, 200);
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    let (addr, handle) = start_daemon(&[&ck_arg, "resume=true"]);
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = json(&body);
+    assert_eq!(metrics.get("resumed_at").unwrap().as_u64(), Some(20));
+    assert_eq!(metrics.get("next_t").unwrap().as_u64(), Some(20));
+    for _ in 0..20 {
+        let (status, _) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200);
+    }
+    let (_, body) = http(addr, "GET", "/placement", "");
+    let resumed = json(&body);
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    let (ref_t, ref_active) = reference_placement_after(40);
+    assert_eq!(resumed.get("t").unwrap().as_u64(), Some(ref_t));
+    let active: Vec<usize> = resumed
+        .get("active")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|n| n.as_usize().unwrap())
+        .collect();
+    assert_eq!(
+        active, ref_active,
+        "resumed daemon placement must match the uninterrupted session"
+    );
+
+    let _ = std::fs::remove_file(&ck);
+}
+
+#[test]
+fn mixed_explicit_steps_do_not_desync_the_source_across_resume() {
+    // Rounds with distinct request counts (1, 2, 3, 4, 5) so a skipped
+    // or repeated source round is visible in the /step response.
+    let dir = std::env::temp_dir();
+    let replay = dir.join("flexserve-serve-mixed.jsonl");
+    let ck = dir.join("flexserve-serve-mixed.ckpt.json");
+    let lines: String = (0..5u64)
+        .map(|t| {
+            format!(
+                "{{\"t\":{t},\"origins\":[{}]}}\n",
+                vec!["1"; t as usize + 1].join(",")
+            )
+        })
+        .collect();
+    std::fs::write(&replay, lines).unwrap();
+    let _ = std::fs::remove_file(&ck);
+
+    let ck_arg = format!("checkpoint={}", ck.display());
+    let source_arg = format!("source={}", replay.display());
+
+    // Daemon A: 2 source rounds (sizes 1, 2), then 2 explicit rounds —
+    // t is now 4 but only 2 source rounds were consumed.
+    let (addr, handle) = start_daemon(&[&ck_arg, &source_arg]);
+    for expected in [1u64, 2] {
+        let (status, body) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            json(&body).get("requests").unwrap().as_u64(),
+            Some(expected)
+        );
+    }
+    for _ in 0..2 {
+        let (status, _) = http(addr, "POST", "/step", r#"{"origins":[0]}"#);
+        assert_eq!(status, 200);
+    }
+    let (status, body) = http(addr, "POST", "/checkpoint", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"source_rounds\":2"), "{body}");
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    // Daemon B (resumed): the next source-driven round must be round 2
+    // (size 3) — fast-forwarding by t=4 would wrongly serve round 4.
+    let (addr, handle) = start_daemon(&[&ck_arg, &source_arg, "resume=true"]);
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = json(&body);
+    assert_eq!(metrics.get("next_t").unwrap().as_u64(), Some(4));
+    assert_eq!(metrics.get("source_rounds").unwrap().as_u64(), Some(2));
+    let (status, body) = http(addr, "POST", "/step", "");
+    assert_eq!(status, 200, "{body}");
+    let v = json(&body);
+    assert_eq!(v.get("t").unwrap().as_u64(), Some(4));
+    assert_eq!(
+        v.get("requests").unwrap().as_u64(),
+        Some(3),
+        "resume must continue the source where the checkpointed history left it"
+    );
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    let _ = std::fs::remove_file(&replay);
+    let _ = std::fs::remove_file(&ck);
+}
+
+#[test]
+fn serve_source_exhaustion_and_unknown_routes() {
+    let ck = std::env::temp_dir().join("flexserve-serve-http-test2.ckpt.json");
+    let ck_arg = format!("checkpoint={}", ck.display());
+    let mut args = the_cell();
+    // tiny source: 3 rounds only
+    for a in &mut args {
+        if a.starts_with("rounds=") {
+            *a = "rounds=3".into();
+        }
+    }
+    args.push(ck_arg);
+    let opts = ServeOptions::parse(&args).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        serve_on(listener, &opts).unwrap();
+    });
+
+    for _ in 0..3 {
+        let (status, _) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200);
+    }
+    let (status, body) = http(addr, "POST", "/step", "");
+    assert_eq!(status, 410, "exhausted source must be 410: {body}");
+    assert!(body.contains("exhausted"));
+    // explicit bodies still work after exhaustion
+    let (status, _) = http(addr, "POST", "/step", r#"{"origins":[1]}"#);
+    assert_eq!(status, 200);
+
+    let (status, body) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("endpoints"));
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+    let _ = std::fs::remove_file(&ck);
+}

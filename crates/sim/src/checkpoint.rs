@@ -1,0 +1,253 @@
+//! Hand-rolled JSON checkpoints of a running simulation session.
+//!
+//! A [`SessionSnapshot`] captures everything a
+//! [`SimSession`](crate::session::SimSession) needs to resume exactly
+//! where it stopped: the round counter, the fleet (active set, inactive
+//! queue with absolute expiry epochs, epoch counter) and the strategy's
+//! mutable state as exported through
+//! [`OnlineStrategy::export_state`](crate::engine::OnlineStrategy::export_state).
+//! Like `results/manifest.json`, the format is hand-rolled JSON (the
+//! workspace has no serde by design); unlike the manifest it must also be
+//! *parsed*, which the shared
+//! [`flexserve_workload::json`] module provides.
+//!
+//! Restores are guarded: the checkpoint records the substrate fingerprint
+//! and the cost-parameter summary, and
+//! [`SimSession::resume`](crate::session::SimSession::resume) refuses to
+//! resume against a different substrate or cost model — silently replaying
+//! a checkpoint into the wrong world would corrupt results without
+//! failing any assertion.
+//!
+//! Floats are rendered with Rust's shortest-round-trip formatting, so a
+//! snapshot → JSON → restore cycle reproduces every accumulator
+//! **bit-identically** (pinned by `crates/core/tests/checkpoint_resume.rs`).
+//! The full schema is documented in `docs/SERVING.md`.
+
+use flexserve_graph::NodeId;
+use flexserve_workload::JsonValue;
+
+use crate::fleet::{Fleet, InactiveServer};
+
+/// The format tag written into (and required from) every checkpoint.
+pub const CHECKPOINT_FORMAT: &str = "flexserve-checkpoint-v1";
+
+/// A point-in-time capture of one simulation session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSnapshot {
+    /// Rounds played so far (the next [`step`](crate::session::SimSession::step)
+    /// is round `t`).
+    pub t: u64,
+    /// `Graph::fingerprint()` of the substrate the session ran on.
+    pub substrate_fingerprint: u64,
+    /// `CostParams::summary()` of the session's cost model.
+    pub params_summary: String,
+    /// The strategy's display name (`"ONTH"`, `"ONBR-fixed"`, …).
+    pub strategy_name: String,
+    /// The strategy's exported mutable state.
+    pub strategy_state: JsonValue,
+    /// Active-server nodes, sorted.
+    pub active: Vec<NodeId>,
+    /// The inactive queue, oldest first, with absolute expiry epochs.
+    pub inactive: Vec<InactiveServer>,
+    /// The fleet's epoch counter.
+    pub epoch: u64,
+}
+
+impl SessionSnapshot {
+    /// Captures `fleet` (the session adds `t`, context guards and the
+    /// strategy fields).
+    pub(crate) fn fleet_fields(fleet: &Fleet) -> (Vec<NodeId>, Vec<InactiveServer>, u64) {
+        (
+            fleet.active().to_vec(),
+            fleet.inactive_entries().copied().collect(),
+            fleet.epoch(),
+        )
+    }
+
+    /// Renders the snapshot as a self-describing JSON document.
+    pub fn to_json(&self) -> String {
+        let obj = JsonValue::Obj(vec![
+            ("format".into(), JsonValue::from(CHECKPOINT_FORMAT)),
+            ("t".into(), JsonValue::from(self.t)),
+            (
+                "substrate_fingerprint".into(),
+                JsonValue::from(format!("{:016x}", self.substrate_fingerprint)),
+            ),
+            (
+                "params".into(),
+                JsonValue::from(self.params_summary.clone()),
+            ),
+            (
+                "strategy".into(),
+                JsonValue::Obj(vec![
+                    ("name".into(), JsonValue::from(self.strategy_name.clone())),
+                    ("state".into(), self.strategy_state.clone()),
+                ]),
+            ),
+            (
+                "fleet".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "active".into(),
+                        JsonValue::Arr(
+                            self.active
+                                .iter()
+                                .map(|n| JsonValue::from(n.index()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "inactive".into(),
+                        JsonValue::Arr(
+                            self.inactive
+                                .iter()
+                                .map(|s| {
+                                    JsonValue::Arr(vec![
+                                        JsonValue::from(s.node.index()),
+                                        JsonValue::from(s.expires_epoch),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("epoch".into(), JsonValue::from(self.epoch)),
+                ]),
+            ),
+        ]);
+        let mut out = obj.render();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a checkpoint document produced by [`SessionSnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = JsonValue::parse(text).map_err(|e| format!("checkpoint: {e}"))?;
+        let format = v
+            .get("format")
+            .and_then(JsonValue::as_str)
+            .ok_or("checkpoint: missing \"format\"")?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(format!(
+                "checkpoint: unsupported format {format:?} (expected {CHECKPOINT_FORMAT:?})"
+            ));
+        }
+        let t = v
+            .get("t")
+            .and_then(JsonValue::as_u64)
+            .ok_or("checkpoint: missing \"t\"")?;
+        let substrate_fingerprint = v
+            .get("substrate_fingerprint")
+            .and_then(JsonValue::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or("checkpoint: missing or bad \"substrate_fingerprint\"")?;
+        let params_summary = v
+            .get("params")
+            .and_then(JsonValue::as_str)
+            .ok_or("checkpoint: missing \"params\"")?
+            .to_string();
+        let strategy = v
+            .get("strategy")
+            .ok_or("checkpoint: missing \"strategy\"")?;
+        let strategy_name = strategy
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("checkpoint: missing strategy name")?
+            .to_string();
+        let strategy_state = strategy
+            .get("state")
+            .cloned()
+            .ok_or("checkpoint: missing strategy state")?;
+        let fleet = v.get("fleet").ok_or("checkpoint: missing \"fleet\"")?;
+        let active = fleet
+            .get("active")
+            .and_then(JsonValue::as_array)
+            .ok_or("checkpoint: missing fleet active set")?
+            .iter()
+            .map(|n| n.as_usize().map(NodeId::new))
+            .collect::<Option<Vec<_>>>()
+            .ok_or("checkpoint: bad active node id")?;
+        let inactive = fleet
+            .get("inactive")
+            .and_then(JsonValue::as_array)
+            .ok_or("checkpoint: missing fleet inactive queue")?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array()?;
+                match pair {
+                    [node, exp] => Some(InactiveServer {
+                        node: NodeId::new(node.as_usize()?),
+                        expires_epoch: exp.as_u64()?,
+                    }),
+                    _ => None,
+                }
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or("checkpoint: bad inactive queue entry")?;
+        let epoch = fleet
+            .get("epoch")
+            .and_then(JsonValue::as_u64)
+            .ok_or("checkpoint: missing fleet epoch")?;
+        Ok(SessionSnapshot {
+            t,
+            substrate_fingerprint,
+            params_summary,
+            strategy_name,
+            strategy_state,
+            active,
+            inactive,
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionSnapshot {
+        SessionSnapshot {
+            t: 17,
+            substrate_fingerprint: 0xdead_beef_0042,
+            params_summary: "beta=40, c=400".into(),
+            strategy_name: "ONTH".into(),
+            strategy_state: JsonValue::Obj(vec![("small_cost".into(), JsonValue::from(0.1 + 0.2))]),
+            active: vec![NodeId::new(2), NodeId::new(9)],
+            inactive: vec![InactiveServer {
+                node: NodeId::new(4),
+                expires_epoch: 23,
+            }],
+            epoch: 5,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let text = snap.to_json();
+        assert!(text.contains(CHECKPOINT_FORMAT));
+        let back = SessionSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // float state survives bit-identically
+        assert_eq!(
+            back.strategy_state.get("small_cost").unwrap().as_f64(),
+            Some(0.1 + 0.2)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_missing_fields() {
+        assert!(SessionSnapshot::from_json("{}").is_err());
+        assert!(SessionSnapshot::from_json("not json").is_err());
+        let other = sample().to_json().replace(CHECKPOINT_FORMAT, "v999");
+        let err = SessionSnapshot::from_json(&other).unwrap_err();
+        assert!(err.contains("unsupported format"), "{err}");
+        let broken = sample().to_json().replace("\"epoch\"", "\"epoxy\"");
+        assert!(SessionSnapshot::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_hex() {
+        let text = sample().to_json();
+        assert!(text.contains("\"0000deadbeef0042\""), "{text}");
+    }
+}

@@ -5,6 +5,9 @@
 //! * [`run_online`] — plays the online game: each round the requests
 //!   arrive, the algorithm pays access costs to the *current* servers, then
 //!   reconfigures (paying migration/creation) and pays running costs.
+//!   It is a thin batch wrapper over the resumable stepper
+//!   [`SimSession`], which is also driven
+//!   round-by-round by the `flexserve serve` daemon.
 //! * [`run_plan`] — evaluates a precomputed per-round configuration plan
 //!   (the output of the offline algorithms): the configuration for round
 //!   `t` is applied *before* the round's requests are served, matching the
@@ -13,11 +16,12 @@
 //!   interchangeable for the analysis.
 
 use flexserve_graph::NodeId;
-use flexserve_workload::{RoundRequests, Trace};
+use flexserve_workload::{JsonValue, RoundRequests, Trace};
 
 use crate::context::SimContext;
 use crate::cost::CostBreakdown;
 use crate::fleet::Fleet;
+use crate::session::SimSession;
 use crate::transition::TransitionPlanner;
 
 /// An online allocation/migration strategy.
@@ -26,6 +30,45 @@ use crate::transition::TransitionPlanner;
 /// may return a new target set of active-server locations; the engine
 /// prices and applies the change through the shared
 /// [`TransitionPlanner`]. Returning `None` keeps the configuration.
+///
+/// Strategies that expose their mutable state through
+/// [`export_state`](Self::export_state) /
+/// [`import_state`](Self::import_state) can be checkpointed mid-run by a
+/// [`SimSession`] and resumed bit-identically.
+///
+/// ```
+/// use flexserve_graph::{gen::unit_line, DistanceMatrix, NodeId};
+/// use flexserve_sim::{run_online, CostParams, Fleet, LoadModel, OnlineStrategy, SimContext};
+/// use flexserve_workload::{RoundRequests, Trace};
+///
+/// /// Keeps one server on the node with the round's first request.
+/// struct FollowFirst;
+///
+/// impl OnlineStrategy for FollowFirst {
+///     fn name(&self) -> String { "FOLLOW-FIRST".into() }
+///     fn decide(
+///         &mut self,
+///         _ctx: &SimContext<'_>,
+///         _t: u64,
+///         requests: &RoundRequests,
+///         _access_cost: f64,
+///         _fleet: &Fleet,
+///     ) -> Option<Vec<NodeId>> {
+///         requests.origins().first().map(|&origin| vec![origin])
+///     }
+/// }
+///
+/// let graph = unit_line(4).unwrap();
+/// let matrix = DistanceMatrix::build(&graph);
+/// let ctx = SimContext::new(&graph, &matrix, CostParams::default(), LoadModel::None);
+/// let trace = Trace::new(vec![RoundRequests::new(vec![NodeId::new(3)]); 5]);
+///
+/// let record = run_online(&ctx, &trace, &mut FollowFirst, vec![NodeId::new(0)]);
+/// assert_eq!(record.len(), 5);
+/// // round 0 pays access 3 (server still at node 0), then the server sits
+/// // on the demand and access cost stops accruing.
+/// assert_eq!(record.total().access, 3.0);
+/// ```
 pub trait OnlineStrategy {
     /// Algorithm name for reports (e.g. `"ONTH"`).
     fn name(&self) -> String;
@@ -43,6 +86,81 @@ pub trait OnlineStrategy {
         access_cost: f64,
         fleet: &Fleet,
     ) -> Option<Vec<NodeId>>;
+
+    /// Serializes the strategy's mutable state for checkpointing, or
+    /// `None` when the strategy does not support it (the default).
+    ///
+    /// The returned value must contain everything `decide` depends on
+    /// besides the construction parameters: importing it into a freshly
+    /// constructed instance must continue **bit-identically** to the
+    /// exporting instance.
+    fn export_state(&self) -> Option<JsonValue> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`export_state`](Self::export_state) into a freshly constructed
+    /// instance. The default refuses (matching the `None` default above).
+    fn import_state(&mut self, _state: &JsonValue) -> Result<(), String> {
+        Err(format!(
+            "{}: checkpoint restore is not supported",
+            self.name()
+        ))
+    }
+}
+
+/// Mutable borrows drive sessions without giving up ownership
+/// ([`run_online`] uses this shape).
+impl<S: OnlineStrategy + ?Sized> OnlineStrategy for &mut S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn initialize(&mut self, ctx: &SimContext<'_>, fleet: &Fleet) {
+        (**self).initialize(ctx, fleet);
+    }
+    fn decide(
+        &mut self,
+        ctx: &SimContext<'_>,
+        t: u64,
+        requests: &RoundRequests,
+        access_cost: f64,
+        fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        (**self).decide(ctx, t, requests, access_cost, fleet)
+    }
+    fn export_state(&self) -> Option<JsonValue> {
+        (**self).export_state()
+    }
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        (**self).import_state(state)
+    }
+}
+
+/// Boxed strategies (`Box<dyn OnlineStrategy>`) drive sessions — the
+/// `flexserve serve` daemon's shape.
+impl<S: OnlineStrategy + ?Sized> OnlineStrategy for Box<S> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn initialize(&mut self, ctx: &SimContext<'_>, fleet: &Fleet) {
+        (**self).initialize(ctx, fleet);
+    }
+    fn decide(
+        &mut self,
+        ctx: &SimContext<'_>,
+        t: u64,
+        requests: &RoundRequests,
+        access_cost: f64,
+        fleet: &Fleet,
+    ) -> Option<Vec<NodeId>> {
+        (**self).decide(ctx, t, requests, access_cost, fleet)
+    }
+    fn export_state(&self) -> Option<JsonValue> {
+        (**self).export_state()
+    }
+    fn import_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        (**self).import_state(state)
+    }
 }
 
 /// A per-round configuration plan: `plan[t]` is the set of active-server
@@ -101,41 +219,21 @@ impl RunRecord {
 /// Plays the online game over `trace` with `strategy`, starting from
 /// `initial` active servers (no creation charge for the initial
 /// configuration `γ0`, matching the paper's OPT set-up).
+///
+/// This is a thin batch wrapper over
+/// [`SimSession`]: every round is one
+/// [`step`](crate::session::SimSession::step), so the batch pipelines and
+/// the streaming daemon exercise identical per-round code.
 pub fn run_online<S: OnlineStrategy + ?Sized>(
     ctx: &SimContext<'_>,
     trace: &Trace,
     strategy: &mut S,
     initial: Vec<NodeId>,
 ) -> RunRecord {
-    let mut fleet = Fleet::new(initial, &ctx.params);
-    strategy.initialize(ctx, &fleet);
+    let mut session = SimSession::new(*ctx, strategy, initial);
     let mut record = RunRecord::default();
-
-    for (t, batch) in trace.iter().enumerate() {
-        let t = t as u64;
-        let mut costs = CostBreakdown::zero();
-
-        // 1+2: requests arrive, access cost paid to current servers.
-        costs.access = ctx.access_cost(fleet.active(), batch);
-
-        // 3: the algorithm reconfigures.
-        if let Some(target) = strategy.decide(ctx, t, batch, costs.access, &fleet) {
-            let outcome = TransitionPlanner::apply(&mut fleet, &target, &ctx.params);
-            costs += outcome.cost;
-            // Reconfiguration marks an epoch boundary for cache expiry.
-            fleet.advance_epoch();
-        }
-
-        // Running costs for the (possibly new) configuration.
-        costs.running = ctx.running_cost(fleet.active_count(), fleet.inactive_count());
-
-        record.rounds.push(RoundRecord {
-            t,
-            costs,
-            active_servers: fleet.active_count(),
-            inactive_servers: fleet.inactive_count(),
-            requests: batch.len(),
-        });
+    for batch in trace.iter() {
+        record.rounds.push(session.step(batch));
     }
     record
 }

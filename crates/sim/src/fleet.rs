@@ -63,6 +63,64 @@ impl Fleet {
         }
     }
 
+    /// Reconstructs a fleet from checkpointed state: the active set, the
+    /// inactive queue (oldest first, with absolute expiry epochs) and the
+    /// epoch counter. Validates the same invariants [`Fleet::new`] and the
+    /// queue discipline maintain, so a hand-edited or corrupted checkpoint
+    /// is rejected instead of resumed into an unreachable state.
+    pub fn from_parts(
+        mut active: Vec<NodeId>,
+        inactive: Vec<InactiveServer>,
+        epoch: u64,
+        params: &CostParams,
+    ) -> Result<Self, String> {
+        active.sort();
+        let before = active.len();
+        active.dedup();
+        if active.len() != before {
+            return Err("fleet: duplicate active servers".into());
+        }
+        if inactive.len() > params.inactive_queue_len {
+            return Err(format!(
+                "fleet: {} inactive servers exceed the queue capacity {}",
+                inactive.len(),
+                params.inactive_queue_len
+            ));
+        }
+        if active.len() + inactive.len() > params.max_servers {
+            return Err(format!(
+                "fleet: {} servers exceed the k={} budget",
+                active.len() + inactive.len(),
+                params.max_servers
+            ));
+        }
+        for (i, s) in inactive.iter().enumerate() {
+            if active.binary_search(&s.node).is_ok() {
+                return Err(format!(
+                    "fleet: node {} is both active and inactive",
+                    s.node
+                ));
+            }
+            if inactive[..i].iter().any(|prev| prev.node == s.node) {
+                return Err(format!("fleet: duplicate inactive server at {}", s.node));
+            }
+            if s.expires_epoch <= epoch {
+                return Err(format!(
+                    "fleet: inactive server at {} already expired (epoch {epoch})",
+                    s.node
+                ));
+            }
+        }
+        Ok(Fleet {
+            active,
+            inactive: inactive.into(),
+            epoch,
+            queue_cap: params.inactive_queue_len,
+            expiry_epochs: params.inactive_expiry_epochs,
+            max_servers: params.max_servers,
+        })
+    }
+
     /// Sorted slice of nodes hosting active servers.
     #[inline]
     pub fn active(&self) -> &[NodeId] {
@@ -328,5 +386,56 @@ mod tests {
     fn double_push_panics() {
         let mut f = Fleet::new(vec![n(1)], &params(3, 20, 8));
         f.push_active(n(1));
+    }
+
+    #[test]
+    fn from_parts_round_trips_live_state() {
+        let p = params(3, 20, 8);
+        let mut f = Fleet::new(vec![n(0), n(1), n(4)], &p);
+        f.deactivate(n(1));
+        f.advance_epoch();
+        let rebuilt = Fleet::from_parts(
+            f.active().to_vec(),
+            f.inactive_entries().copied().collect(),
+            f.epoch(),
+            &p,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.active(), f.active());
+        assert_eq!(rebuilt.inactive_nodes(), f.inactive_nodes());
+        assert_eq!(rebuilt.epoch(), f.epoch());
+        // the queue discipline continues identically
+        let mut a = f.clone();
+        let mut b = rebuilt;
+        assert_eq!(a.advance_epoch(), b.advance_epoch());
+        assert_eq!(a.deactivate(n(0)), b.deactivate(n(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_state() {
+        let p = params(2, 20, 4);
+        let inact = |node: usize, exp: u64| InactiveServer {
+            node: n(node),
+            expires_epoch: exp,
+        };
+        // duplicate actives
+        assert!(Fleet::from_parts(vec![n(1), n(1)], vec![], 0, &p).is_err());
+        // queue over capacity
+        assert!(Fleet::from_parts(
+            vec![n(0)],
+            vec![inact(1, 9), inact(2, 9), inact(3, 9)],
+            0,
+            &p
+        )
+        .is_err());
+        // over the k budget
+        let p1 = params(3, 20, 2);
+        assert!(Fleet::from_parts(vec![n(0), n(1)], vec![inact(2, 9)], 0, &p1).is_err());
+        // node both active and inactive
+        assert!(Fleet::from_parts(vec![n(0)], vec![inact(0, 9)], 0, &p).is_err());
+        // duplicate inactive entries
+        assert!(Fleet::from_parts(vec![n(0)], vec![inact(1, 9), inact(1, 8)], 0, &p).is_err());
+        // already-expired cache entry
+        assert!(Fleet::from_parts(vec![n(0)], vec![inact(1, 3)], 5, &p).is_err());
     }
 }

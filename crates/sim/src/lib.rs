@@ -17,10 +17,17 @@
 //! (the experiment harness fans independent seeds out over rayon workers;
 //! `SimContext` is `Copy` over shared borrows precisely so many runs can
 //! share one substrate and distance matrix across threads).
+//!
+//! The game loop has two forms over one implementation: the batch
+//! [`run_online`] over a recorded trace, and the resumable stepper
+//! [`SimSession`] (one round per [`SimSession::step`] call) that the
+//! `flexserve serve` daemon drives and that checkpoints to hand-rolled
+//! JSON ([`checkpoint`]) for bit-identical restore.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod context;
 pub mod cost;
 pub mod engine;
@@ -28,8 +35,10 @@ pub mod fleet;
 pub mod load;
 pub mod params;
 pub mod routing;
+pub mod session;
 pub mod transition;
 
+pub use checkpoint::{SessionSnapshot, CHECKPOINT_FORMAT};
 pub use context::SimContext;
 pub use cost::CostBreakdown;
 pub use engine::{run_online, run_plan, OnlineStrategy, Plan, RoundRecord, RunRecord};
@@ -37,4 +46,5 @@ pub use fleet::{Fleet, InactiveServer};
 pub use load::LoadModel;
 pub use params::CostParams;
 pub use routing::{route, RoutingOutcome, RoutingPolicy};
+pub use session::SimSession;
 pub use transition::{config_transition_cost, TransitionOutcome, TransitionPlanner};

@@ -22,23 +22,35 @@
 //!
 //! All scenarios implement [`Scenario`] and are deterministic under a seed.
 //! The simulation layers consume a recorded [`Trace`] so online and offline
-//! algorithms are always compared on *identical* request sequences.
+//! algorithms are always compared on *identical* request sequences — and
+//! the serving layer consumes the same generators as streaming
+//! [`RequestSource`]s ([`stream`]): a scenario driven round by round, a
+//! JSONL replay file, or stdin. The [`json`] module is the workspace's
+//! one hand-rolled JSON value/parser, shared by the replay schema, the
+//! simulation checkpoints and the `flexserve serve` HTTP endpoints.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod commuter;
+pub mod json;
 pub mod onoff;
 pub mod proximity;
 pub mod request;
 pub mod scenario;
+pub mod stream;
 pub mod time_zones;
 pub mod uniform;
 
 pub use commuter::{CommuterScenario, LoadVariant};
+pub use json::JsonValue;
 pub use onoff::OnOffScenario;
 pub use proximity::{ProximityOrder, ProximityScenario};
 pub use request::RoundRequests;
 pub use scenario::{record, Scenario, Trace};
+pub use stream::{
+    file_source, parse_round, round_to_jsonl, stdin_source, JsonlReplay, RequestSource,
+    ScenarioStream,
+};
 pub use time_zones::TimeZonesScenario;
 pub use uniform::UniformScenario;

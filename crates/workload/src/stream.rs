@@ -1,0 +1,336 @@
+//! Streaming request sources.
+//!
+//! The batch pipeline records a [`Scenario`] into a
+//! [`Trace`](crate::scenario::Trace) up front; a
+//! serving system cannot — rounds arrive one at a time, possibly from
+//! outside the process. A [`RequestSource`] is the streaming form of a
+//! scenario: a fallible, possibly finite iterator of [`RoundRequests`].
+//! Three sources cover the serving layer's needs:
+//!
+//! * [`ScenarioStream`] — any [`Scenario`] driven round by round (every
+//!   generator in this crate gains a streaming form through it),
+//! * [`JsonlReplay`] — a JSONL replay file or any [`BufRead`]: one JSON
+//!   object per line, `{"origins": [<node id>, ...]}` (ids repeat for
+//!   multiplicity; an optional `"t"` field is validated against the
+//!   stream position when present),
+//! * [`stdin_source`] — the same JSONL schema read line-buffered from
+//!   standard input, for piping live demand into `flexserve serve`.
+//!
+//! The schema is documented for external producers in `docs/SERVING.md`.
+
+use std::io::BufRead;
+
+use flexserve_graph::NodeId;
+
+use crate::json::JsonValue;
+use crate::request::RoundRequests;
+use crate::scenario::Scenario;
+
+/// A streaming producer of request rounds.
+///
+/// `next_round` returns `Ok(None)` when the source is exhausted (a replay
+/// file ended, a round budget ran out) and `Err` for malformed input —
+/// sources over in-process generators never fail.
+pub trait RequestSource {
+    /// The next round of requests, or `None` when the source is done.
+    fn next_round(&mut self) -> Result<Option<RoundRequests>, String>;
+
+    /// Short human-readable description for logs and `/metrics`.
+    fn describe(&self) -> String {
+        "request source".to_string()
+    }
+}
+
+/// A [`Scenario`] as a [`RequestSource`]: rounds are generated on demand,
+/// optionally capped at `limit` rounds (`None` = unbounded).
+pub struct ScenarioStream {
+    scenario: Box<dyn Scenario>,
+    t: u64,
+    limit: Option<u64>,
+}
+
+impl ScenarioStream {
+    /// Streams `scenario` from round 0, stopping after `limit` rounds when
+    /// given.
+    pub fn new(scenario: Box<dyn Scenario>, limit: Option<u64>) -> Self {
+        ScenarioStream {
+            scenario,
+            t: 0,
+            limit,
+        }
+    }
+
+    /// The next round index this stream will generate.
+    pub fn position(&self) -> u64 {
+        self.t
+    }
+
+    /// Fast-forwards the generator to round `t` *without* emitting the
+    /// skipped rounds (used when resuming a checkpointed session: the
+    /// scenario must be replayed to its pre-snapshot position so the
+    /// post-resume demand matches the uninterrupted run).
+    pub fn skip_to(&mut self, t: u64) {
+        while self.t < t {
+            let _ = self.scenario.requests(self.t);
+            self.t += 1;
+        }
+    }
+}
+
+impl RequestSource for ScenarioStream {
+    fn next_round(&mut self) -> Result<Option<RoundRequests>, String> {
+        if self.limit.is_some_and(|l| self.t >= l) {
+            return Ok(None);
+        }
+        let batch = self.scenario.requests(self.t);
+        self.t += 1;
+        Ok(Some(batch))
+    }
+
+    fn describe(&self) -> String {
+        match self.limit {
+            Some(l) => format!("{} (first {l} rounds)", self.scenario.describe()),
+            None => self.scenario.describe(),
+        }
+    }
+}
+
+/// Renders one round as its JSONL line (without the trailing newline):
+/// `{"t":<round>,"origins":[...]}`.
+pub fn round_to_jsonl(t: u64, batch: &RoundRequests) -> String {
+    JsonValue::Obj(vec![
+        ("t".into(), JsonValue::from(t)),
+        (
+            "origins".into(),
+            JsonValue::Arr(batch.iter().map(|o| JsonValue::from(o.index())).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Parses the `{"origins": [...]}` object shared by JSONL replay lines and
+/// the `POST /step` request body. `max_node` bounds the valid node ids
+/// (the substrate's node count).
+pub fn parse_round(value: &JsonValue, max_node: usize) -> Result<RoundRequests, String> {
+    let origins = value
+        .get("origins")
+        .ok_or("round: missing \"origins\" array")?
+        .as_array()
+        .ok_or("round: \"origins\" must be an array")?;
+    let mut batch = RoundRequests::empty();
+    for o in origins {
+        let id = o
+            .as_usize()
+            .ok_or_else(|| format!("round: bad origin {}", o.render()))?;
+        if id >= max_node {
+            return Err(format!(
+                "round: origin {id} out of range (substrate has {max_node} nodes)"
+            ));
+        }
+        batch.push(NodeId::new(id));
+    }
+    Ok(batch)
+}
+
+/// A JSONL replay: one round per line, in time order.
+///
+/// Blank lines are skipped. Lines with a `"t"` field are validated
+/// against the stream position, so a truncated or shuffled replay fails
+/// loudly instead of silently shifting demand in time.
+pub struct JsonlReplay<R: BufRead> {
+    reader: R,
+    /// Rounds already emitted (== the expected `t` of the next line).
+    t: u64,
+    max_node: usize,
+    label: String,
+}
+
+impl<R: BufRead> JsonlReplay<R> {
+    /// Replays rounds from `reader`, validating origins against a
+    /// substrate of `max_node` nodes.
+    pub fn new(reader: R, max_node: usize, label: impl Into<String>) -> Self {
+        JsonlReplay {
+            reader,
+            t: 0,
+            max_node,
+            label: label.into(),
+        }
+    }
+}
+
+impl<R: BufRead> RequestSource for JsonlReplay<R> {
+    fn next_round(&mut self) -> Result<Option<RoundRequests>, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("{}: read error: {e}", self.label))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+        }
+        let value = JsonValue::parse(line.trim())
+            .map_err(|e| format!("{} line {}: {e}", self.label, self.t + 1))?;
+        if let Some(t) = value.get("t") {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| format!("{} line {}: bad \"t\"", self.label, self.t + 1))?;
+            if t != self.t {
+                return Err(format!(
+                    "{}: out-of-order round (expected t={}, got t={t})",
+                    self.label, self.t
+                ));
+            }
+        }
+        let batch = parse_round(&value, self.max_node)
+            .map_err(|e| format!("{} line {}: {e}", self.label, self.t + 1))?;
+        self.t += 1;
+        Ok(Some(batch))
+    }
+
+    fn describe(&self) -> String {
+        format!("jsonl replay {}", self.label)
+    }
+}
+
+/// Opens a JSONL replay file.
+pub fn file_source(
+    path: &str,
+    max_node: usize,
+) -> Result<JsonlReplay<std::io::BufReader<std::fs::File>>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(JsonlReplay::new(
+        std::io::BufReader::new(file),
+        max_node,
+        path,
+    ))
+}
+
+/// A JSONL replay over standard input (line-buffered), for piping live
+/// demand into a serving process.
+pub fn stdin_source(max_node: usize) -> JsonlReplay<std::io::BufReader<std::io::Stdin>> {
+    JsonlReplay::new(std::io::BufReader::new(std::io::stdin()), max_node, "stdin")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use crate::uniform::UniformScenario;
+    use flexserve_graph::gen::unit_line;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn scenario_stream_matches_recorded_trace() {
+        let g = unit_line(10).unwrap();
+        let trace = record(&mut UniformScenario::new(&g, 4, 7), 12);
+        let mut stream = ScenarioStream::new(Box::new(UniformScenario::new(&g, 4, 7)), Some(12));
+        let mut streamed = Vec::new();
+        while let Some(batch) = stream.next_round().unwrap() {
+            streamed.push(batch);
+        }
+        assert_eq!(streamed.len(), 12);
+        for (t, batch) in streamed.iter().enumerate() {
+            assert_eq!(batch, trace.round(t), "round {t} must match the trace");
+        }
+        assert!(stream.next_round().unwrap().is_none(), "limit is sticky");
+    }
+
+    #[test]
+    fn scenario_stream_skip_to_resumes_mid_stream() {
+        let g = unit_line(10).unwrap();
+        let trace = record(&mut UniformScenario::new(&g, 4, 7), 12);
+        let mut stream = ScenarioStream::new(Box::new(UniformScenario::new(&g, 4, 7)), Some(12));
+        stream.skip_to(6);
+        assert_eq!(stream.position(), 6);
+        let batch = stream.next_round().unwrap().unwrap();
+        assert_eq!(&batch, trace.round(6));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut batch = RoundRequests::empty();
+        batch.push_many(n(3), 2);
+        batch.push(n(0));
+        let line = round_to_jsonl(5, &batch);
+        assert_eq!(line, r#"{"t":5,"origins":[3,3,0]}"#);
+        let parsed = parse_round(&JsonValue::parse(&line).unwrap(), 10).unwrap();
+        assert_eq!(parsed, batch);
+    }
+
+    #[test]
+    fn jsonl_replay_reads_lines_in_order() {
+        let text = "\
+{\"t\":0,\"origins\":[1,1]}\n\
+\n\
+{\"t\":1,\"origins\":[]}\n\
+{\"origins\":[2]}\n";
+        let mut replay = JsonlReplay::new(text.as_bytes(), 5, "test");
+        assert_eq!(
+            replay.next_round().unwrap().unwrap(),
+            RoundRequests::new(vec![n(1), n(1)])
+        );
+        assert!(replay.next_round().unwrap().unwrap().is_empty());
+        assert_eq!(
+            replay.next_round().unwrap().unwrap(),
+            RoundRequests::new(vec![n(2)])
+        );
+        assert!(replay.next_round().unwrap().is_none());
+    }
+
+    #[test]
+    fn jsonl_replay_rejects_bad_input() {
+        // out-of-range origin
+        let mut replay = JsonlReplay::new("{\"origins\":[9]}\n".as_bytes(), 5, "test");
+        assert!(replay.next_round().unwrap_err().contains("out of range"));
+        // out-of-order t
+        let mut replay = JsonlReplay::new("{\"t\":3,\"origins\":[]}\n".as_bytes(), 5, "test");
+        assert!(replay.next_round().unwrap_err().contains("out-of-order"));
+        // not json
+        let mut replay = JsonlReplay::new("not json\n".as_bytes(), 5, "test");
+        assert!(replay.next_round().is_err());
+        // not an origins object
+        let mut replay = JsonlReplay::new("[1,2]\n".as_bytes(), 5, "test");
+        assert!(replay
+            .next_round()
+            .unwrap_err()
+            .contains("missing \"origins\""));
+    }
+
+    #[test]
+    fn file_source_round_trips_a_written_replay() {
+        let g = unit_line(8).unwrap();
+        let trace = record(&mut UniformScenario::new(&g, 3, 11), 6);
+        let path = std::env::temp_dir().join("flexserve-stream-test.jsonl");
+        let mut text = String::new();
+        for (t, round) in trace.iter().enumerate() {
+            text.push_str(&round_to_jsonl(t as u64, round));
+            text.push('\n');
+        }
+        std::fs::write(&path, text).unwrap();
+        let mut source = file_source(path.to_str().unwrap(), 8).unwrap();
+        for t in 0..6 {
+            assert_eq!(&source.next_round().unwrap().unwrap(), trace.round(t));
+        }
+        assert!(source.next_round().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+        assert!(file_source("/nonexistent/replay.jsonl", 8).is_err());
+    }
+
+    #[test]
+    fn describes() {
+        let g = unit_line(4).unwrap();
+        let stream = ScenarioStream::new(Box::new(UniformScenario::new(&g, 1, 0)), Some(3));
+        assert!(stream.describe().contains("first 3 rounds"));
+        let replay = JsonlReplay::new("".as_bytes(), 4, "demo.jsonl");
+        assert!(replay.describe().contains("demo.jsonl"));
+    }
+}
