@@ -1,10 +1,12 @@
 //! Before/after perf harness: times the serial reference against the
 //! optimized implementation of the measured hot paths — the all-pairs
 //! `DistanceMatrix` build (500-node Waxman), one 20-seed sweep cell, a
-//! cold-vs-warm substrate fetch through the distance-matrix cache, and
-//! the batch-vs-stepped game loop (`run_online` vs `SimSession::step`,
-//! the serving hot path) — and records the results as `BENCH_apsp.json`,
-//! `BENCH_sweeps.json`, `BENCH_cache.json` and `BENCH_serve.json` in the
+//! cold-vs-warm substrate fetch through the distance-matrix cache, the
+//! batch-vs-stepped game loop (`run_online` vs `SimSession::step`), and
+//! sequential-vs-concurrent multi-session stepping through the serve
+//! daemon's `SessionManager` — and records the results as
+//! `BENCH_apsp.json`, `BENCH_sweeps.json`, `BENCH_cache.json` and
+//! `BENCH_serve.json` (an array of the two serving benches) in the
 //! repository root (schema: docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
@@ -18,6 +20,7 @@ use std::time::Instant;
 
 use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
 use flexserve_core::{initial_center, OnTh};
+use flexserve_experiments::serve::{SessionConfig, SessionManager};
 use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::{average, average_serial, DistCache, TopologySpec};
 use flexserve_graph::DistanceMatrix;
@@ -37,21 +40,38 @@ fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn write_report(path: &str, name: &str, serial_s: f64, parallel_s: f64, detail: &str) {
+/// One report object. `extra` is appended verbatim after the standard
+/// fields (`,\n  "key": value` pairs), keeping every entry a flat object.
+fn entry_json(name: &str, serial_s: f64, parallel_s: f64, detail: &str, extra: &str) -> String {
     let threads = rayon::current_num_threads();
     let speedup = serial_s / parallel_s;
     // 9 decimals: warm cache fetches are sub-microsecond, and the schema
     // promises speedup == serial_seconds / parallel_seconds is
     // reproducible from the recorded values.
-    let json = format!(
-        "{{\n  \"bench\": \"{name}\",\n  \"detail\": \"{detail}\",\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_s:.9},\n  \"parallel_seconds\": {parallel_s:.9},\n  \"speedup\": {speedup:.3}\n}}\n"
-    );
+    format!(
+        "{{\n  \"bench\": \"{name}\",\n  \"detail\": \"{detail}\",\n  \"threads\": {threads},\n  \"serial_seconds\": {serial_s:.9},\n  \"parallel_seconds\": {parallel_s:.9},\n  \"speedup\": {speedup:.3}{extra}\n}}"
+    )
+}
+
+fn write_file(path: &str, content: &str) {
     let mut f = std::fs::File::create(path).expect("create report");
-    f.write_all(json.as_bytes()).expect("write report");
+    f.write_all(content.as_bytes()).expect("write report");
+}
+
+fn announce(path: &str, name: &str, serial_s: f64, parallel_s: f64) {
     println!(
-        "{name}: serial {serial_s:.3}s, parallel {parallel_s:.3}s, speedup {speedup:.2}x \
-         on {threads} thread(s) -> {path}"
+        "{name}: serial {serial_s:.3}s, parallel {parallel_s:.3}s, speedup {:.2}x \
+         on {} thread(s) -> {path}",
+        serial_s / parallel_s,
+        rayon::current_num_threads()
     );
+}
+
+fn write_report(path: &str, name: &str, serial_s: f64, parallel_s: f64, detail: &str) {
+    let mut json = entry_json(name, serial_s, parallel_s, detail, "");
+    json.push('\n');
+    write_file(path, &json);
+    announce(path, name, serial_s, parallel_s);
 }
 
 fn main() {
@@ -157,12 +177,96 @@ fn main() {
         "per-round SimSession::step latency: {:.1} us over {serve_rounds} rounds",
         stepped / serve_rounds as f64 * 1e6
     );
-    write_report(
-        "BENCH_serve.json",
+    let step_entry = entry_json(
         "serve_step",
         batch,
         stepped,
         "ONTH commuter run (ER-100, 240 rounds): batch run_online vs stepped \
          SimSession::step (per-round serve latency = parallel_seconds / 240)",
+        "",
+    );
+    announce("BENCH_serve.json", "serve_step", batch, stepped);
+
+    // --- Serving: multi-session throughput through the SessionManager ---
+    // The serve daemon's concurrency claim, measured: 4 sessions on the
+    // same cached ER-100 substrate, each stepped SESSION_ROUNDS rounds
+    // through SessionManager::step (the full actor-channel serving path),
+    // once one session after another ("serial") and once from 4
+    // concurrent driver threads, as the HTTP worker pool would
+    // ("parallel"). Sessions share no mutable state, so the concurrent
+    // aggregate should scale with cores.
+    const SESSIONS: usize = 4;
+    const SESSION_ROUNDS: u64 = 240;
+    let session_args: Vec<String> = [
+        "topo=er:100",
+        "wl=commuter-dynamic",
+        "strat=onth",
+        "rounds=240",
+        "seed=3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let run_sessions = |concurrent: bool| -> f64 {
+        let manager = SessionManager::new(SESSIONS);
+        let names: Vec<String> = (0..SESSIONS).map(|i| format!("bench-{i}")).collect();
+        for name in &names {
+            let cfg = SessionConfig::parse(&session_args, name).expect("session args");
+            manager.create(name, cfg).expect("session creation");
+        }
+        let t = Instant::now();
+        if concurrent {
+            std::thread::scope(|scope| {
+                for name in &names {
+                    scope.spawn(|| {
+                        for _ in 0..SESSION_ROUNDS {
+                            manager.step(name, "").expect("step");
+                        }
+                    });
+                }
+            });
+        } else {
+            for name in &names {
+                for _ in 0..SESSION_ROUNDS {
+                    manager.step(name, "").expect("step");
+                }
+            }
+        }
+        let secs = t.elapsed().as_secs_f64();
+        manager.shutdown_all();
+        secs
+    };
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    };
+    let sequential = median((0..reps).map(|_| run_sessions(false)).collect());
+    let concurrent = median((0..reps).map(|_| run_sessions(true)).collect());
+    let total_steps = (SESSIONS as u64 * SESSION_ROUNDS) as f64;
+    println!(
+        "multi-session aggregate: {:.0} steps/s sequential, {:.0} steps/s over \
+         {SESSIONS} concurrent sessions",
+        total_steps / sequential,
+        total_steps / concurrent
+    );
+    let extra = format!(
+        ",\n  \"sessions\": {SESSIONS},\n  \"rounds_per_session\": {SESSION_ROUNDS},\n  \
+         \"steps_per_sec_sequential\": {:.1},\n  \"steps_per_sec_concurrent\": {:.1}",
+        total_steps / sequential,
+        total_steps / concurrent
+    );
+    let sessions_entry = entry_json(
+        "serve_sessions",
+        sequential,
+        concurrent,
+        "4 ONTH commuter sessions (shared ER-100 substrate, 240 rounds each) \
+         through SessionManager::step: one-after-another vs 4 concurrent \
+         driver threads (aggregate steps/sec in the extra fields)",
+        &extra,
+    );
+    announce("BENCH_serve.json", "serve_sessions", sequential, concurrent);
+    write_file(
+        "BENCH_serve.json",
+        &format!("[\n{step_entry},\n{sessions_entry}\n]\n"),
     );
 }

@@ -157,6 +157,41 @@ fn static_baseline_resumes_bit_identically() {
 }
 
 #[test]
+fn v1_checkpoints_resume_bit_identically() {
+    // Files written before the v2 metrics bump must keep restoring: a v1
+    // document is byte-for-byte a v2 document with the old format tag and
+    // no metrics block, and the simulation state it carries is identical.
+    let fx = Fx::new();
+    let trace = fx.trace();
+    let ctx = fx.ctx();
+    let initial = vec![NodeId::new(0)];
+
+    let uninterrupted = run_online(&ctx, &trace, &mut OnTh::new(), initial.clone());
+
+    let half = (ROUNDS / 2) as usize;
+    let mut session = SimSession::new(ctx, OnTh::new(), initial);
+    let mut resumed = RunRecord::default();
+    for round in trace.iter().take(half) {
+        resumed.rounds.push(session.step(round));
+    }
+    let text = session.snapshot().expect("snapshot").to_json().replace(
+        flexserve_sim::CHECKPOINT_FORMAT,
+        flexserve_sim::CHECKPOINT_FORMAT_V1,
+    );
+    assert!(text.contains("flexserve-checkpoint-v1"), "{text}");
+    assert!(!text.contains("\"metrics\""), "{text}");
+    drop(session);
+
+    let snapshot = SessionSnapshot::from_json(&text).expect("parse v1 checkpoint");
+    assert!(snapshot.metrics.is_none());
+    let mut session = SimSession::resume(ctx, OnTh::new(), &snapshot).expect("resume from v1");
+    for round in trace.iter().skip(half) {
+        resumed.rounds.push(session.step(round));
+    }
+    assert_bit_identical("ONTH-v1", &uninterrupted, &resumed);
+}
+
+#[test]
 fn snapshot_rejects_import_into_mismatched_construction() {
     let fx = Fx::new();
     let ctx = fx.ctx();

@@ -38,10 +38,13 @@ subcommands:
   run <figure>... | all        regenerate paper figures by registry name
   run <key=value>...           run a single experiment cell
   sweep <key=value>...         run the cross product of +-separated axis lists
-  serve <key=value>...         serve one cell as a streaming placement daemon
-                               (HTTP on loopback: POST /step, GET /placement,
-                               GET /metrics, POST /checkpoint, POST /shutdown;
-                               extra keys: seed, port, checkpoint, resume,
+  serve <key=value>...         run the multi-session streaming placement daemon
+                               (the command line describes the default session;
+                               more sessions via POST /sessions, stepped through
+                               POST /sessions/<name>/step etc., legacy aliases
+                               /step /placement /metrics /checkpoint; extra
+                               keys: seed, port, bind, workers, max-sessions,
+                               checkpoint, resume,
                                source=scenario|stdin|<path.jsonl>; see
                                docs/SERVING.md)
   help                         this text

@@ -19,9 +19,10 @@
 //!   parameters (Erdős–Rényi p=1%, T1/T2 bandwidths, β=40/c=400, …),
 //! * [`figures`] — one pipeline function per paper figure/table,
 //! * [`runner`] — strategy dispatch and seed-parallel averaging,
-//! * [`serve`] — the `flexserve serve` daemon: a streaming placement
-//!   service (HTTP over loopback) with checkpoint/restore, documented in
-//!   `docs/SERVING.md`,
+//! * [`serve`] — the `flexserve serve` daemon: a concurrent multi-session
+//!   streaming placement service (a `SessionManager` of per-session actor
+//!   threads behind a worker-pool HTTP front end) with per-session
+//!   checkpoint/restore, documented in `docs/SERVING.md`,
 //! * [`output`] — aligned-table stdout reporting plus CSV files under
 //!   `results/` (override with `FLEXSERVE_RESULTS_DIR`).
 //!
@@ -47,4 +48,4 @@ pub use manifest::{Manifest, ManifestEntry};
 pub use output::{write_csv, Table};
 pub use runner::{average, average_serial, run_algorithm, Algorithm, SeedSummary};
 pub use setup::{build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
-pub use spec::{CellSpec, StrategySpec, TopologySpec, WorkloadSpec};
+pub use spec::{CellBuilder, CellSpec, StrategySpec, TopologySpec, WorkloadSpec};

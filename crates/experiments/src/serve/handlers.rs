@@ -1,0 +1,177 @@
+//! Request handlers: one HTTP exchange in, one response out. Workers call
+//! [`handle_connection`] with the shared daemon state; everything
+//! session-shaped is delegated to the [`SessionManager`] (and thus to the
+//! per-session actor threads), so handlers never touch simulation state
+//! directly.
+
+use std::io::BufReader;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, TcpStream};
+use std::sync::atomic::Ordering;
+
+use flexserve_workload::JsonValue;
+
+use super::http::{read_request, respond_json, route, Route, ENDPOINT_LIST};
+use super::sessions::{ServeError, SessionConfig};
+use super::ServeShared;
+
+/// Handles one HTTP exchange against the daemon.
+pub(crate) fn handle_connection(stream: TcpStream, shared: &ServeShared) -> Result<(), String> {
+    // One slow (or silent) client must not pin its worker forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(e) => return respond_json(reader.get_mut(), 400, &error_json(&e).render()),
+    };
+    let out = reader.get_mut();
+    let resolved = match route(&request.method, &request.path) {
+        Some(route) => route,
+        None => {
+            return respond_json(
+                out,
+                404,
+                &error_json(&format!(
+                    "no {} {}; endpoints: {ENDPOINT_LIST}",
+                    request.method, request.path
+                ))
+                .render(),
+            )
+        }
+    };
+    if resolved == Route::Shutdown {
+        respond_json(
+            out,
+            200,
+            &JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
+        )?;
+        begin_shutdown(shared);
+        return Ok(());
+    }
+    match dispatch(resolved, &request.body, shared) {
+        Ok(body) => respond_json(out, 200, &body),
+        Err(e) => respond_json(out, status_of(&e), &error_json(&e.to_string()).render()),
+    }
+}
+
+/// Executes a routed request against the session manager; returns the
+/// 200-response body.
+fn dispatch(route: Route, body: &str, shared: &ServeShared) -> Result<String, ServeError> {
+    let manager = &shared.manager;
+    match route {
+        Route::CreateSession => {
+            let (name, cfg) = parse_create_body(body)?;
+            manager.create(&name, cfg).map(|info| info.render())
+        }
+        Route::ListSessions => Ok(manager.list().render()),
+        Route::Step(name) => manager.step(&name, body).map(|v| v.render()),
+        Route::Placement(name) => manager.placement(&name).map(|v| v.render()),
+        Route::Metrics(name) => manager.metrics(&name).map(|v| v.render()),
+        Route::Checkpoint(name) => manager.checkpoint(&name),
+        Route::DeleteSession(name) => manager.remove(&name).map(|stats| {
+            JsonValue::Obj(vec![
+                ("ok".into(), JsonValue::Bool(true)),
+                ("name".into(), JsonValue::from(name.as_str())),
+                ("rounds_served".into(), JsonValue::from(stats.rounds_served)),
+                ("final_t".into(), JsonValue::from(stats.final_t)),
+            ])
+            .render()
+        }),
+        Route::Shutdown => unreachable!("handled by the caller"),
+    }
+}
+
+/// Parses a `POST /sessions` body:
+/// `{"name": "<session>", "args": ["topo=...", "wl=...", ...]}` — the
+/// `args` entries use exactly the `flexserve serve` cell/session grammar.
+fn parse_create_body(body: &str) -> Result<(String, SessionConfig), ServeError> {
+    let v = JsonValue::parse(body.trim()).map_err(ServeError::Bad)?;
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::Bad("create: missing \"name\" string".into()))?
+        .to_string();
+    let args = match v.get("args") {
+        None => Vec::new(),
+        Some(args) => args.as_str_array().ok_or_else(|| {
+            ServeError::Bad("create: \"args\" must be an array of strings".into())
+        })?,
+    };
+    let cfg = SessionConfig::parse(&args, &name).map_err(ServeError::Bad)?;
+    Ok((name, cfg))
+}
+
+/// Flags the daemon down and pokes the accept loop awake with a dummy
+/// connection so it observes the flag without waiting for a real client.
+fn begin_shutdown(shared: &ServeShared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    let mut addr = shared.addr;
+    // A wildcard bind (0.0.0.0 / ::) is not a connectable address.
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(1));
+}
+
+/// The HTTP status each [`ServeError`] maps to.
+fn status_of(e: &ServeError) -> u16 {
+    match e {
+        ServeError::NotFound(_) => 404,
+        ServeError::Conflict(_) => 409,
+        ServeError::Capacity(_) => 429,
+        ServeError::Bad(_) => 400,
+        ServeError::Exhausted => 410,
+        ServeError::Internal(_) => 500,
+    }
+}
+
+fn error_json(message: &str) -> JsonValue {
+    JsonValue::Obj(vec![("error".into(), JsonValue::from(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_body_parses_name_and_args() {
+        let (name, cfg) = parse_create_body(
+            r#"{"name":"beta","args":["topo=unit-line:8","wl=uniform:req=3","strat=onth","seed=2"]}"#,
+        )
+        .unwrap();
+        assert_eq!(name, "beta");
+        assert_eq!(cfg.cell.seeds, vec![2]);
+        assert!(cfg
+            .checkpoint
+            .to_string_lossy()
+            .ends_with("checkpoint-beta.json"));
+
+        assert!(matches!(parse_create_body("{}"), Err(ServeError::Bad(_))));
+        assert!(matches!(
+            parse_create_body(r#"{"name":"x","args":"topo=er:50"}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_create_body(r#"{"name":"x","args":[1]}"#),
+            Err(ServeError::Bad(_))
+        ));
+        // args must still name a full cell
+        assert!(matches!(
+            parse_create_body(r#"{"name":"x","args":[]}"#),
+            Err(ServeError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn statuses_cover_every_error_kind() {
+        assert_eq!(status_of(&ServeError::NotFound("x".into())), 404);
+        assert_eq!(status_of(&ServeError::Conflict("x".into())), 409);
+        assert_eq!(status_of(&ServeError::Capacity("x".into())), 429);
+        assert_eq!(status_of(&ServeError::Bad("x".into())), 400);
+        assert_eq!(status_of(&ServeError::Exhausted), 410);
+        assert_eq!(status_of(&ServeError::Internal("x".into())), 500);
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal hand-rolled HTTP/1.1 plumbing for the serve daemon: request
+//! reading, response writing, and the route table mapping paths onto
+//! session operations. No external HTTP crate — the daemon speaks just
+//! enough HTTP for `curl` and the integration tests, exactly like the
+//! rest of the workspace hand-rolls its JSON.
+
+use std::io::BufRead;
+use std::io::Write;
+use std::net::TcpStream;
+
+use super::sessions::DEFAULT_SESSION;
+
+/// One parsed HTTP request: the request line and the body (only the
+/// `Content-Length` header matters).
+pub(crate) struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+/// Reads one HTTP request from `reader`.
+pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line has no path")?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    // Cap bodies at 16 MiB: a daemon on loopback still shouldn't let one
+    // request balloon the process.
+    if content_length > 16 * 1024 * 1024 {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the 16 MiB cap"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        410 => "Gone",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a JSON response and closes the exchange
+/// (`Connection: close` — one request per connection).
+pub(crate) fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), String> {
+    let mut body = body.to_string();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    );
+    stream
+        .write_all(response.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write response: {e}"))
+}
+
+/// A resolved endpoint. The legacy single-session paths (`/step`,
+/// `/placement`, `/metrics`, `/checkpoint`) are aliases for the same
+/// operations on the session named [`DEFAULT_SESSION`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// `POST /sessions` — create a session from a JSON body.
+    CreateSession,
+    /// `GET /sessions` — list live sessions.
+    ListSessions,
+    /// `POST /sessions/<name>/step` (alias `POST /step`).
+    Step(String),
+    /// `GET /sessions/<name>/placement` (alias `GET /placement`).
+    Placement(String),
+    /// `GET /sessions/<name>/metrics` (alias `GET /metrics`).
+    Metrics(String),
+    /// `POST /sessions/<name>/checkpoint` (alias `POST /checkpoint`).
+    Checkpoint(String),
+    /// `DELETE /sessions/<name>` — stop and evict a session.
+    DeleteSession(String),
+    /// `POST /shutdown` — stop the whole daemon.
+    Shutdown,
+}
+
+/// Maps `(method, path)` onto a [`Route`]; `None` is a 404.
+pub(crate) fn route(method: &str, path: &str) -> Option<Route> {
+    let legacy = || DEFAULT_SESSION.to_string();
+    match (method, path) {
+        ("POST", "/sessions") => return Some(Route::CreateSession),
+        ("GET", "/sessions") => return Some(Route::ListSessions),
+        ("POST", "/step") => return Some(Route::Step(legacy())),
+        ("GET", "/placement") => return Some(Route::Placement(legacy())),
+        ("GET", "/metrics") => return Some(Route::Metrics(legacy())),
+        ("POST", "/checkpoint") => return Some(Route::Checkpoint(legacy())),
+        ("POST", "/shutdown") => return Some(Route::Shutdown),
+        _ => {}
+    }
+    let rest = path.strip_prefix("/sessions/")?;
+    match rest.split_once('/') {
+        None => {
+            (method == "DELETE" && !rest.is_empty()).then(|| Route::DeleteSession(rest.to_string()))
+        }
+        Some((name, action)) if !name.is_empty() => match (method, action) {
+            ("POST", "step") => Some(Route::Step(name.to_string())),
+            ("GET", "placement") => Some(Route::Placement(name.to_string())),
+            ("GET", "metrics") => Some(Route::Metrics(name.to_string())),
+            ("POST", "checkpoint") => Some(Route::Checkpoint(name.to_string())),
+            _ => None,
+        },
+        Some(_) => None,
+    }
+}
+
+/// The 404 body's endpoint inventory (kept in sync with `docs/SERVING.md`
+/// by `tests/docs_drift.rs`).
+pub(crate) const ENDPOINT_LIST: &str = "POST /sessions, GET /sessions, \
+     POST /sessions/<name>/step, GET /sessions/<name>/placement, \
+     GET /sessions/<name>/metrics, POST /sessions/<name>/checkpoint, \
+     DELETE /sessions/<name>, POST /step, GET /placement, GET /metrics, \
+     POST /checkpoint, POST /shutdown";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve_sessions_and_legacy_aliases() {
+        assert_eq!(route("POST", "/sessions"), Some(Route::CreateSession));
+        assert_eq!(route("GET", "/sessions"), Some(Route::ListSessions));
+        assert_eq!(
+            route("POST", "/sessions/alpha/step"),
+            Some(Route::Step("alpha".into()))
+        );
+        assert_eq!(
+            route("GET", "/sessions/b2/placement"),
+            Some(Route::Placement("b2".into()))
+        );
+        assert_eq!(
+            route("GET", "/sessions/b2/metrics"),
+            Some(Route::Metrics("b2".into()))
+        );
+        assert_eq!(
+            route("POST", "/sessions/b2/checkpoint"),
+            Some(Route::Checkpoint("b2".into()))
+        );
+        assert_eq!(
+            route("DELETE", "/sessions/alpha"),
+            Some(Route::DeleteSession("alpha".into()))
+        );
+        // legacy aliases hit the default session
+        assert_eq!(route("POST", "/step"), Some(Route::Step("default".into())));
+        assert_eq!(
+            route("GET", "/placement"),
+            Some(Route::Placement("default".into()))
+        );
+        assert_eq!(
+            route("GET", "/metrics"),
+            Some(Route::Metrics("default".into()))
+        );
+        assert_eq!(
+            route("POST", "/checkpoint"),
+            Some(Route::Checkpoint("default".into()))
+        );
+        assert_eq!(route("POST", "/shutdown"), Some(Route::Shutdown));
+    }
+
+    #[test]
+    fn bad_routes_are_none() {
+        assert_eq!(route("GET", "/step"), None); // wrong method
+        assert_eq!(route("POST", "/sessions/"), None); // empty name
+        assert_eq!(route("DELETE", "/sessions/a/step"), None);
+        assert_eq!(route("POST", "/sessions//step"), None);
+        assert_eq!(route("POST", "/sessions/a/evict"), None);
+        assert_eq!(route("GET", "/nope"), None);
+    }
+}

@@ -1,0 +1,406 @@
+//! The `flexserve serve` daemon: a concurrent, multi-session streaming
+//! placement service.
+//!
+//! Where `flexserve run` replays a recorded trace in a closed loop,
+//! `serve` keeps the loop open — and since this revision it keeps *many*
+//! loops open: a [`SessionManager`] owns any number of named
+//! [`SimSession`](flexserve_sim::SimSession)s (each on its own actor
+//! thread, with its own strategy and
+//! [`RequestSource`](flexserve_workload::RequestSource), sharing
+//! substrates through the process-wide
+//! [`DistCache`](crate::cache::DistCache)), behind a small accept-loop +
+//! worker-pool HTTP front end (hand-rolled HTTP/1.1, as ever):
+//!
+//! | endpoint                             | effect                                   |
+//! |--------------------------------------|------------------------------------------|
+//! | `POST /sessions`                     | create a session (`{"name", "args"}`)    |
+//! | `GET /sessions`                      | list live sessions with their cell specs |
+//! | `POST /sessions/<name>/step`         | play one round on that session           |
+//! | `GET /sessions/<name>/placement`     | its servers and epoch                    |
+//! | `GET /sessions/<name>/metrics`       | its counters (process + cumulative)      |
+//! | `POST /sessions/<name>/checkpoint`   | snapshot it to its checkpoint file       |
+//! | `DELETE /sessions/<name>`            | stop and evict it                        |
+//! | `POST /shutdown`                     | stop the daemon                          |
+//!
+//! The pre-session-manager single-session routes (`POST /step`,
+//! `GET /placement`, `GET /metrics`, `POST /checkpoint`) remain as
+//! aliases for the *default* session — the one the command line
+//! describes, created at startup — so existing clients and scripts keep
+//! working unchanged (pinned by `tests/serve_http.rs`).
+//!
+//! Concurrency follows the problem's shape: each session is a sequential
+//! online game, so its operations serialize through its actor's channel;
+//! distinct sessions share no mutable state and step in parallel across
+//! workers, bit-identical to each cell served alone (pinned by
+//! `tests/serve_sessions.rs`). Checkpoints use the v2 engine format
+//! carrying cumulative metrics; v1 files still restore. Restarting with
+//! `resume=true` continues the default session **bit-identically** to a
+//! daemon that was never stopped. Endpoint reference, JSONL replay schema
+//! and the checkpoint format live in `docs/SERVING.md`.
+
+mod handlers;
+mod http;
+pub mod sessions;
+
+pub use sessions::{
+    ServeError, SessionConfig, SessionManager, SessionStats, SourceKind, DEFAULT_SESSION,
+};
+
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use flexserve_workload::JsonValue;
+
+use crate::output::results_dir;
+
+/// Parsed `flexserve serve` options: the default session plus the server
+/// shape (listener address, worker pool, session budget).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The default session, served by the legacy single-session routes.
+    pub session: SessionConfig,
+    /// Listener address (`bind=` key; loopback unless asked otherwise).
+    pub bind: IpAddr,
+    /// Listener port (0 = ephemeral, the chosen port is announced on
+    /// stdout).
+    pub port: u16,
+    /// HTTP worker threads handling connections concurrently.
+    pub workers: usize,
+    /// Maximum concurrently live sessions.
+    pub max_sessions: usize,
+}
+
+const SERVE_USAGE: &str = "\
+usage: flexserve serve topo=<spec> wl=<spec> strat=<name> [key=value...]
+
+cell keys:    t, lambda, rounds (scenario-source cap), seed, load, beta, c,
+              ra, ri, k, flipped
+session keys: checkpoint=<path> (default <results dir>/checkpoint.json),
+              resume=true|false, source=scenario|stdin|<path.jsonl>
+server keys:  port (default 7788, 0 = ephemeral),
+              bind=<ip>[:<port>] (default 127.0.0.1; non-loopback logs a warning),
+              workers=<n> (default 4), max-sessions=<n> (default 16)
+";
+
+impl ServeOptions {
+    /// Parses `serve` arguments (`key=value` pairs, single-valued axes):
+    /// the server keys are peeled off here, everything else goes through
+    /// [`SessionConfig::parse_with_default`] — one grammar for the CLI's
+    /// default session and `POST /sessions` bodies.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut bind = IpAddr::V4(Ipv4Addr::LOCALHOST);
+        let mut port = 7788u16;
+        let mut workers = 4usize;
+        let mut max_sessions = 16usize;
+        let mut session_args: Vec<String> = Vec::new();
+
+        for arg in args {
+            let (key, v) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("serve: expected key=value, got {arg:?}\n{SERVE_USAGE}"))?;
+            match key {
+                "port" => port = v.parse().map_err(|_| format!("port: bad value {v:?}"))?,
+                "bind" => {
+                    if let Ok(addr) = v.parse::<SocketAddr>() {
+                        bind = addr.ip();
+                        port = addr.port();
+                    } else {
+                        bind = v.parse().map_err(|_| {
+                            format!("bind: bad value {v:?} (want <ip> or <ip>:<port>)")
+                        })?;
+                    }
+                }
+                "workers" => {
+                    workers = v.parse().map_err(|_| format!("workers: bad value {v:?}"))?;
+                    if workers == 0 || workers > 64 {
+                        return Err(format!("workers: {workers} out of range (1-64)"));
+                    }
+                }
+                "max-sessions" => {
+                    max_sessions = v
+                        .parse()
+                        .map_err(|_| format!("max-sessions: bad value {v:?}"))?;
+                    if max_sessions == 0 {
+                        return Err("max-sessions: must be >= 1".into());
+                    }
+                }
+                _ => session_args.push(arg.clone()),
+            }
+        }
+        let session =
+            SessionConfig::parse_with_default(&session_args, results_dir().join("checkpoint.json"))
+                .map_err(|e| format!("serve: {e}\n{SERVE_USAGE}"))?;
+        Ok(ServeOptions {
+            session,
+            bind,
+            port,
+            workers,
+            max_sessions,
+        })
+    }
+}
+
+/// What a finished daemon reports (mainly for tests and logs): the
+/// default session's tallies.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Rounds the default session stepped in this process (excludes
+    /// checkpointed history).
+    pub rounds_served: u64,
+    /// The default session's round counter at shutdown.
+    pub final_t: u64,
+}
+
+/// State every HTTP worker shares: the session table, the shutdown flag
+/// and the listener address (for the shutdown self-poke).
+pub(crate) struct ServeShared {
+    pub(crate) manager: SessionManager,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+}
+
+/// The startup warning for listeners reachable from other hosts, or
+/// `None` on loopback.
+pub(crate) fn non_loopback_warning(addr: &SocketAddr) -> Option<String> {
+    (!addr.ip().is_loopback()).then(|| {
+        format!(
+            "flexserve serve: WARNING: listening on non-loopback {addr} — the daemon \
+             has no authentication; only expose it on trusted networks"
+        )
+    })
+}
+
+/// Binds `bind:port` and serves until `POST /shutdown`. The bound address
+/// is announced on stdout (`port=0` picks an ephemeral port, so scripts
+/// must parse the announcement).
+pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, String> {
+    let listener = TcpListener::bind((opts.bind, opts.port))
+        .map_err(|e| format!("serve: cannot bind {}:{}: {e}", opts.bind, opts.port))?;
+    serve_on(listener, opts)
+}
+
+/// [`serve`] over an already-bound listener (tests bind port 0 themselves
+/// to learn the address before starting the daemon thread).
+pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSummary, String> {
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("serve: local_addr: {e}"))?;
+    let shared = Arc::new(ServeShared {
+        manager: SessionManager::new(opts.max_sessions),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    // The default session comes up before the listener answers, so a bad
+    // spec or checkpoint aborts the start instead of a half-served
+    // daemon.
+    let info = shared
+        .manager
+        .create(DEFAULT_SESSION, opts.session.clone())
+        .map_err(|e| format!("serve: {e}"))?;
+    let field = |name: &str| {
+        info.get(name)
+            .and_then(JsonValue::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    println!(
+        "flexserve serve: listening on http://{addr} [{}] source={} checkpoint={} \
+         workers={} max-sessions={}{}",
+        field("spec"),
+        field("source"),
+        opts.session.checkpoint.display(),
+        opts.workers,
+        opts.max_sessions,
+        if opts.session.resume {
+            format!(
+                " (resumed at t={})",
+                info.get("resumed_at")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+            )
+        } else {
+            String::new()
+        }
+    );
+    if let Some(warning) = non_loopback_warning(&addr) {
+        eprintln!("{warning}");
+    }
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    // Worker pool: the accept loop fans connections out over a channel;
+    // each worker owns whole exchanges, so a step on one session never
+    // queues behind a step on another.
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let mut workers = Vec::with_capacity(opts.workers);
+    for i in 0..opts.workers {
+        let rx = Arc::clone(&conn_rx);
+        let shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("serve-worker-{i}"))
+            .spawn(move || loop {
+                let conn = { rx.lock().unwrap().recv() };
+                match conn {
+                    Ok(stream) => {
+                        if let Err(e) = handlers::handle_connection(stream, &shared) {
+                            eprintln!("serve: connection error: {e}");
+                        }
+                    }
+                    Err(_) => break, // accept loop is gone
+                }
+            })
+            .map_err(|e| format!("serve: cannot spawn worker: {e}"))?;
+        workers.push(worker);
+    }
+
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                if conn_tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(e) => eprintln!("serve: accept error: {e}"),
+        }
+    }
+    drop(conn_tx); // workers drain the queue, then exit
+    for worker in workers {
+        let _ = worker.join();
+    }
+    shared.manager.shutdown_all();
+    let stats = shared.manager.default_session_stats().unwrap_or_default();
+    Ok(ServeSummary {
+        rounds_served: stats.rounds_served,
+        final_t: stats.final_t,
+    })
+}
+
+/// CLI entry point for `flexserve serve <args>`.
+pub fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let opts = ServeOptions::parse(args)?;
+    let summary = serve(&opts)?;
+    eprintln!(
+        "flexserve serve: stopped after {} rounds (t={})",
+        summary.rounds_served, summary.final_t
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_requires_the_three_axes() {
+        let err = ServeOptions::parse(&args(&["topo=er:50"])).unwrap_err();
+        assert!(err.contains("required"), "{err}");
+        let err = ServeOptions::parse(&args(&["bogus"])).unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        let err = ServeOptions::parse(&args(&["topo=er:50", "wl=uniform", "strat=onth", "zap=1"]))
+            .unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn parse_builds_a_cell_with_defaults_and_overrides() {
+        let opts = ServeOptions::parse(&args(&[
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=onth",
+            "rounds=50",
+            "seed=7",
+            "k=4",
+            "port=0",
+            "checkpoint=/tmp/ck.json",
+            "source=stdin",
+        ]))
+        .unwrap();
+        assert_eq!(opts.session.cell.rounds, 50);
+        assert_eq!(opts.session.cell.seeds, vec![7]);
+        assert_eq!(opts.session.cell.params.max_servers, 4);
+        assert_eq!(opts.port, 0);
+        assert_eq!(opts.session.checkpoint, PathBuf::from("/tmp/ck.json"));
+        assert_eq!(opts.session.source, SourceKind::Stdin);
+        assert!(!opts.session.resume);
+        // server defaults
+        assert_eq!(opts.bind, IpAddr::V4(Ipv4Addr::LOCALHOST));
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.max_sessions, 16);
+
+        let opts = ServeOptions::parse(&args(&[
+            "topo=er:50",
+            "wl=commuter-dynamic",
+            "strat=onbr",
+            "source=demand.jsonl",
+            "resume=true",
+            "flipped=true",
+        ]))
+        .unwrap();
+        assert_eq!(opts.session.source, SourceKind::File("demand.jsonl".into()));
+        assert!(opts.session.resume);
+        assert_eq!(opts.session.cell.params.migration_beta, 400.0);
+        assert_eq!(opts.session.cell.params.creation_c, 40.0);
+    }
+
+    #[test]
+    fn parse_server_keys() {
+        let base = ["topo=unit-line:8", "wl=uniform:req=3", "strat=onth"];
+        let with = |extra: &[&str]| {
+            let mut a = base.to_vec();
+            a.extend_from_slice(extra);
+            ServeOptions::parse(&args(&a))
+        };
+
+        // bind=<ip>:<port> sets both
+        let opts = with(&["bind=0.0.0.0:9000"]).unwrap();
+        assert_eq!(opts.bind, "0.0.0.0".parse::<IpAddr>().unwrap());
+        assert_eq!(opts.port, 9000);
+        // bind=<ip> keeps the port key
+        let opts = with(&["bind=0.0.0.0", "port=8111"]).unwrap();
+        assert_eq!(opts.bind, "0.0.0.0".parse::<IpAddr>().unwrap());
+        assert_eq!(opts.port, 8111);
+        assert!(with(&["bind=not-an-ip"]).unwrap_err().contains("bind"));
+
+        let opts = with(&["workers=2", "max-sessions=3"]).unwrap();
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.max_sessions, 3);
+        assert!(with(&["workers=0"]).is_err());
+        assert!(with(&["max-sessions=0"]).is_err());
+    }
+
+    #[test]
+    fn loopback_vs_non_loopback_warning() {
+        let quiet: SocketAddr = "127.0.0.1:7788".parse().unwrap();
+        assert!(non_loopback_warning(&quiet).is_none());
+        let loud: SocketAddr = "0.0.0.0:7788".parse().unwrap();
+        let warning = non_loopback_warning(&loud).unwrap();
+        assert!(warning.contains("WARNING"), "{warning}");
+        assert!(warning.contains("0.0.0.0:7788"), "{warning}");
+    }
+
+    #[test]
+    fn offstat_needs_a_scenario_source() {
+        let opts = ServeOptions::parse(&args(&[
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=offstat",
+            "source=stdin",
+            "k=4",
+        ]))
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let err = serve_on(listener, &opts).unwrap_err();
+        assert!(err.contains("source=scenario"), "{err}");
+    }
+}

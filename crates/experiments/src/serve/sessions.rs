@@ -1,0 +1,1043 @@
+//! The session layer of the serve daemon: many named, concurrently
+//! stepping [`SimSession`]s under one [`SessionManager`].
+//!
+//! Each session runs on its **own actor thread** that owns the full
+//! per-session world — substrate borrow ([`ExperimentEnv`] `Arc`s fetched
+//! through the process-wide [`DistCache`](crate::cache::DistCache), so
+//! sessions on the same topology share one APSP), the boxed strategy, the
+//! [`SimSession`] and its [`RequestSource`] — and serializes that
+//! session's operations through an `mpsc` command channel. This gives
+//! exactly the concurrency the placement game allows: *within* a session
+//! the online game stays strictly sequential (channel FIFO), while
+//! *distinct* sessions step in parallel with no shared mutable state, so
+//! every session's placements are bit-identical to the same cell served
+//! alone (pinned by `tests/serve_sessions.rs`).
+//!
+//! The manager is the only cross-session structure: a mutex-guarded name
+//! table (plus the retired default session's stats for the daemon
+//! summary), locked only long enough to clone a channel sender — never
+//! across a step.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use flexserve_core::{initial_center, OffStatPlacement};
+use flexserve_sim::{
+    CostBreakdown, OnlineStrategy, RoundRecord, SessionMetrics, SessionSnapshot, SimSession,
+};
+use flexserve_workload::{
+    file_source, parse_round, record, stdin_source, JsonValue, RequestSource, ScenarioStream, Trace,
+};
+
+use crate::output::results_dir;
+use crate::setup::ExperimentEnv;
+use crate::spec::{CellBuilder, CellSpec, StrategySpec};
+
+/// The session that the legacy single-session routes (`/step`,
+/// `/placement`, `/metrics`, `/checkpoint`) address; created at daemon
+/// startup from the `flexserve serve` command line.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Where a session's rounds come from when `POST .../step` has an empty
+/// body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// The cell's workload scenario, streamed round by round (capped at
+    /// the cell's `rounds`).
+    Scenario,
+    /// A JSONL replay file (`source=<path>`).
+    File(String),
+    /// JSONL on standard input (`source=stdin`; sensible for at most one
+    /// session — concurrent stdin readers would race for lines).
+    Stdin,
+}
+
+/// Everything needed to open one session: the cell plus the session-level
+/// keys (`checkpoint=`, `resume=`, `source=`).
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The cell to serve (strategy, substrate, workload, cost model; the
+    /// cell's `rounds` caps the scenario source, its first seed drives
+    /// substrate and workload randomness).
+    pub cell: CellSpec,
+    /// Checkpoint file written by `POST .../checkpoint` and read on
+    /// `resume=true`.
+    pub checkpoint: PathBuf,
+    /// Resume from the checkpoint file instead of starting at round 0.
+    pub resume: bool,
+    /// Demand source for source-driven stepping.
+    pub source: SourceKind,
+}
+
+impl SessionConfig {
+    /// Parses a session description from `key=value` pairs: the
+    /// [`CellBuilder`] cell grammar plus `checkpoint=`, `resume=` and
+    /// `source=`. Used by `POST /sessions` bodies; `name` only picks the
+    /// default checkpoint path (`<results dir>/checkpoint-<name>.json`).
+    pub fn parse(args: &[String], name: &str) -> Result<Self, String> {
+        Self::parse_with_default(args, results_dir().join(format!("checkpoint-{name}.json")))
+    }
+
+    /// [`parse`](Self::parse) with an explicit fallback checkpoint path —
+    /// the one grammar shared by `POST /sessions` bodies and the
+    /// `flexserve serve` command line (which layers the server keys on
+    /// top and keeps the legacy `<results dir>/checkpoint.json` default).
+    pub fn parse_with_default(
+        args: &[String],
+        default_checkpoint: PathBuf,
+    ) -> Result<Self, String> {
+        let mut cell = CellBuilder::new();
+        let mut checkpoint = None;
+        let mut resume = false;
+        let mut source = SourceKind::Scenario;
+        for arg in args {
+            let (key, v) = arg
+                .split_once('=')
+                .ok_or_else(|| format!("session: expected key=value, got {arg:?}"))?;
+            if cell.apply(key, v)? {
+                continue;
+            }
+            match key {
+                "checkpoint" => checkpoint = Some(PathBuf::from(v)),
+                "resume" => resume = v.parse().map_err(|_| format!("resume: bad value {v:?}"))?,
+                "source" => source = SourceKind::parse(v),
+                _ => {
+                    return Err(format!(
+                        "session: unknown key {key:?} (cell keys plus checkpoint=, \
+                         resume=, source=)"
+                    ))
+                }
+            }
+        }
+        Ok(SessionConfig {
+            cell: cell.build()?,
+            checkpoint: checkpoint.unwrap_or(default_checkpoint),
+            resume,
+            source,
+        })
+    }
+}
+
+impl SourceKind {
+    /// Parses a `source=` value.
+    pub fn parse(v: &str) -> SourceKind {
+        match v {
+            "scenario" => SourceKind::Scenario,
+            "stdin" => SourceKind::Stdin,
+            path => SourceKind::File(path.to_string()),
+        }
+    }
+}
+
+/// What a stopped session reports (daemon summaries and `DELETE`
+/// responses).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Rounds stepped by this process (excludes checkpointed history).
+    pub rounds_served: u64,
+    /// The session's round counter when it stopped.
+    pub final_t: u64,
+}
+
+/// Why a session operation failed; each variant maps onto one HTTP
+/// status.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// No session under that name (404).
+    NotFound(String),
+    /// Name taken, or the session is mid-startup (409).
+    Conflict(String),
+    /// The `max-sessions` cap is reached (429).
+    Capacity(String),
+    /// Malformed request or infeasible session spec (400).
+    Bad(String),
+    /// The session's request source ran dry (410).
+    Exhausted,
+    /// The session thread died or checkpointing failed (500).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NotFound(name) => write!(f, "no session {name:?}"),
+            ServeError::Conflict(msg)
+            | ServeError::Capacity(msg)
+            | ServeError::Bad(msg)
+            | ServeError::Internal(msg) => write!(f, "{msg}"),
+            ServeError::Exhausted => write!(f, "request source exhausted"),
+        }
+    }
+}
+
+/// One request to a session actor; replies come back over a one-shot
+/// channel so the calling HTTP worker blocks only on its own session.
+enum Command {
+    /// Play one round (empty body = pull the configured source).
+    Step {
+        body: String,
+        reply: Sender<Result<JsonValue, ServeError>>,
+    },
+    /// Current placement without playing a round.
+    Placement { reply: Sender<JsonValue> },
+    /// Cumulative counters.
+    Metrics { reply: Sender<JsonValue> },
+    /// Snapshot to the checkpoint file; replies with the document text.
+    Checkpoint {
+        reply: Sender<Result<String, ServeError>>,
+    },
+    /// One row of `GET /sessions`.
+    Info { reply: Sender<JsonValue> },
+    /// Stop the actor (evict / daemon shutdown).
+    Stop { reply: Sender<SessionStats> },
+}
+
+enum Entry {
+    /// Reserved while the actor builds its substrate — holds the name
+    /// against duplicates without blocking the table during a long build.
+    Starting,
+    Live(Handle),
+}
+
+struct Handle {
+    tx: Sender<Command>,
+    join: JoinHandle<()>,
+    /// Distinguishes incarnations of a reused name, so a failed
+    /// round-trip can only [`reap`](SessionManager::reap) the exact
+    /// incarnation it talked to — never a session recreated under the
+    /// same name in the meantime.
+    generation: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Monotonic [`Handle::generation`] source.
+    next_generation: u64,
+    /// Final stats of the retired default session — what the daemon
+    /// summary reports after shutdown. Other sessions' stats are returned
+    /// by [`SessionManager::remove`] and not retained (a long-running
+    /// daemon cycling uniquely named sessions must not accumulate state).
+    default_stats: Option<SessionStats>,
+}
+
+/// Owns every live session of one daemon: create / address / evict by
+/// name, bounded by `max_sessions`.
+pub struct SessionManager {
+    inner: Mutex<Inner>,
+    max_sessions: usize,
+}
+
+impl SessionManager {
+    /// An empty manager admitting at most `max_sessions` concurrent
+    /// sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        SessionManager {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                next_generation: 0,
+                default_stats: None,
+            }),
+            max_sessions,
+        }
+    }
+
+    /// Creates and starts a session, blocking until its substrate is
+    /// built (or resumed from checkpoint) so a broken spec fails the
+    /// request instead of a half-started session. Returns the session's
+    /// info document.
+    pub fn create(&self, name: &str, cfg: SessionConfig) -> Result<JsonValue, ServeError> {
+        validate_name(name)?;
+        cfg.cell.validate().map_err(ServeError::Bad)?;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.entries.contains_key(name) {
+                return Err(ServeError::Conflict(format!(
+                    "session {name:?} already exists"
+                )));
+            }
+            if inner.entries.len() >= self.max_sessions {
+                return Err(ServeError::Capacity(format!(
+                    "session limit reached ({} of max-sessions={})",
+                    inner.entries.len(),
+                    self.max_sessions
+                )));
+            }
+            inner.entries.insert(name.to_string(), Entry::Starting);
+        }
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let actor_name = name.to_string();
+        let spawned = std::thread::Builder::new()
+            .name(format!("session-{name}"))
+            .spawn(move || run_session(&actor_name, cfg, &ready_tx, &cmd_rx));
+        let join = match spawned {
+            Ok(join) => join,
+            Err(e) => {
+                self.inner.lock().unwrap().entries.remove(name);
+                return Err(ServeError::Internal(format!("cannot spawn session: {e}")));
+            }
+        };
+        match ready_rx.recv() {
+            Ok(Ok(info)) => {
+                let mut inner = self.inner.lock().unwrap();
+                let generation = inner.next_generation;
+                inner.next_generation += 1;
+                inner.entries.insert(
+                    name.to_string(),
+                    Entry::Live(Handle {
+                        tx: cmd_tx,
+                        join,
+                        generation,
+                    }),
+                );
+                Ok(info)
+            }
+            Ok(Err(e)) => {
+                let _ = join.join();
+                self.inner.lock().unwrap().entries.remove(name);
+                Err(ServeError::Bad(e))
+            }
+            Err(_) => {
+                let _ = join.join();
+                self.inner.lock().unwrap().entries.remove(name);
+                Err(ServeError::Internal(format!(
+                    "session {name:?} died during startup"
+                )))
+            }
+        }
+    }
+
+    /// Plays one round on `name`: an empty `body` pulls the session's
+    /// demand source, a `{"origins": [...]}` body plays that multi-set.
+    pub fn step(&self, name: &str, body: &str) -> Result<JsonValue, ServeError> {
+        let body = body.to_string();
+        self.roundtrip(name, |reply| Command::Step { body, reply })?
+    }
+
+    /// Current placement of `name`.
+    pub fn placement(&self, name: &str) -> Result<JsonValue, ServeError> {
+        self.roundtrip(name, |reply| Command::Placement { reply })
+    }
+
+    /// Cumulative counters of `name`.
+    pub fn metrics(&self, name: &str) -> Result<JsonValue, ServeError> {
+        self.roundtrip(name, |reply| Command::Metrics { reply })
+    }
+
+    /// Checkpoints `name`; returns the written document text.
+    pub fn checkpoint(&self, name: &str) -> Result<String, ServeError> {
+        self.roundtrip(name, |reply| Command::Checkpoint { reply })?
+    }
+
+    /// Stops and evicts `name`, returning its final stats.
+    pub fn remove(&self, name: &str) -> Result<SessionStats, ServeError> {
+        let handle = {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.entries.get(name) {
+                None => return Err(ServeError::NotFound(name.to_string())),
+                Some(Entry::Starting) => {
+                    return Err(ServeError::Conflict(format!(
+                        "session {name:?} is still starting"
+                    )))
+                }
+                Some(Entry::Live(_)) => {}
+            }
+            match inner.entries.remove(name) {
+                Some(Entry::Live(handle)) => handle,
+                _ => unreachable!("checked above"),
+            }
+        };
+        let stats = stop_actor(handle);
+        if name == DEFAULT_SESSION {
+            self.inner.lock().unwrap().default_stats = Some(stats);
+        }
+        Ok(stats)
+    }
+
+    /// Stops every live session (daemon shutdown).
+    pub fn shutdown_all(&self) {
+        loop {
+            let name = {
+                let inner = self.inner.lock().unwrap();
+                inner
+                    .entries
+                    .iter()
+                    .find_map(|(name, e)| matches!(e, Entry::Live(_)).then(|| name.clone()))
+            };
+            match name {
+                Some(name) => {
+                    let _ = self.remove(&name);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Final stats of the stopped default session, if it ever ran — the
+    /// daemon summary. Other sessions' stats are reported once by
+    /// [`remove`](Self::remove) and not retained.
+    pub fn default_session_stats(&self) -> Option<SessionStats> {
+        self.inner.lock().unwrap().default_stats
+    }
+
+    /// The `GET /sessions` document: every session (sorted by name) with
+    /// its live info row.
+    pub fn list(&self) -> JsonValue {
+        let mut rows: Vec<(String, Option<Sender<Command>>)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .entries
+                .iter()
+                .map(|(name, e)| {
+                    let tx = match e {
+                        Entry::Starting => None,
+                        Entry::Live(h) => Some(h.tx.clone()),
+                    };
+                    (name.clone(), tx)
+                })
+                .collect()
+        };
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let count = rows.len();
+        let sessions: Vec<JsonValue> = rows
+            .into_iter()
+            .map(|(name, tx)| {
+                let starting = || {
+                    JsonValue::Obj(vec![
+                        ("name".into(), JsonValue::from(name.as_str())),
+                        ("status".into(), JsonValue::from("starting")),
+                    ])
+                };
+                match tx {
+                    None => starting(),
+                    Some(tx) => {
+                        let (rtx, rrx) = mpsc::channel();
+                        if tx.send(Command::Info { reply: rtx }).is_err() {
+                            return starting();
+                        }
+                        rrx.recv().unwrap_or_else(|_| starting())
+                    }
+                }
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("sessions".into(), JsonValue::Arr(sessions)),
+            ("count".into(), JsonValue::from(count)),
+            ("max_sessions".into(), JsonValue::from(self.max_sessions)),
+        ])
+    }
+
+    /// Sends one command to a live session and waits for its reply. A
+    /// dead actor (panicked strategy) is evicted so later requests see a
+    /// clean 404 instead of a wedged name.
+    fn roundtrip<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce(Sender<T>) -> Command,
+    ) -> Result<T, ServeError> {
+        let (tx, generation) = {
+            let inner = self.inner.lock().unwrap();
+            match inner.entries.get(name) {
+                None => return Err(ServeError::NotFound(name.to_string())),
+                Some(Entry::Starting) => {
+                    return Err(ServeError::Conflict(format!(
+                        "session {name:?} is still starting"
+                    )))
+                }
+                Some(Entry::Live(h)) => (h.tx.clone(), h.generation),
+            }
+        };
+        let (rtx, rrx) = mpsc::channel();
+        let died = |this: &Self| {
+            this.reap(name, generation);
+            ServeError::Internal(format!("session {name:?} died"))
+        };
+        if tx.send(make(rtx)).is_err() {
+            return Err(died(self));
+        }
+        rrx.recv().map_err(|_| died(self))
+    }
+
+    /// Removes a dead session's entry so later requests see a clean 404.
+    /// Only the incarnation the failed round-trip actually talked to is
+    /// removed (by generation) — a session recreated under the same name
+    /// in the meantime is left alone.
+    fn reap(&self, name: &str, generation: u64) {
+        let handle = {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.entries.get(name) {
+                Some(Entry::Live(h)) if h.generation == generation => {
+                    match inner.entries.remove(name) {
+                        Some(Entry::Live(handle)) => Some(handle),
+                        _ => unreachable!("checked above"),
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some(handle) = handle {
+            // Close our command sender before joining: if the actor were
+            // somehow still draining its queue, a held sender would keep
+            // its recv() loop alive and wedge this join forever.
+            drop(handle.tx);
+            let _ = handle.join.join();
+        }
+    }
+}
+
+/// Stops one live actor and collects its stats.
+fn stop_actor(handle: Handle) -> SessionStats {
+    let (rtx, rrx) = mpsc::channel();
+    let stats = if handle.tx.send(Command::Stop { reply: rtx }).is_ok() {
+        rrx.recv().unwrap_or_default()
+    } else {
+        SessionStats::default()
+    };
+    let _ = handle.join.join();
+    stats
+}
+
+/// Session names are path segments and file-name fragments: short,
+/// URL-safe, no separators.
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::Bad(format!(
+            "bad session name {name:?} (1-64 chars from [A-Za-z0-9._-])"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-session actor.
+// ---------------------------------------------------------------------
+
+/// Mutable per-session serving state, owned by the actor thread.
+struct SessionState<'s, 'a> {
+    name: &'s str,
+    session: &'s mut SimSession<'a, Box<dyn OnlineStrategy>>,
+    source: &'s mut dyn RequestSource,
+    spec: String,
+    checkpoint: PathBuf,
+    resumed_at: u64,
+    /// Rounds ever pulled from the demand source (including checkpointed
+    /// history) — the resume fast-forward distance. Explicit-body steps
+    /// advance `t` but not this.
+    source_consumed: u64,
+    rounds_served: u64,
+    totals: CostBreakdown,
+    step_seconds_total: f64,
+    /// Lifetime metrics carried in from the checkpoint (v2; zeros for a
+    /// fresh session, round-counter-only for a v1 file).
+    carried: SessionMetrics,
+    started: Instant,
+}
+
+impl SessionState<'_, '_> {
+    /// Lifetime totals right now: checkpoint-carried plus this process.
+    fn cumulative(&self) -> SessionMetrics {
+        SessionMetrics {
+            rounds_served: self.carried.rounds_served + self.rounds_served,
+            total_cost: self.carried.total_cost + self.totals,
+            uptime_seconds: self.carried.uptime_seconds + self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            rounds_served: self.rounds_served,
+            final_t: self.session.t(),
+        }
+    }
+}
+
+/// The actor body: build the session world (reporting the outcome over
+/// `ready`), then serve commands until `Stop` or the manager hangs up.
+fn run_session(
+    name: &str,
+    cfg: SessionConfig,
+    ready: &Sender<Result<JsonValue, String>>,
+    commands: &Receiver<Command>,
+) {
+    let fail = |e: String| {
+        let _ = ready.send(Err(e));
+    };
+    let seed = cfg.cell.seeds[0];
+    let env = match ExperimentEnv::from_spec(&cfg.cell.topology, seed) {
+        Ok(env) => env,
+        Err(e) => return fail(e),
+    };
+    let ctx = env.context(cfg.cell.params, cfg.cell.load);
+    let node_count = env.graph.node_count();
+
+    // Resume state, read before anything is constructed so a bad
+    // checkpoint aborts the creation instead of a half-served session.
+    let (snapshot, source_consumed) = if cfg.resume {
+        let text = match std::fs::read_to_string(&cfg.checkpoint) {
+            Ok(text) => text,
+            Err(e) => {
+                return fail(format!(
+                    "cannot read checkpoint {}: {e}",
+                    cfg.checkpoint.display()
+                ))
+            }
+        };
+        let snap = match SessionSnapshot::from_json(&text) {
+            Ok(snap) => snap,
+            Err(e) => return fail(e),
+        };
+        // The daemon's sidecar field (see `checkpoint()`): how many rounds
+        // came out of the demand source, as opposed to explicit-body
+        // steps. Fast-forwarding by `t` instead would over-skip source
+        // rounds whenever the two were mixed.
+        let consumed = JsonValue::parse(&text)
+            .ok()
+            .and_then(|v| v.get("source_rounds").and_then(JsonValue::as_u64))
+            .unwrap_or(snap.t);
+        if consumed > snap.t {
+            return fail(format!(
+                "corrupt checkpoint: source_rounds {consumed} exceeds t {}",
+                snap.t
+            ));
+        }
+        (Some(snap), consumed)
+    } else {
+        (None, 0)
+    };
+    let resumed_at = snapshot.as_ref().map(|s| s.t).unwrap_or(0);
+    // v2 checkpoints carry lifetime metrics; a v1 file carries none, so
+    // the cumulative cost/uptime restart (the round counter is still
+    // exact — every round ever played is in `t`).
+    let carried = match snapshot.as_ref() {
+        Some(snap) => snap.metrics.unwrap_or(SessionMetrics {
+            rounds_served: snap.t,
+            total_cost: CostBreakdown::zero(),
+            uptime_seconds: 0.0,
+        }),
+        None => SessionMetrics::default(),
+    };
+
+    // The strategy. OFFSTAT has no pure-streaming form: its placement is
+    // computed from the recorded scenario trace (scenario sources only) —
+    // on resume the placement travels inside the checkpoint instead.
+    let strategy: Box<dyn OnlineStrategy> = if cfg.cell.strategy == StrategySpec::OffStat {
+        if snapshot.is_some() {
+            Box::new(OffStatPlacement::new(Vec::new()))
+        } else if cfg.source == SourceKind::Scenario {
+            let trace = record_cell_trace(&cfg.cell, &env, seed);
+            Box::new(OffStatPlacement::from_trace(&ctx, &trace))
+        } else {
+            return fail(
+                "strat=offstat needs source=scenario (the placement is computed \
+                 from the recorded scenario trace)"
+                    .into(),
+            );
+        }
+    } else {
+        match cfg.cell.strategy.instantiate_online(&ctx, seed) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        }
+    };
+
+    let mut session = match &snapshot {
+        Some(snap) => match SimSession::resume(ctx, strategy, snap) {
+            Ok(session) => session,
+            Err(e) => return fail(e),
+        },
+        None => SimSession::new(ctx, strategy, initial_center(&ctx)),
+    };
+
+    // The demand source, fast-forwarded past the rounds the checkpointed
+    // history actually consumed from it (explicit-body steps do not
+    // advance the source), so a resumed session sees the same source
+    // rounds an uninterrupted one would.
+    let mut source: Box<dyn RequestSource> = match &cfg.source {
+        SourceKind::Scenario => {
+            let scenario = cfg.cell.workload.instantiate(
+                &env.graph,
+                &env.matrix,
+                cfg.cell.t_periods,
+                cfg.cell.lambda,
+                seed,
+            );
+            let mut stream = ScenarioStream::new(scenario, Some(cfg.cell.rounds));
+            stream.skip_to(source_consumed);
+            Box::new(stream)
+        }
+        SourceKind::File(path) => {
+            let mut replay = match file_source(path, node_count) {
+                Ok(replay) => replay,
+                Err(e) => return fail(e),
+            };
+            for _ in 0..source_consumed {
+                match replay.next_round() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => {
+                        return fail(format!(
+                            "replay {path} is shorter than the checkpoint \
+                             (source_rounds={source_consumed})"
+                        ))
+                    }
+                    Err(e) => return fail(e),
+                }
+            }
+            Box::new(replay)
+        }
+        SourceKind::Stdin => Box::new(stdin_source(node_count)),
+    };
+
+    let mut state = SessionState {
+        name,
+        session: &mut session,
+        source: source.as_mut(),
+        spec: cfg.cell.describe(),
+        checkpoint: cfg.checkpoint.clone(),
+        resumed_at,
+        source_consumed,
+        rounds_served: 0,
+        totals: CostBreakdown::zero(),
+        step_seconds_total: 0.0,
+        carried,
+        started: Instant::now(),
+    };
+    if ready.send(Ok(info_json(&state))).is_err() {
+        return; // manager gave up on us
+    }
+
+    while let Ok(cmd) = commands.recv() {
+        match cmd {
+            Command::Step { body, reply } => {
+                let _ = reply.send(step(&mut state, &body));
+            }
+            Command::Placement { reply } => {
+                let _ = reply.send(placement_json(&state));
+            }
+            Command::Metrics { reply } => {
+                let _ = reply.send(metrics_json(&state));
+            }
+            Command::Checkpoint { reply } => {
+                let _ = reply.send(checkpoint(&mut state).map_err(ServeError::Internal));
+            }
+            Command::Info { reply } => {
+                let _ = reply.send(info_json(&state));
+            }
+            Command::Stop { reply } => {
+                let _ = reply.send(state.stats());
+                return;
+            }
+        }
+    }
+}
+
+/// Records the cell's scenario into a trace (OFFSTAT placement input).
+fn record_cell_trace(cell: &CellSpec, env: &ExperimentEnv, seed: u64) -> Trace {
+    let mut scenario =
+        cell.workload
+            .instantiate(&env.graph, &env.matrix, cell.t_periods, cell.lambda, seed);
+    record(scenario.as_mut(), cell.rounds)
+}
+
+fn step(state: &mut SessionState<'_, '_>, body: &str) -> Result<JsonValue, ServeError> {
+    let batch = if body.trim().is_empty() {
+        let batch = state
+            .source
+            .next_round()
+            .map_err(ServeError::Bad)?
+            .ok_or(ServeError::Exhausted)?;
+        state.source_consumed += 1;
+        batch
+    } else {
+        let value = JsonValue::parse(body.trim()).map_err(ServeError::Bad)?;
+        parse_round(&value, state.session.ctx().graph.node_count()).map_err(ServeError::Bad)?
+    };
+    let started = Instant::now();
+    let rec = state.session.step(&batch);
+    state.step_seconds_total += started.elapsed().as_secs_f64();
+    state.rounds_served += 1;
+    state.totals += rec.costs;
+    Ok(round_json(state, &rec))
+}
+
+fn checkpoint(state: &mut SessionState<'_, '_>) -> Result<String, String> {
+    let mut snap = state.session.snapshot()?;
+    // v2: the checkpoint carries the session's lifetime totals, so a
+    // restarted daemon keeps counting where this one stops.
+    snap.metrics = Some(state.cumulative());
+    let text = snap.to_json();
+    // Sidecar field for the resume fast-forward: how much of the demand
+    // source the checkpointed history consumed. `SessionSnapshot` ignores
+    // unknown keys, so the file stays a valid engine checkpoint.
+    let mut value = JsonValue::parse(&text).expect("own render must parse");
+    if let JsonValue::Obj(pairs) = &mut value {
+        pairs.push((
+            "source_rounds".into(),
+            JsonValue::from(state.source_consumed),
+        ));
+    }
+    let mut text = value.render();
+    text.push('\n');
+    if let Some(dir) = state.checkpoint.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    // Write-then-rename so a crash mid-write can't truncate the previous
+    // good checkpoint — the one artifact meant to survive crashes.
+    let tmp = state.checkpoint.with_extension("json.tmp");
+    std::fs::write(&tmp, &text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &state.checkpoint)
+        .map_err(|e| format!("cannot rename into {}: {e}", state.checkpoint.display()))?;
+    Ok(text)
+}
+
+fn costs_json(costs: &CostBreakdown) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("access".into(), JsonValue::from(costs.access)),
+        ("running".into(), JsonValue::from(costs.running)),
+        ("migration".into(), JsonValue::from(costs.migration)),
+        ("creation".into(), JsonValue::from(costs.creation)),
+        ("total".into(), JsonValue::from(costs.total())),
+    ])
+}
+
+fn fleet_json(state: &SessionState<'_, '_>) -> Vec<(String, JsonValue)> {
+    let fleet = state.session.fleet();
+    vec![
+        (
+            "active".into(),
+            JsonValue::Arr(
+                fleet
+                    .active()
+                    .iter()
+                    .map(|n| JsonValue::from(n.index()))
+                    .collect(),
+            ),
+        ),
+        (
+            "inactive".into(),
+            JsonValue::Arr(
+                fleet
+                    .inactive_entries()
+                    .map(|s| {
+                        JsonValue::Arr(vec![
+                            JsonValue::from(s.node.index()),
+                            JsonValue::from(s.expires_epoch),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("epoch".into(), JsonValue::from(fleet.epoch())),
+    ]
+}
+
+fn round_json(state: &SessionState<'_, '_>, rec: &RoundRecord) -> JsonValue {
+    let mut pairs = vec![
+        ("t".into(), JsonValue::from(rec.t)),
+        ("requests".into(), JsonValue::from(rec.requests)),
+        ("costs".into(), costs_json(&rec.costs)),
+    ];
+    pairs.extend(fleet_json(state));
+    JsonValue::Obj(pairs)
+}
+
+fn placement_json(state: &SessionState<'_, '_>) -> JsonValue {
+    let mut pairs = vec![("t".into(), JsonValue::from(state.session.t()))];
+    pairs.extend(fleet_json(state));
+    JsonValue::Obj(pairs)
+}
+
+fn metrics_json(state: &SessionState<'_, '_>) -> JsonValue {
+    let cumulative = state.cumulative();
+    JsonValue::Obj(vec![
+        ("session".into(), JsonValue::from(state.name)),
+        (
+            "strategy".into(),
+            JsonValue::from(state.session.strategy().name()),
+        ),
+        ("spec".into(), JsonValue::from(state.spec.clone())),
+        ("source".into(), JsonValue::from(state.source.describe())),
+        ("next_t".into(), JsonValue::from(state.session.t())),
+        ("resumed_at".into(), JsonValue::from(state.resumed_at)),
+        ("rounds_served".into(), JsonValue::from(state.rounds_served)),
+        (
+            "source_rounds".into(),
+            JsonValue::from(state.source_consumed),
+        ),
+        ("total_cost".into(), costs_json(&state.totals)),
+        (
+            "active_servers".into(),
+            JsonValue::from(state.session.fleet().active_count()),
+        ),
+        (
+            "step_seconds_total".into(),
+            JsonValue::from(state.step_seconds_total),
+        ),
+        (
+            "cumulative".into(),
+            JsonValue::Obj(vec![
+                (
+                    "rounds_served".into(),
+                    JsonValue::from(cumulative.rounds_served),
+                ),
+                ("total_cost".into(), costs_json(&cumulative.total_cost)),
+                (
+                    "uptime_seconds".into(),
+                    JsonValue::from(cumulative.uptime_seconds),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// One `GET /sessions` row (also the `POST /sessions` response).
+fn info_json(state: &SessionState<'_, '_>) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("name".into(), JsonValue::from(state.name)),
+        ("status".into(), JsonValue::from("live")),
+        ("spec".into(), JsonValue::from(state.spec.clone())),
+        (
+            "strategy".into(),
+            JsonValue::from(state.session.strategy().name()),
+        ),
+        ("source".into(), JsonValue::from(state.source.describe())),
+        ("next_t".into(), JsonValue::from(state.session.t())),
+        ("resumed_at".into(), JsonValue::from(state.resumed_at)),
+        ("rounds_served".into(), JsonValue::from(state.rounds_served)),
+        (
+            "uptime_seconds".into(),
+            JsonValue::from(state.started.elapsed().as_secs_f64()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tiny(name: &str, extra: &[&str]) -> SessionConfig {
+        let mut base = vec![
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=onth",
+            "rounds=40",
+            "seed=3",
+            "k=4",
+        ];
+        base.extend_from_slice(extra);
+        SessionConfig::parse(&args(&base), name).unwrap()
+    }
+
+    #[test]
+    fn config_parse_defaults_and_unknown_keys() {
+        let cfg = tiny("alpha", &[]);
+        assert_eq!(cfg.cell.seeds, vec![3]);
+        assert!(!cfg.resume);
+        assert_eq!(cfg.source, SourceKind::Scenario);
+        assert!(cfg
+            .checkpoint
+            .to_string_lossy()
+            .ends_with("checkpoint-alpha.json"));
+
+        let err = SessionConfig::parse(&args(&["port=1"]), "x").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = SessionConfig::parse(&args(&["topo=er:50"]), "x").unwrap_err();
+        assert!(err.contains("required"), "{err}");
+    }
+
+    #[test]
+    fn manager_lifecycle_create_step_list_remove() {
+        let mgr = SessionManager::new(4);
+        let info = mgr.create("alpha", tiny("alpha", &[])).unwrap();
+        assert_eq!(info.get("name").unwrap().as_str(), Some("alpha"));
+        assert_eq!(info.get("status").unwrap().as_str(), Some("live"));
+
+        // duplicate names are refused
+        match mgr.create("alpha", tiny("alpha", &[])) {
+            Err(ServeError::Conflict(_)) => {}
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+
+        let round = mgr.step("alpha", "").unwrap();
+        assert_eq!(round.get("t").unwrap().as_u64(), Some(0));
+        let metrics = mgr.metrics("alpha").unwrap();
+        assert_eq!(metrics.get("rounds_served").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            metrics
+                .get("cumulative")
+                .unwrap()
+                .get("rounds_served")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+
+        let list = mgr.list();
+        assert_eq!(list.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(list.get("max_sessions").unwrap().as_u64(), Some(4));
+
+        let stats = mgr.remove("alpha").unwrap();
+        assert_eq!(stats.rounds_served, 1);
+        assert_eq!(stats.final_t, 1);
+        match mgr.step("alpha", "") {
+            Err(ServeError::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+
+        // only the default session's stats are retained for the daemon
+        // summary; others are reported once by remove()
+        assert!(mgr.default_session_stats().is_none());
+        mgr.create(DEFAULT_SESSION, tiny(DEFAULT_SESSION, &[]))
+            .unwrap();
+        mgr.step(DEFAULT_SESSION, "").unwrap();
+        mgr.shutdown_all();
+        assert_eq!(mgr.default_session_stats().unwrap().final_t, 1);
+    }
+
+    #[test]
+    fn manager_enforces_capacity_and_names() {
+        let mgr = SessionManager::new(1);
+        mgr.create("one", tiny("one", &[])).unwrap();
+        match mgr.create("two", tiny("two", &[])) {
+            Err(ServeError::Capacity(_)) => {}
+            other => panic!("expected Capacity, got {other:?}"),
+        }
+        for bad in ["", "a/b", "x y", &"n".repeat(65)] {
+            match mgr.create(bad, tiny("z", &[])) {
+                Err(ServeError::Bad(_)) => {}
+                other => panic!("name {bad:?}: expected Bad, got {other:?}"),
+            }
+        }
+        mgr.shutdown_all();
+        assert_eq!(mgr.list().get("count").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn bad_specs_fail_creation_not_the_daemon() {
+        let mgr = SessionManager::new(4);
+        // infeasible cell (offline strategy)
+        let cfg = tiny("x", &["strat=opt"]);
+        assert!(matches!(mgr.create("x", cfg), Err(ServeError::Bad(_))));
+        // missing checkpoint on resume
+        let cfg = tiny("y", &["resume=true", "checkpoint=/nonexistent/ck.json"]);
+        assert!(matches!(mgr.create("y", cfg), Err(ServeError::Bad(_))));
+        // failed creations free the name slot
+        assert_eq!(mgr.list().get("count").unwrap().as_u64(), Some(0));
+    }
+}

@@ -797,6 +797,141 @@ pub struct CellResult {
     pub fingerprint: u64,
 }
 
+/// Incremental single-seed [`CellSpec`] builder over `key=value` pairs —
+/// the cell grammar shared by the `flexserve serve` command line and the
+/// serve daemon's `POST /sessions` body, so the CLI and HTTP surfaces
+/// accept exactly the same cells and can never drift apart.
+///
+/// Cell keys: `topo`, `wl`, `strat` (required), `t`, `lambda`, `rounds`,
+/// `seed` (a single seed, not a list), `load`, `beta`, `c`, `ra`, `ri`,
+/// `k`, `flipped`. [`apply`](CellBuilder::apply) returns `Ok(false)` for
+/// any other key, so callers can layer their own keys (`checkpoint=`,
+/// `bind=`, …) on top.
+///
+/// ```
+/// use flexserve_experiments::spec::CellBuilder;
+///
+/// let mut b = CellBuilder::new();
+/// for kv in ["topo=unit-line:8", "wl=uniform:req=3", "strat=onth", "seed=7", "k=4"] {
+///     let (key, value) = kv.split_once('=').unwrap();
+///     assert!(b.apply(key, value).unwrap());
+/// }
+/// assert!(!b.apply("port", "0").unwrap()); // not a cell key
+/// let cell = b.build().unwrap();
+/// assert_eq!(cell.seeds, vec![7]);
+/// assert_eq!(cell.params.max_servers, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CellBuilder {
+    topology: Option<TopologySpec>,
+    workload: Option<WorkloadSpec>,
+    strategy: Option<StrategySpec>,
+    t_periods: u32,
+    lambda: u64,
+    rounds: u64,
+    seed: u64,
+    load: LoadModel,
+    params: CostParams,
+    beta: Option<f64>,
+    c: Option<f64>,
+    flipped: bool,
+}
+
+impl Default for CellBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CellBuilder {
+    /// A builder with the serve defaults: `T=8`, `λ=10`, 200 rounds,
+    /// seed 1000, linear load, default cost model.
+    pub fn new() -> Self {
+        CellBuilder {
+            topology: None,
+            workload: None,
+            strategy: None,
+            t_periods: 8,
+            lambda: 10,
+            rounds: 200,
+            seed: 1000,
+            load: LoadModel::Linear,
+            params: CostParams::default(),
+            beta: None,
+            c: None,
+            flipped: false,
+        }
+    }
+
+    /// Applies one `key=value` pair. Returns `Ok(true)` when the key was
+    /// a cell key, `Ok(false)` when it is not (the caller's problem), and
+    /// `Err` when the key is a cell key but the value does not parse.
+    pub fn apply(&mut self, key: &str, v: &str) -> Result<bool, String> {
+        match key {
+            "topo" => self.topology = Some(v.parse().map_err(|e| format!("topo: {e}"))?),
+            "wl" => self.workload = Some(v.parse().map_err(|e| format!("wl: {e}"))?),
+            "strat" => {
+                self.strategy = Some(
+                    v.parse::<StrategySpec>()
+                        .map_err(|e| format!("strat: {e}"))?,
+                )
+            }
+            "t" => self.t_periods = v.parse().map_err(|_| format!("t: bad value {v:?}"))?,
+            "lambda" => self.lambda = v.parse().map_err(|_| format!("lambda: bad value {v:?}"))?,
+            "rounds" => self.rounds = v.parse().map_err(|_| format!("rounds: bad value {v:?}"))?,
+            "seed" => self.seed = v.parse().map_err(|_| format!("seed: bad value {v:?}"))?,
+            "load" => self.load = v.parse()?,
+            "beta" => self.beta = Some(v.parse().map_err(|_| format!("beta: bad value {v:?}"))?),
+            "c" => self.c = Some(v.parse().map_err(|_| format!("c: bad value {v:?}"))?),
+            "ra" => {
+                self.params.run_active = v.parse().map_err(|_| format!("ra: bad value {v:?}"))?
+            }
+            "ri" => {
+                self.params.run_inactive = v.parse().map_err(|_| format!("ri: bad value {v:?}"))?
+            }
+            "k" => {
+                self.params.max_servers = v.parse().map_err(|_| format!("k: bad value {v:?}"))?
+            }
+            "flipped" => {
+                self.flipped = v.parse().map_err(|_| format!("flipped: bad value {v:?}"))?
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Finalizes the cell. `flipped=true` is a shorthand for the paper's
+    /// β=400/c=40 regime; explicit `beta=`/`c=` always win, regardless of
+    /// argument order.
+    pub fn build(self) -> Result<CellSpec, String> {
+        let (topology, workload, strategy) = match (self.topology, self.workload, self.strategy) {
+            (Some(t), Some(w), Some(s)) => (t, w, s),
+            _ => return Err("topo=, wl= and strat= are required".into()),
+        };
+        let mut params = self.params;
+        if self.flipped {
+            params = params.with_costs(
+                CostParams::flipped().migration_beta,
+                CostParams::flipped().creation_c,
+            );
+        }
+        if let Some(beta) = self.beta {
+            params.migration_beta = beta;
+        }
+        if let Some(c) = self.c {
+            params.creation_c = c;
+        }
+        let mut cell = CellSpec::new(topology, workload, strategy);
+        cell.t_periods = self.t_periods;
+        cell.lambda = self.lambda;
+        cell.rounds = self.rounds;
+        cell.seeds = vec![self.seed];
+        cell.params = params;
+        cell.load = self.load;
+        Ok(cell)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,6 +985,26 @@ mod tests {
         assert!("time-zones:p=200".parse::<WorkloadSpec>().is_err());
         assert!("time-zones:bogus=1".parse::<WorkloadSpec>().is_err());
         assert!("rush-hour".parse::<WorkloadSpec>().is_err());
+    }
+
+    #[test]
+    fn cell_builder_flipped_and_explicit_costs() {
+        let mut b = CellBuilder::new();
+        for kv in ["topo=er:50", "wl=commuter-dynamic", "strat=onbr"] {
+            let (k, v) = kv.split_once('=').unwrap();
+            assert!(b.apply(k, v).unwrap());
+        }
+        // flipped shorthand, then an explicit beta override (order-proof)
+        assert!(b.apply("flipped", "true").unwrap());
+        assert!(b.apply("beta", "7.5").unwrap());
+        let cell = b.build().unwrap();
+        assert_eq!(cell.params.migration_beta, 7.5);
+        assert_eq!(cell.params.creation_c, CostParams::flipped().creation_c);
+
+        // missing axes are refused
+        assert!(CellBuilder::new().build().unwrap_err().contains("required"));
+        // cell-key values must parse
+        assert!(CellBuilder::new().apply("rounds", "many").is_err());
     }
 
     #[test]

@@ -60,6 +60,15 @@ fn figures_md_rows_name_their_csv_artifacts() {
 #[test]
 fn serving_md_documents_every_endpoint() {
     for endpoint in [
+        // session-scoped surface
+        "POST /sessions",
+        "GET /sessions",
+        "POST /sessions/<name>/step",
+        "GET /sessions/<name>/placement",
+        "GET /sessions/<name>/metrics",
+        "POST /sessions/<name>/checkpoint",
+        "DELETE /sessions/<name>",
+        // legacy aliases of the default session
         "POST /step",
         "GET /placement",
         "GET /metrics",
@@ -71,8 +80,17 @@ fn serving_md_documents_every_endpoint() {
             "docs/SERVING.md must document {endpoint}"
         );
     }
-    // the checkpoint format tag is load-bearing for external tooling
+    // both checkpoint format tags are load-bearing for external tooling:
+    // v2 is what the daemon writes, v1 is the promised-compatible past
     assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT));
+    assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT_V1));
+    // the serve keys added with the session manager stay documented
+    for key in ["`bind=", "`workers=", "`max-sessions="] {
+        assert!(
+            SERVING_MD.contains(key),
+            "docs/SERVING.md must document the {key} serve key"
+        );
+    }
 }
 
 #[test]

@@ -146,7 +146,11 @@ fn serve_steps_checkpoints_and_resumes_identically() {
     // run, so restart clean for the determinism half below.
     let (status, ck_body) = http(addr, "POST", "/checkpoint", "");
     assert_eq!(status, 200);
-    assert!(ck_body.contains("flexserve-checkpoint-v1"));
+    assert!(ck_body.contains(flexserve_sim::CHECKPOINT_FORMAT));
+    assert!(
+        ck_body.contains("\"metrics\""),
+        "v2 checkpoints carry cumulative metrics: {ck_body}"
+    );
     assert!(ck.exists(), "checkpoint file must be written");
     let (status, _) = http(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
@@ -171,6 +175,22 @@ fn serve_steps_checkpoints_and_resumes_identically() {
     let metrics = json(&body);
     assert_eq!(metrics.get("resumed_at").unwrap().as_u64(), Some(20));
     assert_eq!(metrics.get("next_t").unwrap().as_u64(), Some(20));
+    // v2 checkpoints carry the lifetime totals across the restart: the 20
+    // checkpointed rounds (and their cost) are already on the books while
+    // this process has served none.
+    assert_eq!(metrics.get("rounds_served").unwrap().as_u64(), Some(0));
+    let cumulative = metrics.get("cumulative").unwrap();
+    assert_eq!(cumulative.get("rounds_served").unwrap().as_u64(), Some(20));
+    assert!(
+        cumulative
+            .get("total_cost")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
     for _ in 0..20 {
         let (status, _) = http(addr, "POST", "/step", "");
         assert_eq!(status, 200);

@@ -22,14 +22,95 @@
 //! snapshot → JSON → restore cycle reproduces every accumulator
 //! **bit-identically** (pinned by `crates/core/tests/checkpoint_resume.rs`).
 //! The full schema is documented in `docs/SERVING.md`.
+//!
+//! Two format generations exist. `flexserve-checkpoint-v2` (current)
+//! additionally carries the session's cumulative serving metrics as a
+//! [`SessionMetrics`] block, so a restarted daemon keeps its lifetime
+//! totals. `flexserve-checkpoint-v1` files (no metrics block) remain
+//! fully readable — the simulation state is identical, the metrics just
+//! start over from the round counter.
 
 use flexserve_graph::NodeId;
 use flexserve_workload::JsonValue;
 
+use crate::cost::CostBreakdown;
 use crate::fleet::{Fleet, InactiveServer};
 
-/// The format tag written into (and required from) every checkpoint.
-pub const CHECKPOINT_FORMAT: &str = "flexserve-checkpoint-v1";
+/// The format tag written into every new checkpoint.
+pub const CHECKPOINT_FORMAT: &str = "flexserve-checkpoint-v2";
+
+/// The previous format tag, still accepted on read: v1 checkpoints are
+/// v2 checkpoints without the `metrics` block.
+pub const CHECKPOINT_FORMAT_V1: &str = "flexserve-checkpoint-v1";
+
+/// Cumulative serving totals carried inside a v2 checkpoint, so a
+/// session's lifetime counters survive daemon restarts (`GET /metrics`
+/// reports them as the `cumulative` block).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionMetrics {
+    /// Rounds ever served, across all restarts.
+    pub rounds_served: u64,
+    /// Cost totals accumulated over those rounds.
+    pub total_cost: CostBreakdown,
+    /// Wall-clock seconds the session has been live, across restarts.
+    pub uptime_seconds: f64,
+}
+
+impl SessionMetrics {
+    /// Renders the metrics block of a v2 checkpoint.
+    fn to_json_value(self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rounds_served".into(), JsonValue::from(self.rounds_served)),
+            (
+                "total_cost".into(),
+                JsonValue::Obj(vec![
+                    ("access".into(), JsonValue::from(self.total_cost.access)),
+                    ("running".into(), JsonValue::from(self.total_cost.running)),
+                    (
+                        "migration".into(),
+                        JsonValue::from(self.total_cost.migration),
+                    ),
+                    ("creation".into(), JsonValue::from(self.total_cost.creation)),
+                ]),
+            ),
+            (
+                "uptime_seconds".into(),
+                JsonValue::from(self.uptime_seconds),
+            ),
+        ])
+    }
+
+    /// Parses the metrics block of a v2 checkpoint.
+    fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let rounds_served = v
+            .get("rounds_served")
+            .and_then(JsonValue::as_u64)
+            .ok_or("checkpoint: metrics missing \"rounds_served\"")?;
+        let cost = v
+            .get("total_cost")
+            .ok_or("checkpoint: metrics missing \"total_cost\"")?;
+        let field = |name: &str| {
+            cost.get(name)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("checkpoint: metrics missing total_cost.{name}"))
+        };
+        let total_cost = CostBreakdown {
+            access: field("access")?,
+            running: field("running")?,
+            migration: field("migration")?,
+            creation: field("creation")?,
+        };
+        let uptime_seconds = v
+            .get("uptime_seconds")
+            .and_then(JsonValue::as_f64)
+            .ok_or("checkpoint: metrics missing \"uptime_seconds\"")?;
+        Ok(SessionMetrics {
+            rounds_served,
+            total_cost,
+            uptime_seconds,
+        })
+    }
+}
 
 /// A point-in-time capture of one simulation session.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +132,11 @@ pub struct SessionSnapshot {
     pub inactive: Vec<InactiveServer>,
     /// The fleet's epoch counter.
     pub epoch: u64,
+    /// Cumulative serving metrics (v2). `None` for v1 checkpoints and for
+    /// snapshots taken straight off a [`SimSession`](crate::session::SimSession),
+    /// which does not track serving totals — the serve layer fills this in
+    /// before writing the file.
+    pub metrics: Option<SessionMetrics>,
 }
 
 impl SessionSnapshot {
@@ -64,9 +150,11 @@ impl SessionSnapshot {
         )
     }
 
-    /// Renders the snapshot as a self-describing JSON document.
+    /// Renders the snapshot as a self-describing JSON document (always
+    /// the current v2 format; the `metrics` block appears only when
+    /// [`metrics`](Self::metrics) is set).
     pub fn to_json(&self) -> String {
-        let obj = JsonValue::Obj(vec![
+        let mut pairs = vec![
             ("format".into(), JsonValue::from(CHECKPOINT_FORMAT)),
             ("t".into(), JsonValue::from(self.t)),
             (
@@ -113,22 +201,27 @@ impl SessionSnapshot {
                     ("epoch".into(), JsonValue::from(self.epoch)),
                 ]),
             ),
-        ]);
-        let mut out = obj.render();
+        ];
+        if let Some(metrics) = self.metrics {
+            pairs.push(("metrics".into(), metrics.to_json_value()));
+        }
+        let mut out = JsonValue::Obj(pairs).render();
         out.push('\n');
         out
     }
 
-    /// Parses a checkpoint document produced by [`SessionSnapshot::to_json`].
+    /// Parses a checkpoint document produced by [`SessionSnapshot::to_json`]
+    /// — either format generation: a v1 document simply has no `metrics`.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = JsonValue::parse(text).map_err(|e| format!("checkpoint: {e}"))?;
         let format = v
             .get("format")
             .and_then(JsonValue::as_str)
             .ok_or("checkpoint: missing \"format\"")?;
-        if format != CHECKPOINT_FORMAT {
+        if format != CHECKPOINT_FORMAT && format != CHECKPOINT_FORMAT_V1 {
             return Err(format!(
-                "checkpoint: unsupported format {format:?} (expected {CHECKPOINT_FORMAT:?})"
+                "checkpoint: unsupported format {format:?} (expected {CHECKPOINT_FORMAT:?} \
+                 or {CHECKPOINT_FORMAT_V1:?})"
             ));
         }
         let t = v
@@ -187,6 +280,12 @@ impl SessionSnapshot {
             .get("epoch")
             .and_then(JsonValue::as_u64)
             .ok_or("checkpoint: missing fleet epoch")?;
+        // Optional in v2 documents too (a bare SimSession snapshot carries
+        // no serving totals), absent by definition in v1.
+        let metrics = match v.get("metrics") {
+            Some(m) => Some(SessionMetrics::from_json_value(m)?),
+            None => None,
+        };
         Ok(SessionSnapshot {
             t,
             substrate_fingerprint,
@@ -196,6 +295,7 @@ impl SessionSnapshot {
             active,
             inactive,
             epoch,
+            metrics,
         })
     }
 }
@@ -217,6 +317,16 @@ mod tests {
                 expires_epoch: 23,
             }],
             epoch: 5,
+            metrics: Some(SessionMetrics {
+                rounds_served: 240,
+                total_cost: CostBreakdown {
+                    access: 0.1 + 0.2,
+                    running: 12.5,
+                    migration: 80.0,
+                    creation: 0.0,
+                },
+                uptime_seconds: 3.75,
+            }),
         }
     }
 
@@ -232,6 +342,34 @@ mod tests {
             back.strategy_state.get("small_cost").unwrap().as_f64(),
             Some(0.1 + 0.2)
         );
+        assert_eq!(
+            back.metrics.unwrap().total_cost.access.to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+    }
+
+    #[test]
+    fn metrics_block_is_optional_in_v2() {
+        let mut snap = sample();
+        snap.metrics = None;
+        let text = snap.to_json();
+        assert!(!text.contains("\"metrics\""), "{text}");
+        assert_eq!(SessionSnapshot::from_json(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 checkpoint is byte-for-byte a v2 document with the old
+        // format tag and no metrics block.
+        let mut snap = sample();
+        snap.metrics = None;
+        let v1 = snap
+            .to_json()
+            .replace(CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_V1);
+        assert!(v1.contains(CHECKPOINT_FORMAT_V1));
+        let back = SessionSnapshot::from_json(&v1).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.metrics.is_none());
     }
 
     #[test]
@@ -243,6 +381,10 @@ mod tests {
         assert!(err.contains("unsupported format"), "{err}");
         let broken = sample().to_json().replace("\"epoch\"", "\"epoxy\"");
         assert!(SessionSnapshot::from_json(&broken).is_err());
+        // a v2 tag with a mangled metrics block must fail loudly, not
+        // silently drop the totals
+        let mangled = sample().to_json().replace("\"uptime_seconds\"", "\"up\"");
+        assert!(SessionSnapshot::from_json(&mangled).is_err());
     }
 
     #[test]

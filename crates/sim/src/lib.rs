@@ -38,7 +38,7 @@ pub mod routing;
 pub mod session;
 pub mod transition;
 
-pub use checkpoint::{SessionSnapshot, CHECKPOINT_FORMAT};
+pub use checkpoint::{SessionMetrics, SessionSnapshot, CHECKPOINT_FORMAT, CHECKPOINT_FORMAT_V1};
 pub use context::SimContext;
 pub use cost::CostBreakdown;
 pub use engine::{run_online, run_plan, OnlineStrategy, Plan, RoundRecord, RunRecord};

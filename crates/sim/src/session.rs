@@ -177,6 +177,9 @@ impl<'a, S: OnlineStrategy> SimSession<'a, S> {
             active,
             inactive,
             epoch,
+            // The session tracks game state, not serving totals; layers
+            // that do (the serve daemon) fill this before writing.
+            metrics: None,
         })
     }
 

@@ -95,6 +95,17 @@ impl JsonValue {
         }
     }
 
+    /// The value as a vector of owned strings, if it is an array whose
+    /// every element is a string (`["topo=er:100", "strat=onth"]` —
+    /// the serve daemon's `POST /sessions` argument lists). `None` when
+    /// the value is not an array or any element is not a string.
+    pub fn as_str_array(&self) -> Option<Vec<String>> {
+        self.as_array()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect()
+    }
+
     /// Renders the value as compact JSON (no whitespace).
     ///
     /// Non-finite numbers have no JSON representation and render as
@@ -480,6 +491,18 @@ mod tests {
     fn non_finite_renders_null() {
         assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
         assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn str_array_accessor_wants_all_strings() {
+        let v = JsonValue::parse(r#"["topo=er:100","strat=onth"]"#).unwrap();
+        assert_eq!(
+            v.as_str_array(),
+            Some(vec!["topo=er:100".to_string(), "strat=onth".to_string()])
+        );
+        assert_eq!(JsonValue::parse("[]").unwrap().as_str_array(), Some(vec![]));
+        assert_eq!(JsonValue::parse(r#"["a",1]"#).unwrap().as_str_array(), None);
+        assert_eq!(JsonValue::parse("\"a\"").unwrap().as_str_array(), None);
     }
 
     #[test]
