@@ -22,7 +22,10 @@ use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
 use flexserve_core::{initial_center, OnTh};
 use flexserve_experiments::serve::{SessionConfig, SessionManager};
 use flexserve_experiments::setup::ExperimentEnv;
-use flexserve_experiments::{average, average_serial, DistCache, TopologySpec};
+use flexserve_experiments::{
+    average, average_serial, run_algorithm, Algorithm, DistCache, TopologySpec, TraceCache,
+    TraceKey,
+};
 use flexserve_graph::DistanceMatrix;
 use flexserve_sim::{run_online, CostParams, LoadModel, SimSession};
 use flexserve_workload::{record, CommuterScenario, LoadVariant};
@@ -102,12 +105,75 @@ fn main() {
     let parallel = time_median(reps, || {
         std::hint::black_box(average(&seeds, |seed| sweep_cell(&env, seed)));
     });
-    write_report(
-        "BENCH_sweeps.json",
+    let sweep_entry = entry_json(
         "sweep_cell",
         serial,
         parallel,
         "20-seed ONTH commuter cell (ER-100 substrate, 240 rounds) through runner::average",
+        "",
+    );
+    announce("BENCH_sweeps.json", "sweep_cell", serial, parallel);
+
+    // --- Trace sharing: 3-strategy figure cell --------------------------
+    // The shared-trace evaluation plane's saving: a figure cell evaluates
+    // k strategies on the *same* demand, which used to be regenerated and
+    // re-recorded per strategy. "Serial" is the independent plane (each
+    // strategy records its own workload); "parallel" is the shared plane
+    // (one recording through a TraceCache, every strategy reads the
+    // Arc-held rounds). The simulation itself still runs per strategy, so
+    // the bound is k·(record+run) / (record + k·run).
+    const TRACE_ALGS: [Algorithm; 3] = [Algorithm::OnTh, Algorithm::OnBrFixed, Algorithm::OnBrDyn];
+    const TRACE_ROUNDS: u64 = 240;
+    let trace_ctx = env.context(CostParams::default(), LoadModel::Linear);
+    let record_fresh = || {
+        let mut scenario =
+            CommuterScenario::with_matrix(&env.graph, &env.matrix, 8, 5, LoadVariant::Dynamic, 11);
+        record(&mut scenario, TRACE_ROUNDS)
+    };
+    let independent = time_median(reps, || {
+        for &alg in &TRACE_ALGS {
+            let trace = record_fresh();
+            std::hint::black_box(run_algorithm(&trace_ctx, &trace, alg).total());
+        }
+    });
+    let shared = time_median(reps, || {
+        let cache = TraceCache::with_capacity_bytes(TraceCache::DEFAULT_CAPACITY_BYTES);
+        let key = TraceKey {
+            substrate: env.graph.fingerprint(),
+            workload: "commuter-dynamic".into(),
+            t_periods: 8,
+            lambda: 5,
+            rounds: TRACE_ROUNDS,
+            seed: 11,
+        };
+        // Every strategy fetches, as grouped cells do: the first records,
+        // the rest hit.
+        for &alg in &TRACE_ALGS {
+            let trace = cache.get_or_record(key.clone(), record_fresh);
+            std::hint::black_box(run_algorithm(&trace_ctx, &trace, alg).total());
+        }
+    });
+    // The removed k× term on its own: one demand materialization.
+    let record_s = time_median(reps, || {
+        std::hint::black_box(record_fresh());
+    });
+    let extra = format!(
+        ",\n  \"strategies\": {},\n  \"rounds\": {TRACE_ROUNDS},\n  \
+         \"record_seconds\": {record_s:.9}",
+        TRACE_ALGS.len()
+    );
+    let trace_entry = entry_json(
+        "trace_sharing",
+        independent,
+        shared,
+        "3-strategy figure cell (ONTH+ONBR-fixed+ONBR-dyn, ER-100 commuter-dynamic, \
+         240 rounds): per-strategy demand recording vs one TraceCache-shared trace",
+        &extra,
+    );
+    announce("BENCH_sweeps.json", "trace_sharing", independent, shared);
+    write_file(
+        "BENCH_sweeps.json",
+        &format!("[\n{sweep_entry},\n{trace_entry}\n]\n"),
     );
 
     // --- Distance-matrix cache: cold vs warm substrate fetch ------------

@@ -65,7 +65,7 @@ pub fn offstat(ctx: &SimContext<'_>, trace: &Trace) -> OffStatResult {
     }
     let mut entries: Vec<Entry> = Vec::new();
     for round in trace.iter() {
-        for (origin, cnt) in round.counts() {
+        for &(origin, cnt) in round.counts_slice() {
             entries.push(Entry {
                 origin,
                 cnt: cnt as f64,

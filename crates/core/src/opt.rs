@@ -164,12 +164,12 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
     // `config_transition_cost`).
     {
         let round = trace.round(0);
-        let counts = round.counts();
+        let counts = round.counts_slice();
         par_columns(&mut cur, s, |j, col| {
             let cfg = &configs[j];
             let tcost = mask_transition_cost(gamma0_mask, cfg.position_mask, &ctx.params);
             let acc = if nearest {
-                access_cost_counts(ctx, &cfg.active, &counts, col.counts_scratch())
+                access_cost_counts(ctx, &cfg.active, counts, col.counts_scratch())
             } else {
                 ctx.access_cost(&cfg.active, round)
             };
@@ -202,7 +202,7 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
         // groups with the popcount transition cost. Columns land in the
         // reusable `results` buffer and are unzipped serially (O(s)).
         let round = trace.round(t);
-        let counts = round.counts();
+        let counts = round.counts_slice();
         {
             let group_min = &group_min;
             let group_arg = &group_arg;
@@ -224,7 +224,7 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
                     }
                 }
                 let acc = if nearest {
-                    access_cost_counts(ctx, &cfg.active, &counts, col.counts_scratch())
+                    access_cost_counts(ctx, &cfg.active, counts, col.counts_scratch())
                 } else {
                     ctx.access_cost(&cfg.active, round)
                 };

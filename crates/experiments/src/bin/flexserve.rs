@@ -26,9 +26,11 @@ use flexserve_experiments::figures::{profile_from_env, Profile};
 use flexserve_experiments::manifest::{Manifest, ManifestEntry};
 use flexserve_experiments::output::results_dir;
 use flexserve_experiments::registry;
+use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::spec::{CellSpec, StrategySpec, TopologySpec, WorkloadSpec};
-use flexserve_experiments::{DistCache, Table};
+use flexserve_experiments::{DistCache, Table, TraceCache};
 use flexserve_sim::{CostParams, LoadModel};
+use flexserve_workload::Trace;
 
 const USAGE: &str = "\
 usage: flexserve <subcommand> [args]
@@ -38,6 +40,12 @@ subcommands:
   run <figure>... | all        regenerate paper figures by registry name
   run <key=value>...           run a single experiment cell
   sweep <key=value>...         run the cross product of +-separated axis lists
+  trace record <key=value>...  record a workload into a JSONL demand trace
+                               (topo=, wl= required; t, lambda, rounds, seed,
+                               out=<path.jsonl>, default results/trace.jsonl)
+  trace replay <key=value>...  run a cell whose demand is a recorded trace
+                               (file=<path.jsonl> + the usual cell keys;
+                               sugar for run ... wl=replay:<path>)
   serve <key=value>...         run the multi-session streaming placement daemon
                                (the command line describes the default session;
                                more sessions via POST /sessions, stepped through
@@ -69,6 +77,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..], false),
+        Some("trace") => trace(&args[1..]),
         Some("serve") => {
             flexserve_experiments::serve::serve_cmd(&args[1..]).map(|()| Manifest::new())
         }
@@ -82,13 +91,17 @@ fn main() -> ExitCode {
         Ok(manifest) => {
             if !manifest.is_empty() {
                 let stats = DistCache::global().stats();
-                match manifest.write(&command_line, stats) {
+                let trace_stats = TraceCache::global().stats();
+                match manifest.write(&command_line, stats, trace_stats) {
                     Ok(path) => eprintln!(
-                        "manifest: {} ({} artifacts; cache {} hits / {} misses)",
+                        "manifest: {} ({} artifacts; dist cache {} hits / {} misses; \
+                         trace cache {} hits / {} misses)",
                         path.display(),
                         manifest.len(),
                         stats.hits,
-                        stats.misses
+                        stats.misses,
+                        trace_stats.hits,
+                        trace_stats.misses
                     ),
                     Err(e) => {
                         eprintln!("error: cannot write manifest: {e}");
@@ -103,6 +116,114 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `trace` dispatch: `record` materializes a workload into a JSONL demand
+/// trace; `replay` runs a cell against a recorded trace (sugar for
+/// `run ... wl=replay:<path>`), making a recorded trace a scenario like
+/// any other.
+fn trace(args: &[String]) -> Result<Manifest, String> {
+    match args.first().map(String::as_str) {
+        Some("record") => trace_record(&args[1..]),
+        Some("replay") => trace_replay(&args[1..]),
+        _ => Err(format!(
+            "trace: expected `trace record` or `trace replay`\n{USAGE}"
+        )),
+    }
+}
+
+/// `flexserve trace record topo=... wl=... [t= lambda= rounds= seed= out=]`
+/// — builds the substrate (through the distance-matrix cache), records
+/// the workload (through the trace cache) and writes the rounds in the
+/// JSONL replay schema of `docs/SERVING.md`.
+fn trace_record(args: &[String]) -> Result<Manifest, String> {
+    let mut topology: Option<TopologySpec> = None;
+    let mut workload: Option<WorkloadSpec> = None;
+    let mut t_periods = 8u32;
+    let mut lambda = 10u64;
+    let mut rounds = 200u64;
+    let mut seed = 1000u64;
+    let mut out: Option<String> = None;
+    for arg in args {
+        let (key, v) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("trace record: expected key=value, got {arg:?}"))?;
+        match key {
+            "topo" => topology = Some(v.parse().map_err(|e| format!("topo: {e}"))?),
+            "wl" => workload = Some(v.parse().map_err(|e| format!("wl: {e}"))?),
+            "t" => t_periods = v.parse().map_err(|_| format!("t: bad value {v:?}"))?,
+            "lambda" => lambda = v.parse().map_err(|_| format!("lambda: bad value {v:?}"))?,
+            "rounds" => rounds = v.parse().map_err(|_| format!("rounds: bad value {v:?}"))?,
+            "seed" => seed = v.parse().map_err(|_| format!("seed: bad value {v:?}"))?,
+            "out" => out = Some(v.to_string()),
+            _ => return Err(format!("trace record: unknown key {key:?}")),
+        }
+    }
+    let (topology, workload) = match (topology, workload) {
+        (Some(t), Some(w)) => (t, w),
+        _ => return Err("trace record: topo= and wl= are required".into()),
+    };
+    if rounds == 0 || t_periods == 0 || lambda == 0 {
+        return Err("trace record: t, lambda and rounds must be >= 1".into());
+    }
+    let out = out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("trace.jsonl"));
+
+    let env = ExperimentEnv::from_spec(&topology, seed)?;
+    workload.validate_replay(env.graph.node_count())?;
+    let mut cell = CellSpec::new(topology.clone(), workload.clone(), StrategySpec::Static);
+    cell.t_periods = t_periods;
+    cell.lambda = lambda;
+    cell.rounds = rounds;
+    cell.seeds = vec![seed];
+    let trace: Trace = cell.shared_trace(&env, seed);
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, trace.to_jsonl())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "recorded {} rounds ({} requests) of {workload} over {topology} -> {}",
+        trace.len(),
+        trace.total_requests(),
+        out.display()
+    );
+
+    let mut manifest = Manifest::new();
+    manifest.add(ManifestEntry {
+        artifact: out.display().to_string(),
+        kind: "trace".into(),
+        spec: format!(
+            "{topology} x {workload} (T={t_periods}, lambda={lambda}, rounds={rounds}, seed={seed})"
+        ),
+        seeds: vec![seed],
+        fingerprints: vec![env.graph.fingerprint()],
+    });
+    Ok(manifest)
+}
+
+/// `flexserve trace replay file=<path> topo=... strat=... [cell keys]` —
+/// runs a cell whose workload is the recorded trace.
+fn trace_replay(args: &[String]) -> Result<Manifest, String> {
+    let mut cell_args: Vec<String> = Vec::new();
+    let mut file: Option<String> = None;
+    for arg in args {
+        match arg.split_once('=') {
+            Some(("file", v)) => file = Some(v.to_string()),
+            Some(("wl", _)) => {
+                return Err("trace replay: the workload is the trace; use file=, not wl=".into())
+            }
+            _ => cell_args.push(arg.clone()),
+        }
+    }
+    let file = file.ok_or("trace replay: file=<path.jsonl> is required")?;
+    cell_args.push(format!("wl=replay:{file}"));
+    sweep(&cell_args, true)
 }
 
 /// `run` dispatch: figure names (or `all`) vs a cell expression.

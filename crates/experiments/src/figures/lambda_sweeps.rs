@@ -11,11 +11,10 @@
 //!   decreases with λ (fewer migrations needed).
 
 use flexserve_sim::{CostParams, LoadModel};
-use flexserve_workload::record;
 
 use crate::output::Table;
-use crate::runner::{average, run_algorithm, Algorithm};
-use crate::setup::{make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
+use crate::runner::{average_multi, run_algorithms, Algorithm};
+use crate::setup::{paper_t_for, record_shared, ExperimentEnv, ScenarioKind};
 
 use super::Profile;
 
@@ -36,24 +35,22 @@ pub fn fig07(profile: Profile) -> Table {
         &["T", "ONBR-fixed", "ONBR-dyn", "ONTH"],
     );
     for t in profile.t_values() {
-        let mut cells = Vec::new();
-        for alg in ALGS {
-            let summary = average(&seeds, |seed| {
-                let env = ExperimentEnv::erdos_renyi(n, seed);
-                let ctx = env.context(CostParams::default(), LoadModel::Linear);
-                let mut scenario = make_scenario(
-                    ScenarioKind::CommuterStatic,
-                    &env,
-                    t,
-                    lambda,
-                    50,
-                    seed ^ 0xBEEF,
-                );
-                let trace = record(scenario.as_mut(), rounds);
-                run_algorithm(&ctx, &trace, alg).total()
-            });
-            cells.push(summary.mean_total());
-        }
+        // One shared trace per seed; all three algorithms read it.
+        let summaries = average_multi(&seeds, ALGS.len(), |seed| {
+            let env = ExperimentEnv::erdos_renyi(n, seed);
+            let ctx = env.context(CostParams::default(), LoadModel::Linear);
+            let trace = record_shared(
+                ScenarioKind::CommuterStatic,
+                &env,
+                t,
+                lambda,
+                50,
+                seed ^ 0xBEEF,
+                rounds,
+            );
+            run_algorithms(&ctx, &trace, &ALGS)
+        });
+        let cells: Vec<f64> = summaries.iter().map(|s| s.mean_total()).collect();
         table.row_f64(t, &cells);
     }
     table.print();
@@ -75,17 +72,13 @@ fn cost_vs_lambda(name: &str, title: &str, kind: ScenarioKind, profile: Profile)
         &["lambda", "ONBR-fixed", "ONBR-dyn", "ONTH"],
     );
     for lambda in profile.lambdas() {
-        let mut cells = Vec::new();
-        for alg in ALGS {
-            let summary = average(&seeds, |seed| {
-                let env = ExperimentEnv::erdos_renyi(n, seed);
-                let ctx = env.context(CostParams::default(), LoadModel::Linear);
-                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xF00D);
-                let trace = record(scenario.as_mut(), rounds);
-                run_algorithm(&ctx, &trace, alg).total()
-            });
-            cells.push(summary.mean_total());
-        }
+        let summaries = average_multi(&seeds, ALGS.len(), |seed| {
+            let env = ExperimentEnv::erdos_renyi(n, seed);
+            let ctx = env.context(CostParams::default(), LoadModel::Linear);
+            let trace = record_shared(kind, &env, t, lambda, 50, seed ^ 0xF00D, rounds);
+            run_algorithms(&ctx, &trace, &ALGS)
+        });
+        let cells: Vec<f64> = summaries.iter().map(|s| s.mean_total()).collect();
         table.row_f64(lambda, &cells);
     }
     table.print();

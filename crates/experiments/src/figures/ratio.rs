@@ -11,13 +11,12 @@
 //!   horizon increases the benefit of flexibility.
 
 use flexserve_sim::{CostParams, LoadModel};
-use flexserve_workload::record;
 
 use flexserve_core::{competitive_ratio, initial_center, offstat, optimal_plan};
 
 use crate::output::Table;
-use crate::runner::{average, run_algorithm, Algorithm};
-use crate::setup::{make_scenario, ExperimentEnv, ScenarioKind};
+use crate::runner::{average, average_multi, run_algorithm, Algorithm};
+use crate::setup::{record_shared, ExperimentEnv, ScenarioKind};
 
 use super::Profile;
 
@@ -39,6 +38,8 @@ fn opt_params(flipped: bool) -> CostParams {
 }
 
 /// Mean costs of (OFFSTAT, OPT) over seeds for one scenario/λ/T cell.
+/// Both offline algorithms read one shared trace per seed (previously
+/// the demand was regenerated per algorithm).
 fn offstat_and_opt(
     kind: ScenarioKind,
     t_periods: u32,
@@ -48,22 +49,17 @@ fn offstat_and_opt(
     flipped: bool,
 ) -> (f64, f64) {
     let params = opt_params(flipped);
-    let stat = average(seeds, |seed| {
+    let summaries = average_multi(seeds, 2, |seed| {
         let env = ExperimentEnv::random_line(OPT_N, seed);
         let ctx = env.context(params, LoadModel::Linear);
-        let mut scenario = make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
-        let trace = record(scenario.as_mut(), rounds);
-        flexserve_sim::CostBreakdown::from_access(offstat(&ctx, &trace).best_cost)
-    });
-    let opt = average(seeds, |seed| {
-        let env = ExperimentEnv::random_line(OPT_N, seed);
-        let ctx = env.context(params, LoadModel::Linear);
-        let mut scenario = make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
-        let trace = record(scenario.as_mut(), rounds);
+        let trace = record_shared(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed, rounds);
         let initial = initial_center(&ctx);
-        flexserve_sim::CostBreakdown::from_access(optimal_plan(&ctx, &trace, &initial).cost)
+        vec![
+            flexserve_sim::CostBreakdown::from_access(offstat(&ctx, &trace).best_cost),
+            flexserve_sim::CostBreakdown::from_access(optimal_plan(&ctx, &trace, &initial).cost),
+        ]
     });
-    (stat.mean_total(), opt.mean_total())
+    (summaries[0].mean_total(), summaries[1].mean_total())
 }
 
 /// Figure 11: competitive ratio ONTH/OPT vs λ, all three scenarios.
@@ -90,9 +86,8 @@ pub fn fig11(profile: Profile) -> Table {
             let ratios = average(&seeds, |seed| {
                 let env = ExperimentEnv::random_line(OPT_N, seed);
                 let ctx = env.context(params, LoadModel::Linear);
-                let mut scenario =
-                    make_scenario(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed);
-                let trace = record(scenario.as_mut(), rounds);
+                let trace =
+                    record_shared(kind, &env, t_periods, lambda, OPT_TZ_REQUESTS, seed, rounds);
                 let alg = run_algorithm(&ctx, &trace, Algorithm::OnTh).total().total();
                 let initial = initial_center(&ctx);
                 let opt = optimal_plan(&ctx, &trace, &initial).cost;

@@ -9,11 +9,10 @@
 //!   the paper considers ONBR with fixed threshold 2c).
 
 use flexserve_sim::{CostParams, LoadModel};
-use flexserve_workload::record;
 
 use crate::output::Table;
-use crate::runner::{average, run_algorithm, Algorithm};
-use crate::setup::{make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
+use crate::runner::{average, average_multi, run_algorithm, run_algorithms, Algorithm};
+use crate::setup::{paper_t_for, record_shared, ExperimentEnv, ScenarioKind};
 
 use super::Profile;
 
@@ -40,17 +39,17 @@ fn cost_vs_n(
 
     for n in profile.network_sizes() {
         let t = paper_t_for(n);
-        let mut cells = Vec::with_capacity(ALGS.len());
-        for alg in ALGS {
-            let summary = average(&seeds, |seed| {
-                let env = ExperimentEnv::erdos_renyi(n, seed);
-                let ctx = env.context(params, LoadModel::Linear);
-                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xABCD);
-                let trace = record(scenario.as_mut(), rounds);
-                run_algorithm(&ctx, &trace, alg).total()
-            });
-            cells.push(summary.mean_total());
-        }
+        // Per seed the demand is recorded once (through the trace cache)
+        // and all three algorithms evaluate against the shared trace —
+        // values are bit-identical to per-algorithm recordings (the
+        // golden CSV pins this).
+        let summaries = average_multi(&seeds, ALGS.len(), |seed| {
+            let env = ExperimentEnv::erdos_renyi(n, seed);
+            let ctx = env.context(params, LoadModel::Linear);
+            let trace = record_shared(kind, &env, t, lambda, 50, seed ^ 0xABCD, rounds);
+            run_algorithms(&ctx, &trace, &ALGS)
+        });
+        let cells: Vec<f64> = summaries.iter().map(|s| s.mean_total()).collect();
         table.row_f64(n, &cells);
     }
     table.print();
@@ -118,8 +117,7 @@ pub fn fig06(profile: Profile) -> Table {
             let summary = average(&seeds, |seed| {
                 let env = ExperimentEnv::erdos_renyi(n, seed);
                 let ctx = env.context(params, LoadModel::Linear);
-                let mut scenario = make_scenario(kind, &env, t, lambda, 50, seed ^ 0xABCD);
-                let trace = record(scenario.as_mut(), rounds);
+                let trace = record_shared(kind, &env, t, lambda, 50, seed ^ 0xABCD, rounds);
                 run_algorithm(&ctx, &trace, Algorithm::OnBrFixed).total()
             });
             let mean = summary.mean();

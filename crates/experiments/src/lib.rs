@@ -13,6 +13,10 @@
 //!   behind `flexserve list` and `flexserve run`,
 //! * [`cache`] — the process-wide distance-matrix cache keyed by
 //!   `(topology spec, seed)` that de-duplicates APSP work across cells,
+//! * [`traces`] — its demand-plane sibling: the process-wide recorded
+//!   [`RoundTrace`](flexserve_workload::RoundTrace) cache that lets every
+//!   strategy of a figure/sweep evaluate against one shared demand
+//!   materialization,
 //! * [`manifest`] — the `results/manifest.json` provenance record (spec,
 //!   seeds, git describe, cache counters for every artifact),
 //! * [`setup`] — substrate/scenario/context builders matching the paper's
@@ -42,10 +46,14 @@ pub mod runner;
 pub mod serve;
 pub mod setup;
 pub mod spec;
+pub mod traces;
 
 pub use cache::{CacheStats, DistCache};
 pub use manifest::{Manifest, ManifestEntry};
 pub use output::{write_csv, Table};
-pub use runner::{average, average_serial, run_algorithm, Algorithm, SeedSummary};
+pub use runner::{
+    average, average_multi, average_serial, run_algorithm, run_algorithms, Algorithm, SeedSummary,
+};
 pub use setup::{build_context_graph, make_scenario, paper_t_for, ExperimentEnv, ScenarioKind};
 pub use spec::{CellBuilder, CellSpec, StrategySpec, TopologySpec, WorkloadSpec};
+pub use traces::{clear_global_caches, TraceCache, TraceKey};

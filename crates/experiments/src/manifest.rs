@@ -2,9 +2,9 @@
 //!
 //! Every `flexserve` CLI invocation writes one manifest describing the
 //! artifacts it produced: which spec generated each CSV, over which seeds,
-//! at which git revision, plus the distance-matrix cache counters for the
-//! whole run (so multi-cell sweeps document how much APSP work the cache
-//! saved). JSON is emitted by hand — the workspace deliberately has no
+//! at which git revision, plus the distance-matrix and demand-trace cache
+//! counters for the whole run (so multi-cell sweeps document how much APSP
+//! and workload-recording work the caches saved). JSON is emitted by hand — the workspace deliberately has no
 //! serde (no network, vendored deps only) and the schema is flat.
 
 use std::fmt::Write as _;
@@ -98,19 +98,29 @@ impl Manifest {
     /// [`Manifest::write`]) appended after this run's entries, so the
     /// manifest accumulates provenance for everything still in the
     /// results directory. Each entry records its own `git` revision.
-    pub fn to_json(&self, command: &str, cache: CacheStats, carried: &[String]) -> String {
+    pub fn to_json(
+        &self,
+        command: &str,
+        cache: CacheStats,
+        traces: CacheStats,
+        carried: &[String],
+    ) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"tool\": \"flexserve\",");
         let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
         let git = git_describe();
         let _ = writeln!(out, "  \"git\": \"{}\",", json_escape(&git));
-        let _ = writeln!(out, "  \"distance_matrix_cache\": {{");
-        let _ = writeln!(out, "    \"hits\": {},", cache.hits);
-        let _ = writeln!(out, "    \"misses\": {},", cache.misses);
-        let _ = writeln!(out, "    \"evictions\": {},", cache.evictions);
-        let _ = writeln!(out, "    \"hit_rate\": {:.4}", cache.hit_rate());
-        let _ = writeln!(out, "  }},");
+        let render_cache = |out: &mut String, name: &str, stats: CacheStats| {
+            let _ = writeln!(out, "  \"{name}\": {{");
+            let _ = writeln!(out, "    \"hits\": {},", stats.hits);
+            let _ = writeln!(out, "    \"misses\": {},", stats.misses);
+            let _ = writeln!(out, "    \"evictions\": {},", stats.evictions);
+            let _ = writeln!(out, "    \"hit_rate\": {:.4}", stats.hit_rate());
+            let _ = writeln!(out, "  }},");
+        };
+        render_cache(&mut out, "distance_matrix_cache", cache);
+        render_cache(&mut out, "trace_cache", traces);
         let _ = writeln!(out, "  \"artifacts\": [");
         let total = self.entries.len() + carried.len();
         let mut blocks = Vec::with_capacity(total);
@@ -132,8 +142,13 @@ impl Manifest {
     /// carried forward for artifacts this run did *not* (re)produce, so
     /// `run fig03` followed by `run fig04` leaves provenance for both
     /// CSVs on disk; re-produced artifacts replace their old entry.
-    pub fn write(&self, command: &str, cache: CacheStats) -> std::io::Result<PathBuf> {
-        self.write_to(&results_dir(), command, cache)
+    pub fn write(
+        &self,
+        command: &str,
+        cache: CacheStats,
+        traces: CacheStats,
+    ) -> std::io::Result<PathBuf> {
+        self.write_to(&results_dir(), command, cache, traces)
     }
 
     /// [`Manifest::write`] with an explicit directory (tests use this to
@@ -143,6 +158,7 @@ impl Manifest {
         dir: &std::path::Path,
         command: &str,
         cache: CacheStats,
+        traces: CacheStats,
     ) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("manifest.json");
@@ -151,7 +167,7 @@ impl Manifest {
             Ok(prev) => carry_blocks(&prev, &produced),
             Err(_) => Vec::new(),
         };
-        std::fs::write(&path, self.to_json(command, cache, &carried))?;
+        std::fs::write(&path, self.to_json(command, cache, traces, &carried))?;
         Ok(path)
     }
 }
@@ -238,13 +254,20 @@ mod tests {
             misses: 1,
             evictions: 0,
         };
-        let json = sample().to_json("run fig03", cache, &[]);
+        let traces = CacheStats {
+            hits: 2,
+            misses: 1,
+            evictions: 0,
+        };
+        let json = sample().to_json("run fig03", cache, traces, &[]);
         // Structural smoke checks (no JSON parser in-tree by design).
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"command\": \"run fig03\""));
         assert!(json.contains("\"hits\": 3"));
         assert!(json.contains("\"hit_rate\": 0.7500"));
+        assert!(json.contains("\"trace_cache\""));
+        assert!(json.contains("\"hit_rate\": 0.6667"));
         assert!(json.contains("\"seeds\": [1000, 1001]"));
         assert!(json.contains("\"00000000deadbeef\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -270,10 +293,10 @@ mod tests {
         let cache = CacheStats::default();
 
         one_entry("fig03.csv", "fig03 v1")
-            .write_to(&dir, "run fig03", cache)
+            .write_to(&dir, "run fig03", cache, cache)
             .unwrap();
         one_entry("fig04.csv", "fig04 v1")
-            .write_to(&dir, "run fig04", cache)
+            .write_to(&dir, "run fig04", cache, cache)
             .unwrap();
         let json = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
         // Both artifacts' provenance survives; balance still holds.
@@ -285,7 +308,7 @@ mod tests {
 
         // Re-producing fig03 replaces its entry rather than duplicating.
         one_entry("fig03.csv", "fig03 v2")
-            .write_to(&dir, "run fig03", cache)
+            .write_to(&dir, "run fig03", cache, cache)
             .unwrap();
         let json = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
         assert_eq!(json.matches("\"artifact\": \"fig03.csv\"").count(), 1);

@@ -186,6 +186,10 @@ pub const WORKLOADS: &[(&str, &str)] = &[
         "onoff:users=<n>,dwell=<r>,correlated=<bool>",
         "users dwell then jump",
     ),
+    (
+        "replay:<path.jsonl>",
+        "recorded demand trace (see flexserve trace record)",
+    ),
 ];
 
 /// One-line description per strategy, aligned with
@@ -258,6 +262,12 @@ mod tests {
         assert!("as7018".parse::<TopologySpec>().is_ok());
         for (spec, _) in WORKLOADS {
             let bare = spec.split(':').next().unwrap();
+            if bare == "replay" {
+                // replay has no bare default — the path is mandatory
+                assert!("replay".parse::<WorkloadSpec>().is_err());
+                assert!("replay:demand.jsonl".parse::<WorkloadSpec>().is_ok());
+                continue;
+            }
             assert!(bare.parse::<WorkloadSpec>().is_ok(), "{bare}");
         }
     }

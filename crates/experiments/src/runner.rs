@@ -41,6 +41,11 @@ impl Algorithm {
 
 /// Runs `alg` over `trace`, starting from one server at the network center
 /// (the paper's canonical start), and returns the full run record.
+///
+/// Traces are `Arc`-shared, so the offline algorithms' `trace.clone()`
+/// costs a reference count — handing the *same* trace to every algorithm
+/// of a figure cell is the intended calling convention (see
+/// [`run_algorithms`]).
 pub fn run_algorithm(ctx: &SimContext<'_>, trace: &Trace, alg: Algorithm) -> RunRecord {
     let initial: Vec<NodeId> = initial_center(ctx);
     match alg {
@@ -51,6 +56,26 @@ pub fn run_algorithm(ctx: &SimContext<'_>, trace: &Trace, alg: Algorithm) -> Run
         Algorithm::OffTh => run_online(ctx, trace, &mut OffTh::new(trace.clone()), initial),
         Algorithm::Static => run_online(ctx, trace, &mut StaticStrategy::new(), initial),
     }
+}
+
+/// Evaluates every algorithm of a figure cell against **one shared
+/// trace**, returning the total cost breakdowns in `algs` order.
+///
+/// This is the grouped form of [`run_algorithm`]: the demand is
+/// materialized once (by the caller, typically through the
+/// [`TraceCache`](crate::traces::TraceCache)) and each strategy reads the
+/// same per-round sorted count vectors. Sharing cannot change results —
+/// each run only *reads* the trace — so the outputs are bit-identical to
+/// independent per-strategy recordings of the same seed (pinned by
+/// `tests/trace_equivalence.rs`).
+pub fn run_algorithms(
+    ctx: &SimContext<'_>,
+    trace: &Trace,
+    algs: &[Algorithm],
+) -> Vec<CostBreakdown> {
+    algs.iter()
+        .map(|&alg| run_algorithm(ctx, trace, alg).total())
+        .collect()
 }
 
 /// Per-seed results of one experimental cell.
@@ -126,6 +151,35 @@ where
     }
 }
 
+/// The grouped form of [`average`]: `f(seed)` evaluates one seed's whole
+/// **strategy group** (typically via [`run_algorithms`] over a shared
+/// trace) and returns one breakdown per strategy; the per-seed rows are
+/// transposed into one [`SeedSummary`] per strategy.
+///
+/// Every `f(seed)` must return the same number of breakdowns. The same
+/// determinism contract as [`average`] applies, so the summaries are
+/// bit-identical to running each strategy through its own `average` —
+/// the figure pipelines rely on this to keep their CSVs byte-stable
+/// while recording each seed's demand only once.
+pub fn average_multi<F>(seeds: &[u64], strategies: usize, f: F) -> Vec<SeedSummary>
+where
+    F: Fn(u64) -> Vec<CostBreakdown> + Sync,
+{
+    let rows: Vec<Vec<CostBreakdown>> = seeds.par_iter().map(|&seed| f(seed)).collect();
+    let mut out = vec![SeedSummary::default(); strategies];
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            strategies,
+            "average_multi: every seed must evaluate the same strategy group"
+        );
+        for (summary, cost) in out.iter_mut().zip(row) {
+            summary.per_seed.push(cost);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +242,37 @@ mod tests {
             assert_eq!(p.running.to_bits(), s.running.to_bits());
             assert_eq!(p.migration.to_bits(), s.migration.to_bits());
             assert_eq!(p.creation.to_bits(), s.creation.to_bits());
+        }
+    }
+
+    #[test]
+    fn grouped_evaluation_matches_independent_runs() {
+        let env = ExperimentEnv::erdos_renyi(50, 9);
+        let ctx = env.context(CostParams::default().with_max_servers(3), LoadModel::Linear);
+        let seeds: Vec<u64> = (0..4).collect();
+        let algs = [Algorithm::OnTh, Algorithm::OnBrFixed, Algorithm::Static];
+
+        // Grouped: one trace per seed, every algorithm reads it.
+        let grouped = average_multi(&seeds, algs.len(), |seed| {
+            let mut s = UniformScenario::new(&env.graph, 4, seed);
+            let trace = record(&mut s, 30);
+            run_algorithms(&ctx, &trace, &algs)
+        });
+
+        // Independent: each algorithm records its own trace.
+        for (i, &alg) in algs.iter().enumerate() {
+            let solo = average(&seeds, |seed| {
+                let mut s = UniformScenario::new(&env.graph, 4, seed);
+                let trace = record(&mut s, 30);
+                run_algorithm(&ctx, &trace, alg).total()
+            });
+            assert_eq!(grouped[i].per_seed.len(), seeds.len());
+            for (g, s) in grouped[i].per_seed.iter().zip(&solo.per_seed) {
+                assert_eq!(g.access.to_bits(), s.access.to_bits(), "{alg:?}");
+                assert_eq!(g.running.to_bits(), s.running.to_bits(), "{alg:?}");
+                assert_eq!(g.migration.to_bits(), s.migration.to_bits(), "{alg:?}");
+                assert_eq!(g.creation.to_bits(), s.creation.to_bits(), "{alg:?}");
+            }
         }
     }
 

@@ -14,43 +14,71 @@ use super::http::{read_request, respond_json, route, Route, ENDPOINT_LIST};
 use super::sessions::{ServeError, SessionConfig};
 use super::ServeShared;
 
-/// Handles one HTTP exchange against the daemon.
+/// How long a persistent connection may sit idle between requests before
+/// the daemon closes it. Short on purpose: an idle keep-alive connection
+/// pins one worker of the pool.
+pub(crate) const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Handles one connection against the daemon: a request loop that honors
+/// `Connection: keep-alive` (the HTTP/1.1 default), serving any number of
+/// exchanges until the client closes, asks for `Connection: close`, idles
+/// past [`KEEP_ALIVE_IDLE`], or the daemon shuts down.
 pub(crate) fn handle_connection(stream: TcpStream, shared: &ServeShared) -> Result<(), String> {
-    // One slow (or silent) client must not pin its worker forever.
+    // One slow (or silent) client must not pin its worker forever: the
+    // first request gets a generous timeout, later idle gaps the short
+    // keep-alive window (applied at the bottom of the loop).
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
     let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(req) => req,
-        Err(e) => return respond_json(reader.get_mut(), 400, &error_json(&e).render()),
-    };
-    let out = reader.get_mut();
-    let resolved = match route(&request.method, &request.path) {
-        Some(route) => route,
-        None => {
-            return respond_json(
-                out,
-                404,
-                &error_json(&format!(
-                    "no {} {}; endpoints: {ENDPOINT_LIST}",
-                    request.method, request.path
-                ))
-                .render(),
-            )
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean end of the connection: client closed or idled out.
+            Ok(None) => return Ok(()),
+            // Framing errors poison the stream — answer and close.
+            Err(e) => return respond_json(reader.get_mut(), 400, &error_json(&e).render(), false),
+        };
+        // A daemon going down closes as it answers, so the worker pool
+        // drains instead of waiting out every open keep-alive window.
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let out = reader.get_mut();
+        match route(&request.method, &request.path) {
+            None => {
+                respond_json(
+                    out,
+                    404,
+                    &error_json(&format!(
+                        "no {} {}; endpoints: {ENDPOINT_LIST}",
+                        request.method, request.path
+                    ))
+                    .render(),
+                    keep_alive,
+                )?;
+            }
+            Some(Route::Shutdown) => {
+                respond_json(
+                    out,
+                    200,
+                    &JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
+                    false,
+                )?;
+                begin_shutdown(shared);
+                return Ok(());
+            }
+            Some(resolved) => match dispatch(resolved, &request.body, shared) {
+                Ok(body) => respond_json(out, 200, &body, keep_alive)?,
+                Err(e) => respond_json(
+                    out,
+                    status_of(&e),
+                    &error_json(&e.to_string()).render(),
+                    keep_alive,
+                )?,
+            },
         }
-    };
-    if resolved == Route::Shutdown {
-        respond_json(
-            out,
-            200,
-            &JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
-        )?;
-        begin_shutdown(shared);
-        return Ok(());
-    }
-    match dispatch(resolved, &request.body, shared) {
-        Ok(body) => respond_json(out, 200, &body),
-        Err(e) => respond_json(out, status_of(&e), &error_json(&e.to_string()).render()),
+        if !keep_alive {
+            return Ok(());
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(KEEP_ALIVE_IDLE));
     }
 }
 

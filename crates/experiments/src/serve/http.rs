@@ -10,23 +10,46 @@ use std::net::TcpStream;
 
 use super::sessions::DEFAULT_SESSION;
 
-/// One parsed HTTP request: the request line and the body (only the
-/// `Content-Length` header matters).
+/// One parsed HTTP request: the request line, the body, and whether the
+/// client wants the connection kept open afterwards (only the
+/// `Content-Length` and `Connection` headers matter).
 pub(crate) struct HttpRequest {
     pub method: String,
     pub path: String,
     pub body: String,
+    /// `Connection: keep-alive` semantics: the HTTP/1.1 default unless
+    /// the client sends `Connection: close` (HTTP/1.0 defaults to close
+    /// unless it asks for `keep-alive`).
+    pub keep_alive: bool,
 }
 
-/// Reads one HTTP request from `reader`.
-pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, String> {
+/// Reads one HTTP request from `reader`. `Ok(None)` is a clean end of the
+/// connection: the client closed (EOF) or idled past the read timeout
+/// *between* requests — normal in a keep-alive loop, never an error.
+pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, String> {
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read request line: {e}"))?;
+    match reader.read_line(&mut line) {
+        Ok(0) => return Ok(None), // client closed between requests
+        Ok(_) => {}
+        // An idle timeout with nothing received yet is a quiet close; a
+        // timeout mid-request-line is a framing error like any other.
+        Err(e)
+            if line.is_empty()
+                && matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+        {
+            return Ok(None)
+        }
+        Err(e) => return Err(format!("read request line: {e}")),
+    }
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_string();
     let path = parts.next().ok_or("request line has no path")?.to_string();
+    // HTTP/1.1 (and anything newer) defaults to persistent connections;
+    // a bare HTTP/1.0 client must opt in.
+    let mut keep_alive = parts.next() != Some("HTTP/1.0");
 
     let mut content_length = 0usize;
     loop {
@@ -43,6 +66,13 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, St
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -58,7 +88,12 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, St
         .read_exact(&mut body)
         .map_err(|e| format!("read body: {e}"))?;
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok(HttpRequest { method, path, body })
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
 }
 
 /// The reason phrase for the status codes the daemon emits.
@@ -74,17 +109,26 @@ pub(crate) fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a JSON response and closes the exchange
-/// (`Connection: close` — one request per connection).
-pub(crate) fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), String> {
+/// Writes a JSON response. With `keep_alive` the connection stays open
+/// for the next request of the per-connection loop (`Connection:
+/// keep-alive`); without it the exchange is closed (`Connection: close`).
+/// Bodies always carry an exact `Content-Length`, so persistent
+/// connections stay framed.
+pub(crate) fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> Result<(), String> {
     let mut body = body.to_string();
     if !body.ends_with('\n') {
         body.push('\n');
     }
     let response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     stream
         .write_all(response.as_bytes())
@@ -195,6 +239,29 @@ mod tests {
             Some(Route::Checkpoint("default".into()))
         );
         assert_eq!(route("POST", "/shutdown"), Some(Route::Shutdown));
+    }
+
+    #[test]
+    fn read_request_parses_connection_semantics() {
+        let parse = |raw: &str| read_request(&mut raw.as_bytes()).unwrap();
+        // HTTP/1.1 defaults to keep-alive
+        let req = parse("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        // explicit close wins
+        let req = parse("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        // HTTP/1.0 defaults to close, opts back in with keep-alive
+        let req = parse("GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET /m HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        // body framing is unchanged
+        let req = parse("POST /step HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, "abcd");
+        // EOF between requests is a clean end, not an error
+        assert!(parse("").is_none());
     }
 
     #[test]

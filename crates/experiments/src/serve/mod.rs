@@ -70,6 +70,10 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Maximum concurrently live sessions.
     pub max_sessions: usize,
+    /// `idle-evict=<secs>`: sessions no client has touched for this long
+    /// are auto-checkpointed and evicted by a reaper thread (`None` =
+    /// never, the default).
+    pub idle_evict: Option<std::time::Duration>,
 }
 
 const SERVE_USAGE: &str = "\
@@ -81,7 +85,9 @@ session keys: checkpoint=<path> (default <results dir>/checkpoint.json),
               resume=true|false, source=scenario|stdin|<path.jsonl>
 server keys:  port (default 7788, 0 = ephemeral),
               bind=<ip>[:<port>] (default 127.0.0.1; non-loopback logs a warning),
-              workers=<n> (default 4), max-sessions=<n> (default 16)
+              workers=<n> (default 4), max-sessions=<n> (default 16),
+              idle-evict=<secs> (auto-checkpoint + evict idle sessions;
+              default off)
 ";
 
 impl ServeOptions {
@@ -94,6 +100,7 @@ impl ServeOptions {
         let mut port = 7788u16;
         let mut workers = 4usize;
         let mut max_sessions = 16usize;
+        let mut idle_evict = None;
         let mut session_args: Vec<String> = Vec::new();
 
         for arg in args {
@@ -126,6 +133,15 @@ impl ServeOptions {
                         return Err("max-sessions: must be >= 1".into());
                     }
                 }
+                "idle-evict" => {
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("idle-evict: bad value {v:?} (want seconds)"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!("idle-evict: {v} out of range (want > 0 seconds)"));
+                    }
+                    idle_evict = Some(std::time::Duration::from_secs_f64(secs));
+                }
                 _ => session_args.push(arg.clone()),
             }
         }
@@ -138,6 +154,7 @@ impl ServeOptions {
             port,
             workers,
             max_sessions,
+            idle_evict,
         })
     }
 }
@@ -230,6 +247,33 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
     }
     let _ = std::io::Write::flush(&mut std::io::stdout());
 
+    // The idle-evict reaper: with `idle-evict=<secs>` set, a background
+    // thread sweeps the session table and auto-checkpoints + evicts
+    // sessions no client has touched for the window (the `evicted: true`
+    // tombstones in `GET /sessions`). Polling granularity is a quarter of
+    // the window, bounded to [50ms, 1s] so shutdown never waits long.
+    let reaper = opts.idle_evict.map(|window| {
+        let shared = Arc::clone(&shared);
+        let tick = (window / 4)
+            .max(std::time::Duration::from_millis(50))
+            .min(std::time::Duration::from_secs(1));
+        std::thread::Builder::new()
+            .name("serve-reaper".into())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    for name in shared.manager.evict_idle(window) {
+                        eprintln!(
+                            "flexserve serve: idle-evicted session {name:?} \
+                             (untouched for {}s; checkpointed)",
+                            window.as_secs_f64()
+                        );
+                    }
+                }
+            })
+            .expect("spawn reaper thread")
+    });
+
     // Worker pool: the accept loop fans connections out over a channel;
     // each worker owns whole exchanges, so a step on one session never
     // queues behind a step on another.
@@ -272,6 +316,9 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
     drop(conn_tx); // workers drain the queue, then exit
     for worker in workers {
         let _ = worker.join();
+    }
+    if let Some(reaper) = reaper {
+        let _ = reaper.join(); // observes the shutdown flag within a tick
     }
     shared.manager.shutdown_all();
     let stats = shared.manager.default_session_stats().unwrap_or_default();
@@ -375,8 +422,18 @@ mod tests {
         let opts = with(&["workers=2", "max-sessions=3"]).unwrap();
         assert_eq!(opts.workers, 2);
         assert_eq!(opts.max_sessions, 3);
+        assert!(opts.idle_evict.is_none(), "idle-evict defaults to off");
         assert!(with(&["workers=0"]).is_err());
         assert!(with(&["max-sessions=0"]).is_err());
+
+        // idle-evict takes seconds (fractions allowed), strictly positive
+        let opts = with(&["idle-evict=30"]).unwrap();
+        assert_eq!(opts.idle_evict, Some(std::time::Duration::from_secs(30)));
+        let opts = with(&["idle-evict=0.5"]).unwrap();
+        assert_eq!(opts.idle_evict, Some(std::time::Duration::from_millis(500)));
+        assert!(with(&["idle-evict=0"]).is_err());
+        assert!(with(&["idle-evict=-1"]).is_err());
+        assert!(with(&["idle-evict=soon"]).is_err());
     }
 
     #[test]

@@ -211,10 +211,40 @@ struct Handle {
     /// incarnation it talked to — never a session recreated under the
     /// same name in the meantime.
     generation: u64,
+    /// When a client last operated on this session (step / placement /
+    /// metrics / checkpoint). `GET /sessions` info rows do *not* count —
+    /// listing the daemon must not keep every session warm forever.
+    last_used: Instant,
+    /// The session's checkpoint file — where
+    /// [`evict_idle`](SessionManager::evict_idle) snapshots it to.
+    checkpoint: PathBuf,
 }
+
+/// Tombstone of an idle-evicted session: enough for the `GET /sessions`
+/// `evicted: true` row and for the operator to find the checkpoint.
+#[derive(Clone, Debug)]
+struct EvictedRow {
+    checkpoint: PathBuf,
+    final_t: u64,
+    /// Insertion order, for FIFO capping at [`MAX_TOMBSTONES`].
+    order: u64,
+}
+
+/// Retained idle-eviction tombstones. A daemon cycling uniquely named
+/// sessions must not accumulate state, so the oldest tombstone is dropped
+/// once this many are held.
+const MAX_TOMBSTONES: usize = 64;
 
 struct Inner {
     entries: HashMap<String, Entry>,
+    /// Sessions removed by the idle-evict reaper, kept as tombstones so
+    /// `GET /sessions` can report `evicted: true` (direct requests see a
+    /// plain 404). Recreating the name clears its tombstone, as does
+    /// `DELETE`; beyond that the map is FIFO-capped at
+    /// [`MAX_TOMBSTONES`].
+    evicted: HashMap<String, EvictedRow>,
+    /// Monotonic [`EvictedRow::order`] source.
+    next_evicted_order: u64,
     /// Monotonic [`Handle::generation`] source.
     next_generation: u64,
     /// Final stats of the retired default session — what the daemon
@@ -238,6 +268,8 @@ impl SessionManager {
         SessionManager {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                evicted: HashMap::new(),
+                next_evicted_order: 0,
                 next_generation: 0,
                 default_stats: None,
             }),
@@ -270,6 +302,7 @@ impl SessionManager {
         }
         let (ready_tx, ready_rx) = mpsc::channel();
         let (cmd_tx, cmd_rx) = mpsc::channel();
+        let checkpoint = cfg.checkpoint.clone();
         let actor_name = name.to_string();
         let spawned = std::thread::Builder::new()
             .name(format!("session-{name}"))
@@ -286,12 +319,16 @@ impl SessionManager {
                 let mut inner = self.inner.lock().unwrap();
                 let generation = inner.next_generation;
                 inner.next_generation += 1;
+                // A recreated name supersedes its idle-eviction tombstone.
+                inner.evicted.remove(name);
                 inner.entries.insert(
                     name.to_string(),
                     Entry::Live(Handle {
                         tx: cmd_tx,
                         join,
                         generation,
+                        last_used: Instant::now(),
+                        checkpoint,
                     }),
                 );
                 Ok(info)
@@ -333,12 +370,22 @@ impl SessionManager {
         self.roundtrip(name, |reply| Command::Checkpoint { reply })?
     }
 
-    /// Stops and evicts `name`, returning its final stats.
+    /// Stops and evicts `name`, returning its final stats. `DELETE` on an
+    /// idle-evicted name clears its tombstone instead (the checkpoint
+    /// file stays on disk).
     pub fn remove(&self, name: &str) -> Result<SessionStats, ServeError> {
         let handle = {
             let mut inner = self.inner.lock().unwrap();
             match inner.entries.get(name) {
-                None => return Err(ServeError::NotFound(name.to_string())),
+                None => {
+                    return match inner.evicted.remove(name) {
+                        Some(row) => Ok(SessionStats {
+                            rounds_served: 0,
+                            final_t: row.final_t,
+                        }),
+                        None => Err(ServeError::NotFound(name.to_string())),
+                    }
+                }
                 Some(Entry::Starting) => {
                     return Err(ServeError::Conflict(format!(
                         "session {name:?} is still starting"
@@ -356,6 +403,90 @@ impl SessionManager {
             self.inner.lock().unwrap().default_stats = Some(stats);
         }
         Ok(stats)
+    }
+
+    /// Evicts every live session no client has touched for `idle`:
+    /// each victim is **checkpointed to its checkpoint file first**, then
+    /// stopped and replaced by a tombstone (`GET /sessions` shows it with
+    /// `evicted: true`; direct requests get a clean 404; recreating the
+    /// name with `resume=true` continues from the auto-checkpoint).
+    /// Returns the evicted names. Driven by the daemon's reaper thread
+    /// when the `idle-evict=<secs>` serve key is set.
+    pub fn evict_idle(&self, idle: std::time::Duration) -> Vec<String> {
+        // Swap each victim's entry for a `Starting` reservation while the
+        // checkpoint is written: a concurrent create of the same name
+        // gets a clean 409 instead of racing the eviction (and possibly
+        // resuming from a checkpoint the evictor has not written yet).
+        let victims: Vec<(String, Handle)> = {
+            let mut inner = self.inner.lock().unwrap();
+            let names: Vec<String> = inner
+                .entries
+                .iter()
+                .filter_map(|(name, e)| match e {
+                    Entry::Live(h) if h.last_used.elapsed() >= idle => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            names
+                .into_iter()
+                .map(
+                    |name| match inner.entries.insert(name.clone(), Entry::Starting) {
+                        Some(Entry::Live(handle)) => (name, handle),
+                        _ => unreachable!("filtered on Live above"),
+                    },
+                )
+                .collect()
+        };
+        let mut evicted = Vec::with_capacity(victims.len());
+        for (name, handle) in victims {
+            // Snapshot before stopping, so the idle state is recoverable;
+            // a checkpoint failure (full disk, dead actor) still evicts —
+            // an unreapable session would defeat the whole mechanism.
+            let (rtx, rrx) = mpsc::channel();
+            if handle.tx.send(Command::Checkpoint { reply: rtx }).is_ok() {
+                match rrx.recv() {
+                    Ok(Ok(_)) => {}
+                    Ok(Err(e)) => eprintln!("serve: idle-evict {name:?}: checkpoint failed: {e}"),
+                    Err(_) => eprintln!("serve: idle-evict {name:?}: session died"),
+                }
+            }
+            let checkpoint = handle.checkpoint.clone();
+            let stats = stop_actor(handle);
+            // Swap our reservation for the tombstone. Nothing can have
+            // replaced it: create refuses existing names and reap only
+            // matches Live generations.
+            let mut inner = self.inner.lock().unwrap();
+            debug_assert!(matches!(inner.entries.get(&name), Some(Entry::Starting)));
+            inner.entries.remove(&name);
+            if name == DEFAULT_SESSION {
+                inner.default_stats = Some(stats);
+            }
+            let order = inner.next_evicted_order;
+            inner.next_evicted_order += 1;
+            inner.evicted.insert(
+                name.clone(),
+                EvictedRow {
+                    checkpoint,
+                    final_t: stats.final_t,
+                    order,
+                },
+            );
+            // FIFO cap: a daemon cycling uniquely named sessions must
+            // not accumulate tombstones forever.
+            while inner.evicted.len() > MAX_TOMBSTONES {
+                let oldest = inner
+                    .evicted
+                    .iter()
+                    .min_by_key(|(_, row)| row.order)
+                    .map(|(n, _)| n.clone())
+                    .expect("non-empty map has a minimum");
+                inner.evicted.remove(&oldest);
+            }
+            drop(inner);
+            evicted.push(name);
+        }
+        evicted.sort();
+        evicted
     }
 
     /// Stops every live session (daemon shutdown).
@@ -384,26 +515,37 @@ impl SessionManager {
         self.inner.lock().unwrap().default_stats
     }
 
-    /// The `GET /sessions` document: every session (sorted by name) with
-    /// its live info row.
+    /// The `GET /sessions` document: every live session (sorted by name)
+    /// with its info row, followed by the idle-evicted tombstones
+    /// (`evicted: true`, with the checkpoint file the session was
+    /// snapshotted to). `count` counts live sessions only.
     pub fn list(&self) -> JsonValue {
-        let mut rows: Vec<(String, Option<Sender<Command>>)> = {
+        type LiveRows = Vec<(String, Option<Sender<Command>>)>;
+        let (mut rows, mut tombstones): (LiveRows, Vec<(String, EvictedRow)>) = {
             let inner = self.inner.lock().unwrap();
-            inner
-                .entries
-                .iter()
-                .map(|(name, e)| {
-                    let tx = match e {
-                        Entry::Starting => None,
-                        Entry::Live(h) => Some(h.tx.clone()),
-                    };
-                    (name.clone(), tx)
-                })
-                .collect()
+            (
+                inner
+                    .entries
+                    .iter()
+                    .map(|(name, e)| {
+                        let tx = match e {
+                            Entry::Starting => None,
+                            Entry::Live(h) => Some(h.tx.clone()),
+                        };
+                        (name.clone(), tx)
+                    })
+                    .collect(),
+                inner
+                    .evicted
+                    .iter()
+                    .map(|(name, row)| (name.clone(), row.clone()))
+                    .collect(),
+            )
         };
         rows.sort_by(|a, b| a.0.cmp(&b.0));
+        tombstones.sort_by(|a, b| a.0.cmp(&b.0));
         let count = rows.len();
-        let sessions: Vec<JsonValue> = rows
+        let mut sessions: Vec<JsonValue> = rows
             .into_iter()
             .map(|(name, tx)| {
                 let starting = || {
@@ -424,6 +566,18 @@ impl SessionManager {
                 }
             })
             .collect();
+        sessions.extend(tombstones.into_iter().map(|(name, row)| {
+            JsonValue::Obj(vec![
+                ("name".into(), JsonValue::from(name.as_str())),
+                ("status".into(), JsonValue::from("evicted")),
+                ("evicted".into(), JsonValue::Bool(true)),
+                (
+                    "checkpoint".into(),
+                    JsonValue::from(row.checkpoint.display().to_string()),
+                ),
+                ("final_t".into(), JsonValue::from(row.final_t)),
+            ])
+        }));
         JsonValue::Obj(vec![
             ("sessions".into(), JsonValue::Arr(sessions)),
             ("count".into(), JsonValue::from(count)),
@@ -440,15 +594,18 @@ impl SessionManager {
         make: impl FnOnce(Sender<T>) -> Command,
     ) -> Result<T, ServeError> {
         let (tx, generation) = {
-            let inner = self.inner.lock().unwrap();
-            match inner.entries.get(name) {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.entries.get_mut(name) {
                 None => return Err(ServeError::NotFound(name.to_string())),
                 Some(Entry::Starting) => {
                     return Err(ServeError::Conflict(format!(
                         "session {name:?} is still starting"
                     )))
                 }
-                Some(Entry::Live(h)) => (h.tx.clone(), h.generation),
+                Some(Entry::Live(h)) => {
+                    h.last_used = Instant::now();
+                    (h.tx.clone(), h.generation)
+                }
             }
         };
         let (rtx, rrx) = mpsc::channel();
@@ -1026,6 +1183,86 @@ mod tests {
         }
         mgr.shutdown_all();
         assert_eq!(mgr.list().get("count").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn idle_evict_checkpoints_tombstones_and_allows_resume() {
+        let dir = std::env::temp_dir().join(format!("flexserve-idle-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("idle.json");
+        let ck_arg = format!("checkpoint={}", ck.display());
+        let mgr = SessionManager::new(4);
+        mgr.create("idler", tiny("idler", &[&ck_arg])).unwrap();
+        mgr.step("idler", "").unwrap();
+        mgr.step("idler", "").unwrap();
+
+        // Nothing is idle against a long window...
+        assert!(mgr
+            .evict_idle(std::time::Duration::from_secs(3600))
+            .is_empty());
+        // ...while a zero window reaps immediately: checkpointed + gone.
+        assert_eq!(mgr.evict_idle(std::time::Duration::ZERO), vec!["idler"]);
+        let text = std::fs::read_to_string(&ck).expect("auto-checkpoint written");
+        assert!(text.contains("flexserve-checkpoint-v2"), "{text}");
+        match mgr.step("idler", "") {
+            Err(ServeError::NotFound(_)) => {}
+            other => panic!("evicted session must 404, got {other:?}"),
+        }
+
+        // The tombstone shows up in the listing (count stays live-only).
+        let list = mgr.list();
+        assert_eq!(list.get("count").unwrap().as_u64(), Some(0));
+        let rows = match list.get("sessions").unwrap() {
+            JsonValue::Arr(rows) => rows.clone(),
+            other => panic!("sessions must be an array, got {other:?}"),
+        };
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").and_then(JsonValue::as_str) == Some("idler"))
+            .expect("tombstone row");
+        assert_eq!(row.get("evicted").unwrap(), &JsonValue::Bool(true));
+        assert_eq!(row.get("status").unwrap().as_str(), Some("evicted"));
+        assert_eq!(row.get("final_t").unwrap().as_u64(), Some(2));
+        assert!(row
+            .get("checkpoint")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .ends_with("idle.json"));
+
+        // Recreating with resume=true continues from the auto-checkpoint
+        // and clears the tombstone.
+        let info = mgr
+            .create("idler", tiny("idler", &[&ck_arg, "resume=true"]))
+            .unwrap();
+        assert_eq!(info.get("resumed_at").unwrap().as_u64(), Some(2));
+        let list = mgr.list();
+        assert_eq!(list.get("count").unwrap().as_u64(), Some(1));
+        let rows = match list.get("sessions").unwrap() {
+            JsonValue::Arr(rows) => rows.clone(),
+            other => panic!("sessions must be an array, got {other:?}"),
+        };
+        assert!(
+            rows.iter().all(|r| r.get("evicted").is_none()
+                && r.get("status").and_then(JsonValue::as_str) == Some("live")),
+            "recreation must supersede the tombstone"
+        );
+
+        // DELETE on an evicted name clears the tombstone (second
+        // eviction; the resumed session is at t=2 with 0 new rounds).
+        assert_eq!(mgr.evict_idle(std::time::Duration::ZERO), vec!["idler"]);
+        let stats = mgr.remove("idler").unwrap();
+        assert_eq!(stats.final_t, 2);
+        assert_eq!(stats.rounds_served, 0);
+        assert!(matches!(mgr.remove("idler"), Err(ServeError::NotFound(_))));
+        let list = mgr.list();
+        assert_eq!(list.get("count").unwrap().as_u64(), Some(0));
+        assert!(
+            matches!(list.get("sessions").unwrap(), JsonValue::Arr(rows) if rows.is_empty()),
+            "DELETE must clear the tombstone"
+        );
+        mgr.shutdown_all();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,10 +7,11 @@ use std::sync::Arc;
 
 use flexserve_graph::{DistanceMatrix, Graph};
 use flexserve_sim::{CostParams, LoadModel, SimContext};
-use flexserve_workload::{CommuterScenario, LoadVariant, Scenario, TimeZonesScenario};
+use flexserve_workload::{CommuterScenario, LoadVariant, Scenario, TimeZonesScenario, Trace};
 
 use crate::cache::DistCache;
 use crate::spec::TopologySpec;
+use crate::traces::{TraceCache, TraceKey};
 
 /// A substrate and its distance matrix, shared by `Arc` so a
 /// [`SimContext`] can borrow both and many runs (and cache entries) can
@@ -102,6 +103,22 @@ impl std::fmt::Display for ScenarioKind {
     }
 }
 
+impl ScenarioKind {
+    /// The canonical workload spec string of this scenario as
+    /// [`make_scenario`] instantiates it — the demand half of a
+    /// [`TraceKey`]. Matches the
+    /// [`WorkloadSpec`](crate::spec::WorkloadSpec) grammar so figure
+    /// pipelines and `CellSpec::run` share cache entries when they share
+    /// demand.
+    pub fn workload_str(self, requests_per_round: usize) -> String {
+        match self {
+            ScenarioKind::CommuterDynamic => "commuter-dynamic".to_string(),
+            ScenarioKind::CommuterStatic => "commuter-static".to_string(),
+            ScenarioKind::TimeZones => format!("time-zones:p=50,req={requests_per_round}"),
+        }
+    }
+}
+
 /// Requests per round used by the time-zones scenario on mid-size
 /// substrates (docs/DESIGN.md §5: the paper leaves this unspecified; 50 keeps
 /// volumes comparable to the commuter peaks).
@@ -154,6 +171,36 @@ pub fn make_scenario(
     }
 }
 
+/// Records `rounds` rounds of a scenario **through the process-wide
+/// trace cache**: the first caller per
+/// `(substrate, workload, T, λ, rounds, seed)` materializes the trace,
+/// every further strategy/figure cell on the same demand shares the
+/// `Arc`. Cached or fresh, the trace is bit-identical (deterministic
+/// generators), so routing figure pipelines through here can never change
+/// their CSVs — it only removes the k× re-recording per strategy.
+pub fn record_shared(
+    kind: ScenarioKind,
+    env: &ExperimentEnv,
+    t_periods: u32,
+    lambda: u64,
+    requests_per_round: usize,
+    seed: u64,
+    rounds: u64,
+) -> Trace {
+    let key = TraceKey {
+        substrate: env.graph.fingerprint(),
+        workload: kind.workload_str(requests_per_round),
+        t_periods,
+        lambda,
+        rounds,
+        seed,
+    };
+    TraceCache::global().get_or_record(key, || {
+        let mut scenario = make_scenario(kind, env, t_periods, lambda, requests_per_round, seed);
+        Trace::record(scenario.as_mut(), rounds)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +239,18 @@ mod tests {
             assert_eq!(trace.len(), 30);
             assert!(trace.total_requests() > 0, "{kind} generated nothing");
         }
+    }
+
+    #[test]
+    fn record_shared_is_bit_identical_to_fresh_recording() {
+        let env = ExperimentEnv::erdos_renyi(48, 5);
+        let shared = record_shared(ScenarioKind::CommuterDynamic, &env, 8, 5, 20, 7, 25);
+        let mut fresh = make_scenario(ScenarioKind::CommuterDynamic, &env, 8, 5, 20, 7);
+        let direct = record(fresh.as_mut(), 25);
+        assert_eq!(shared, direct);
+        // a second fetch shares the materialization
+        let again = record_shared(ScenarioKind::CommuterDynamic, &env, 8, 5, 20, 7, 25);
+        assert!(std::ptr::eq(shared.round(0), again.round(0)));
     }
 
     #[test]

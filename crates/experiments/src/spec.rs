@@ -26,8 +26,8 @@ use flexserve_graph::{DistanceMatrix, Graph};
 use flexserve_sim::{CostBreakdown, CostParams, LoadModel, SimContext};
 use flexserve_topology::{as7018_like, parse_rocketfuel_weights, As7018Config};
 use flexserve_workload::{
-    record, CommuterScenario, LoadVariant, OnOffScenario, ProximityScenario, Scenario,
-    TimeZonesScenario, Trace, UniformScenario,
+    file_source, CommuterScenario, LoadVariant, OnOffScenario, ProximityScenario, RoundTrace,
+    Scenario, TimeZonesScenario, Trace, TraceScenario, UniformScenario,
 };
 
 use flexserve_core::{
@@ -37,6 +37,7 @@ use flexserve_sim::OnlineStrategy;
 
 use crate::runner::{average, run_algorithm, Algorithm, SeedSummary};
 use crate::setup::ExperimentEnv;
+use crate::traces::{TraceCache, TraceKey};
 
 /// A substrate topology, identified by a canonical string such as
 /// `er:200`, `waxman:100`, `grid:8x12` or `as7018`.
@@ -292,6 +293,14 @@ pub enum WorkloadSpec {
         /// Whether users move in a correlated wave.
         correlated: bool,
     },
+    /// A recorded JSONL demand trace replayed as a scenario
+    /// (`replay:<path>`; see `flexserve trace record`). Rounds past the
+    /// end of the file are empty; `T`, `λ` and the seed are ignored — the
+    /// demand is whatever was recorded.
+    Replay {
+        /// Path to the JSONL trace file.
+        path: String,
+    },
 }
 
 impl WorkloadSpec {
@@ -354,6 +363,31 @@ impl WorkloadSpec {
                 dwell,
                 correlated,
             } => Box::new(OnOffScenario::new(graph, *users, *dwell, *correlated, seed)),
+            WorkloadSpec::Replay { path } => {
+                // Pre-checked by `WorkloadSpec::validate_replay` (via
+                // `CellSpec::validate` and the serve layer), so a failure
+                // here means the file changed underneath us.
+                let trace = Self::load_replay(path, graph.node_count())
+                    .unwrap_or_else(|e| panic!("wl=replay: {e}"));
+                Box::new(TraceScenario::new(trace, path.clone()))
+            }
+        }
+    }
+
+    /// Loads a `replay:<path>` JSONL trace, validating origins against a
+    /// substrate of `node_count` nodes.
+    fn load_replay(path: &str, node_count: usize) -> Result<RoundTrace, String> {
+        let mut source = file_source(path, node_count)?;
+        RoundTrace::from_source(&mut source, None)
+    }
+
+    /// For `replay:<path>` workloads: checks the file exists, parses and
+    /// fits a substrate of `node_count` nodes. Other workloads always
+    /// validate.
+    pub fn validate_replay(&self, node_count: usize) -> Result<(), String> {
+        match self {
+            WorkloadSpec::Replay { path } => Self::load_replay(path, node_count).map(|_| ()),
+            _ => Ok(()),
         }
     }
 }
@@ -380,6 +414,7 @@ impl fmt::Display for WorkloadSpec {
                 f,
                 "onoff:users={users},dwell={dwell},correlated={correlated}"
             ),
+            WorkloadSpec::Replay { path } => write!(f, "replay:{path}"),
         }
     }
 }
@@ -455,9 +490,17 @@ impl FromStr for WorkloadSpec {
                     correlated,
                 })
             }
+            "replay" => {
+                if args.is_empty() {
+                    return Err("replay: expected replay:<path.jsonl>".into());
+                }
+                Ok(WorkloadSpec::Replay {
+                    path: args.to_string(),
+                })
+            }
             _ => Err(format!(
                 "unknown workload {s:?} (expected commuter-dynamic, commuter-static, \
-                 time-zones, proximity, uniform or onoff)"
+                 time-zones, proximity, uniform, onoff or replay)"
             )),
         }
     }
@@ -718,6 +761,9 @@ impl CellSpec {
         // fetches, so validation costs a cache fill, not duplicate work.
         let env = ExperimentEnv::from_spec(&self.topology, self.seeds[0])?;
         let n = env.graph.node_count();
+        // A replay workload must exist, parse and fit this substrate
+        // before any strategy runs.
+        self.workload.validate_replay(n)?;
         let k = self.params.max_servers.min(n);
         match self.strategy {
             // The OPT DP mirrors configurations into 64-bit position masks
@@ -755,9 +801,45 @@ impl CellSpec {
         Ok(())
     }
 
+    /// The demand half of this cell for `seed`, through the process-wide
+    /// [`TraceCache`]: the first strategy cell of a
+    /// `(topology, workload, T, λ, rounds, seed)` group records the
+    /// scenario; every other strategy of the figure/sweep shares the
+    /// `Arc`-held trace. Cached or fresh, the trace is bit-identical.
+    pub fn shared_trace(&self, env: &ExperimentEnv, seed: u64) -> Trace {
+        // A replayed trace file is the same demand under every seed *and*
+        // every substrate (the graph only bounds the valid origin range,
+        // checked by `validate_replay` per cell), so replay keys
+        // normalize both: an N-seed replay cell — even on a seeded random
+        // topology, where fingerprints differ per seed — reads and
+        // parses the file once and shares one cache entry.
+        let (substrate, seed) = match self.workload {
+            WorkloadSpec::Replay { .. } => (0, 0),
+            _ => (env.graph.fingerprint(), seed),
+        };
+        let key = TraceKey {
+            substrate,
+            workload: self.workload.to_string(),
+            t_periods: self.t_periods,
+            lambda: self.lambda,
+            rounds: self.rounds,
+            seed,
+        };
+        TraceCache::global().get_or_record(key, || {
+            let mut scenario = self.workload.instantiate(
+                &env.graph,
+                &env.matrix,
+                self.t_periods,
+                self.lambda,
+                seed,
+            );
+            Trace::record(scenario.as_mut(), self.rounds)
+        })
+    }
+
     /// Runs the cell: for each seed (in parallel), build or fetch the
-    /// substrate, record the workload trace, play the strategy, and
-    /// collect the cost breakdowns in seed order.
+    /// substrate, fetch or record the shared workload trace, play the
+    /// strategy, and collect the cost breakdowns in seed order.
     ///
     /// Returns the per-seed summary plus the substrate fingerprint of the
     /// first seed (recorded in the manifest for provenance).
@@ -767,14 +849,7 @@ impl CellSpec {
             let env =
                 ExperimentEnv::from_spec(&self.topology, seed).expect("validated spec must build");
             let ctx = env.context(self.params, self.load);
-            let mut scenario = self.workload.instantiate(
-                &env.graph,
-                &env.matrix,
-                self.t_periods,
-                self.lambda,
-                seed,
-            );
-            let trace = record(scenario.as_mut(), self.rounds);
+            let trace = self.shared_trace(&env, seed);
             self.strategy.run(&ctx, &trace, seed)
         });
         let fingerprint = ExperimentEnv::from_spec(&self.topology, self.seeds[0])

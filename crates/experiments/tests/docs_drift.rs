@@ -84,13 +84,48 @@ fn serving_md_documents_every_endpoint() {
     // v2 is what the daemon writes, v1 is the promised-compatible past
     assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT));
     assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT_V1));
-    // the serve keys added with the session manager stay documented
-    for key in ["`bind=", "`workers=", "`max-sessions="] {
+    // the serve keys added with the session manager (and the idle
+    // reaper) stay documented
+    for key in ["`bind=", "`workers=", "`max-sessions=", "`idle-evict="] {
         assert!(
             SERVING_MD.contains(key),
             "docs/SERVING.md must document the {key} serve key"
         );
     }
+    // persistent-connection semantics are part of the HTTP contract
+    assert!(
+        SERVING_MD.contains("keep-alive"),
+        "docs/SERVING.md must document keep-alive connection semantics"
+    );
+    assert!(
+        SERVING_MD.contains("Idle eviction"),
+        "docs/SERVING.md must document the idle-evict behavior"
+    );
+    assert!(
+        SERVING_MD.contains("\"evicted\": true"),
+        "docs/SERVING.md must document the GET /sessions tombstone rows"
+    );
+}
+
+#[test]
+fn architecture_and_benchmarks_document_the_demand_plane() {
+    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    // the two-planes split is the architecture's load-bearing refactor
+    assert!(
+        ARCHITECTURE_MD.contains("demand plane") && ARCHITECTURE_MD.contains("placement plane"),
+        "docs/ARCHITECTURE.md must describe the demand/placement plane split"
+    );
+    for name in ["RoundTrace", "TraceCache", "trace_equivalence.rs"] {
+        assert!(
+            ARCHITECTURE_MD.contains(name),
+            "docs/ARCHITECTURE.md must mention {name}"
+        );
+    }
+    // the trace-sharing bench entry stays documented with its schema
+    assert!(
+        BENCHMARKS_MD.contains("`trace_sharing`"),
+        "docs/BENCHMARKS.md must document the BENCH_sweeps.json trace_sharing entry"
+    );
 }
 
 #[test]

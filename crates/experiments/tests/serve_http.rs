@@ -3,7 +3,7 @@
 //! restart the daemon from the checkpoint file, and assert the resumed
 //! placement matches an uninterrupted session bit for bit.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 
@@ -91,6 +91,88 @@ fn reference_placement_after(rounds: usize) -> (u64, Vec<usize>) {
         session.t(),
         session.fleet().active().iter().map(|n| n.index()).collect(),
     )
+}
+
+/// Reads one framed HTTP response off a persistent connection; returns
+/// (status, Connection header value, body read to its `Content-Length`).
+fn read_framed_response<R: BufRead>(reader: &mut R) -> (u16, String, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        if header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, connection, String::from_utf8(body).expect("utf8"))
+}
+
+#[test]
+fn keep_alive_drives_many_requests_down_one_connection() {
+    let (addr, handle) = start_daemon(&[]);
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Six exchanges down the same TCP connection: HTTP/1.1 without a
+    // Connection header is keep-alive by default.
+    for t in 0..3u64 {
+        writer
+            .write_all(b"POST /step HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            .expect("send step");
+        let (status, connection, body) = read_framed_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(connection, "keep-alive");
+        assert_eq!(json(&body).get("t").unwrap().as_u64(), Some(t));
+    }
+    writer
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send metrics");
+    let (status, connection, body) = read_framed_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    assert_eq!(json(&body).get("rounds_served").unwrap().as_u64(), Some(3));
+
+    // Error responses stay framed and keep the connection alive too.
+    writer
+        .write_all(b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("send bad route");
+    let (status, connection, _) = read_framed_response(&mut reader);
+    assert_eq!(status, 404);
+    assert_eq!(connection, "keep-alive");
+
+    // Connection: close is honored: answered, then EOF.
+    writer
+        .write_all(b"GET /placement HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send close");
+    let (status, connection, _) = read_framed_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty(), "server must close after Connection: close");
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
 }
 
 #[test]

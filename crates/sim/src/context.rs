@@ -71,6 +71,14 @@ impl<'a> SimContext<'a> {
         route(self, servers, batch).cost
     }
 
+    /// [`access_cost`](Self::access_cost) over a sorted per-origin count
+    /// vector (the demand plane's canonical round form) under **nearest**
+    /// routing — the placement plane's hot path: no request list is
+    /// rebuilt, the counts are consumed as materialized by the trace.
+    pub fn access_cost_counts(&self, servers: &[NodeId], counts: &[(NodeId, usize)]) -> f64 {
+        crate::routing::route_counts(self, servers, counts).cost
+    }
+
     /// Running cost of one round for `n_active` active and `n_inactive`
     /// inactive servers: `Ra·n_active + Ri·n_inactive`.
     #[inline]

@@ -79,6 +79,12 @@ impl Sum for CostBreakdown {
     }
 }
 
+impl<'a> Sum<&'a CostBreakdown> for CostBreakdown {
+    fn sum<I: Iterator<Item = &'a CostBreakdown>>(iter: I) -> Self {
+        iter.fold(CostBreakdown::zero(), |a, b| a + *b)
+    }
+}
+
 impl std::fmt::Display for CostBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -120,6 +126,8 @@ mod tests {
         assert_eq!(s.total(), 45.0);
         let total: CostBreakdown = vec![a, b, s].into_iter().sum();
         assert_eq!(total.total(), 90.0);
+        let borrowed: CostBreakdown = [a, b, s].iter().sum();
+        assert_eq!(borrowed.total(), 90.0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ use crate::transition::TransitionPlanner;
 ///         _access_cost: f64,
 ///         _fleet: &Fleet,
 ///     ) -> Option<Vec<NodeId>> {
-///         requests.origins().first().map(|&origin| vec![origin])
+///         requests.iter().next().map(|origin| vec![origin])
 ///     }
 /// }
 ///
@@ -192,7 +192,7 @@ pub struct RunRecord {
 impl RunRecord {
     /// Total cost over the run.
     pub fn total(&self) -> CostBreakdown {
-        self.rounds.iter().map(|r| r.costs).sum()
+        self.rounds.iter().map(|r| &r.costs).sum()
     }
 
     /// Time series of the active-server count (Figs. 1–2 of the paper).
@@ -316,7 +316,7 @@ mod tests {
             _cost: f64,
             _fleet: &Fleet,
         ) -> Option<Vec<NodeId>> {
-            req.origins().first().map(|&o| vec![o])
+            req.iter().next().map(|o| vec![o])
         }
     }
 

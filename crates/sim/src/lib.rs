@@ -45,6 +45,6 @@ pub use engine::{run_online, run_plan, OnlineStrategy, Plan, RoundRecord, RunRec
 pub use fleet::{Fleet, InactiveServer};
 pub use load::LoadModel;
 pub use params::CostParams;
-pub use routing::{route, RoutingOutcome, RoutingPolicy};
+pub use routing::{route, route_counts, RoutingOutcome, RoutingPolicy};
 pub use session::SimSession;
 pub use transition::{config_transition_cost, TransitionOutcome, TransitionPlanner};

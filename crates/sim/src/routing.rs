@@ -9,10 +9,16 @@
 //!   per origin, which the strategies exploit for fast candidate
 //!   evaluation. This is the default and the policy used in all paper
 //!   reproductions.
-//! * [`RoutingPolicy::LoadAware`] — requests are assigned one at a time to
-//!   the server minimizing `latency + marginal load`; with a convex load
-//!   function this greedy assignment spreads a hot origin over several
-//!   servers. Used by the routing ablation bench.
+//! * [`RoutingPolicy::LoadAware`] — requests are assigned one at a time
+//!   (in the batch's canonical origin order) to the server minimizing
+//!   `latency + marginal load`; with a convex load function this greedy
+//!   assignment spreads a hot origin over several servers. Used by the
+//!   routing ablation bench.
+//!
+//! The hot path is [`route_counts`]: nearest routing straight off the
+//! sorted per-origin count vector every [`RoundRequests`] (and therefore
+//! every round of a shared `RoundTrace`) stores — no per-round folding,
+//! sorting or request-list rebuild per strategy.
 
 use flexserve_graph::NodeId;
 use flexserve_workload::RoundRequests;
@@ -48,39 +54,57 @@ pub struct RoutingOutcome {
 /// An empty batch costs 0 regardless of servers; a non-empty batch with no
 /// servers costs `f64::INFINITY`.
 pub fn route(ctx: &SimContext<'_>, servers: &[NodeId], batch: &RoundRequests) -> RoutingOutcome {
-    if batch.is_empty() {
-        return RoutingOutcome {
-            total_delay: 0.0,
-            total_load: 0.0,
-            cost: 0.0,
-            assigned: vec![0; servers.len()],
-        };
-    }
-    if servers.is_empty() {
-        return RoutingOutcome {
-            total_delay: 0.0,
-            total_load: 0.0,
-            cost: f64::INFINITY,
-            assigned: Vec::new(),
-        };
-    }
     match ctx.routing {
-        RoutingPolicy::Nearest => route_nearest(ctx, servers, batch),
-        RoutingPolicy::LoadAware => route_load_aware(ctx, servers, batch),
+        RoutingPolicy::Nearest => route_counts(ctx, servers, batch.counts_slice()),
+        RoutingPolicy::LoadAware => {
+            if batch.is_empty() {
+                return empty_outcome(servers);
+            }
+            if servers.is_empty() {
+                return no_server_outcome();
+            }
+            route_load_aware(ctx, servers, batch)
+        }
     }
 }
 
-fn route_nearest(
+fn empty_outcome(servers: &[NodeId]) -> RoutingOutcome {
+    RoutingOutcome {
+        total_delay: 0.0,
+        total_load: 0.0,
+        cost: 0.0,
+        assigned: vec![0; servers.len()],
+    }
+}
+
+fn no_server_outcome() -> RoutingOutcome {
+    RoutingOutcome {
+        total_delay: 0.0,
+        total_load: 0.0,
+        cost: f64::INFINITY,
+        assigned: Vec::new(),
+    }
+}
+
+/// Nearest-server routing over a **sorted per-origin count vector** — the
+/// demand plane's canonical round form, consumed here without folding,
+/// sorting or allocating a request list. One nearest-server lookup per
+/// distinct origin; `counts` is sorted by origin, so the float
+/// accumulation order is deterministic (serial == parallel bitwise).
+pub fn route_counts(
     ctx: &SimContext<'_>,
     servers: &[NodeId],
-    batch: &RoundRequests,
+    counts: &[(NodeId, usize)],
 ) -> RoutingOutcome {
+    if counts.is_empty() {
+        return empty_outcome(servers);
+    }
+    if servers.is_empty() {
+        return no_server_outcome();
+    }
     let mut assigned = vec![0usize; servers.len()];
     let mut total_delay = 0.0;
-    // Fold duplicate origins first: one nearest-server lookup per distinct
-    // origin instead of per request. `counts` is sorted by origin, so the
-    // float accumulation order is deterministic.
-    for (origin, cnt) in batch.counts() {
+    for &(origin, cnt) in counts {
         let (best_idx, best_d) = nearest_server(ctx, servers, origin);
         total_delay += best_d * cnt as f64;
         assigned[best_idx] += cnt;

@@ -49,7 +49,7 @@ use crate::transition::TransitionPlanner;
 ///         _access_cost: f64,
 ///         _fleet: &flexserve_sim::Fleet,
 ///     ) -> Option<Vec<NodeId>> {
-///         req.origins().first().map(|&o| vec![o])
+///         req.iter().next().map(|o| vec![o])
 ///     }
 /// }
 ///
@@ -282,7 +282,7 @@ mod tests {
             _fleet: &Fleet,
         ) -> Option<Vec<NodeId>> {
             self.decisions += 1;
-            req.origins().first().map(|&o| vec![o])
+            req.iter().next().map(|o| vec![o])
         }
         fn export_state(&self) -> Option<JsonValue> {
             Some(JsonValue::Obj(vec![(

@@ -219,7 +219,7 @@ mod tests {
         let mut s = line_scenario(LoadVariant::Dynamic);
         let r0 = s.requests(0);
         assert_eq!(r0.len(), 1);
-        assert_eq!(r0.origins()[0], s.order.center());
+        assert_eq!(r0.iter().next().unwrap(), s.order.center());
     }
 
     #[test]

@@ -21,9 +21,12 @@
 //! * [`uniform::UniformScenario`] — pure background noise (baseline/tests).
 //!
 //! All scenarios implement [`Scenario`] and are deterministic under a seed.
-//! The simulation layers consume a recorded [`Trace`] so online and offline
-//! algorithms are always compared on *identical* request sequences — and
-//! the serving layer consumes the same generators as streaming
+//! The simulation layers consume a recorded [`RoundTrace`] (alias
+//! [`Trace`]) — an `Arc`-shared, sliceable sequence of per-round sorted
+//! origin counts — so online and offline algorithms are always compared on
+//! *identical* request sequences, and every strategy of a figure cell
+//! reads one shared materialization instead of regenerating the demand.
+//! The serving layer consumes the same generators as streaming
 //! [`RequestSource`]s ([`stream`]): a scenario driven round by round, a
 //! JSONL replay file, or stdin. The [`json`] module is the workspace's
 //! one hand-rolled JSON value/parser, shared by the replay schema, the
@@ -37,6 +40,7 @@ pub mod json;
 pub mod onoff;
 pub mod proximity;
 pub mod request;
+pub mod round_trace;
 pub mod scenario;
 pub mod stream;
 pub mod time_zones;
@@ -47,6 +51,7 @@ pub use json::JsonValue;
 pub use onoff::OnOffScenario;
 pub use proximity::{ProximityOrder, ProximityScenario};
 pub use request::RoundRequests;
+pub use round_trace::{RoundTrace, TraceScenario};
 pub use scenario::{record, Scenario, Trace};
 pub use stream::{
     file_source, parse_round, round_to_jsonl, stdin_source, JsonlReplay, RequestSource,

@@ -1,11 +1,15 @@
-//! The [`Scenario`] abstraction and recorded [`Trace`]s.
+//! The [`Scenario`] abstraction and recorded traces.
 //!
 //! Online algorithms observe requests round by round; offline algorithms
 //! (OPT, OFFBR, OFFTH, OFFSTAT) see the whole sequence at once. To make the
 //! comparison exact, every experiment first *records* a scenario into a
-//! [`Trace`] and then feeds the same trace to every algorithm.
+//! [`RoundTrace`] and then feeds the same
+//! trace to every algorithm — the trace is `Arc`-shared, so "every
+//! algorithm" (and every strategy cell of a figure) literally reads one
+//! materialization.
 
 use crate::request::RoundRequests;
+use crate::round_trace::RoundTrace;
 
 /// A demand generator: produces the request multi-set `σt` for each round.
 ///
@@ -22,63 +26,14 @@ pub trait Scenario {
     }
 }
 
-/// A fully materialized request sequence `σ0 … σ(T-1)`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Trace {
-    rounds: Vec<RoundRequests>,
-}
+/// The historical name of [`RoundTrace`] — kept so the batch pipeline's
+/// vocabulary (`record` a scenario into a `Trace`) keeps reading
+/// naturally. Same type, same O(1) sharing semantics.
+pub type Trace = RoundTrace;
 
-impl Trace {
-    /// Wraps an explicit sequence of rounds.
-    pub fn new(rounds: Vec<RoundRequests>) -> Self {
-        Trace { rounds }
-    }
-
-    /// Number of rounds.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.rounds.len()
-    }
-
-    /// Whether the trace has no rounds.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
-    }
-
-    /// The requests of round `t`.
-    #[inline]
-    pub fn round(&self, t: usize) -> &RoundRequests {
-        &self.rounds[t]
-    }
-
-    /// Iterates over rounds in time order.
-    pub fn iter(&self) -> impl Iterator<Item = &RoundRequests> {
-        self.rounds.iter()
-    }
-
-    /// Total number of requests over the whole trace.
-    pub fn total_requests(&self) -> usize {
-        self.rounds.iter().map(|r| r.len()).sum()
-    }
-
-    /// The sub-trace covering rounds `[from, to)` (clamped to the trace).
-    pub fn slice(&self, from: usize, to: usize) -> Trace {
-        let to = to.min(self.rounds.len());
-        let from = from.min(to);
-        Trace {
-            rounds: self.rounds[from..to].to_vec(),
-        }
-    }
-}
-
-/// Records `rounds` rounds of a scenario into a [`Trace`].
-pub fn record<S: Scenario + ?Sized>(scenario: &mut S, rounds: u64) -> Trace {
-    let mut out = Vec::with_capacity(rounds as usize);
-    for t in 0..rounds {
-        out.push(scenario.requests(t));
-    }
-    Trace::new(out)
+/// Records `rounds` rounds of a scenario into a [`RoundTrace`].
+pub fn record<S: Scenario + ?Sized>(scenario: &mut S, rounds: u64) -> RoundTrace {
+    RoundTrace::record(scenario, rounds)
 }
 
 #[cfg(test)]

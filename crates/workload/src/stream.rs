@@ -117,7 +117,10 @@ pub fn parse_round(value: &JsonValue, max_node: usize) -> Result<RoundRequests, 
         .ok_or("round: missing \"origins\" array")?
         .as_array()
         .ok_or("round: \"origins\" must be an array")?;
-    let mut batch = RoundRequests::empty();
+    // Collect first, canonicalize once: per-origin `push` would binary
+    // insert into the sorted counts vec (O(k²) for adversarially ordered
+    // bodies on the serve hot path); `new` does one sort + fold.
+    let mut ids = Vec::with_capacity(origins.len());
     for o in origins {
         let id = o
             .as_usize()
@@ -127,9 +130,9 @@ pub fn parse_round(value: &JsonValue, max_node: usize) -> Result<RoundRequests, 
                 "round: origin {id} out of range (substrate has {max_node} nodes)"
             ));
         }
-        batch.push(NodeId::new(id));
+        ids.push(NodeId::new(id));
     }
-    Ok(batch)
+    Ok(RoundRequests::new(ids))
 }
 
 /// A JSONL replay: one round per line, in time order.
@@ -261,7 +264,8 @@ mod tests {
         batch.push_many(n(3), 2);
         batch.push(n(0));
         let line = round_to_jsonl(5, &batch);
-        assert_eq!(line, r#"{"t":5,"origins":[3,3,0]}"#);
+        // origins render in origin order (the batch's canonical form)
+        assert_eq!(line, r#"{"t":5,"origins":[0,3,3]}"#);
         let parsed = parse_round(&JsonValue::parse(&line).unwrap(), 10).unwrap();
         assert_eq!(parsed, batch);
     }

@@ -134,7 +134,7 @@ fn onoff_relocation_rate() {
     let mut changes = 0usize;
     let mut last: Option<NodeId> = None;
     for round in trace.iter() {
-        let cur = round.origins()[0];
+        let cur = round.iter().next().unwrap();
         if last.is_some_and(|l| l != cur) {
             changes += 1;
         }
