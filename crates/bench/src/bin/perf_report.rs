@@ -1,13 +1,15 @@
 //! Before/after perf harness: times the serial reference against the
 //! optimized implementation of the measured hot paths — the all-pairs
-//! `DistanceMatrix` build (500-node Waxman), one 20-seed sweep cell, a
-//! cold-vs-warm substrate fetch through the distance-matrix cache, the
-//! batch-vs-stepped game loop (`run_online` vs `SimSession::step`), and
+//! `DistanceMatrix` build plus its incremental single-event repair
+//! (500-node Waxman), one 20-seed sweep cell, a cold-vs-warm substrate
+//! fetch through the distance-matrix cache, the batch-vs-stepped game
+//! loop (`run_online` vs `SimSession::step`), and
 //! sequential-vs-concurrent multi-session stepping through the serve
 //! daemon's `SessionManager` — and records the results as
-//! `BENCH_apsp.json`, `BENCH_sweeps.json`, `BENCH_cache.json` and
-//! `BENCH_serve.json` (an array of the two serving benches) in the
-//! repository root (schema: docs/BENCHMARKS.md).
+//! `BENCH_apsp.json` (an array: full build, repair-vs-rebuild),
+//! `BENCH_sweeps.json`, `BENCH_cache.json` and `BENCH_serve.json` (an
+//! array of the two serving benches) in the repository root (schema:
+//! docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
 //!
@@ -88,12 +90,64 @@ fn main() {
     let parallel = time_median(reps, || {
         std::hint::black_box(DistanceMatrix::build(&g));
     });
-    write_report(
-        "BENCH_apsp.json",
+    let apsp_entry = entry_json(
         "apsp_build",
         serial,
         parallel,
         "DistanceMatrix::build on a 500-node Waxman substrate (CSR + per-thread scratch)",
+        "",
+    );
+    announce("BENCH_apsp.json", "apsp_build", serial, parallel);
+
+    // --- APSP repair vs rebuild: single link event ----------------------
+    // The substrate-event plane's hot path: one link fails mid-run and
+    // the distance matrix must catch up. "Serial" is the full rebuild
+    // every event would otherwise pay; "parallel" is the incremental
+    // `DistanceMatrix::repair`, re-running Dijkstra only from the dirty
+    // source rows (proptest-pinned bitwise-identical to the rebuild).
+    let edge = g.edges().next().expect("waxman substrate has edges");
+    let mut failed = g.clone();
+    failed
+        .set_edge_latency(edge.source, edge.target, f64::INFINITY)
+        .expect("edge exists");
+    let update = flexserve_graph::EdgeUpdate {
+        a: edge.source,
+        b: edge.target,
+        old_latency: edge.latency,
+        new_latency: f64::INFINITY,
+    };
+    let full = DistanceMatrix::build(&g);
+    let rows_repaired = {
+        let mut m = full.clone();
+        m.repair(&failed, &[update])
+    };
+    let rebuild = time_median(reps, || {
+        std::hint::black_box(DistanceMatrix::build(&failed));
+    });
+    // The pre-event matrices are cloned outside the timed closure: repair
+    // mutates in place, and the clone is not part of the repaired path's
+    // cost (a live session already owns its matrix).
+    let mut pool: Vec<DistanceMatrix> = (0..reps).map(|_| full.clone()).collect();
+    let repair = time_median(reps, || {
+        let mut m = pool.pop().expect("one pre-cloned matrix per rep");
+        std::hint::black_box(m.repair(&failed, &[update]));
+    });
+    let extra = format!(
+        ",\n  \"rows_repaired\": {rows_repaired},\n  \"rows_total\": {}",
+        g.node_count()
+    );
+    let repair_entry = entry_json(
+        "repair_vs_rebuild",
+        rebuild,
+        repair,
+        "single link failure on the 500-node Waxman substrate: full \
+         DistanceMatrix::build vs incremental repair of the dirty source rows",
+        &extra,
+    );
+    announce("BENCH_apsp.json", "repair_vs_rebuild", rebuild, repair);
+    write_file(
+        "BENCH_apsp.json",
+        &format!("[\n{apsp_entry},\n{repair_entry}\n]\n"),
     );
 
     // --- Sweep cell: 20 seeds -----------------------------------------

@@ -12,9 +12,11 @@
 //! Cell/sweep keys: `topo`, `wl`, `strat` (see `flexserve list` for the
 //! spec grammar), `t`, `lambda`, `rounds`, `seeds` (`a..b` range or
 //! `a+b+c` list), `load` (`linear`, `quadratic`, `power(<p>)`), `beta`,
-//! `c`, `ra`, `ri`, `k`, `flipped` and `out` (CSV base name). In `sweep`,
-//! the axes `topo`/`wl`/`strat`/`t`/`lambda` accept `+`-separated lists
-//! and the cross product of all lists is run, cell by cell.
+//! `c`, `ra`, `ri`, `k`, `flipped`, `events` (a substrate-event schedule,
+//! e.g. `events=5:fail-link:2-7,10:recover-link:2-7`; see docs/FAULTS.md)
+//! and `out` (CSV base name). In `sweep`, the axes
+//! `topo`/`wl`/`strat`/`t`/`lambda` accept `+`-separated lists and the
+//! cross product of all lists is run, cell by cell.
 //!
 //! Every invocation writes `manifest.json` next to its CSVs (under
 //! `results/` or `$FLEXSERVE_RESULTS_DIR`) recording the spec, seeds, git
@@ -29,7 +31,7 @@ use flexserve_experiments::registry;
 use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::spec::{CellSpec, StrategySpec, TopologySpec, WorkloadSpec};
 use flexserve_experiments::{DistCache, Table, TraceCache};
-use flexserve_sim::{CostParams, LoadModel};
+use flexserve_sim::{CostParams, LoadModel, SubstrateEvents};
 use flexserve_workload::Trace;
 
 const USAGE: &str = "\
@@ -65,6 +67,7 @@ cell/sweep keys (see `flexserve list` for spec grammars):
   topo=er:100   wl=commuter-dynamic   strat=onth
   t=8  lambda=10  rounds=200  seeds=1000..1003  load=linear
   beta=40  c=400  ra=2.5  ri=0.5  k=16  flipped=true  out=sweep
+  events=5:fail-link:2-7,10:recover-link:2-7   (see docs/FAULTS.md)
 ";
 
 fn main() -> ExitCode {
@@ -291,6 +294,7 @@ struct SweepArgs {
     seeds: Vec<u64>,
     load: LoadModel,
     params: CostParams,
+    events: SubstrateEvents,
     out: String,
 }
 
@@ -330,6 +334,7 @@ fn parse_args(args: &[String], single_cell: bool) -> Result<SweepArgs, String> {
         seeds: vec![1000, 1001, 1002],
         load: LoadModel::Linear,
         params: CostParams::default(),
+        events: SubstrateEvents::new(),
         out: if single_cell { "cell" } else { "sweep" }.to_string(),
     };
     // `flipped=true` is a shorthand for the paper's beta=400/c=40 regime;
@@ -368,6 +373,7 @@ fn parse_args(args: &[String], single_cell: bool) -> Result<SweepArgs, String> {
                 parsed.params.max_servers = v.parse().map_err(|_| format!("k: bad value {v:?}"))?
             }
             "flipped" => flipped = v.parse().map_err(|_| format!("flipped: bad value {v:?}"))?,
+            "events" => parsed.events = SubstrateEvents::parse(v)?,
             "out" => parsed.out = v.to_string(),
             _ => return Err(format!("unknown key {key:?}\n{USAGE}")),
         }
@@ -451,6 +457,7 @@ fn sweep(args: &[String], single_cell: bool) -> Result<Manifest, String> {
                             seeds: parsed.seeds.clone(),
                             params: parsed.params,
                             load: parsed.load,
+                            events: parsed.events.clone(),
                         });
                     }
                 }

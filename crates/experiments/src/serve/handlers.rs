@@ -25,18 +25,27 @@ pub(crate) const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::fro
 /// past [`KEEP_ALIVE_IDLE`], or the daemon shuts down.
 pub(crate) fn handle_connection(stream: TcpStream, shared: &ServeShared) -> Result<(), String> {
     // One slow (or silent) client must not pin its worker forever: the
-    // first request gets a generous timeout, later idle gaps the short
-    // keep-alive window (applied at the bottom of the loop).
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    // first request gets the configured request timeout, later idle gaps
+    // the short keep-alive window (applied at the bottom of the loop).
+    let _ = stream.set_read_timeout(Some(shared.request_timeout));
+    let _ = stream.set_write_timeout(Some(shared.request_timeout));
     let mut reader = BufReader::new(stream);
     loop {
         let request = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             // Clean end of the connection: client closed or idled out.
             Ok(None) => return Ok(()),
-            // Framing errors poison the stream — answer and close.
-            Err(e) => return respond_json(reader.get_mut(), 400, &error_json(&e).render(), false),
+            // Framing errors poison the stream — answer with the error's
+            // status (408 stalled, 413 oversized, 400 malformed) and
+            // close.
+            Err(e) => {
+                return respond_json(
+                    reader.get_mut(),
+                    e.status(),
+                    &error_json(&e.message()).render(),
+                    false,
+                )
+            }
         };
         // A daemon going down closes as it answers, so the worker pool
         // drains instead of waiting out every open keep-alive window.
@@ -96,6 +105,7 @@ fn dispatch(route: Route, body: &str, shared: &ServeShared) -> Result<String, Se
         Route::Placement(name) => manager.placement(&name).map(|v| v.render()),
         Route::Metrics(name) => manager.metrics(&name).map(|v| v.render()),
         Route::Checkpoint(name) => manager.checkpoint(&name),
+        Route::Events(name) => manager.events(&name, body).map(|v| v.render()),
         Route::DeleteSession(name) => manager.remove(&name).map(|stats| {
             JsonValue::Obj(vec![
                 ("ok".into(), JsonValue::Bool(true)),
@@ -131,7 +141,10 @@ fn parse_create_body(body: &str) -> Result<(String, SessionConfig), ServeError> 
 
 /// Flags the daemon down and pokes the accept loop awake with a dummy
 /// connection so it observes the flag without waiting for a real client.
-fn begin_shutdown(shared: &ServeShared) {
+/// Also the SIGTERM path: the signal watcher in `serve_on` calls this so
+/// a terminated daemon drains and checkpoints exactly like
+/// `POST /shutdown`.
+pub(crate) fn begin_shutdown(shared: &ServeShared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     let mut addr = shared.addr;
     // A wildcard bind (0.0.0.0 / ::) is not a connectable address.

@@ -13,6 +13,7 @@ use super::sessions::DEFAULT_SESSION;
 /// One parsed HTTP request: the request line, the body, and whether the
 /// client wants the connection kept open afterwards (only the
 /// `Content-Length` and `Connection` headers matter).
+#[derive(Debug)]
 pub(crate) struct HttpRequest {
     pub method: String,
     pub path: String,
@@ -23,30 +24,102 @@ pub(crate) struct HttpRequest {
     pub keep_alive: bool,
 }
 
+/// Per-line cap on the request line and each header line.
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Cap on the whole header block, request line included.
+const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Cap on a declared request body: a daemon on loopback still shouldn't
+/// let one request balloon the process.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Why reading a request off the wire failed; each variant maps onto the
+/// HTTP status the daemon answers with before closing the connection.
+#[derive(Debug)]
+pub(crate) enum HttpError {
+    /// The connection stalled mid-request — bytes were received, then the
+    /// read timeout fired (408).
+    Timeout,
+    /// A header line, the header block, or the declared body exceeds its
+    /// cap (413).
+    TooLarge(String),
+    /// Any other framing error (400).
+    Malformed(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error is reported as.
+    pub(crate) fn status(&self) -> u16 {
+        match self {
+            HttpError::Timeout => 408,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Malformed(_) => 400,
+        }
+    }
+
+    /// The error body text.
+    pub(crate) fn message(&self) -> String {
+        match self {
+            HttpError::Timeout => "request timed out mid-read".into(),
+            HttpError::TooLarge(m) | HttpError::Malformed(m) => m.clone(),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\n`-terminated line of at most [`MAX_HEADER_LINE`] bytes
+/// into `line`, returning the bytes read (0 = EOF). Reading through a
+/// `take` bounds memory *before* the terminator check: a gigabyte header
+/// line trips the cap after 8 KiB instead of being buffered whole.
+fn read_line_capped<R: BufRead>(reader: &mut R, line: &mut String) -> Result<usize, HttpError> {
+    let mut limited = std::io::Read::take(&mut *reader, (MAX_HEADER_LINE + 1) as u64);
+    let n = limited.read_line(line).map_err(|e| {
+        if is_timeout(&e) {
+            HttpError::Timeout
+        } else {
+            HttpError::Malformed(format!("read header: {e}"))
+        }
+    })?;
+    if line.len() > MAX_HEADER_LINE {
+        return Err(HttpError::TooLarge(format!(
+            "header line exceeds the {MAX_HEADER_LINE}-byte cap"
+        )));
+    }
+    Ok(n)
+}
+
 /// Reads one HTTP request from `reader`. `Ok(None)` is a clean end of the
 /// connection: the client closed (EOF) or idled past the read timeout
 /// *between* requests — normal in a keep-alive loop, never an error.
-pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, String> {
+/// Every read is bounded: header lines at [`MAX_HEADER_LINE`], the header
+/// block at [`MAX_HEADER_BYTES`], the body at [`MAX_BODY_BYTES`], and a
+/// timeout mid-request surfaces as [`HttpError::Timeout`] (408) instead
+/// of holding the worker hostage to a stalled client.
+pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, HttpError> {
     let mut line = String::new();
-    match reader.read_line(&mut line) {
+    match read_line_capped(reader, &mut line) {
         Ok(0) => return Ok(None), // client closed between requests
         Ok(_) => {}
         // An idle timeout with nothing received yet is a quiet close; a
-        // timeout mid-request-line is a framing error like any other.
-        Err(e)
-            if line.is_empty()
-                && matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-        {
-            return Ok(None)
-        }
-        Err(e) => return Err(format!("read request line: {e}")),
+        // timeout mid-request-line means the client stalled (408).
+        Err(HttpError::Timeout) if line.is_empty() => return Ok(None),
+        Err(e) => return Err(e),
     }
+    let mut header_bytes = line.len();
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("request line has no path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
     // HTTP/1.1 (and anything newer) defaults to persistent connections;
     // a bare HTTP/1.0 client must opt in.
     let mut keep_alive = parts.next() != Some("HTTP/1.0");
@@ -54,18 +127,22 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequ
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        let n = reader
-            .read_line(&mut header)
-            .map_err(|e| format!("read header: {e}"))?;
+        let n = read_line_capped(reader, &mut header)?;
         if n == 0 || header.trim().is_empty() {
             break;
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "header block exceeds the {MAX_HEADER_BYTES}-byte cap"
+            )));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
             } else if name.eq_ignore_ascii_case("connection") {
                 let value = value.trim();
                 if value.eq_ignore_ascii_case("close") {
@@ -76,18 +153,21 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequ
             }
         }
     }
-    // Cap bodies at 16 MiB: a daemon on loopback still shouldn't let one
-    // request balloon the process.
-    if content_length > 16 * 1024 * 1024 {
-        return Err(format!(
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
             "body of {content_length} bytes exceeds the 16 MiB cap"
-        ));
+        )));
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("read body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            HttpError::Timeout
+        } else {
+            HttpError::Malformed(format!("read body: {e}"))
+        }
+    })?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?;
     Ok(Some(HttpRequest {
         method,
         path,
@@ -102,8 +182,10 @@ pub(crate) fn reason(status: u16) -> &'static str {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         410 => "Gone",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         _ => "Internal Server Error",
     }
@@ -153,6 +235,10 @@ pub(crate) enum Route {
     Metrics(String),
     /// `POST /sessions/<name>/checkpoint` (alias `POST /checkpoint`).
     Checkpoint(String),
+    /// `POST /sessions/<name>/events` — append substrate events to the
+    /// session's live schedule (no legacy alias; fault injection is a
+    /// deliberate, session-scoped act).
+    Events(String),
     /// `DELETE /sessions/<name>` — stop and evict a session.
     DeleteSession(String),
     /// `POST /shutdown` — stop the whole daemon.
@@ -182,6 +268,7 @@ pub(crate) fn route(method: &str, path: &str) -> Option<Route> {
             ("GET", "placement") => Some(Route::Placement(name.to_string())),
             ("GET", "metrics") => Some(Route::Metrics(name.to_string())),
             ("POST", "checkpoint") => Some(Route::Checkpoint(name.to_string())),
+            ("POST", "events") => Some(Route::Events(name.to_string())),
             _ => None,
         },
         Some(_) => None,
@@ -193,8 +280,8 @@ pub(crate) fn route(method: &str, path: &str) -> Option<Route> {
 pub(crate) const ENDPOINT_LIST: &str = "POST /sessions, GET /sessions, \
      POST /sessions/<name>/step, GET /sessions/<name>/placement, \
      GET /sessions/<name>/metrics, POST /sessions/<name>/checkpoint, \
-     DELETE /sessions/<name>, POST /step, GET /placement, GET /metrics, \
-     POST /checkpoint, POST /shutdown";
+     POST /sessions/<name>/events, DELETE /sessions/<name>, POST /step, \
+     GET /placement, GET /metrics, POST /checkpoint, POST /shutdown";
 
 #[cfg(test)]
 mod tests {
@@ -219,6 +306,10 @@ mod tests {
         assert_eq!(
             route("POST", "/sessions/b2/checkpoint"),
             Some(Route::Checkpoint("b2".into()))
+        );
+        assert_eq!(
+            route("POST", "/sessions/b2/events"),
+            Some(Route::Events("b2".into()))
         );
         assert_eq!(
             route("DELETE", "/sessions/alpha"),
@@ -267,10 +358,69 @@ mod tests {
     #[test]
     fn bad_routes_are_none() {
         assert_eq!(route("GET", "/step"), None); // wrong method
+        assert_eq!(route("GET", "/sessions/a/events"), None); // wrong method
         assert_eq!(route("POST", "/sessions/"), None); // empty name
         assert_eq!(route("DELETE", "/sessions/a/step"), None);
         assert_eq!(route("POST", "/sessions//step"), None);
         assert_eq!(route("POST", "/sessions/a/evict"), None);
         assert_eq!(route("GET", "/nope"), None);
+    }
+
+    #[test]
+    fn oversized_requests_are_413() {
+        // a single runaway request line
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(9_000));
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("header line"), "{}", err.message());
+        // a runaway header line
+        let raw = format!("GET /m HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "y".repeat(9_000));
+        assert_eq!(read_request(&mut raw.as_bytes()).unwrap_err().status(), 413);
+        // many medium header lines trip the block cap
+        let mut raw = String::from("GET /m HTTP/1.1\r\n");
+        for i in 0..10 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "z".repeat(4_000)));
+        }
+        raw.push_str("\r\n");
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("header block"), "{}", err.message());
+        // a declared body beyond the 16 MiB cap is refused before reading
+        let raw = "POST /step HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("16 MiB"), "{}", err.message());
+    }
+
+    /// A reader that yields its bytes, then stalls with the timeout error
+    /// a blocking socket read returns when `set_read_timeout` fires.
+    struct Stall<'a>(&'a [u8]);
+
+    impl std::io::Read for Stall<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "stall"));
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stalled_requests_are_408_but_idle_connections_close_quietly() {
+        // nothing received yet: the keep-alive idle case, a quiet close
+        let mut idle = std::io::BufReader::new(Stall(b""));
+        assert!(read_request(&mut idle).unwrap().is_none());
+        // a stall mid-request-line holds half a request: 408
+        let mut stalled = std::io::BufReader::new(Stall(b"GET /metr"));
+        let err = read_request(&mut stalled).unwrap_err();
+        assert_eq!(err.status(), 408);
+        // a stall mid-body: also 408
+        let mut stalled =
+            std::io::BufReader::new(Stall(b"POST /step HTTP/1.1\r\nContent-Length: 8\r\n\r\nab"));
+        let err = read_request(&mut stalled).unwrap_err();
+        assert_eq!(err.status(), 408);
     }
 }

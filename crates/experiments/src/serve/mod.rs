@@ -4,10 +4,10 @@
 //! Where `flexserve run` replays a recorded trace in a closed loop,
 //! `serve` keeps the loop open — and since this revision it keeps *many*
 //! loops open: a [`SessionManager`] owns any number of named
-//! [`SimSession`](flexserve_sim::SimSession)s (each on its own actor
-//! thread, with its own strategy and
-//! [`RequestSource`](flexserve_workload::RequestSource), sharing
-//! substrates through the process-wide
+//! [`EventedSession`](flexserve_sim::EventedSession)s (each on its own
+//! actor thread, with its own strategy, its own mutable substrate world,
+//! and its own [`RequestSource`](flexserve_workload::RequestSource),
+//! sharing pristine substrates through the process-wide
 //! [`DistCache`](crate::cache::DistCache)), behind a small accept-loop +
 //! worker-pool HTTP front end (hand-rolled HTTP/1.1, as ever):
 //!
@@ -19,6 +19,7 @@
 //! | `GET /sessions/<name>/placement`     | its servers and epoch                    |
 //! | `GET /sessions/<name>/metrics`       | its counters (process + cumulative)      |
 //! | `POST /sessions/<name>/checkpoint`   | snapshot it to its checkpoint file       |
+//! | `POST /sessions/<name>/events`       | append substrate events to its schedule  |
 //! | `DELETE /sessions/<name>`            | stop and evict it                        |
 //! | `POST /shutdown`                     | stop the daemon                          |
 //!
@@ -33,10 +34,19 @@
 //! distinct sessions share no mutable state and step in parallel across
 //! workers, bit-identical to each cell served alone (pinned by
 //! `tests/serve_sessions.rs`). Checkpoints use the v2 engine format
-//! carrying cumulative metrics; v1 files still restore. Restarting with
-//! `resume=true` continues the default session **bit-identically** to a
-//! daemon that was never stopped. Endpoint reference, JSONL replay schema
-//! and the checkpoint format live in `docs/SERVING.md`.
+//! carrying cumulative metrics and the substrate-event schedule; v1 files
+//! still restore. Restarting with `resume=true` continues the default
+//! session **bit-identically** to a daemon that was never stopped — event
+//! history included (the snapshot's schedule is replayed onto a pristine
+//! substrate and fingerprint-checked).
+//!
+//! Robustness is part of the contract: every request read is bounded
+//! (`request-timeout=` plus header/body caps, answered with 408/413), and
+//! shutdown is graceful — `POST /shutdown` *and* SIGTERM both drain the
+//! worker pool and checkpoint every live session to its checkpoint file
+//! before exiting. Endpoint reference, JSONL replay schema and the
+//! checkpoint format live in `docs/SERVING.md`; the substrate-event
+//! plane (grammar, penalty costs, replay semantics) in `docs/FAULTS.md`.
 
 mod handlers;
 mod http;
@@ -74,20 +84,27 @@ pub struct ServeOptions {
     /// are auto-checkpointed and evicted by a reaper thread (`None` =
     /// never, the default).
     pub idle_evict: Option<std::time::Duration>,
+    /// `request-timeout=<secs>`: per-request read/write bound on every
+    /// connection — a stalled client gets a 408 instead of pinning a
+    /// worker (default 30s; the shorter keep-alive idle window still
+    /// governs gaps *between* requests).
+    pub request_timeout: std::time::Duration,
 }
 
 const SERVE_USAGE: &str = "\
 usage: flexserve serve topo=<spec> wl=<spec> strat=<name> [key=value...]
 
 cell keys:    t, lambda, rounds (scenario-source cap), seed, load, beta, c,
-              ra, ri, k, flipped
+              ra, ri, k, flipped, events (substrate-event schedule;
+              see docs/FAULTS.md)
 session keys: checkpoint=<path> (default <results dir>/checkpoint.json),
               resume=true|false, source=scenario|stdin|<path.jsonl>
 server keys:  port (default 7788, 0 = ephemeral),
               bind=<ip>[:<port>] (default 127.0.0.1; non-loopback logs a warning),
               workers=<n> (default 4), max-sessions=<n> (default 16),
               idle-evict=<secs> (auto-checkpoint + evict idle sessions;
-              default off)
+              default off),
+              request-timeout=<secs> (per-request read/write bound; default 30)
 ";
 
 impl ServeOptions {
@@ -101,6 +118,7 @@ impl ServeOptions {
         let mut workers = 4usize;
         let mut max_sessions = 16usize;
         let mut idle_evict = None;
+        let mut request_timeout = std::time::Duration::from_secs(30);
         let mut session_args: Vec<String> = Vec::new();
 
         for arg in args {
@@ -142,6 +160,17 @@ impl ServeOptions {
                     }
                     idle_evict = Some(std::time::Duration::from_secs_f64(secs));
                 }
+                "request-timeout" => {
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("request-timeout: bad value {v:?} (want seconds)"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!(
+                            "request-timeout: {v} out of range (want > 0 seconds)"
+                        ));
+                    }
+                    request_timeout = std::time::Duration::from_secs_f64(secs);
+                }
                 _ => session_args.push(arg.clone()),
             }
         }
@@ -155,6 +184,7 @@ impl ServeOptions {
             workers,
             max_sessions,
             idle_evict,
+            request_timeout,
         })
     }
 }
@@ -176,6 +206,39 @@ pub(crate) struct ServeShared {
     pub(crate) manager: SessionManager,
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
+    pub(crate) request_timeout: std::time::Duration,
+}
+
+/// SIGTERM handling for the daemon: the signal handler only flips a flag
+/// (the whole async-signal-safe budget); a watcher thread in [`serve_on`]
+/// turns the flag into the same graceful shutdown as `POST /shutdown`.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler and clears any flag left by a previous daemon
+    /// in this process (tests run several serve lifecycles per binary).
+    pub(crate) fn install() {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        TERM.store(false, Ordering::SeqCst);
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    /// True once SIGTERM has been received.
+    pub(crate) fn pending() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
 }
 
 /// The startup warning for listeners reachable from other hosts, or
@@ -208,6 +271,7 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
         manager: SessionManager::new(opts.max_sessions),
         shutdown: AtomicBool::new(false),
         addr,
+        request_timeout: opts.request_timeout,
     });
 
     // The default session comes up before the listener answers, so a bad
@@ -274,6 +338,29 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
             .expect("spawn reaper thread")
     });
 
+    // SIGTERM watcher: the handler itself only flips a flag, this thread
+    // notices it and triggers the same graceful shutdown as
+    // `POST /shutdown` (drain workers, checkpoint every session). Exits
+    // within a tick once the shutdown flag is set by any path.
+    #[cfg(unix)]
+    let term_watcher = {
+        sigterm::install();
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-sigterm".into())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    if sigterm::pending() {
+                        eprintln!("flexserve serve: SIGTERM — checkpointing and shutting down");
+                        handlers::begin_shutdown(&shared);
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            })
+            .map_err(|e| format!("serve: cannot spawn sigterm watcher: {e}"))?
+    };
+
     // Worker pool: the accept loop fans connections out over a channel;
     // each worker owns whole exchanges, so a step on one session never
     // queues behind a step on another.
@@ -319,6 +406,19 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
     }
     if let Some(reaper) = reaper {
         let _ = reaper.join(); // observes the shutdown flag within a tick
+    }
+    #[cfg(unix)]
+    let _ = term_watcher.join(); // likewise bounded by its poll tick
+                                 // Graceful shutdown: snapshot every live session to its checkpoint
+                                 // file before stopping it, so a daemon going down (POST /shutdown or
+                                 // SIGTERM) never loses state nobody checkpointed explicitly.
+    let saved = shared.manager.checkpoint_all();
+    if !saved.is_empty() {
+        eprintln!(
+            "flexserve serve: checkpointed {} session(s) on shutdown: {}",
+            saved.len(),
+            saved.join(", ")
+        );
     }
     shared.manager.shutdown_all();
     let stats = shared.manager.default_session_stats().unwrap_or_default();
@@ -434,6 +534,17 @@ mod tests {
         assert!(with(&["idle-evict=0"]).is_err());
         assert!(with(&["idle-evict=-1"]).is_err());
         assert!(with(&["idle-evict=soon"]).is_err());
+
+        // request-timeout: same shape, with a 30s default
+        let opts = with(&[]).unwrap();
+        assert_eq!(opts.request_timeout, std::time::Duration::from_secs(30));
+        let opts = with(&["request-timeout=2.5"]).unwrap();
+        assert_eq!(
+            opts.request_timeout,
+            std::time::Duration::from_millis(2_500)
+        );
+        assert!(with(&["request-timeout=0"]).is_err());
+        assert!(with(&["request-timeout=never"]).is_err());
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The session layer of the serve daemon: many named, concurrently
-//! stepping [`SimSession`]s under one [`SessionManager`].
+//! stepping [`EventedSession`]s under one [`SessionManager`].
 //!
 //! Each session runs on its **own actor thread** that owns the full
-//! per-session world — substrate borrow ([`ExperimentEnv`] `Arc`s fetched
-//! through the process-wide [`DistCache`](crate::cache::DistCache), so
-//! sessions on the same topology share one APSP), the boxed strategy, the
-//! [`SimSession`] and its [`RequestSource`] — and serializes that
+//! per-session world — an owned substrate clone (fetched through the
+//! process-wide [`DistCache`](crate::cache::DistCache) and cloned once,
+//! because substrate events mutate link latencies in place while the
+//! cache copy must stay pristine), the boxed strategy, the
+//! [`EventedSession`] and its [`RequestSource`] — and serializes that
 //! session's operations through an `mpsc` command channel. This gives
 //! exactly the concurrency the placement game allows: *within* a session
 //! the online game stays strictly sequential (channel FIFO), while
@@ -27,7 +28,8 @@ use std::time::Instant;
 
 use flexserve_core::{initial_center, OffStatPlacement};
 use flexserve_sim::{
-    CostBreakdown, OnlineStrategy, RoundRecord, SessionMetrics, SessionSnapshot, SimSession,
+    CostBreakdown, EventedSession, OnlineStrategy, RoundRecord, SessionMetrics, SessionSnapshot,
+    SubstrateEvents,
 };
 use flexserve_workload::{
     file_source, parse_round, record, stdin_source, JsonValue, RequestSource, ScenarioStream, Trace,
@@ -189,6 +191,11 @@ enum Command {
     /// Snapshot to the checkpoint file; replies with the document text.
     Checkpoint {
         reply: Sender<Result<String, ServeError>>,
+    },
+    /// Append substrate events to the live schedule.
+    Events {
+        body: String,
+        reply: Sender<Result<JsonValue, ServeError>>,
     },
     /// One row of `GET /sessions`.
     Info { reply: Sender<JsonValue> },
@@ -368,6 +375,51 @@ impl SessionManager {
     /// Checkpoints `name`; returns the written document text.
     pub fn checkpoint(&self, name: &str) -> Result<String, ServeError> {
         self.roundtrip(name, |reply| Command::Checkpoint { reply })?
+    }
+
+    /// Appends substrate events to `name`'s live schedule — the
+    /// `POST /sessions/<name>/events` endpoint. The body is a JSON
+    /// object with an `events` string in the schedule grammar
+    /// (`docs/FAULTS.md`); events scheduled before the session's current
+    /// round are refused.
+    pub fn events(&self, name: &str, body: &str) -> Result<JsonValue, ServeError> {
+        let body = body.to_string();
+        self.roundtrip(name, |reply| Command::Events { body, reply })?
+    }
+
+    /// Checkpoints every live session to its checkpoint file without
+    /// stopping it — the first half of a graceful daemon shutdown
+    /// (SIGTERM or `POST /shutdown`), so no session loses state even if
+    /// nobody checkpointed it explicitly. Failures are logged and
+    /// skipped (a full disk must not wedge the shutdown). Returns the
+    /// names checkpointed, sorted.
+    pub fn checkpoint_all(&self) -> Vec<String> {
+        let targets: Vec<(String, Sender<Command>)> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .entries
+                .iter()
+                .filter_map(|(name, e)| match e {
+                    Entry::Live(h) => Some((name.clone(), h.tx.clone())),
+                    Entry::Starting => None,
+                })
+                .collect()
+        };
+        let mut saved = Vec::with_capacity(targets.len());
+        for (name, tx) in targets {
+            let (rtx, rrx) = mpsc::channel();
+            if tx.send(Command::Checkpoint { reply: rtx }).is_err() {
+                eprintln!("serve: shutdown checkpoint {name:?}: session died");
+                continue;
+            }
+            match rrx.recv() {
+                Ok(Ok(_)) => saved.push(name),
+                Ok(Err(e)) => eprintln!("serve: shutdown checkpoint {name:?}: {e}"),
+                Err(_) => eprintln!("serve: shutdown checkpoint {name:?}: session died"),
+            }
+        }
+        saved.sort();
+        saved
     }
 
     /// Stops and evicts `name`, returning its final stats. `DELETE` on an
@@ -680,9 +732,9 @@ fn validate_name(name: &str) -> Result<(), ServeError> {
 // ---------------------------------------------------------------------
 
 /// Mutable per-session serving state, owned by the actor thread.
-struct SessionState<'s, 'a> {
+struct SessionState<'s> {
     name: &'s str,
-    session: &'s mut SimSession<'a, Box<dyn OnlineStrategy>>,
+    session: &'s mut EventedSession<Box<dyn OnlineStrategy>>,
     source: &'s mut dyn RequestSource,
     spec: String,
     checkpoint: PathBuf,
@@ -700,7 +752,7 @@ struct SessionState<'s, 'a> {
     started: Instant,
 }
 
-impl SessionState<'_, '_> {
+impl SessionState<'_> {
     /// Lifetime totals right now: checkpoint-carried plus this process.
     fn cumulative(&self) -> SessionMetrics {
         SessionMetrics {
@@ -736,6 +788,12 @@ fn run_session(
     };
     let ctx = env.context(cfg.cell.params, cfg.cell.load);
     let node_count = env.graph.node_count();
+    // Every serve session owns its substrate world: substrate events
+    // mutate link latencies in place, so the shared cache `Arc`s are
+    // cloned exactly once here and the cache copy stays pristine for
+    // other sessions on the same topology.
+    let graph = (*env.graph).clone();
+    let dist = (*env.matrix).clone();
 
     // Resume state, read before anything is constructed so a bad
     // checkpoint aborts the creation instead of a half-served session.
@@ -808,11 +866,46 @@ fn run_session(
     };
 
     let mut session = match &snapshot {
-        Some(snap) => match SimSession::resume(ctx, strategy, snap) {
-            Ok(session) => session,
-            Err(e) => return fail(e),
-        },
-        None => SimSession::new(ctx, strategy, initial_center(&ctx)),
+        Some(snap) => {
+            // The checkpoint's recorded schedule is authoritative on
+            // resume: an `events=` key restating it verbatim is accepted
+            // (so the same command line restarts cleanly), anything else
+            // is refused rather than silently merged or doubled.
+            let recorded = snap.substrate_events.clone().unwrap_or_default();
+            if !cfg.cell.events.is_empty() && cfg.cell.events.render() != recorded {
+                return fail(format!(
+                    "resume: events= ({}) conflicts with the checkpointed schedule ({}); \
+                     the checkpoint restores its own events — append new ones via \
+                     POST /sessions/<name>/events",
+                    cfg.cell.events.render(),
+                    if recorded.is_empty() {
+                        "none"
+                    } else {
+                        recorded.as_str()
+                    },
+                ));
+            }
+            match EventedSession::resume(
+                graph,
+                dist,
+                cfg.cell.params,
+                cfg.cell.load,
+                strategy,
+                snap,
+            ) {
+                Ok(session) => session,
+                Err(e) => return fail(e),
+            }
+        }
+        None => EventedSession::new(
+            graph,
+            dist,
+            cfg.cell.events.clone(),
+            cfg.cell.params,
+            cfg.cell.load,
+            strategy,
+            initial_center(&ctx),
+        ),
     };
 
     // The demand source, fast-forwarded past the rounds the checkpointed
@@ -886,6 +979,9 @@ fn run_session(
             Command::Checkpoint { reply } => {
                 let _ = reply.send(checkpoint(&mut state).map_err(ServeError::Internal));
             }
+            Command::Events { body, reply } => {
+                let _ = reply.send(append_events(&mut state, &body));
+            }
             Command::Info { reply } => {
                 let _ = reply.send(info_json(&state));
             }
@@ -905,7 +1001,7 @@ fn record_cell_trace(cell: &CellSpec, env: &ExperimentEnv, seed: u64) -> Trace {
     record(scenario.as_mut(), cell.rounds)
 }
 
-fn step(state: &mut SessionState<'_, '_>, body: &str) -> Result<JsonValue, ServeError> {
+fn step(state: &mut SessionState<'_>, body: &str) -> Result<JsonValue, ServeError> {
     let batch = if body.trim().is_empty() {
         let batch = state
             .source
@@ -916,17 +1012,50 @@ fn step(state: &mut SessionState<'_, '_>, body: &str) -> Result<JsonValue, Serve
         batch
     } else {
         let value = JsonValue::parse(body.trim()).map_err(ServeError::Bad)?;
-        parse_round(&value, state.session.ctx().graph.node_count()).map_err(ServeError::Bad)?
+        parse_round(&value, state.session.world().graph().node_count()).map_err(ServeError::Bad)?
     };
     let started = Instant::now();
-    let rec = state.session.step(&batch);
+    // A failing event aborts the round before any cost is charged: `t`
+    // does not advance, so the schedule stays addressable and the error
+    // is reported to the caller instead of silently skipping the event.
+    let rec = state.session.step(&batch).map_err(ServeError::Bad)?;
     state.step_seconds_total += started.elapsed().as_secs_f64();
     state.rounds_served += 1;
     state.totals += rec.costs;
     Ok(round_json(state, &rec))
 }
 
-fn checkpoint(state: &mut SessionState<'_, '_>) -> Result<String, String> {
+/// Handles `POST /sessions/<name>/events`: parses `{"events": "<schedule
+/// grammar>"}` from the body and appends to the live schedule. Past
+/// events (before the session's current round) are refused by
+/// [`EventedSession::append_events`].
+fn append_events(state: &mut SessionState<'_>, body: &str) -> Result<JsonValue, ServeError> {
+    let value = JsonValue::parse(body.trim()).map_err(ServeError::Bad)?;
+    let text = value
+        .get("events")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::Bad("events: body needs an \"events\" string".into()))?;
+    let more = SubstrateEvents::parse(text).map_err(ServeError::Bad)?;
+    if more.is_empty() {
+        return Err(ServeError::Bad("events: empty schedule".into()));
+    }
+    state
+        .session
+        .append_events(&more)
+        .map_err(ServeError::Bad)?;
+    Ok(JsonValue::Obj(vec![
+        ("ok".into(), JsonValue::Bool(true)),
+        ("session".into(), JsonValue::from(state.name)),
+        ("appended".into(), JsonValue::from(more.len())),
+        (
+            "events".into(),
+            JsonValue::from(state.session.schedule().render()),
+        ),
+        ("next_t".into(), JsonValue::from(state.session.t())),
+    ]))
+}
+
+fn checkpoint(state: &mut SessionState<'_>) -> Result<String, String> {
     let mut snap = state.session.snapshot()?;
     // v2: the checkpoint carries the session's lifetime totals, so a
     // restarted daemon keeps counting where this one stops.
@@ -969,7 +1098,7 @@ fn costs_json(costs: &CostBreakdown) -> JsonValue {
     ])
 }
 
-fn fleet_json(state: &SessionState<'_, '_>) -> Vec<(String, JsonValue)> {
+fn fleet_json(state: &SessionState<'_>) -> Vec<(String, JsonValue)> {
     let fleet = state.session.fleet();
     vec![
         (
@@ -1000,7 +1129,7 @@ fn fleet_json(state: &SessionState<'_, '_>) -> Vec<(String, JsonValue)> {
     ]
 }
 
-fn round_json(state: &SessionState<'_, '_>, rec: &RoundRecord) -> JsonValue {
+fn round_json(state: &SessionState<'_>, rec: &RoundRecord) -> JsonValue {
     let mut pairs = vec![
         ("t".into(), JsonValue::from(rec.t)),
         ("requests".into(), JsonValue::from(rec.requests)),
@@ -1010,13 +1139,13 @@ fn round_json(state: &SessionState<'_, '_>, rec: &RoundRecord) -> JsonValue {
     JsonValue::Obj(pairs)
 }
 
-fn placement_json(state: &SessionState<'_, '_>) -> JsonValue {
+fn placement_json(state: &SessionState<'_>) -> JsonValue {
     let mut pairs = vec![("t".into(), JsonValue::from(state.session.t()))];
     pairs.extend(fleet_json(state));
     JsonValue::Obj(pairs)
 }
 
-fn metrics_json(state: &SessionState<'_, '_>) -> JsonValue {
+fn metrics_json(state: &SessionState<'_>) -> JsonValue {
     let cumulative = state.cumulative();
     JsonValue::Obj(vec![
         ("session".into(), JsonValue::from(state.name)),
@@ -1060,8 +1189,8 @@ fn metrics_json(state: &SessionState<'_, '_>) -> JsonValue {
 }
 
 /// One `GET /sessions` row (also the `POST /sessions` response).
-fn info_json(state: &SessionState<'_, '_>) -> JsonValue {
-    JsonValue::Obj(vec![
+fn info_json(state: &SessionState<'_>) -> JsonValue {
+    let mut pairs = vec![
         ("name".into(), JsonValue::from(state.name)),
         ("status".into(), JsonValue::from("live")),
         ("spec".into(), JsonValue::from(state.spec.clone())),
@@ -1077,7 +1206,12 @@ fn info_json(state: &SessionState<'_, '_>) -> JsonValue {
             "uptime_seconds".into(),
             JsonValue::from(state.started.elapsed().as_secs_f64()),
         ),
-    ])
+    ];
+    let schedule = state.session.schedule();
+    if !schedule.is_empty() {
+        pairs.push(("events".into(), JsonValue::from(schedule.render())));
+    }
+    JsonValue::Obj(pairs)
 }
 
 #[cfg(test)]
@@ -1261,6 +1395,93 @@ mod tests {
             matches!(list.get("sessions").unwrap(), JsonValue::Arr(rows) if rows.is_empty()),
             "DELETE must clear the tombstone"
         );
+        mgr.shutdown_all();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_append_checkpoint_all_and_resume() {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-serve-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("events.json");
+        let ck_arg = format!("checkpoint={}", ck.display());
+        let mgr = SessionManager::new(4);
+        let info = mgr
+            .create("ev", tiny("ev", &[&ck_arg, "events=2:fail-link:0-1"]))
+            .unwrap();
+        assert_eq!(
+            info.get("events").unwrap().as_str(),
+            Some("2:fail-link:0-1")
+        );
+        for _ in 0..4 {
+            mgr.step("ev", "").unwrap();
+        }
+
+        // Live append of a future recovery; past events are refused.
+        let out = mgr
+            .events("ev", r#"{"events": "6:recover-link:0-1"}"#)
+            .unwrap();
+        assert_eq!(out.get("appended").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            out.get("events").unwrap().as_str(),
+            Some("2:fail-link:0-1,6:recover-link:0-1")
+        );
+        assert_eq!(out.get("next_t").unwrap().as_u64(), Some(4));
+        match mgr.events("ev", r#"{"events": "1:fail-node:5"}"#) {
+            Err(ServeError::Bad(msg)) => assert!(msg.contains("round"), "{msg}"),
+            other => panic!("past events must be Bad, got {other:?}"),
+        }
+        match mgr.events("ev", r#"{"nope": true}"#) {
+            Err(ServeError::Bad(_)) => {}
+            other => panic!("bodies without events must be Bad, got {other:?}"),
+        }
+
+        // Graceful-shutdown checkpointing records the full schedule.
+        assert_eq!(mgr.checkpoint_all(), vec!["ev".to_string()]);
+        let text = std::fs::read_to_string(&ck).expect("shutdown checkpoint written");
+        assert!(
+            text.contains("\"substrate_events\":\"2:fail-link:0-1,6:recover-link:0-1\""),
+            "{text}"
+        );
+        mgr.shutdown_all();
+
+        // Resume restores the schedule from the checkpoint itself...
+        let mgr = SessionManager::new(4);
+        let info = mgr
+            .create("ev", tiny("ev", &[&ck_arg, "resume=true"]))
+            .unwrap();
+        assert_eq!(info.get("resumed_at").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            info.get("events").unwrap().as_str(),
+            Some("2:fail-link:0-1,6:recover-link:0-1")
+        );
+        mgr.shutdown_all();
+
+        // ...an events= key restating it verbatim is accepted, anything
+        // else conflicts.
+        let mgr = SessionManager::new(4);
+        mgr.create(
+            "ev",
+            tiny(
+                "ev",
+                &[
+                    &ck_arg,
+                    "resume=true",
+                    "events=2:fail-link:0-1,6:recover-link:0-1",
+                ],
+            ),
+        )
+        .unwrap();
+        mgr.shutdown_all();
+        let mgr = SessionManager::new(4);
+        match mgr.create(
+            "ev",
+            tiny("ev", &[&ck_arg, "resume=true", "events=3:fail-node:5"]),
+        ) {
+            Err(ServeError::Bad(msg)) => assert!(msg.contains("conflicts"), "{msg}"),
+            other => panic!("conflicting schedules must be Bad, got {other:?}"),
+        }
         mgr.shutdown_all();
         let _ = std::fs::remove_dir_all(&dir);
     }

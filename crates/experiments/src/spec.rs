@@ -23,7 +23,9 @@ use flexserve_graph::gen::{
     self, erdos_renyi, grid, line, random_geometric, random_tree, ring, star, unit_line, waxman,
 };
 use flexserve_graph::{DistanceMatrix, Graph};
-use flexserve_sim::{CostBreakdown, CostParams, LoadModel, SimContext};
+use flexserve_sim::{
+    CostBreakdown, CostParams, EventedSession, LoadModel, SimContext, SubstrateEvents,
+};
 use flexserve_topology::{as7018_like, parse_rocketfuel_weights, As7018Config};
 use flexserve_workload::{
     file_source, CommuterScenario, LoadVariant, OnOffScenario, ProximityScenario, RoundTrace,
@@ -706,6 +708,11 @@ pub struct CellSpec {
     pub params: CostParams,
     /// Server load model.
     pub load: LoadModel,
+    /// Scheduled substrate events (failures, recoveries, degradations);
+    /// empty for the static substrates of the paper reproductions. A
+    /// non-empty schedule switches [`CellSpec::run`] onto the evented
+    /// session and restricts the cell to streaming-capable strategies.
+    pub events: SubstrateEvents,
 }
 
 impl CellSpec {
@@ -722,13 +729,21 @@ impl CellSpec {
             seeds: vec![1000, 1001, 1002],
             params: CostParams::default(),
             load: LoadModel::Linear,
+            events: SubstrateEvents::new(),
         }
     }
 
     /// Canonical one-line cell description (manifest + sweep CSV rows).
+    /// Event-free cells keep the historical format; a schedule appends an
+    /// `events=` field, so the manifest records exactly what was injected.
     pub fn describe(&self) -> String {
+        let events = if self.events.is_empty() {
+            String::new()
+        } else {
+            format!(", events={}", self.events.render())
+        };
         format!(
-            "{} x {} x {} (T={}, lambda={}, rounds={}, {} seeds, {}, load={})",
+            "{} x {} x {} (T={}, lambda={}, rounds={}, {} seeds, {}, load={}{events})",
             self.topology,
             self.workload,
             self.strategy,
@@ -764,6 +779,41 @@ impl CellSpec {
         // A replay workload must exist, parse and fit this substrate
         // before any strategy runs.
         self.workload.validate_replay(n)?;
+        if !self.events.is_empty() {
+            // Offline strategies plan against the whole trace on a static
+            // substrate; events fire between rounds, which only streaming
+            // strategies can observe.
+            if matches!(
+                self.strategy,
+                StrategySpec::OffBr
+                    | StrategySpec::OffTh
+                    | StrategySpec::OffStat
+                    | StrategySpec::Opt
+            ) {
+                return Err(format!(
+                    "events: {} is an offline strategy and cannot run on a dynamic substrate",
+                    self.strategy
+                ));
+            }
+            if let Some(last) = self.events.last_time() {
+                if last >= self.rounds {
+                    return Err(format!(
+                        "events: event scheduled at round {last} but the cell runs only {} rounds",
+                        self.rounds
+                    ));
+                }
+            }
+            // Dry-run the whole schedule against the first seed's
+            // substrate so unknown links and double failures are refused
+            // before any strategy runs.
+            let mut world =
+                flexserve_sim::DynamicWorld::new((*env.graph).clone(), (*env.matrix).clone());
+            for (t, event) in self.events.entries() {
+                world
+                    .apply(event)
+                    .map_err(|e| format!("events: round {t}: {e}"))?;
+            }
+        }
         let k = self.params.max_servers.min(n);
         match self.strategy {
             // The OPT DP mirrors configurations into 64-bit position masks
@@ -850,7 +900,35 @@ impl CellSpec {
                 ExperimentEnv::from_spec(&self.topology, seed).expect("validated spec must build");
             let ctx = env.context(self.params, self.load);
             let trace = self.shared_trace(&env, seed);
-            self.strategy.run(&ctx, &trace, seed)
+            if self.events.is_empty() {
+                self.strategy.run(&ctx, &trace, seed)
+            } else {
+                // Dynamic substrate: drive the evented session over the
+                // same shared trace (validated: the strategy streams and
+                // the schedule dry-ran on the first seed's substrate).
+                let strategy = self
+                    .strategy
+                    .instantiate_online(&ctx, seed)
+                    .expect("validated: strategy has a streaming form");
+                let initial = initial_center(&ctx);
+                let mut session = EventedSession::new(
+                    (*env.graph).clone(),
+                    (*env.matrix).clone(),
+                    self.events.clone(),
+                    self.params,
+                    self.load,
+                    strategy,
+                    initial,
+                );
+                let mut total = CostBreakdown::zero();
+                for round in trace.iter() {
+                    let record = session
+                        .step(round)
+                        .unwrap_or_else(|e| panic!("events cell (seed {seed}): {e}"));
+                    total += record.costs;
+                }
+                total
+            }
         });
         let fingerprint = ExperimentEnv::from_spec(&self.topology, self.seeds[0])
             .expect("validated spec must build")
@@ -879,8 +957,9 @@ pub struct CellResult {
 ///
 /// Cell keys: `topo`, `wl`, `strat` (required), `t`, `lambda`, `rounds`,
 /// `seed` (a single seed, not a list), `load`, `beta`, `c`, `ra`, `ri`,
-/// `k`, `flipped`. [`apply`](CellBuilder::apply) returns `Ok(false)` for
-/// any other key, so callers can layer their own keys (`checkpoint=`,
+/// `k`, `flipped`, `events` (a substrate-event schedule, see
+/// `docs/FAULTS.md`). [`apply`](CellBuilder::apply) returns `Ok(false)`
+/// for any other key, so callers can layer their own keys (`checkpoint=`,
 /// `bind=`, …) on top.
 ///
 /// ```
@@ -910,6 +989,7 @@ pub struct CellBuilder {
     beta: Option<f64>,
     c: Option<f64>,
     flipped: bool,
+    events: SubstrateEvents,
 }
 
 impl Default for CellBuilder {
@@ -935,6 +1015,7 @@ impl CellBuilder {
             beta: None,
             c: None,
             flipped: false,
+            events: SubstrateEvents::new(),
         }
     }
 
@@ -970,6 +1051,7 @@ impl CellBuilder {
             "flipped" => {
                 self.flipped = v.parse().map_err(|_| format!("flipped: bad value {v:?}"))?
             }
+            "events" => self.events = SubstrateEvents::parse(v)?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -1003,6 +1085,7 @@ impl CellBuilder {
         cell.seeds = vec![self.seed];
         cell.params = params;
         cell.load = self.load;
+        cell.events = self.events;
         Ok(cell)
     }
 }
@@ -1214,6 +1297,85 @@ mod tests {
         assert!(res.summary.mean_total() > 0.0);
         assert_ne!(res.fingerprint, 0);
         assert!(cell.describe().contains("unit-line:8"));
+    }
+
+    #[test]
+    fn events_cell_validates_runs_and_describes() {
+        let mut cell = CellSpec::new(
+            "unit-line:8".parse().unwrap(),
+            "uniform:req=3".parse().unwrap(),
+            StrategySpec::OnTh,
+        );
+        cell.rounds = 30;
+        cell.seeds = vec![1];
+        cell.params = cell.params.with_max_servers(4);
+        cell.events =
+            SubstrateEvents::parse("5:fail-link:3-4,12:recover-link:3-4,20:degrade-link:0-1:2")
+                .unwrap();
+        assert!(
+            cell.describe().contains("events=5:fail-link:3-4"),
+            "{}",
+            cell.describe()
+        );
+        let res = cell.run().unwrap();
+        assert!(res.summary.mean_total().is_finite());
+        assert!(res.summary.mean_total() > 0.0);
+
+        // Offline strategies are refused on dynamic substrates.
+        let mut off = cell.clone();
+        off.strategy = StrategySpec::OffBr;
+        let err = off.validate().unwrap_err();
+        assert!(err.contains("offline"), "{err}");
+
+        // Events past the end of the run are refused.
+        let mut late = cell.clone();
+        late.rounds = 10;
+        let err = late.validate().unwrap_err();
+        assert!(err.contains("round 20"), "{err}");
+
+        // An event naming a link the substrate does not have is caught by
+        // the dry run, before any strategy work.
+        let mut bad = cell.clone();
+        bad.events = SubstrateEvents::parse("5:fail-link:0-7").unwrap();
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("no link"), "{err}");
+    }
+
+    #[test]
+    fn events_cell_without_events_matches_static_path() {
+        // The evented runner over an empty schedule must agree with the
+        // static path bit for bit (same shared code underneath).
+        let mut cell = CellSpec::new(
+            "unit-line:8".parse().unwrap(),
+            "uniform:req=3".parse().unwrap(),
+            StrategySpec::OnTh,
+        );
+        cell.rounds = 25;
+        cell.seeds = vec![2];
+        cell.params = cell.params.with_max_servers(4);
+        let static_total = cell.run().unwrap().summary.mean_total();
+
+        // A no-op schedule: fail and recover the same link in one round.
+        cell.events = SubstrateEvents::parse("5:fail-link:3-4,5:recover-link:3-4").unwrap();
+        let evented_total = cell.run().unwrap().summary.mean_total();
+        assert_eq!(static_total.to_bits(), evented_total.to_bits());
+    }
+
+    #[test]
+    fn cell_builder_accepts_events_key() {
+        let mut b = CellBuilder::new();
+        for kv in [
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=onth",
+            "events=5:fail-link:3-4,9:recover-link:3-4",
+        ] {
+            let (k, v) = kv.split_once('=').unwrap();
+            assert!(b.apply(k, v).unwrap());
+        }
+        let cell = b.build().unwrap();
+        assert_eq!(cell.events.len(), 2);
+        assert!(CellBuilder::new().apply("events", "5:explode:1").is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn serving_md_documents_every_endpoint() {
         "GET /sessions/<name>/placement",
         "GET /sessions/<name>/metrics",
         "POST /sessions/<name>/checkpoint",
+        "POST /sessions/<name>/events",
         "DELETE /sessions/<name>",
         // legacy aliases of the default session
         "POST /step",
@@ -86,7 +87,13 @@ fn serving_md_documents_every_endpoint() {
     assert!(SERVING_MD.contains(flexserve_sim::CHECKPOINT_FORMAT_V1));
     // the serve keys added with the session manager (and the idle
     // reaper) stay documented
-    for key in ["`bind=", "`workers=", "`max-sessions=", "`idle-evict="] {
+    for key in [
+        "`bind=",
+        "`workers=",
+        "`max-sessions=",
+        "`idle-evict=",
+        "`request-timeout=",
+    ] {
         assert!(
             SERVING_MD.contains(key),
             "docs/SERVING.md must document the {key} serve key"
@@ -105,6 +112,51 @@ fn serving_md_documents_every_endpoint() {
         SERVING_MD.contains("\"evicted\": true"),
         "docs/SERVING.md must document the GET /sessions tombstone rows"
     );
+    // the hardening status codes and the checkpointed event log are part
+    // of the daemon's external contract
+    for s in ["408", "413", "substrate_events", "SIGTERM"] {
+        assert!(SERVING_MD.contains(s), "docs/SERVING.md must document {s}");
+    }
+}
+
+#[test]
+fn faults_md_documents_the_event_plane() {
+    const FAULTS_MD: &str = include_str!("../../../docs/FAULTS.md");
+    // the cell key and every event kind of the grammar
+    assert!(
+        FAULTS_MD.contains("`events=`"),
+        "docs/FAULTS.md must document the events= cell key"
+    );
+    for kind in [
+        "fail-link",
+        "recover-link",
+        "fail-node",
+        "recover-node",
+        "degrade-link",
+    ] {
+        assert!(
+            FAULTS_MD.contains(&format!("`{kind}`")),
+            "docs/FAULTS.md must document the {kind} event kind"
+        );
+    }
+    // penalty semantics, the injection endpoint and the checkpoint field
+    for s in [
+        "UNREACHABLE_PENALTY",
+        "`POST /sessions/<name>/events`",
+        "substrate_events",
+        "repair_vs_rebuild",
+        "DistanceMatrix::repair",
+    ] {
+        assert!(FAULTS_MD.contains(s), "docs/FAULTS.md must document {s}");
+    }
+    // the rest of the doc tree points at the fault reference
+    for (name, doc) in [
+        ("README.md", README_MD),
+        ("docs/ARCHITECTURE.md", ARCHITECTURE_MD),
+        ("docs/SERVING.md", SERVING_MD),
+    ] {
+        assert!(doc.contains("FAULTS.md"), "{name} must link docs/FAULTS.md");
+    }
 }
 
 #[test]
@@ -125,6 +177,11 @@ fn architecture_and_benchmarks_document_the_demand_plane() {
     assert!(
         BENCHMARKS_MD.contains("`trace_sharing`"),
         "docs/BENCHMARKS.md must document the BENCH_sweeps.json trace_sharing entry"
+    );
+    // as does the incremental-repair entry added with the event plane
+    assert!(
+        BENCHMARKS_MD.contains("`repair_vs_rebuild`"),
+        "docs/BENCHMARKS.md must document the BENCH_apsp.json repair_vs_rebuild entry"
     );
 }
 

@@ -11,7 +11,7 @@ use flexserve_core::initial_center;
 use flexserve_experiments::serve::{serve_on, ServeOptions};
 use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::spec::CellSpec;
-use flexserve_sim::{CostParams, LoadModel, SimSession};
+use flexserve_sim::{CostParams, EventedSession, LoadModel, SimSession, SubstrateEvents};
 use flexserve_workload::{JsonValue, RequestSource, ScenarioStream};
 
 /// One HTTP/1.1 exchange against the daemon; returns (status, body).
@@ -365,6 +365,139 @@ fn mixed_explicit_steps_do_not_desync_the_source_across_resume() {
     handle.join().unwrap();
 
     let _ = std::fs::remove_file(&replay);
+    let _ = std::fs::remove_file(&ck);
+}
+
+/// The same cell driven through an uninterrupted `EventedSession` with
+/// the full schedule — what the daemon's fail → append-recover →
+/// checkpoint → resume path must reproduce bit for bit.
+fn evented_reference_after(rounds: usize, schedule: &str) -> (u64, Vec<usize>) {
+    let cell = CellSpec::new(
+        "unit-line:12".parse().unwrap(),
+        "uniform:req=4".parse().unwrap(),
+        "onth".parse().unwrap(),
+    );
+    let env = ExperimentEnv::from_spec(&cell.topology, 5).unwrap();
+    let params = CostParams::default().with_max_servers(4);
+    let ctx = env.context(params, LoadModel::Linear);
+    let strategy = cell.strategy.instantiate_online(&ctx, 5).unwrap();
+    let mut session = EventedSession::new(
+        (*env.graph).clone(),
+        (*env.matrix).clone(),
+        SubstrateEvents::parse(schedule).unwrap(),
+        params,
+        LoadModel::Linear,
+        strategy,
+        initial_center(&ctx),
+    );
+    let scenario =
+        cell.workload
+            .instantiate(&env.graph, &env.matrix, cell.t_periods, cell.lambda, 5);
+    let mut source = ScenarioStream::new(scenario, Some(60));
+    for _ in 0..rounds {
+        let batch = source.next_round().unwrap().unwrap();
+        session.step(&batch).unwrap();
+    }
+    (
+        session.t(),
+        session.fleet().active().iter().map(|n| n.index()).collect(),
+    )
+}
+
+#[test]
+fn substrate_events_over_http_with_resume_and_hardening() {
+    let ck = std::env::temp_dir().join("flexserve-serve-events.ckpt.json");
+    let _ = std::fs::remove_file(&ck);
+    let ck_arg = format!("checkpoint={}", ck.display());
+
+    // Daemon with an initial schedule and a tight request timeout (for
+    // the 408 probe below).
+    let (addr, handle) = start_daemon(&[&ck_arg, "events=3:fail-link:5-6", "request-timeout=1"]);
+    for _ in 0..4 {
+        let (status, body) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // Live-append a recovery; past events are refused.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/sessions/default/events",
+        r#"{"events": "8:recover-link:5-6"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = json(&body);
+    assert_eq!(v.get("appended").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        v.get("events").unwrap().as_str(),
+        Some("3:fail-link:5-6,8:recover-link:5-6")
+    );
+    let (status, _) = http(
+        addr,
+        "POST",
+        "/sessions/default/events",
+        r#"{"events": "0:fail-node:2"}"#,
+    );
+    assert_eq!(status, 400);
+
+    // The checkpoint records the whole schedule.
+    let (status, body) = http(addr, "POST", "/checkpoint", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"substrate_events\":\"3:fail-link:5-6,8:recover-link:5-6\""),
+        "{body}"
+    );
+
+    // Front-end hardening over the wire: an oversized declared body is a
+    // 413 before any of it is read...
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /step HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    // ...and a stalled half-request times out with a 408.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"POST /st").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    // Resume (the checkpoint restores its own schedule) and play through
+    // the recovery at round 8.
+    let (addr, handle) = start_daemon(&[&ck_arg, "resume=true"]);
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(json(&body).get("resumed_at").unwrap().as_u64(), Some(4));
+    for _ in 0..6 {
+        let (status, body) = http(addr, "POST", "/step", "");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, body) = http(addr, "GET", "/placement", "");
+    let resumed = json(&body);
+    let (status, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+
+    let (ref_t, ref_active) = evented_reference_after(10, "3:fail-link:5-6,8:recover-link:5-6");
+    assert_eq!(resumed.get("t").unwrap().as_u64(), Some(ref_t));
+    let active: Vec<usize> = resumed
+        .get("active")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|n| n.as_usize().unwrap())
+        .collect();
+    assert_eq!(
+        active, ref_active,
+        "resumed evented daemon must match the uninterrupted evented session"
+    );
+
     let _ = std::fs::remove_file(&ck);
 }
 

@@ -46,6 +46,21 @@ pub struct DistanceMatrix {
     dist: Vec<f64>,
 }
 
+/// One edge-latency change for [`DistanceMatrix::repair`]: the edge
+/// `{a, b}` went from `old_latency` to `new_latency`. A failed link is a
+/// change *to* `f64::INFINITY`; a recovery is a change *from* it.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeUpdate {
+    /// One endpoint of the changed edge.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Latency the matrix was built (or last repaired) against.
+    pub old_latency: f64,
+    /// Latency the graph now carries.
+    pub new_latency: f64,
+}
+
 impl DistanceMatrix {
     /// Computes all-pairs shortest paths by running Dijkstra from every node
     /// (`O(n · (m + n) log n)` work), which beats Floyd–Warshall on the
@@ -129,6 +144,83 @@ impl DistanceMatrix {
             }
         }
         DistanceMatrix { n, dist }
+    }
+
+    /// Incrementally repairs the matrix after the edge-latency changes in
+    /// `updates`, re-running Dijkstra **only from sources whose shortest
+    /// paths can have changed**. `g` must already carry the new latencies;
+    /// each update describes the transition from the matrix's current
+    /// state to `g`'s. Returns the number of rows recomputed.
+    ///
+    /// A source `u` is *dirty* for an update `{a, b}: w_old -> w_new` when
+    ///
+    /// * the latency **increased** and the edge lay on a shortest path
+    ///   from `u` (`dist(u,a) + w_old == dist(u,b)` or symmetrically —
+    ///   exact float equality, because `dist(u,b)` was computed as that
+    ///   very sum), or
+    /// * the latency **decreased** and the cheaper edge offers an
+    ///   improvement (`dist(u,a) + w_new < dist(u,b)` or symmetrically).
+    ///
+    /// Clean rows are provably unchanged — even for a batch mixing
+    /// increases and decreases: a clean row's old shortest paths avoid
+    /// every changed edge (any use would trip one of the two tests), and
+    /// no changed edge offers it an improvement — so recomputing exactly
+    /// the dirty rows with the same per-row Dijkstra as
+    /// [`DistanceMatrix::build`] makes the repaired matrix **bit-identical**
+    /// to a full rebuild (proptest-pinned in `tests/proptest_graph.rs`).
+    /// Ties count as dirty, which is conservative but never wrong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the matrix's or an update
+    /// names an out-of-range node.
+    pub fn repair(&mut self, g: &Graph, updates: &[EdgeUpdate]) -> usize {
+        assert_eq!(
+            self.n,
+            g.node_count(),
+            "DistanceMatrix::repair: graph size mismatch"
+        );
+        let n = self.n;
+        if n == 0 || updates.is_empty() {
+            return 0;
+        }
+        let mut dirty = vec![false; n];
+        for (u, row) in self.dist.chunks(n).enumerate() {
+            for up in updates {
+                let (a, b) = (up.a.index(), up.b.index());
+                assert!(
+                    a < n && b < n,
+                    "DistanceMatrix::repair: update endpoint out of range"
+                );
+                let (old_w, new_w) = (up.old_latency, up.new_latency);
+                let hit = if new_w > old_w {
+                    row[a] + old_w == row[b] || row[b] + old_w == row[a]
+                } else if new_w < old_w {
+                    row[a] + new_w < row[b] || row[b] + new_w < row[a]
+                } else {
+                    false
+                };
+                if hit {
+                    dirty[u] = true;
+                    break;
+                }
+            }
+        }
+        let repaired = dirty.iter().filter(|&&d| d).count();
+        if repaired == 0 {
+            return 0;
+        }
+        let csr = CsrAdjacency::from_graph(g);
+        self.dist
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(u, row)| {
+                if dirty[u] {
+                    let mut scratch = DijkstraScratch::new(n);
+                    dijkstra_into(&csr, u, row, &mut scratch);
+                }
+            });
+        repaired
     }
 
     /// Number of nodes.
@@ -277,6 +369,143 @@ mod tests {
         // node 1: dist to 3 is 2.0 (1-0-3 or 1-2-3); to 0 and 2 it's 1.0
         assert_eq!(m.eccentricity(NodeId::new(1)), 2.0);
         assert_eq!(m.max_finite(), 2.0);
+    }
+
+    fn assert_bitwise_equal(a: &DistanceMatrix, b: &DistanceMatrix, label: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{label}: size");
+        for u in 0..a.node_count() {
+            for v in 0..a.node_count() {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                assert_eq!(
+                    a.get(u, v).to_bits(),
+                    b.get(u, v).to_bits(),
+                    "{label}: ({u},{v}) {} vs {}",
+                    a.get(u, v),
+                    b.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_rebuild_for_fail_recover_degrade() {
+        let mut g = square_with_diagonal();
+        let mut m = DistanceMatrix::build(&g);
+        let (a, c) = (NodeId::new(0), NodeId::new(2));
+
+        // Fail the diagonal shortcut: latency -> INFINITY.
+        let old = g.set_edge_latency(a, c, f64::INFINITY).unwrap();
+        let repaired = m.repair(
+            &g,
+            &[EdgeUpdate {
+                a,
+                b: c,
+                old_latency: old,
+                new_latency: f64::INFINITY,
+            }],
+        );
+        assert!(repaired > 0, "failing a used shortcut must dirty rows");
+        assert_bitwise_equal(&m, &DistanceMatrix::build(&g), "fail");
+        assert_eq!(m.get(a, c), 2.0, "route around the failed diagonal");
+
+        // Degrade a ring link by 3x.
+        let (b, c2) = (NodeId::new(1), NodeId::new(2));
+        let old = g.set_edge_latency(b, c2, 3.0).unwrap();
+        m.repair(
+            &g,
+            &[EdgeUpdate {
+                a: b,
+                b: c2,
+                old_latency: old,
+                new_latency: 3.0,
+            }],
+        );
+        assert_bitwise_equal(&m, &DistanceMatrix::build(&g), "degrade");
+
+        // Recover the diagonal: the pre-failure distance comes back.
+        let old = g.set_edge_latency(a, c, 1.5).unwrap();
+        m.repair(
+            &g,
+            &[EdgeUpdate {
+                a,
+                b: c,
+                old_latency: old,
+                new_latency: 1.5,
+            }],
+        );
+        assert_bitwise_equal(&m, &DistanceMatrix::build(&g), "recover");
+        assert_eq!(m.get(a, c), 1.5);
+    }
+
+    #[test]
+    fn repair_skips_rows_for_unused_edge_increase() {
+        // Raising the latency of an edge on no shortest path touches no row.
+        let mut g = square_with_diagonal();
+        let mut m = DistanceMatrix::build(&g);
+        let (a, c) = (NodeId::new(0), NodeId::new(2));
+        // diagonal at 1.5 is used; raise it slightly above 2.0 first
+        let old = g.set_edge_latency(a, c, 5.0).unwrap();
+        m.repair(
+            &g,
+            &[EdgeUpdate {
+                a,
+                b: c,
+                old_latency: old,
+                new_latency: 5.0,
+            }],
+        );
+        // now at 5.0 it is on no shortest path; raising further is free
+        let old = g.set_edge_latency(a, c, 9.0).unwrap();
+        let repaired = m.repair(
+            &g,
+            &[EdgeUpdate {
+                a,
+                b: c,
+                old_latency: old,
+                new_latency: 9.0,
+            }],
+        );
+        assert_eq!(repaired, 0);
+        assert_bitwise_equal(&m, &DistanceMatrix::build(&g), "unused edge");
+    }
+
+    #[test]
+    fn repair_handles_batch_updates_and_disconnection() {
+        // Fail *every* edge incident to node 3 in one batch (a node
+        // failure), disconnecting it, then recover in one batch.
+        let mut g = square_with_diagonal();
+        let pristine = DistanceMatrix::build(&g);
+        let mut m = pristine.clone();
+        let n3 = NodeId::new(3);
+        let mut batch = Vec::new();
+        for other in [NodeId::new(0), NodeId::new(2)] {
+            let old = g.set_edge_latency(n3, other, f64::INFINITY).unwrap();
+            batch.push(EdgeUpdate {
+                a: n3,
+                b: other,
+                old_latency: old,
+                new_latency: f64::INFINITY,
+            });
+        }
+        m.repair(&g, &batch);
+        assert_bitwise_equal(&m, &DistanceMatrix::build(&g), "node fail");
+        assert!(!m.is_connected());
+        assert_eq!(m.get_finite(NodeId::new(0), n3), None);
+
+        let recover: Vec<EdgeUpdate> = batch
+            .iter()
+            .map(|up| {
+                g.set_edge_latency(up.a, up.b, up.old_latency).unwrap();
+                EdgeUpdate {
+                    a: up.a,
+                    b: up.b,
+                    old_latency: f64::INFINITY,
+                    new_latency: up.old_latency,
+                }
+            })
+            .collect();
+        m.repair(&g, &recover);
+        assert_bitwise_equal(&m, &pristine, "node recover restores exactly");
     }
 
     #[test]

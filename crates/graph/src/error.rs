@@ -13,6 +13,8 @@ pub enum GraphError {
     SelfLoop(NodeId),
     /// The two nodes are already connected; the substrate is a simple graph.
     DuplicateEdge(NodeId, NodeId),
+    /// No edge exists between the two nodes (latency mutation target).
+    UnknownEdge(NodeId, NodeId),
     /// A latency must be non-negative and finite.
     InvalidLatency(f64),
     /// A node strength must be strictly positive and finite (the load
@@ -30,6 +32,9 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
             GraphError::DuplicateEdge(a, b) => {
                 write!(f, "edge between {a} and {b} already exists")
+            }
+            GraphError::UnknownEdge(a, b) => {
+                write!(f, "no edge between {a} and {b}")
             }
             GraphError::InvalidLatency(l) => {
                 write!(f, "invalid latency {l}: must be finite and >= 0")

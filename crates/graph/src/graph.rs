@@ -258,6 +258,39 @@ impl Graph {
         self.edges.iter().map(|e| e.latency).sum()
     }
 
+    /// Replaces the latency of the edge between `u` and `v`, returning the
+    /// previous value.
+    ///
+    /// This is the one mutation the otherwise append-only substrate
+    /// supports: substrate *events* (link failure, recovery, degradation)
+    /// change link latencies while the node/edge structure — and with it
+    /// every dense id — stays fixed. Unlike [`Graph::add_edge`], a latency
+    /// of `f64::INFINITY` is accepted here: it marks a **failed** link,
+    /// which shortest-path machinery treats exactly like an absent edge.
+    /// `NaN` and negative latencies are rejected.
+    ///
+    /// Changing a latency changes [`Graph::fingerprint`], so checkpoints
+    /// taken after an event only resume against a substrate with the same
+    /// event history applied.
+    pub fn set_edge_latency(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        latency: Latency,
+    ) -> Result<Latency, GraphError> {
+        if latency.is_nan() || latency < 0.0 {
+            return Err(GraphError::InvalidLatency(latency));
+        }
+        let id = self
+            .edge_index
+            .get(&Self::edge_key(u, v))
+            .copied()
+            .ok_or(GraphError::UnknownEdge(u, v))?;
+        let old = self.edges[id.index()].latency;
+        self.edges[id.index()].latency = latency;
+        Ok(old)
+    }
+
     /// Content fingerprint of the substrate: an FNV-1a hash over node
     /// strengths and every edge's endpoints, latency bits and bandwidth.
     ///
@@ -425,6 +458,39 @@ mod tests {
         let total: f64 = g.edges().map(|e| e.latency).sum();
         assert_eq!(total, 7.0);
         assert_eq!(g.total_latency(), 7.0);
+    }
+
+    #[test]
+    fn set_edge_latency_mutates_and_guards() {
+        let (mut g, a, b, _) = triangle();
+        assert_eq!(g.set_edge_latency(a, b, 5.0), Ok(1.0));
+        assert_eq!(g.edge_latency(b, a), Some(5.0));
+        // A failed link is an infinite latency; restoring it round-trips.
+        assert_eq!(g.set_edge_latency(b, a, f64::INFINITY), Ok(5.0));
+        assert_eq!(g.edge_latency(a, b), Some(f64::INFINITY));
+        assert_eq!(g.set_edge_latency(a, b, 1.0), Ok(f64::INFINITY));
+        assert!(matches!(
+            g.set_edge_latency(a, b, f64::NAN),
+            Err(GraphError::InvalidLatency(_))
+        ));
+        assert!(matches!(
+            g.set_edge_latency(a, b, -1.0),
+            Err(GraphError::InvalidLatency(_))
+        ));
+        assert!(matches!(
+            g.set_edge_latency(a, NodeId::new(9), 1.0),
+            Err(GraphError::UnknownEdge(_, _))
+        ));
+    }
+
+    #[test]
+    fn set_edge_latency_changes_fingerprint_reversibly() {
+        let (mut g, a, b, _) = triangle();
+        let before = g.fingerprint();
+        g.set_edge_latency(a, b, 3.0).unwrap();
+        assert_ne!(before, g.fingerprint());
+        g.set_edge_latency(a, b, 1.0).unwrap();
+        assert_eq!(before, g.fingerprint());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod path;
 pub mod units;
 
-pub use apsp::DistanceMatrix;
+pub use apsp::{DistanceMatrix, EdgeUpdate};
 pub use csr::CsrAdjacency;
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph};

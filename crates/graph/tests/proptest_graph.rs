@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use flexserve_graph::connectivity::{component_count, is_connected};
 use flexserve_graph::gen::{erdos_renyi, grid, line, random_tree, ring, star, GenConfig};
 use flexserve_graph::path::shortest_paths;
-use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+use flexserve_graph::{DistanceMatrix, EdgeUpdate, Graph, NodeId};
 
 /// Builds a random graph directly from proptest-chosen edge list.
 fn graph_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Graph {
@@ -76,6 +76,111 @@ proptest! {
                     ser.get(u, v).to_bits(),
                     "({},{}): {} vs {}", u, v, par.get(u, v), ser.get(u, v)
                 );
+            }
+        }
+    }
+
+    /// Incremental APSP repair must be *bit-identical* to a full rebuild
+    /// after every event of an arbitrary edge-event sequence: failures
+    /// (latency -> INFINITY), recoveries (back to the original latency)
+    /// and degradations (latency scaled), on arbitrary topologies.
+    #[test]
+    fn apsp_repair_equals_rebuild_on_random_event_sequences(
+        n in 2usize..30,
+        edges in prop::collection::vec((0usize..30, 0usize..30, 0.1f64..100.0), 1..90),
+        events in prop::collection::vec((0usize..64, 0usize..3, 1.1f64..4.0), 1..12)
+    ) {
+        let mut g = graph_from_edges(n, &edges);
+        if g.edge_count() == 0 {
+            return;
+        }
+        let mut m = DistanceMatrix::build(&g);
+        let all_edges: Vec<(NodeId, NodeId, f64)> = g
+            .edges()
+            .map(|e| (e.source, e.target, e.latency))
+            .collect();
+        for &(pick, kind, factor) in &events {
+            let (a, b, original) = all_edges[pick % all_edges.len()];
+            let old = g.edge_latency(a, b).unwrap();
+            let new = match kind {
+                0 => f64::INFINITY,     // fail
+                1 => original,          // recover to the pristine latency
+                _ => {
+                    if old.is_finite() { old * factor } else { old } // degrade
+                }
+            };
+            g.set_edge_latency(a, b, new).unwrap();
+            m.repair(&g, &[EdgeUpdate { a, b, old_latency: old, new_latency: new }]);
+            let rebuilt = DistanceMatrix::build(&g);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    prop_assert_eq!(
+                        m.get(u, v).to_bits(),
+                        rebuilt.get(u, v).to_bits(),
+                        "event ({},{},{}): ({},{}): {} vs {}",
+                        pick, kind, factor, u, v, m.get(u, v), rebuilt.get(u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched repair (several edges changed at once, as a node failure
+    /// produces) is bit-identical to a rebuild too.
+    #[test]
+    fn apsp_repair_equals_rebuild_on_batched_node_events(
+        n in 3usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25, 0.1f64..50.0), 2..70),
+        victim in 0usize..25,
+    ) {
+        let mut g = graph_from_edges(n, &edges);
+        let victim = NodeId::new(victim % n);
+        if g.degree(victim) == 0 {
+            return;
+        }
+        let mut m = DistanceMatrix::build(&g);
+        let incident: Vec<(NodeId, f64)> = g
+            .neighbors(victim)
+            .map(|e| (e.target, e.latency))
+            .collect();
+        // Node failure: every incident link fails in one batch.
+        let fail: Vec<EdgeUpdate> = incident
+            .iter()
+            .map(|&(w, lat)| EdgeUpdate {
+                a: victim,
+                b: w,
+                old_latency: lat,
+                new_latency: f64::INFINITY,
+            })
+            .collect();
+        for up in &fail {
+            g.set_edge_latency(up.a, up.b, f64::INFINITY).unwrap();
+        }
+        m.repair(&g, &fail);
+        let rebuilt = DistanceMatrix::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(m.get(u, v).to_bits(), rebuilt.get(u, v).to_bits());
+            }
+        }
+        // Node recovery restores the pristine matrix bit for bit.
+        let recover: Vec<EdgeUpdate> = incident
+            .iter()
+            .map(|&(w, lat)| EdgeUpdate {
+                a: victim,
+                b: w,
+                old_latency: f64::INFINITY,
+                new_latency: lat,
+            })
+            .collect();
+        for up in &recover {
+            g.set_edge_latency(up.a, up.b, up.new_latency).unwrap();
+        }
+        m.repair(&g, &recover);
+        let pristine = DistanceMatrix::build(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(m.get(u, v).to_bits(), pristine.get(u, v).to_bits());
             }
         }
     }

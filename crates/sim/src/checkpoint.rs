@@ -137,6 +137,13 @@ pub struct SessionSnapshot {
     /// which does not track serving totals — the serve layer fills this in
     /// before writing the file.
     pub metrics: Option<SessionMetrics>,
+    /// The session's substrate-event schedule in the `events=` cell grammar
+    /// (see `docs/FAULTS.md`), e.g. `"5:fail-link:2-7,10:recover-link:2-7"`.
+    /// Absent when the session has no scheduled events — a plain static-
+    /// substrate checkpoint is byte-identical to the pre-events format, so
+    /// the v2 tag is kept. On resume the events with time `< t` are
+    /// replayed onto the base substrate before the fingerprint guard runs.
+    pub substrate_events: Option<String>,
 }
 
 impl SessionSnapshot {
@@ -204,6 +211,9 @@ impl SessionSnapshot {
         ];
         if let Some(metrics) = self.metrics {
             pairs.push(("metrics".into(), metrics.to_json_value()));
+        }
+        if let Some(events) = &self.substrate_events {
+            pairs.push(("substrate_events".into(), JsonValue::from(events.clone())));
         }
         let mut out = JsonValue::Obj(pairs).render();
         out.push('\n');
@@ -286,6 +296,15 @@ impl SessionSnapshot {
             Some(m) => Some(SessionMetrics::from_json_value(m)?),
             None => None,
         };
+        // Optional like metrics: absent means a static substrate.
+        let substrate_events = match v.get("substrate_events") {
+            Some(e) => Some(
+                e.as_str()
+                    .ok_or("checkpoint: \"substrate_events\" must be a string")?
+                    .to_string(),
+            ),
+            None => None,
+        };
         Ok(SessionSnapshot {
             t,
             substrate_fingerprint,
@@ -296,6 +315,7 @@ impl SessionSnapshot {
             inactive,
             epoch,
             metrics,
+            substrate_events,
         })
     }
 }
@@ -327,6 +347,7 @@ mod tests {
                 },
                 uptime_seconds: 3.75,
             }),
+            substrate_events: None,
         }
     }
 
@@ -355,6 +376,29 @@ mod tests {
         let text = snap.to_json();
         assert!(!text.contains("\"metrics\""), "{text}");
         assert_eq!(SessionSnapshot::from_json(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn substrate_events_block_is_optional_and_round_trips() {
+        // Absent by default: a static-substrate checkpoint carries no
+        // events key at all (byte-stable with the pre-events format).
+        let snap = sample();
+        assert!(!snap.to_json().contains("substrate_events"));
+
+        let mut evented = sample();
+        evented.substrate_events = Some("5:fail-link:2-7,10:recover-link:2-7".into());
+        let text = evented.to_json();
+        assert!(
+            text.contains("\"substrate_events\":\"5:fail-link:2-7,10:recover-link:2-7\""),
+            "{text}"
+        );
+        let back = SessionSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, evented);
+
+        // A mangled events field fails loudly.
+        let broken = text.replace("\"5:fail-link:2-7,10:recover-link:2-7\"", "42");
+        let err = SessionSnapshot::from_json(&broken).unwrap_err();
+        assert!(err.contains("substrate_events"), "{err}");
     }
 
     #[test]

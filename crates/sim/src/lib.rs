@@ -31,6 +31,7 @@ pub mod checkpoint;
 pub mod context;
 pub mod cost;
 pub mod engine;
+pub mod events;
 pub mod fleet;
 pub mod load;
 pub mod params;
@@ -42,9 +43,10 @@ pub use checkpoint::{SessionMetrics, SessionSnapshot, CHECKPOINT_FORMAT, CHECKPO
 pub use context::SimContext;
 pub use cost::CostBreakdown;
 pub use engine::{run_online, run_plan, OnlineStrategy, Plan, RoundRecord, RunRecord};
+pub use events::{DynamicWorld, EventedSession, SubstrateEvent, SubstrateEvents};
 pub use fleet::{Fleet, InactiveServer};
 pub use load::LoadModel;
 pub use params::CostParams;
-pub use routing::{route, route_counts, RoutingOutcome, RoutingPolicy};
+pub use routing::{route, route_counts, RoutingOutcome, RoutingPolicy, UNREACHABLE_PENALTY};
 pub use session::SimSession;
 pub use transition::{config_transition_cost, TransitionOutcome, TransitionPlanner};

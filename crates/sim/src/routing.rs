@@ -25,6 +25,18 @@ use flexserve_workload::RoundRequests;
 
 use crate::context::SimContext;
 
+/// Access cost charged per request whose origin cannot reach *any* active
+/// server (substrate failures can disconnect an origin even while servers
+/// exist elsewhere).
+///
+/// The penalty is finite so strategy cost windows stay NaN-free and a run
+/// over a temporarily partitioned substrate still produces comparable
+/// totals — but it is far above any realistic path latency, so every
+/// strategy treats a partition as catastrophic. The *no active servers at
+/// all* case keeps its `f64::INFINITY` cost (that is a broken
+/// configuration, not a broken substrate). See `docs/FAULTS.md`.
+pub const UNREACHABLE_PENALTY: f64 = 1.0e9;
+
 /// How requests pick among the active servers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RoutingPolicy {
@@ -106,8 +118,14 @@ pub fn route_counts(
     let mut total_delay = 0.0;
     for &(origin, cnt) in counts {
         let (best_idx, best_d) = nearest_server(ctx, servers, origin);
-        total_delay += best_d * cnt as f64;
-        assigned[best_idx] += cnt;
+        if best_d.is_finite() {
+            total_delay += best_d * cnt as f64;
+            assigned[best_idx] += cnt;
+        } else {
+            // Origin cut off from every server by substrate failures:
+            // charge the penalty instead of poisoning the round with ∞.
+            total_delay += UNREACHABLE_PENALTY * cnt as f64;
+        }
     }
     finish(ctx, servers, assigned, total_delay)
 }
@@ -131,8 +149,14 @@ fn route_load_aware(
                 best = i;
             }
         }
-        total_delay += ctx.dist.get(origin, servers[best]);
-        assigned[best] += 1;
+        let d = ctx.dist.get(origin, servers[best]);
+        if d.is_finite() {
+            total_delay += d;
+            assigned[best] += 1;
+        } else {
+            // Same unreachable-origin penalty as nearest routing.
+            total_delay += UNREACHABLE_PENALTY;
+        }
     }
     finish(ctx, servers, assigned, total_delay)
 }
@@ -260,6 +284,42 @@ mod tests {
         let out = route(&ctx, &[NodeId::new(0)], &RoundRequests::empty());
         assert_eq!(out.cost, 0.0);
         let out = route(&ctx, &[], &RoundRequests::new(vec![NodeId::new(1)]));
+        assert!(out.cost.is_infinite());
+    }
+
+    #[test]
+    fn unreachable_origin_charged_penalty_not_infinity() {
+        // 0 - 1 - 2: fail the 1-2 link so node 2 is cut off from a server
+        // at node 0, while node 1 still reaches it.
+        let mut g = unit_line(3).unwrap();
+        g.set_edge_latency(NodeId::new(1), NodeId::new(2), f64::INFINITY)
+            .unwrap();
+        let m = DistanceMatrix::build(&g);
+        let servers = [NodeId::new(0)];
+        let batch = RoundRequests::new(vec![NodeId::new(1), NodeId::new(2), NodeId::new(2)]);
+
+        let near = route(&ctx_on_line(&g, &m, LoadModel::Linear), &servers, &batch);
+        assert!(near.cost.is_finite(), "penalty keeps the round finite");
+        // 1 reachable request (delay 1, load 1) + 2 penalized requests.
+        assert_eq!(near.total_delay, 1.0 + 2.0 * UNREACHABLE_PENALTY);
+        assert_eq!(
+            near.assigned,
+            vec![1],
+            "penalized requests are not assigned"
+        );
+        assert_eq!(near.total_load, 1.0);
+
+        let aware = route(
+            &ctx_on_line(&g, &m, LoadModel::Linear).with_routing(RoutingPolicy::LoadAware),
+            &servers,
+            &batch,
+        );
+        assert_eq!(aware.total_delay.to_bits(), near.total_delay.to_bits());
+        assert_eq!(aware.assigned, near.assigned);
+
+        // No active servers at all stays infinite — that is a broken
+        // configuration, not a substrate fault.
+        let out = route(&ctx_on_line(&g, &m, LoadModel::Linear), &[], &batch);
         assert!(out.cost.is_infinite());
     }
 

@@ -70,6 +70,44 @@ pub struct SimSession<'a, S: OnlineStrategy> {
     t: u64,
 }
 
+/// Plays round `t` of the online game: access cost to the current fleet,
+/// the strategy's reconfiguration through the shared planner, running
+/// costs. The one round implementation shared by [`SimSession::step`] and
+/// the evented session in [`crate::events`] — both paths are the same code,
+/// so static and dynamic substrates produce bit-identical records whenever
+/// no event fires.
+pub(crate) fn play_round<S: OnlineStrategy + ?Sized>(
+    ctx: &SimContext<'_>,
+    strategy: &mut S,
+    fleet: &mut Fleet,
+    t: u64,
+    batch: &RoundRequests,
+) -> RoundRecord {
+    let mut costs = CostBreakdown::zero();
+
+    // 1+2: requests arrive, access cost paid to current servers.
+    costs.access = ctx.access_cost(fleet.active(), batch);
+
+    // 3: the algorithm reconfigures.
+    if let Some(target) = strategy.decide(ctx, t, batch, costs.access, fleet) {
+        let outcome = TransitionPlanner::apply(fleet, &target, &ctx.params);
+        costs += outcome.cost;
+        // Reconfiguration marks an epoch boundary for cache expiry.
+        fleet.advance_epoch();
+    }
+
+    // Running costs for the (possibly new) configuration.
+    costs.running = ctx.running_cost(fleet.active_count(), fleet.inactive_count());
+
+    RoundRecord {
+        t,
+        costs,
+        active_servers: fleet.active_count(),
+        inactive_servers: fleet.inactive_count(),
+        requests: batch.len(),
+    }
+}
+
 impl<S: OnlineStrategy> std::fmt::Debug for SimSession<'_, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimSession")
@@ -100,36 +138,15 @@ impl<'a, S: OnlineStrategy> SimSession<'a, S> {
     /// migration/creation through the shared planner), running costs are
     /// charged. Returns the round's log row.
     pub fn step(&mut self, batch: &RoundRequests) -> RoundRecord {
-        let t = self.t;
-        let mut costs = CostBreakdown::zero();
-
-        // 1+2: requests arrive, access cost paid to current servers.
-        costs.access = self.ctx.access_cost(self.fleet.active(), batch);
-
-        // 3: the algorithm reconfigures.
-        if let Some(target) = self
-            .strategy
-            .decide(&self.ctx, t, batch, costs.access, &self.fleet)
-        {
-            let outcome = TransitionPlanner::apply(&mut self.fleet, &target, &self.ctx.params);
-            costs += outcome.cost;
-            // Reconfiguration marks an epoch boundary for cache expiry.
-            self.fleet.advance_epoch();
-        }
-
-        // Running costs for the (possibly new) configuration.
-        costs.running = self
-            .ctx
-            .running_cost(self.fleet.active_count(), self.fleet.inactive_count());
-
+        let record = play_round(
+            &self.ctx,
+            &mut self.strategy,
+            &mut self.fleet,
+            self.t,
+            batch,
+        );
         self.t += 1;
-        RoundRecord {
-            t,
-            costs,
-            active_servers: self.fleet.active_count(),
-            inactive_servers: self.fleet.inactive_count(),
-            requests: batch.len(),
-        }
+        record
     }
 
     /// Rounds played so far (the next [`step`](Self::step) is round `t`).
@@ -178,8 +195,10 @@ impl<'a, S: OnlineStrategy> SimSession<'a, S> {
             inactive,
             epoch,
             // The session tracks game state, not serving totals; layers
-            // that do (the serve daemon) fill this before writing.
+            // that do (the serve daemon) fill this before writing. The
+            // evented session likewise fills in its event schedule.
             metrics: None,
+            substrate_events: None,
         })
     }
 
