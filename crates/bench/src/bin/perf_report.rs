@@ -3,12 +3,14 @@
 //! `DistanceMatrix` build plus its incremental single-event repair
 //! (500-node Waxman), one 20-seed sweep cell, a cold-vs-warm substrate
 //! fetch through the distance-matrix cache, the batch-vs-stepped game
-//! loop (`run_online` vs `SimSession::step`), and
+//! loop (`run_online` vs `SimSession::step`),
 //! sequential-vs-concurrent multi-session stepping through the serve
-//! daemon's `SessionManager` — and records the results as
+//! daemon's `SessionManager`, and the cluster-mode routing tax
+//! (stepping a session directly against its worker vs through the
+//! `flexserve route` tier) — and records the results as
 //! `BENCH_apsp.json` (an array: full build, repair-vs-rebuild),
 //! `BENCH_sweeps.json`, `BENCH_cache.json` and `BENCH_serve.json` (an
-//! array of the two serving benches) in the repository root (schema:
+//! array of the three serving benches) in the repository root (schema:
 //! docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
@@ -22,7 +24,8 @@ use std::time::Instant;
 
 use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
 use flexserve_core::{initial_center, OnTh};
-use flexserve_experiments::serve::{SessionConfig, SessionManager};
+use flexserve_experiments::serve::route::proxy::http_call;
+use flexserve_experiments::serve::{route, serve_on, ServeOptions, SessionConfig, SessionManager};
 use flexserve_experiments::setup::ExperimentEnv;
 use flexserve_experiments::{
     average, average_serial, run_algorithm, Algorithm, DistCache, TopologySpec, TraceCache,
@@ -385,8 +388,105 @@ fn main() {
         &extra,
     );
     announce("BENCH_serve.json", "serve_sessions", sequential, concurrent);
+
+    // --- Serving: cluster-mode routing tax -------------------------------
+    // What `flexserve route` costs per request: the same session stepped
+    // over real TCP, once directly against its serve worker ("serial")
+    // and once through a router fronting that worker ("parallel" — one
+    // placement lookup plus one proxied hop on top, so the speedup is
+    // expected below 1.0; the entry bounds the tax). Explicit-body steps
+    // keep the measurement independent of the session's source cap.
+    const ROUTE_ROUNDS: u64 = 240;
+    let proxy_timeout = std::time::Duration::from_secs(5);
+    let ck = |name: &str| {
+        std::env::temp_dir()
+            .join(format!("flexserve-perf-{name}.json"))
+            .display()
+            .to_string()
+    };
+    let worker_listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind bench worker");
+    let worker_addr = format!(
+        "127.0.0.1:{}",
+        worker_listener.local_addr().expect("worker addr").port()
+    );
+    let worker_args: Vec<String> = [
+        "topo=er:100".to_string(),
+        "wl=commuter-dynamic".to_string(),
+        "strat=onth".to_string(),
+        "rounds=240".to_string(),
+        "seed=3".to_string(),
+        format!("checkpoint={}", ck("route-default")),
+    ]
+    .to_vec();
+    let worker_thread = std::thread::spawn(move || {
+        let opts = ServeOptions::parse(&worker_args).expect("worker args");
+        serve_on(worker_listener, &opts).expect("bench worker");
+    });
+    let router_listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind bench router");
+    let router_addr = format!(
+        "127.0.0.1:{}",
+        router_listener.local_addr().expect("router addr").port()
+    );
+    let route_args: Vec<String> = vec![
+        format!("workers={worker_addr}"),
+        // keep the health loop out of the timed window
+        "health-interval=60".to_string(),
+    ];
+    let router_thread = std::thread::spawn(move || {
+        let opts = route::RouteOptions::parse(&route_args).expect("route args");
+        route::run_on(router_listener, &opts).expect("bench router");
+    });
+    let create = format!(
+        "{{\"name\": \"route-bench\", \"args\": [\"topo=er:100\", \"wl=commuter-dynamic\", \
+         \"strat=onth\", \"rounds=240\", \"seed=3\", \"checkpoint={}\"]}}",
+        ck("route-bench")
+    );
+    let (status, body) =
+        http_call(&router_addr, "POST", "/sessions", &create, proxy_timeout).expect("create");
+    assert_eq!(status, 200, "create via router: {body}");
+    let round = "{\"origins\": [3, 17]}";
+    let step_path = "/sessions/route-bench/step";
+    let step_loop = |addr: &str| {
+        for _ in 0..ROUTE_ROUNDS {
+            let (status, body) =
+                http_call(addr, "POST", step_path, round, proxy_timeout).expect("step");
+            assert_eq!(status, 200, "step via {addr}: {body}");
+        }
+    };
+    let direct = time_median(reps, || step_loop(&worker_addr));
+    let routed = time_median(reps, || step_loop(&router_addr));
+    println!(
+        "routing tax: {:.1} us/step direct, {:.1} us/step through the router",
+        direct / ROUTE_ROUNDS as f64 * 1e6,
+        routed / ROUTE_ROUNDS as f64 * 1e6
+    );
+    let extra = format!(
+        ",\n  \"rounds\": {ROUTE_ROUNDS},\n  \"steps_per_sec_direct\": {:.1},\n  \
+         \"steps_per_sec_routed\": {:.1}",
+        ROUTE_ROUNDS as f64 / direct,
+        ROUTE_ROUNDS as f64 / routed
+    );
+    let route_entry = entry_json(
+        "route_overhead",
+        direct,
+        routed,
+        "one ONTH commuter session (ER-100) stepped 240 rounds over TCP: \
+         directly against its serve worker vs through the flexserve route \
+         tier (per-request routing tax; speedup below 1.0 expected)",
+        &extra,
+    );
+    announce("BENCH_serve.json", "route_overhead", direct, routed);
+    let (status, _) =
+        http_call(&router_addr, "POST", "/shutdown", "", proxy_timeout).expect("router shutdown");
+    assert_eq!(status, 200);
+    let (status, _) =
+        http_call(&worker_addr, "POST", "/shutdown", "", proxy_timeout).expect("worker shutdown");
+    assert_eq!(status, 200);
+    router_thread.join().expect("router thread");
+    worker_thread.join().expect("worker thread");
+
     write_file(
         "BENCH_serve.json",
-        &format!("[\n{step_entry},\n{sessions_entry}\n]\n"),
+        &format!("[\n{step_entry},\n{sessions_entry},\n{route_entry}\n]\n"),
     );
 }

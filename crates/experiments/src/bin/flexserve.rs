@@ -7,6 +7,7 @@
 //! flexserve run topo=er:100 wl=commuter-dynamic strat=onth [t=8 lambda=10 ...]
 //! flexserve sweep topo=er:100 wl=commuter-dynamic strat=onth+onbr-fixed lambda=5+10 ...
 //! flexserve serve topo=er:100 wl=commuter-dynamic strat=onth port=7788 [...]
+//! flexserve route workers=127.0.0.1:7788+127.0.0.1:7789 port=7787 [...]
 //! ```
 //!
 //! Cell/sweep keys: `topo`, `wl`, `strat` (see `flexserve list` for the
@@ -57,6 +58,13 @@ subcommands:
                                checkpoint, resume,
                                source=scenario|stdin|<path.jsonl>; see
                                docs/SERVING.md)
+  route <key=value>...         run the consistent-hash routing tier over a
+                               fleet of serve daemons (workers=host:port+...
+                               required; extra keys: port, bind, threads,
+                               replicas, health-interval, mark-down, skew,
+                               request-timeout; live-migrates sessions
+                               bit-identically on ring changes and load
+                               skew; see docs/CLUSTER.md)
   help                         this text
 
 options for `run <figure>`:
@@ -83,6 +91,9 @@ fn main() -> ExitCode {
         Some("trace") => trace(&args[1..]),
         Some("serve") => {
             flexserve_experiments::serve::serve_cmd(&args[1..]).map(|()| Manifest::new())
+        }
+        Some("route") => {
+            flexserve_experiments::serve::route::route_cmd(&args[1..]).map(|()| Manifest::new())
         }
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");

@@ -106,15 +106,27 @@ fn dispatch(route: Route, body: &str, shared: &ServeShared) -> Result<String, Se
         Route::Metrics(name) => manager.metrics(&name).map(|v| v.render()),
         Route::Checkpoint(name) => manager.checkpoint(&name),
         Route::Events(name) => manager.events(&name, body).map(|v| v.render()),
-        Route::DeleteSession(name) => manager.remove(&name).map(|stats| {
-            JsonValue::Obj(vec![
+        Route::DeleteSession(name) => {
+            // An optional `{"migrated_to": "<worker>"}` body turns the
+            // eviction into a migration hand-off: the session is
+            // checkpointed and its tombstone names the destination
+            // instead of reading as data loss (docs/CLUSTER.md).
+            let migrated_to = parse_delete_body(body)?;
+            let stats = match &migrated_to {
+                Some(target) => manager.remove_migrated(&name, target)?,
+                None => manager.remove(&name)?,
+            };
+            let mut pairs = vec![
                 ("ok".into(), JsonValue::Bool(true)),
                 ("name".into(), JsonValue::from(name.as_str())),
                 ("rounds_served".into(), JsonValue::from(stats.rounds_served)),
                 ("final_t".into(), JsonValue::from(stats.final_t)),
-            ])
-            .render()
-        }),
+            ];
+            if let Some(target) = migrated_to {
+                pairs.push(("migrated_to".into(), JsonValue::from(target.as_str())));
+            }
+            Ok(JsonValue::Obj(pairs).render())
+        }
         Route::Shutdown => unreachable!("handled by the caller"),
     }
 }
@@ -137,6 +149,28 @@ fn parse_create_body(body: &str) -> Result<(String, SessionConfig), ServeError> 
     };
     let cfg = SessionConfig::parse(&args, &name).map_err(ServeError::Bad)?;
     Ok((name, cfg))
+}
+
+/// Parses an optional `DELETE /sessions/<name>` body. Empty means a plain
+/// eviction; `{"migrated_to": "<worker>"}` marks the removal as a
+/// migration hand-off. Anything else is a 400.
+fn parse_delete_body(body: &str) -> Result<Option<String>, ServeError> {
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(None);
+    }
+    let v = JsonValue::parse(body).map_err(ServeError::Bad)?;
+    match v.get("migrated_to") {
+        Some(target) => match target.as_str() {
+            Some(target) if !target.is_empty() => Ok(Some(target.to_string())),
+            _ => Err(ServeError::Bad(
+                "delete: \"migrated_to\" must be a non-empty string".into(),
+            )),
+        },
+        None => Err(ServeError::Bad(
+            "delete: body must be empty or {\"migrated_to\": \"<worker>\"}".into(),
+        )),
+    }
 }
 
 /// Flags the daemon down and pokes the accept loop awake with a dummy
@@ -202,6 +236,32 @@ mod tests {
         // args must still name a full cell
         assert!(matches!(
             parse_create_body(r#"{"name":"x","args":[]}"#),
+            Err(ServeError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn delete_body_is_empty_or_a_migration_marker() {
+        assert_eq!(parse_delete_body("").unwrap(), None);
+        assert_eq!(parse_delete_body("  \n").unwrap(), None);
+        assert_eq!(
+            parse_delete_body(r#"{"migrated_to": "10.0.0.2:7777"}"#).unwrap(),
+            Some("10.0.0.2:7777".to_string())
+        );
+        assert!(matches!(
+            parse_delete_body(r#"{"migrated_to": ""}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_delete_body(r#"{"migrated_to": 7}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_delete_body(r#"{"nope": true}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_delete_body("not json"),
             Err(ServeError::Bad(_))
         ));
     }

@@ -187,6 +187,7 @@ pub(crate) fn reason(status: u16) -> &'static str {
         410 => "Gone",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        502 => "Bad Gateway",
         _ => "Internal Server Error",
     }
 }

@@ -47,9 +47,15 @@
 //! before exiting. Endpoint reference, JSONL replay schema and the
 //! checkpoint format live in `docs/SERVING.md`; the substrate-event
 //! plane (grammar, penalty costs, replay semantics) in `docs/FAULTS.md`.
+//!
+//! To scale past one machine, the [`route`] submodule ships
+//! `flexserve route`: a consistent-hash front tier that shards sessions
+//! over a fleet of these daemons and live-migrates them bit-identically
+//! (checkpoint → resume → `migrated_to` tombstone); see `docs/CLUSTER.md`.
 
 mod handlers;
 mod http;
+pub mod route;
 pub mod sessions;
 
 pub use sessions::{

@@ -1,0 +1,165 @@
+//! The router's HTTP client side: one-shot `Connection: close` exchanges
+//! against worker daemons. Hand-rolled to match the server half in
+//! `serve/http.rs` — the router speaks to workers exactly the way `curl`
+//! and the integration tests speak to the router.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Cap on a worker response body the router will buffer (matches the
+/// server-side request cap in `serve/http.rs`).
+const MAX_RESPONSE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Performs one HTTP exchange against `addr` (`host:port`): connect,
+/// send `method path` with `body`, read the response. Returns the status
+/// code and the response body. Every step is bounded by `timeout`; any
+/// transport failure is an `Err` (the router reports those as 502).
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr}: resolve: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: resolves to no address"))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("{addr}: connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\nContent-Type: application/json\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("{addr}: write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader).map_err(|e| format!("{addr}: {e}"))
+}
+
+/// Parses one HTTP response off `reader`: the status line, the headers
+/// (only `Content-Length` matters), and the body — read exactly when a
+/// length is declared, to EOF otherwise (legal under `Connection: close`).
+pub(crate) fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String), String> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    // "HTTP/1.1 200 OK" — the middle token is the status.
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let len: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                content_length = Some(len);
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) if len > MAX_RESPONSE_BYTES => {
+            return Err(format!(
+                "response body of {len} bytes exceeds the 16 MiB cap"
+            ));
+        }
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader
+                .take((MAX_RESPONSE_BYTES + 1) as u64)
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            if buf.len() > MAX_RESPONSE_BYTES {
+                return Err("unframed response body exceeds the 16 MiB cap".into());
+            }
+            buf
+        }
+    };
+    let body = String::from_utf8(body).map_err(|_| "response body is not UTF-8".to_string())?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<(u16, String), String> {
+        read_response(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn responses_parse_status_and_framed_body() {
+        let (status, body) = parse(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+             Content-Length: 12\r\nConnection: close\r\n\r\n{\"ok\":true}\n",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}\n");
+
+        let (status, body) =
+            parse("HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "{}");
+    }
+
+    #[test]
+    fn unframed_bodies_read_to_eof() {
+        let (status, body) = parse("HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nhello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn malformed_responses_are_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("garbage\r\n\r\n").is_err());
+        assert!(parse("HTTP/1.1 not-a-status\r\n\r\n").is_err());
+        assert!(parse("HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n").is_err());
+        // declared length longer than the stream
+        assert!(parse("HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn connect_failures_are_errors_not_panics() {
+        // A port nothing listens on (reserved port 1 on loopback is a
+        // safe bet in the test environment).
+        let err = http_call(
+            "127.0.0.1:1",
+            "GET",
+            "/sessions",
+            "",
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
+    }
+}

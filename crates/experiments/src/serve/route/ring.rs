@@ -1,0 +1,310 @@
+//! The consistent-hash ring mapping session names onto workers.
+//!
+//! Each worker contributes [`DEFAULT_REPLICAS`] virtual points on a 64-bit
+//! circle (FNV-1a plus an avalanche finalizer, [`point_hash`]); a session
+//! name hashes to a point and is owned by the
+//! first worker point clockwise from it. Adding or removing one worker
+//! therefore only remaps the sessions whose names fall on the arcs that
+//! worker's points cover — everything else keeps its owner (the property
+//! the proptests below pin). No external hash crate: FNV-1a is hand-rolled
+//! like the rest of the workspace's plumbing, and the ring only needs a
+//! well-spread deterministic hash, not a cryptographic one.
+
+/// Virtual points each worker contributes to the ring. 32 keeps the
+/// per-worker arc share within a few percent of fair for small fleets
+/// while the ring stays tiny (a sorted `Vec` binary-searched per lookup).
+pub const DEFAULT_REPLICAS: usize = 32;
+
+/// 64-bit FNV-1a. Deterministic across processes (unlike `std`'s
+/// `DefaultHasher`, which is randomly seeded), so router and tests agree
+/// on placement.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The ring's point hash: FNV-1a finalized with the 64-bit avalanche mix
+/// (Murmur3's `fmix64`). Raw FNV-1a mixes forward only, so short keys
+/// differing in their last characters — `w1:7788#0` through `w1:7788#31` —
+/// land clustered on the circle and ownership turns grossly unfair; the
+/// finalizer spreads every input bit across the whole word.
+pub fn point_hash(bytes: &[u8]) -> u64 {
+    let mut h = fnv1a(bytes);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// A consistent-hash ring over worker addresses.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    replicas: usize,
+    /// Ring points sorted by hash (ties broken by worker address so the
+    /// ring order is fully deterministic).
+    points: Vec<(u64, String)>,
+    /// The live workers, sorted (for stable iteration in tests/logs).
+    workers: Vec<String>,
+}
+
+impl HashRing {
+    /// An empty ring with `replicas` virtual points per worker.
+    pub fn new(replicas: usize) -> Self {
+        HashRing {
+            replicas: replicas.max(1),
+            points: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Adds a worker (no-op if already present).
+    pub fn add(&mut self, worker: &str) {
+        if self.contains(worker) {
+            return;
+        }
+        for i in 0..self.replicas {
+            let point = point_hash(format!("{worker}#{i}").as_bytes());
+            self.points.push((point, worker.to_string()));
+        }
+        self.points.sort();
+        let at = self.workers.binary_search(&worker.to_string()).unwrap_err();
+        self.workers.insert(at, worker.to_string());
+    }
+
+    /// Removes a worker (no-op if absent).
+    pub fn remove(&mut self, worker: &str) {
+        self.points.retain(|(_, w)| w != worker);
+        self.workers.retain(|w| w != worker);
+    }
+
+    /// Whether `worker` is on the ring.
+    pub fn contains(&self, worker: &str) -> bool {
+        self.workers.iter().any(|w| w == worker)
+    }
+
+    /// The live workers, sorted by address.
+    pub fn workers(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// Number of live workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are live.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The worker owning `name`: the first ring point at or clockwise
+    /// from the name's hash (wrapping), or `None` on an empty ring.
+    pub fn owner(&self, name: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = point_hash(name.as_bytes());
+        let at = self.points.partition_point(|(point, _)| *point < hash) % self.points.len();
+        Some(&self.points[at].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ring_basics_add_remove_owner() {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("alpha"), None);
+
+        ring.add("10.0.0.1:7788");
+        assert_eq!(ring.len(), 1);
+        // A single worker owns everything.
+        for name in ["alpha", "beta", "x", ""] {
+            assert_eq!(ring.owner(name), Some("10.0.0.1:7788"));
+        }
+        // Adding twice is a no-op.
+        ring.add("10.0.0.1:7788");
+        assert_eq!(ring.len(), 1);
+
+        ring.add("10.0.0.2:7788");
+        assert!(ring.contains("10.0.0.2:7788"));
+        assert_eq!(ring.workers(), ["10.0.0.1:7788", "10.0.0.2:7788"]);
+        // Lookups are deterministic.
+        assert_eq!(ring.owner("alpha"), ring.owner("alpha"));
+
+        ring.remove("10.0.0.1:7788");
+        assert_eq!(ring.owner("alpha"), Some("10.0.0.2:7788"));
+        ring.remove("10.0.0.2:7788");
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner("alpha"), None);
+    }
+
+    #[test]
+    fn replicas_spread_ownership() {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        for i in 0..4 {
+            ring.add(&format!("w{i}:7788"));
+        }
+        let mut counts = std::collections::HashMap::<String, usize>::new();
+        for i in 0..400 {
+            let owner = ring.owner(&format!("session-{i}")).unwrap().to_string();
+            *counts.entry(owner).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every worker owns some names: {counts:?}");
+        for (w, n) in &counts {
+            assert!(
+                (20..=250).contains(n),
+                "worker {w} owns a grossly unfair share ({n}/400): {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_the_reference_function() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    /// Strategy: 1-5 distinct worker addresses (integer-indexed — the
+    /// vendored proptest has no string strategies).
+    fn workers_strategy() -> impl Strategy<Value = Vec<String>> {
+        prop::collection::hash_set(0usize..50, 1..6).prop_map(|set| {
+            let mut workers: Vec<String> = set.into_iter().map(|i| format!("w{i}:7788")).collect();
+            workers.sort();
+            workers
+        })
+    }
+
+    /// Strategy: 1-`max` session names (repeats allowed; harmless).
+    fn names_strategy(max: usize) -> impl Strategy<Value = Vec<String>> {
+        prop::collection::vec(0u64..1_000_000, 1..max)
+            .prop_map(|v| v.into_iter().map(|i| format!("session-{i}")).collect())
+    }
+
+    proptest! {
+        /// Every session name maps to exactly one live worker — a member
+        /// of the ring — under any worker set.
+        #[test]
+        fn every_name_maps_to_one_live_worker(
+            workers in workers_strategy(),
+            names in names_strategy(40),
+        ) {
+            let mut ring = HashRing::new(DEFAULT_REPLICAS);
+            for w in &workers {
+                ring.add(w);
+            }
+            for name in &names {
+                let owner = ring.owner(name).expect("non-empty ring owns every name").to_string();
+                prop_assert!(ring.contains(&owner), "{} not a live worker", owner);
+                // and the mapping is a function: same name, same owner
+                prop_assert_eq!(ring.owner(name), Some(owner.as_str()));
+            }
+        }
+
+        /// A single join only remaps names onto the joiner: every name
+        /// whose owner changes is now owned by the new worker (no global
+        /// reshuffle).
+        #[test]
+        fn join_remaps_only_onto_the_joiner(
+            workers in workers_strategy(),
+            joiner in 0usize..50,
+            names in names_strategy(40),
+        ) {
+            // a distinct namespace, so the joiner is never already a member
+            let joiner = format!("new{joiner}:7788");
+            let mut ring = HashRing::new(DEFAULT_REPLICAS);
+            for w in &workers {
+                ring.add(w);
+            }
+            let before: Vec<String> = names
+                .iter()
+                .map(|n| ring.owner(n).unwrap().to_string())
+                .collect();
+            ring.add(&joiner);
+            for (name, old) in names.iter().zip(&before) {
+                let new = ring.owner(name).unwrap();
+                prop_assert!(
+                    new == old || new == joiner,
+                    "{}: moved {} -> {}, not onto the joiner {}",
+                    name, old, new, joiner
+                );
+            }
+        }
+
+        /// A single leave only remaps the leaver's names: every other
+        /// name keeps its owner, and nothing maps to the leaver.
+        #[test]
+        fn leave_remaps_only_the_leavers_names(
+            workers in workers_strategy(),
+            leaver_index in 0usize..6,
+            names in names_strategy(40),
+        ) {
+            if workers.len() >= 2 {
+                let leaver = workers[leaver_index % workers.len()].clone();
+                let mut ring = HashRing::new(DEFAULT_REPLICAS);
+                for w in &workers {
+                    ring.add(w);
+                }
+                let before: Vec<String> = names
+                    .iter()
+                    .map(|n| ring.owner(n).unwrap().to_string())
+                    .collect();
+                ring.remove(&leaver);
+                for (name, old) in names.iter().zip(&before) {
+                    let new = ring.owner(name).unwrap();
+                    if *old != leaver {
+                        prop_assert_eq!(
+                            new, old.as_str(),
+                            "{}: owned by surviving {} yet moved", name, old
+                        );
+                    }
+                    prop_assert!(new != leaver, "{} still maps to the leaver", name);
+                }
+            }
+        }
+
+        /// Join/leave sequences keep the ring consistent with a from-
+        /// scratch rebuild of the same final worker set.
+        #[test]
+        fn ring_is_history_independent(
+            adds in workers_strategy(),
+            drops in prop::collection::vec(0usize..6, 0..4),
+            names in names_strategy(20),
+        ) {
+            let mut ring = HashRing::new(DEFAULT_REPLICAS);
+            for w in &adds {
+                ring.add(w);
+            }
+            let mut survivors = adds.clone();
+            for d in drops {
+                if survivors.len() <= 1 {
+                    break;
+                }
+                let victim = survivors.remove(d % survivors.len());
+                ring.remove(&victim);
+            }
+            let mut rebuilt = HashRing::new(DEFAULT_REPLICAS);
+            for w in &survivors {
+                rebuilt.add(w);
+            }
+            prop_assert_eq!(ring.workers(), rebuilt.workers());
+            for name in &names {
+                prop_assert_eq!(ring.owner(name), rebuilt.owner(name));
+            }
+        }
+    }
+}

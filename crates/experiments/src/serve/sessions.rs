@@ -227,14 +227,21 @@ struct Handle {
     checkpoint: PathBuf,
 }
 
-/// Tombstone of an idle-evicted session: enough for the `GET /sessions`
-/// `evicted: true` row and for the operator to find the checkpoint.
+/// Tombstone of a session that left this daemon: enough for the
+/// `GET /sessions` row and for the operator to find the checkpoint. Two
+/// flavors share the struct: an idle eviction (`migrated_to: None`,
+/// rendered with `evicted: true`) and a router-driven migration
+/// (`migrated_to: Some(worker)`, rendered with `status: "migrated"` so
+/// the departure never reads as local data loss).
 #[derive(Clone, Debug)]
 struct EvictedRow {
     checkpoint: PathBuf,
     final_t: u64,
     /// Insertion order, for FIFO capping at [`MAX_TOMBSTONES`].
     order: u64,
+    /// The worker the session moved to, when the eviction was the first
+    /// half of a live migration (`DELETE` with a `migrated_to` body).
+    migrated_to: Option<String>,
 }
 
 /// Retained idle-eviction tombstones. A daemon cycling uniquely named
@@ -457,6 +464,86 @@ impl SessionManager {
         Ok(stats)
     }
 
+    /// Stops and evicts `name` as the hand-off half of a live migration
+    /// (`DELETE /sessions/<name>` with a `{"migrated_to": ...}` body —
+    /// the routing tier's protocol, `docs/CLUSTER.md`): the session is
+    /// checkpointed to its checkpoint file, stopped, and replaced by a
+    /// `migrated` tombstone naming the worker it moved to, so the
+    /// departure never reads as local data loss. Unlike
+    /// [`evict_idle`](Self::evict_idle), a failed checkpoint *aborts* the
+    /// eviction and the session keeps running — a migration must never
+    /// destroy state it could not save.
+    pub fn remove_migrated(
+        &self,
+        name: &str,
+        migrated_to: &str,
+    ) -> Result<SessionStats, ServeError> {
+        // Reserve the name while the checkpoint is written (the
+        // evict_idle discipline): a concurrent create gets a clean 409
+        // instead of racing the tombstone swap.
+        let handle = {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.entries.get(name) {
+                None => return Err(ServeError::NotFound(name.to_string())),
+                Some(Entry::Starting) => {
+                    return Err(ServeError::Conflict(format!(
+                        "session {name:?} is still starting"
+                    )))
+                }
+                Some(Entry::Live(_)) => {}
+            }
+            match inner.entries.insert(name.to_string(), Entry::Starting) {
+                Some(Entry::Live(handle)) => handle,
+                _ => unreachable!("checked above"),
+            }
+        };
+        let (rtx, rrx) = mpsc::channel();
+        let saved = match handle.tx.send(Command::Checkpoint { reply: rtx }) {
+            Err(_) => None, // actor dead: fall through to plain removal
+            Ok(()) => match rrx.recv() {
+                Ok(Ok(_)) => Some(Ok(())),
+                Ok(Err(e)) => Some(Err(e)),
+                Err(_) => None,
+            },
+        };
+        match saved {
+            Some(Ok(())) => {}
+            Some(Err(e)) => {
+                // Checkpointing failed but the actor lives: put the entry
+                // back and report, so the caller's migration aborts with
+                // the session still serving where it was.
+                let mut inner = self.inner.lock().unwrap();
+                debug_assert!(matches!(inner.entries.get(name), Some(Entry::Starting)));
+                inner.entries.insert(name.to_string(), Entry::Live(handle));
+                return Err(e);
+            }
+            None => {
+                // The actor died under us — nothing left to migrate.
+                let mut inner = self.inner.lock().unwrap();
+                inner.entries.remove(name);
+                drop(handle.tx);
+                let _ = handle.join.join();
+                return Err(ServeError::Internal(format!("session {name:?} died")));
+            }
+        }
+        let checkpoint = handle.checkpoint.clone();
+        let stats = stop_actor(handle);
+        let mut inner = self.inner.lock().unwrap();
+        debug_assert!(matches!(inner.entries.get(name), Some(Entry::Starting)));
+        inner.entries.remove(name);
+        if name == DEFAULT_SESSION {
+            inner.default_stats = Some(stats);
+        }
+        insert_tombstone(
+            &mut inner,
+            name,
+            checkpoint,
+            stats.final_t,
+            Some(migrated_to.to_string()),
+        );
+        Ok(stats)
+    }
+
     /// Evicts every live session no client has touched for `idle`:
     /// each victim is **checkpointed to its checkpoint file first**, then
     /// stopped and replaced by a tombstone (`GET /sessions` shows it with
@@ -513,27 +600,7 @@ impl SessionManager {
             if name == DEFAULT_SESSION {
                 inner.default_stats = Some(stats);
             }
-            let order = inner.next_evicted_order;
-            inner.next_evicted_order += 1;
-            inner.evicted.insert(
-                name.clone(),
-                EvictedRow {
-                    checkpoint,
-                    final_t: stats.final_t,
-                    order,
-                },
-            );
-            // FIFO cap: a daemon cycling uniquely named sessions must
-            // not accumulate tombstones forever.
-            while inner.evicted.len() > MAX_TOMBSTONES {
-                let oldest = inner
-                    .evicted
-                    .iter()
-                    .min_by_key(|(_, row)| row.order)
-                    .map(|(n, _)| n.clone())
-                    .expect("non-empty map has a minimum");
-                inner.evicted.remove(&oldest);
-            }
+            insert_tombstone(&mut inner, &name, checkpoint, stats.final_t, None);
             drop(inner);
             evicted.push(name);
         }
@@ -619,16 +686,26 @@ impl SessionManager {
             })
             .collect();
         sessions.extend(tombstones.into_iter().map(|(name, row)| {
-            JsonValue::Obj(vec![
-                ("name".into(), JsonValue::from(name.as_str())),
-                ("status".into(), JsonValue::from("evicted")),
-                ("evicted".into(), JsonValue::Bool(true)),
-                (
-                    "checkpoint".into(),
-                    JsonValue::from(row.checkpoint.display().to_string()),
-                ),
-                ("final_t".into(), JsonValue::from(row.final_t)),
-            ])
+            let mut pairs = vec![("name".into(), JsonValue::from(name.as_str()))];
+            // Two tombstone flavors: idle-evicted locally vs migrated to
+            // another worker by the routing tier (docs/CLUSTER.md) — the
+            // latter names its destination so it never reads as data loss.
+            match &row.migrated_to {
+                Some(target) => {
+                    pairs.push(("status".into(), JsonValue::from("migrated")));
+                    pairs.push(("migrated_to".into(), JsonValue::from(target.as_str())));
+                }
+                None => {
+                    pairs.push(("status".into(), JsonValue::from("evicted")));
+                    pairs.push(("evicted".into(), JsonValue::Bool(true)));
+                }
+            }
+            pairs.push((
+                "checkpoint".into(),
+                JsonValue::from(row.checkpoint.display().to_string()),
+            ));
+            pairs.push(("final_t".into(), JsonValue::from(row.final_t)));
+            JsonValue::Obj(pairs)
         }));
         JsonValue::Obj(vec![
             ("sessions".into(), JsonValue::Arr(sessions)),
@@ -695,6 +772,38 @@ impl SessionManager {
             drop(handle.tx);
             let _ = handle.join.join();
         }
+    }
+}
+
+/// Records a tombstone for a session that left the table (idle eviction
+/// or migration hand-off), FIFO-capped at [`MAX_TOMBSTONES`] so a daemon
+/// cycling uniquely named sessions never accumulates state.
+fn insert_tombstone(
+    inner: &mut Inner,
+    name: &str,
+    checkpoint: PathBuf,
+    final_t: u64,
+    migrated_to: Option<String>,
+) {
+    let order = inner.next_evicted_order;
+    inner.next_evicted_order += 1;
+    inner.evicted.insert(
+        name.to_string(),
+        EvictedRow {
+            checkpoint,
+            final_t,
+            order,
+            migrated_to,
+        },
+    );
+    while inner.evicted.len() > MAX_TOMBSTONES {
+        let oldest = inner
+            .evicted
+            .iter()
+            .min_by_key(|(_, row)| row.order)
+            .map(|(n, _)| n.clone())
+            .expect("non-empty map has a minimum");
+        inner.evicted.remove(&oldest);
     }
 }
 
@@ -1395,6 +1504,90 @@ mod tests {
             matches!(list.get("sessions").unwrap(), JsonValue::Arr(rows) if rows.is_empty()),
             "DELETE must clear the tombstone"
         );
+        mgr.shutdown_all();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_migrated_leaves_a_migrated_tombstone() {
+        let dir = std::env::temp_dir().join(format!("flexserve-migrate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("mig.json");
+        let ck_arg = format!("checkpoint={}", ck.display());
+        let mgr = SessionManager::new(4);
+        mgr.create("mover", tiny("mover", &[&ck_arg])).unwrap();
+        mgr.step("mover", "").unwrap();
+        mgr.step("mover", "").unwrap();
+        mgr.step("mover", "").unwrap();
+
+        let stats = mgr.remove_migrated("mover", "127.0.0.1:9999").unwrap();
+        assert_eq!(stats.final_t, 3);
+        assert_eq!(stats.rounds_served, 3);
+        // The checkpoint was written on the way out, so the destination
+        // worker can resume from it.
+        let text = std::fs::read_to_string(&ck).expect("migration checkpoint written");
+        assert!(text.contains("flexserve-checkpoint-v2"), "{text}");
+        match mgr.step("mover", "") {
+            Err(ServeError::NotFound(_)) => {}
+            other => panic!("migrated session must 404 locally, got {other:?}"),
+        }
+        match mgr.remove_migrated("mover", "127.0.0.1:9999") {
+            Err(ServeError::NotFound(_)) => {}
+            other => panic!("second migration must 404, got {other:?}"),
+        }
+
+        // The tombstone names its destination and does NOT read as an
+        // eviction: status is "migrated", there is no `evicted` flag.
+        let list = mgr.list();
+        assert_eq!(list.get("count").unwrap().as_u64(), Some(0));
+        let rows = match list.get("sessions").unwrap() {
+            JsonValue::Arr(rows) => rows.clone(),
+            other => panic!("sessions must be an array, got {other:?}"),
+        };
+        let row = rows
+            .iter()
+            .find(|r| r.get("name").and_then(JsonValue::as_str) == Some("mover"))
+            .expect("migrated tombstone row");
+        assert_eq!(row.get("status").unwrap().as_str(), Some("migrated"));
+        assert_eq!(
+            row.get("migrated_to").unwrap().as_str(),
+            Some("127.0.0.1:9999")
+        );
+        assert!(row.get("evicted").is_none());
+        assert_eq!(row.get("final_t").unwrap().as_u64(), Some(3));
+        assert!(row
+            .get("checkpoint")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .ends_with("mig.json"));
+
+        // Both tombstone flavors coexist: idle-evict a second session and
+        // check the rows stay distinguishable.
+        let ck2 = dir.join("idle2.json");
+        let ck2_arg = format!("checkpoint={}", ck2.display());
+        mgr.create("idler", tiny("idler", &[&ck2_arg])).unwrap();
+        mgr.step("idler", "").unwrap();
+        assert_eq!(mgr.evict_idle(std::time::Duration::ZERO), vec!["idler"]);
+        let list = mgr.list();
+        let rows = match list.get("sessions").unwrap() {
+            JsonValue::Arr(rows) => rows.clone(),
+            other => panic!("sessions must be an array, got {other:?}"),
+        };
+        let idle = rows
+            .iter()
+            .find(|r| r.get("name").and_then(JsonValue::as_str) == Some("idler"))
+            .expect("evicted tombstone row");
+        assert_eq!(idle.get("status").unwrap().as_str(), Some("evicted"));
+        assert_eq!(idle.get("evicted").unwrap(), &JsonValue::Bool(true));
+        assert!(idle.get("migrated_to").is_none());
+
+        // Recreating the migrated name (resume on the "destination", here
+        // the same manager) clears the tombstone like any recreation.
+        let info = mgr
+            .create("mover", tiny("mover", &[&ck_arg, "resume=true"]))
+            .unwrap();
+        assert_eq!(info.get("resumed_at").unwrap().as_u64(), Some(3));
         mgr.shutdown_all();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1019,6 +1019,15 @@ impl CellBuilder {
         }
     }
 
+    /// True when `key` belongs to the cell grammar (as opposed to a
+    /// session- or server-level key) — lets callers that *rewrite*
+    /// argument lists (the routing tier recreating a migrated session,
+    /// `serve::route`) classify keys without duplicating the grammar. A
+    /// cell key whose probe value fails to parse is still a cell key.
+    pub fn is_cell_key(key: &str) -> bool {
+        CellBuilder::new().apply(key, "0").unwrap_or(true)
+    }
+
     /// Applies one `key=value` pair. Returns `Ok(true)` when the key was
     /// a cell key, `Ok(false)` when it is not (the caller's problem), and
     /// `Err` when the key is a cell key but the value does not parse.
@@ -1093,6 +1102,28 @@ impl CellBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn is_cell_key_classifies_the_grammar() {
+        for key in [
+            "topo", "wl", "strat", "t", "lambda", "rounds", "seed", "load", "beta", "c", "ra",
+            "ri", "k", "flipped", "events",
+        ] {
+            assert!(CellBuilder::is_cell_key(key), "{key} is a cell key");
+        }
+        for key in [
+            "checkpoint",
+            "resume",
+            "source",
+            "port",
+            "bind",
+            "workers",
+            "max-sessions",
+            "",
+        ] {
+            assert!(!CellBuilder::is_cell_key(key), "{key} is not a cell key");
+        }
+    }
 
     #[test]
     fn topology_specs_round_trip() {

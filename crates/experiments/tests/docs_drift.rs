@@ -186,6 +186,76 @@ fn architecture_and_benchmarks_document_the_demand_plane() {
 }
 
 #[test]
+fn cluster_md_documents_the_routing_tier() {
+    const CLUSTER_MD: &str = include_str!("../../../docs/CLUSTER.md");
+    // every endpoint the router's 404 body advertises is documented
+    // (backticked), router-only and proxied alike
+    for endpoint in flexserve_experiments::serve::route::ROUTER_ENDPOINT_LIST
+        .split(',')
+        .map(|e| e.split_whitespace().collect::<Vec<_>>().join(" "))
+    {
+        assert!(
+            CLUSTER_MD.contains(&format!("`{endpoint}`")),
+            "docs/CLUSTER.md must document {endpoint}"
+        );
+    }
+    // every route key stays documented
+    for key in [
+        "`workers`",
+        "`port`",
+        "`bind`",
+        "`threads`",
+        "`replicas`",
+        "`health-interval`",
+        "`mark-down`",
+        "`skew`",
+        "`request-timeout`",
+    ] {
+        assert!(
+            CLUSTER_MD.contains(key),
+            "docs/CLUSTER.md must document the {key} route key"
+        );
+    }
+    // the migration protocol's externally visible pieces
+    for s in [
+        "migrated_to",
+        "resume=true",
+        "bit-identical",
+        "route_cluster.rs",
+        "uptime_seconds",
+    ] {
+        assert!(CLUSTER_MD.contains(s), "docs/CLUSTER.md must document {s}");
+    }
+    // the migrated tombstone flavor and the DELETE hand-off body live in
+    // the serving reference
+    assert!(
+        SERVING_MD.contains("migrated_to"),
+        "docs/SERVING.md must document the migrated_to tombstone flavor"
+    );
+    assert!(
+        SERVING_MD.contains("\"status\": \"migrated\""),
+        "docs/SERVING.md must show the migrated tombstone row"
+    );
+    // the routing-tax bench entry stays documented with its schema
+    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    assert!(
+        BENCHMARKS_MD.contains("`route_overhead`"),
+        "docs/BENCHMARKS.md must document the BENCH_serve.json route_overhead entry"
+    );
+    // the rest of the doc tree points at the cluster guide
+    for (name, doc) in [
+        ("README.md", README_MD),
+        ("docs/ARCHITECTURE.md", ARCHITECTURE_MD),
+        ("docs/SERVING.md", SERVING_MD),
+    ] {
+        assert!(
+            doc.contains("CLUSTER.md"),
+            "{name} must link docs/CLUSTER.md"
+        );
+    }
+}
+
+#[test]
 fn doc_tree_cross_links_hold() {
     assert!(
         README_MD.contains("docs/SERVING.md"),
