@@ -9,9 +9,10 @@
 //! (stepping a session directly against its worker vs through the
 //! `flexserve route` tier) — and records the results as
 //! `BENCH_apsp.json` (an array: full build, repair-vs-rebuild),
-//! `BENCH_sweeps.json`, `BENCH_cache.json` and `BENCH_serve.json` (an
-//! array of the three serving benches) in the repository root (schema:
-//! docs/BENCHMARKS.md).
+//! `BENCH_sweeps.json`, `BENCH_trace.json` (packed-vs-JSONL trace
+//! ingestion, see docs/TRACES.md), `BENCH_cache.json` and
+//! `BENCH_serve.json` (an array of the three serving benches) in the
+//! repository root (schema: docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
 //!
@@ -33,7 +34,10 @@ use flexserve_experiments::{
 };
 use flexserve_graph::DistanceMatrix;
 use flexserve_sim::{run_online, CostParams, LoadModel, SimSession};
-use flexserve_workload::{record, CommuterScenario, LoadVariant};
+use flexserve_workload::{
+    file_source, pack_jsonl_file, record, CommuterScenario, LoadVariant, PackedReplay, PackedTrace,
+    RequestSource, DEFAULT_WINDOW_ROUNDS,
+};
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -232,6 +236,91 @@ fn main() {
         "BENCH_sweeps.json",
         &format!("[\n{sweep_entry},\n{trace_entry}\n]\n"),
     );
+
+    // --- Packed trace plane: JSONL parse vs packed replay ---------------
+    // The trace-ingestion saving of `flexserve trace pack`
+    // (docs/TRACES.md): one million synthetic rounds written as JSONL,
+    // packed once into `flexserve-trace-v1`, then fully consumed through
+    // both replay sources. "Serial" is the JSONL parse (per-line JSON +
+    // fold); "parallel" is the packed replay (mmap + varint frames).
+    // The extra fields record the pack ratio and the resident bytes of
+    // one DEFAULT_WINDOW_ROUNDS replay window — the O(window) footprint
+    // a million-round serve session actually holds.
+    const PACK_ROUNDS: u64 = 1_000_000;
+    const PACK_UNIVERSE: usize = 100;
+    let tmp = |name: &str| {
+        std::env::temp_dir()
+            .join(format!("flexserve-perf-{name}"))
+            .display()
+            .to_string()
+    };
+    let jsonl_path = tmp("trace.jsonl");
+    let pack_path = tmp("trace.ftr");
+    {
+        // Stream-generate the JSONL (never materialize the trace): a few
+        // deterministic origins per round, like a recorded demand file.
+        let file = std::fs::File::create(&jsonl_path).expect("create bench jsonl");
+        let mut out = std::io::BufWriter::new(file);
+        for t in 0..PACK_ROUNDS {
+            let a = (t * 7) % PACK_UNIVERSE as u64;
+            let b = (t * 13 + 5) % PACK_UNIVERSE as u64;
+            writeln!(out, "{{\"t\":{t},\"origins\":[{a},{a},{b},{}]}}", t % 10)
+                .expect("write bench jsonl");
+        }
+        out.flush().expect("flush bench jsonl");
+    }
+    let pack_s = time_median(reps, || {
+        std::hint::black_box(pack_jsonl_file(&jsonl_path, &pack_path).expect("pack bench jsonl"));
+    });
+    let jsonl_bytes = std::fs::metadata(&jsonl_path).expect("jsonl meta").len();
+    let packed_bytes = std::fs::metadata(&pack_path).expect("pack meta").len();
+    let consume = |source: &mut dyn RequestSource| {
+        let mut rounds = 0u64;
+        while let Some(round) = source.next_round().expect("replay round") {
+            std::hint::black_box(&round);
+            rounds += 1;
+        }
+        assert_eq!(rounds, PACK_ROUNDS);
+    };
+    let jsonl_parse = time_median(reps, || {
+        let mut source = file_source(&jsonl_path, PACK_UNIVERSE).expect("open bench jsonl");
+        consume(&mut source);
+    });
+    let packed_replay = time_median(reps, || {
+        let mut source = PackedReplay::open(&pack_path, PACK_UNIVERSE).expect("open bench pack");
+        consume(&mut source);
+    });
+    let resident_window_bytes = PackedTrace::open(&pack_path)
+        .expect("open bench pack")
+        .window(PACK_ROUNDS / 2, DEFAULT_WINDOW_ROUNDS)
+        .expect("bench window")
+        .memory_bytes();
+    println!(
+        "trace pack: {jsonl_bytes} JSONL bytes -> {packed_bytes} packed ({:.1}x), \
+         one {DEFAULT_WINDOW_ROUNDS}-round window resident = {resident_window_bytes} bytes",
+        jsonl_bytes as f64 / packed_bytes as f64
+    );
+    let extra = format!(
+        ",\n  \"rounds\": {PACK_ROUNDS},\n  \"jsonl_bytes\": {jsonl_bytes},\n  \
+         \"packed_bytes\": {packed_bytes},\n  \"pack_ratio\": {:.3},\n  \
+         \"pack_seconds\": {pack_s:.9},\n  \"window_rounds\": {DEFAULT_WINDOW_ROUNDS},\n  \
+         \"resident_window_bytes\": {resident_window_bytes}",
+        jsonl_bytes as f64 / packed_bytes as f64
+    );
+    let pack_entry = entry_json(
+        "trace_pack",
+        jsonl_parse,
+        packed_replay,
+        "one million synthetic rounds consumed end to end: JSONL parse \
+         (file_source) vs flexserve-trace-v1 packed replay (PackedReplay, \
+         mmap + varint frames); extra fields record the pack ratio and the \
+         resident bytes of one default replay window",
+        &extra,
+    );
+    announce("BENCH_trace.json", "trace_pack", jsonl_parse, packed_replay);
+    write_file("BENCH_trace.json", &format!("[\n{pack_entry}\n]\n"));
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&pack_path).ok();
 
     // --- Distance-matrix cache: cold vs warm substrate fetch ------------
     // The multi-figure redundancy the cache removes: the same (topology,

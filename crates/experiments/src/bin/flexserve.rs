@@ -46,9 +46,13 @@ subcommands:
   trace record <key=value>...  record a workload into a JSONL demand trace
                                (topo=, wl= required; t, lambda, rounds, seed,
                                out=<path.jsonl>, default results/trace.jsonl)
+  trace pack <jsonl> [out=]    pack a JSONL trace into the framed binary
+                               format flexserve-trace-v1 (mmap/windowed
+                               replay; out= defaults to the input with a
+                               .ftr extension; see docs/TRACES.md)
   trace replay <key=value>...  run a cell whose demand is a recorded trace
-                               (file=<path.jsonl> + the usual cell keys;
-                               sugar for run ... wl=replay:<path>)
+                               (file=<path> packed or JSONL + the usual
+                               cell keys; sugar for run ... wl=replay:<path>)
   serve <key=value>...         run the multi-session streaming placement daemon
                                (the command line describes the default session;
                                more sessions via POST /sessions, stepped through
@@ -133,15 +137,17 @@ fn main() -> ExitCode {
 }
 
 /// `trace` dispatch: `record` materializes a workload into a JSONL demand
-/// trace; `replay` runs a cell against a recorded trace (sugar for
-/// `run ... wl=replay:<path>`), making a recorded trace a scenario like
-/// any other.
+/// trace; `pack` converts a JSONL trace into the framed binary
+/// `flexserve-trace-v1` format; `replay` runs a cell against a recorded
+/// trace (sugar for `run ... wl=replay:<path>`), making a recorded trace
+/// a scenario like any other.
 fn trace(args: &[String]) -> Result<Manifest, String> {
     match args.first().map(String::as_str) {
         Some("record") => trace_record(&args[1..]),
+        Some("pack") => trace_pack(&args[1..]),
         Some("replay") => trace_replay(&args[1..]),
         _ => Err(format!(
-            "trace: expected `trace record` or `trace replay`\n{USAGE}"
+            "trace: expected `trace record`, `trace pack` or `trace replay`\n{USAGE}"
         )),
     }
 }
@@ -221,6 +227,66 @@ fn trace_record(args: &[String]) -> Result<Manifest, String> {
     Ok(manifest)
 }
 
+/// `flexserve trace pack <jsonl> [out=<path>]` — streams a JSONL demand
+/// trace into the framed binary `flexserve-trace-v1` format (one round
+/// resident at a time on both sides). The output defaults to the input
+/// path with a `.ftr` extension; every replay entry point
+/// (`wl=replay:`, `source=`, `trace replay`) auto-detects the format by
+/// magic, so the pack is a drop-in replacement for the JSONL original.
+fn trace_pack(args: &[String]) -> Result<Manifest, String> {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    for arg in args {
+        match arg.split_once('=') {
+            Some(("out", v)) => out = Some(v.to_string()),
+            Some((key, _)) => return Err(format!("trace pack: unknown key {key:?}")),
+            None if input.is_none() => input = Some(arg.clone()),
+            None => return Err(format!("trace pack: unexpected argument {arg:?}")),
+        }
+    }
+    let input = input.ok_or("trace pack: expected `trace pack <trace.jsonl> [out=<path>]`")?;
+    let out = out.unwrap_or_else(|| {
+        std::path::Path::new(&input)
+            .with_extension("ftr")
+            .display()
+            .to_string()
+    });
+    if out == input {
+        return Err(format!(
+            "trace pack: out={out} would overwrite the input; pick another path"
+        ));
+    }
+    let jsonl_bytes = std::fs::metadata(&input)
+        .map_err(|e| format!("cannot open {input}: {e}"))?
+        .len();
+    let summary = flexserve_workload::pack_jsonl_file(&input, &out)?;
+    let ratio = if summary.bytes > 0 {
+        jsonl_bytes as f64 / summary.bytes as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "packed {} rounds ({} origins universe) {} -> {}: {} -> {} bytes ({ratio:.2}x)",
+        summary.rounds, summary.universe, input, out, jsonl_bytes, summary.bytes
+    );
+
+    let mut manifest = Manifest::new();
+    manifest.add(ManifestEntry {
+        artifact: out.clone(),
+        kind: "trace-pack".into(),
+        spec: format!(
+            "{} <- {input} (rounds={}, universe={}, {jsonl_bytes} -> {} bytes, ratio={ratio:.2})",
+            flexserve_workload::PACKED_FORMAT,
+            summary.rounds,
+            summary.universe,
+            summary.bytes
+        ),
+        seeds: Vec::new(),
+        fingerprints: Vec::new(),
+    });
+    Ok(manifest)
+}
+
 /// `flexserve trace replay file=<path> topo=... strat=... [cell keys]` —
 /// runs a cell whose workload is the recorded trace.
 fn trace_replay(args: &[String]) -> Result<Manifest, String> {
@@ -235,7 +301,7 @@ fn trace_replay(args: &[String]) -> Result<Manifest, String> {
             _ => cell_args.push(arg.clone()),
         }
     }
-    let file = file.ok_or("trace replay: file=<path.jsonl> is required")?;
+    let file = file.ok_or("trace replay: file=<path> is required (packed or JSONL)")?;
     cell_args.push(format!("wl=replay:{file}"));
     sweep(&cell_args, true)
 }

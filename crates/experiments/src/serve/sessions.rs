@@ -32,7 +32,8 @@ use flexserve_sim::{
     SubstrateEvents,
 };
 use flexserve_workload::{
-    file_source, parse_round, record, stdin_source, JsonValue, RequestSource, ScenarioStream, Trace,
+    parse_round, record, replay_source, stdin_source, JsonValue, RequestSource, ScenarioStream,
+    Trace,
 };
 
 use crate::output::results_dir;
@@ -1035,23 +1036,23 @@ fn run_session(
             Box::new(stream)
         }
         SourceKind::File(path) => {
-            let mut replay = match file_source(path, node_count) {
+            // Packed or JSONL, sniffed by magic. A packed replay skips by
+            // an O(1) frame-index seek; JSONL pulls and discards.
+            let mut replay = match replay_source(path, node_count) {
                 Ok(replay) => replay,
                 Err(e) => return fail(e),
             };
-            for _ in 0..source_consumed {
-                match replay.next_round() {
-                    Ok(Some(_)) => {}
-                    Ok(None) => {
-                        return fail(format!(
-                            "replay {path} is shorter than the checkpoint \
-                             (source_rounds={source_consumed})"
-                        ))
-                    }
-                    Err(e) => return fail(e),
-                }
+            if let Err(e) = replay.skip(source_consumed) {
+                return fail(if e.contains("exhausted") {
+                    format!(
+                        "replay {path} is shorter than the checkpoint \
+                         (source_rounds={source_consumed})"
+                    )
+                } else {
+                    e
+                });
             }
-            Box::new(replay)
+            replay
         }
         SourceKind::Stdin => Box::new(stdin_source(node_count)),
     };

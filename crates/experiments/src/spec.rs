@@ -28,8 +28,9 @@ use flexserve_sim::{
 };
 use flexserve_topology::{as7018_like, parse_rocketfuel_weights, As7018Config};
 use flexserve_workload::{
-    file_source, CommuterScenario, LoadVariant, OnOffScenario, ProximityScenario, RoundTrace,
-    Scenario, TimeZonesScenario, Trace, TraceScenario, UniformScenario,
+    file_source, is_packed_file, CommuterScenario, LoadVariant, OnOffScenario, PackedScenario,
+    PackedTrace, ProximityScenario, RoundTrace, Scenario, TimeZonesScenario, Trace, TraceScenario,
+    UniformScenario, DEFAULT_WINDOW_ROUNDS,
 };
 
 use flexserve_core::{
@@ -295,12 +296,14 @@ pub enum WorkloadSpec {
         /// Whether users move in a correlated wave.
         correlated: bool,
     },
-    /// A recorded JSONL demand trace replayed as a scenario
-    /// (`replay:<path>`; see `flexserve trace record`). Rounds past the
-    /// end of the file are empty; `T`, `λ` and the seed are ignored — the
-    /// demand is whatever was recorded.
+    /// A recorded demand trace replayed as a scenario (`replay:<path>`;
+    /// see `flexserve trace record` / `flexserve trace pack`). The format
+    /// is auto-detected by magic: a packed `flexserve-trace-v1` file
+    /// replays through an mmap/windowed reader, anything else parses as
+    /// JSONL. Rounds past the end of the file are empty; `T`, `λ` and the
+    /// seed are ignored — the demand is whatever was recorded.
     Replay {
-        /// Path to the JSONL trace file.
+        /// Path to the trace file (packed or JSONL).
         path: String,
     },
 }
@@ -368,10 +371,21 @@ impl WorkloadSpec {
             WorkloadSpec::Replay { path } => {
                 // Pre-checked by `WorkloadSpec::validate_replay` (via
                 // `CellSpec::validate` and the serve layer), so a failure
-                // here means the file changed underneath us.
-                let trace = Self::load_replay(path, graph.node_count())
-                    .unwrap_or_else(|e| panic!("wl=replay: {e}"));
-                Box::new(TraceScenario::new(trace, path.clone()))
+                // here means the file changed underneath us. A packed
+                // trace replays through a sliding decoded window (O(window)
+                // resident); JSONL still materializes fully.
+                match is_packed_file(path) {
+                    Ok(true) => Box::new(
+                        PackedScenario::open(path, graph.node_count(), DEFAULT_WINDOW_ROUNDS)
+                            .unwrap_or_else(|e| panic!("wl=replay: {e}")),
+                    ),
+                    Ok(false) => {
+                        let trace = Self::load_replay(path, graph.node_count())
+                            .unwrap_or_else(|e| panic!("wl=replay: {e}"));
+                        Box::new(TraceScenario::new(trace, path.clone()))
+                    }
+                    Err(e) => panic!("wl=replay: {e}"),
+                }
             }
         }
     }
@@ -385,10 +399,25 @@ impl WorkloadSpec {
 
     /// For `replay:<path>` workloads: checks the file exists, parses and
     /// fits a substrate of `node_count` nodes. Other workloads always
-    /// validate.
+    /// validate. A packed trace validates structurally (magic, frame
+    /// index, fingerprint, universe) *without* materializing any rounds,
+    /// so million-round packs stay O(1) here.
     pub fn validate_replay(&self, node_count: usize) -> Result<(), String> {
         match self {
-            WorkloadSpec::Replay { path } => Self::load_replay(path, node_count).map(|_| ()),
+            WorkloadSpec::Replay { path } => {
+                if is_packed_file(path)? {
+                    let trace = PackedTrace::open(path)?;
+                    if trace.origin_universe() > node_count as u64 {
+                        return Err(format!(
+                            "{path}: origin universe {} out of range (substrate has {node_count} nodes)",
+                            trace.origin_universe()
+                        ));
+                    }
+                    Ok(())
+                } else {
+                    Self::load_replay(path, node_count).map(|_| ())
+                }
+            }
             _ => Ok(()),
         }
     }
@@ -494,7 +523,7 @@ impl FromStr for WorkloadSpec {
             }
             "replay" => {
                 if args.is_empty() {
-                    return Err("replay: expected replay:<path.jsonl>".into());
+                    return Err("replay: expected replay:<path> (JSONL or packed trace)".into());
                 }
                 Ok(WorkloadSpec::Replay {
                     path: args.to_string(),

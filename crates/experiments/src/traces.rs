@@ -22,6 +22,14 @@
 //! stored counts exceed [`TraceCache::DEFAULT_CAPACITY_BYTES`] (override
 //! with `FLEXSERVE_TRACE_BYTES`; `0` disables caching). Counters land in
 //! `results/manifest.json` next to the distance-matrix counters.
+//!
+//! Replay cells (`wl=replay:<path>`, packed or JSONL — see
+//! `docs/TRACES.md`) flow through here too: the batch pipeline's offline
+//! strategies need the full materialized [`RoundTrace`], so a replay
+//! cell records its scenario once per group like any generator (packed
+//! replays *generate* through an O(window) sliding reader, but the
+//! recorded result is the whole horizon). Traces larger than the byte
+//! budget are handed out uncached rather than evicting everything else.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

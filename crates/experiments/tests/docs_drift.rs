@@ -186,6 +186,58 @@ fn architecture_and_benchmarks_document_the_demand_plane() {
 }
 
 #[test]
+fn traces_md_documents_the_packed_plane() {
+    const TRACES_MD: &str = include_str!("../../../docs/TRACES.md");
+    // the format tag is the on-disk contract — the doc must carry the
+    // exact string the code stamps
+    assert!(
+        TRACES_MD.contains(flexserve_workload::PACKED_FORMAT),
+        "docs/TRACES.md must name the {} format tag",
+        flexserve_workload::PACKED_FORMAT
+    );
+    // the CLI entry point and both code-level packing paths
+    for s in [
+        "trace pack",
+        "pack_jsonl_file",
+        "PackWriter",
+        "PackedTrace",
+        "PackedScenario",
+        "PackedReplay",
+        "packed_trace.rs",
+    ] {
+        assert!(TRACES_MD.contains(s), "docs/TRACES.md must document {s}");
+    }
+    // the magic strings and the windowing constant are part of the layout
+    assert!(
+        TRACES_MD.contains("FXTRACE1") && TRACES_MD.contains("FXTRIDX1"),
+        "docs/TRACES.md must show both magic strings"
+    );
+    assert!(
+        TRACES_MD.contains("4096"),
+        "docs/TRACES.md must state the default window size"
+    );
+    // the CLI usage string keeps advertising the pack subcommand
+    assert!(
+        include_str!("../src/bin/flexserve.rs").contains("trace pack <jsonl> [out=]"),
+        "flexserve usage must advertise the trace pack subcommand"
+    );
+    // the bench entry stays documented with its schema
+    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    assert!(
+        BENCHMARKS_MD.contains("`trace_pack`") && BENCHMARKS_MD.contains("resident_window_bytes"),
+        "docs/BENCHMARKS.md must document the BENCH_trace.json trace_pack entry"
+    );
+    // the rest of the doc tree points at the trace reference
+    for (name, doc) in [
+        ("README.md", README_MD),
+        ("docs/ARCHITECTURE.md", ARCHITECTURE_MD),
+        ("docs/SERVING.md", SERVING_MD),
+    ] {
+        assert!(doc.contains("TRACES.md"), "{name} must link docs/TRACES.md");
+    }
+}
+
+#[test]
 fn cluster_md_documents_the_routing_tier() {
     const CLUSTER_MD: &str = include_str!("../../../docs/CLUSTER.md");
     // every endpoint the router's 404 body advertises is documented

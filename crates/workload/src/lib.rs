@@ -38,6 +38,7 @@
 pub mod commuter;
 pub mod json;
 pub mod onoff;
+pub mod packed;
 pub mod proximity;
 pub mod request;
 pub mod round_trace;
@@ -49,13 +50,17 @@ pub mod uniform;
 pub use commuter::{CommuterScenario, LoadVariant};
 pub use json::JsonValue;
 pub use onoff::OnOffScenario;
+pub use packed::{
+    is_packed_bytes, is_packed_file, pack_jsonl_file, pack_trace, PackSummary, PackWriter,
+    PackedReplay, PackedScenario, PackedTrace, DEFAULT_WINDOW_ROUNDS, PACKED_FORMAT, PACKED_MAGIC,
+};
 pub use proximity::{ProximityOrder, ProximityScenario};
 pub use request::RoundRequests;
 pub use round_trace::{RoundTrace, TraceScenario};
 pub use scenario::{record, Scenario, Trace};
 pub use stream::{
-    file_source, parse_round, round_to_jsonl, stdin_source, JsonlReplay, RequestSource,
-    ScenarioStream,
+    file_source, parse_round, replay_source, round_to_jsonl, stdin_source, JsonlReplay,
+    RequestSource, ScenarioStream,
 };
 pub use time_zones::TimeZonesScenario;
 pub use uniform::UniformScenario;

@@ -1,0 +1,1236 @@
+//! The packed binary trace plane: `flexserve-trace-v1`.
+//!
+//! JSONL replay ([`JsonlReplay`](crate::stream::JsonlReplay)) parses the
+//! whole file and materializes the full [`RoundTrace`] before anything
+//! runs; production traces (10⁶–10⁸ rounds) blow both parse time and
+//! resident memory. This module is the compact framed alternative:
+//!
+//! ```text
+//! offset    size  field
+//! 0         8     magic "FXTRACE1"
+//! 8         8     round count            (u64 LE)
+//! 16        8     origin universe        (u64 LE, max origin id + 1)
+//! 24        8     fingerprint            (u64 LE, FNV-1a over the frame region)
+//! 32        …     frames: per round, u32 LE payload length + payload
+//! idx_off   8×T   frame index: absolute file offset of every frame (u64 LE)
+//! end-16    8     idx_off                (u64 LE)
+//! end-8     8     trailer magic "FXTRIDX1"
+//! ```
+//!
+//! Each frame payload holds one round in the canonical sorted-count form
+//! of [`RoundRequests`]: LEB128 varints `t`, `k`, then `k` pairs of
+//! (origin delta, count). The first delta is the absolute origin id;
+//! later deltas are ≥ 1, so the strict origin order of the canonical
+//! representation is checkable byte by byte. The trailing frame index
+//! gives O(1) seek to any round, which is what makes **windowed** replay
+//! possible: [`PackedTrace::window`] decodes only `[start, start+len)`
+//! into a `RoundTrace`, so replaying a million-round trace keeps
+//! O(window) rounds resident instead of O(trace).
+//!
+//! Two readers sit behind one interface ([`PackedTrace`]): an mmap fast
+//! path (a thin hand-rolled `mmap`/`munmap` syscall shim — no new
+//! crates, in the `vendor/` spirit) and a 1 MiB-buffered streaming
+//! fallback for platforms or files where mapping fails. Both validate
+//! the whole file at open time — magic, trailer, frame index
+//! contiguity, frame lengths, and the header fingerprint over the frame
+//! region — so a truncated or bit-flipped pack is a clean `Err`, never
+//! a panic or a partial trace. The format and its invariants are
+//! documented for external producers in `docs/TRACES.md`.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+
+use flexserve_graph::NodeId;
+
+use crate::request::RoundRequests;
+use crate::round_trace::RoundTrace;
+use crate::scenario::Scenario;
+use crate::stream::RequestSource;
+
+/// The format tag, used in docs, manifests and error messages.
+pub const PACKED_FORMAT: &str = "flexserve-trace-v1";
+
+/// Leading file magic of a packed trace.
+pub const PACKED_MAGIC: [u8; 8] = *b"FXTRACE1";
+
+/// Trailer magic closing the frame index.
+pub const PACKED_TRAILER_MAGIC: [u8; 8] = *b"FXTRIDX1";
+
+/// Byte length of the fixed header (magic + rounds + universe + fingerprint).
+pub const PACKED_HEADER_LEN: u64 = 32;
+
+/// Byte length of the trailer (index offset + trailer magic).
+pub const PACKED_TRAILER_LEN: u64 = 16;
+
+/// Smallest possible packed trace: header + empty frame region + trailer.
+pub const PACKED_MIN_LEN: u64 = PACKED_HEADER_LEN + PACKED_TRAILER_LEN;
+
+/// Default window size (rounds resident at once) for windowed replay.
+pub const DEFAULT_WINDOW_ROUNDS: u64 = 4096;
+
+/// Buffer size of the streaming (non-mmap) reader.
+const STREAM_BUF_BYTES: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// FNV-1a (same hand-rolled 64-bit variant as `Graph::fingerprint` and the
+// routing ring; duplicated here because `workload` sits below both).
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes` — the fingerprint function of the packed
+/// format, exported so tests can re-fingerprint mutated frame regions.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a, for hashing the frame region as it streams past.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mmap shim (unix): the thin syscall wrapper the exemplar dual scanner
+// hand-rolls — std already links libc, so no new crate is needed.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mem_map {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A read-only private mapping of a whole file, unmapped on drop.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing the raw pointer across
+    // threads is safe because nothing ever writes through it.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only. Fails (cleanly) when the
+        /// platform refuses the mapping — callers fall back to streaming.
+        pub fn map(file: &File, len: usize) -> Result<Self, String> {
+            if len == 0 {
+                return Err("cannot map an empty file".to_string());
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(format!("mmap failed: {}", std::io::Error::last_os_error()));
+            }
+            Ok(Mmap { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128)
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| "truncated frame payload (varint runs past the frame)".to_string())?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err("corrupt frame payload (varint overflows u64)".to_string());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err("corrupt frame payload (varint overflows u64)".to_string());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encodes round `t` into `out` (cleared first): varint `t`, varint `k`,
+/// then `k` × (origin delta, count). Deterministic, so packing is a fixed
+/// point: pack(unpack(pack(x))) is byte-identical to pack(x).
+fn encode_frame(t: u64, round: &RoundRequests, out: &mut Vec<u8>) {
+    out.clear();
+    let counts = round.counts_slice();
+    write_varint(out, t);
+    write_varint(out, counts.len() as u64);
+    let mut prev: u64 = 0;
+    for (i, &(origin, count)) in counts.iter().enumerate() {
+        let id = origin.index() as u64;
+        let delta = if i == 0 { id } else { id - prev };
+        write_varint(out, delta);
+        write_varint(out, count as u64);
+        prev = id;
+    }
+}
+
+/// Decodes one frame payload, validating the embedded `t`, the strict
+/// origin order, and that every byte is consumed.
+fn decode_frame(payload: &[u8], expect_t: u64, universe: u64) -> Result<RoundRequests, String> {
+    let mut pos = 0usize;
+    let t = read_varint(payload, &mut pos)?;
+    if t != expect_t {
+        return Err(format!(
+            "out-of-order round (expected t={expect_t}, got t={t})"
+        ));
+    }
+    let k = read_varint(payload, &mut pos)?;
+    // Every (delta, count) pair costs at least 2 bytes: a declared k that
+    // cannot fit in the remaining payload is corruption, caught before the
+    // allocation below can balloon.
+    let remaining = payload.len() - pos;
+    if k > (remaining as u64) / 2 + 1 {
+        return Err(format!(
+            "corrupt frame at t={t}: {k} origins declared in a {remaining}-byte payload"
+        ));
+    }
+    let mut counts = Vec::with_capacity(k as usize);
+    let mut origin: u64 = 0;
+    for i in 0..k {
+        let delta = read_varint(payload, &mut pos)?;
+        if i == 0 {
+            origin = delta;
+        } else {
+            if delta == 0 {
+                return Err(format!("corrupt frame at t={t}: unsorted origins"));
+            }
+            origin = origin
+                .checked_add(delta)
+                .ok_or_else(|| format!("corrupt frame at t={t}: origin overflows u64"))?;
+        }
+        if origin >= universe {
+            return Err(format!(
+                "corrupt frame at t={t}: origin {origin} out of range (trace universe has {universe} origins)"
+            ));
+        }
+        let id = u32::try_from(origin).map_err(|_| {
+            format!("corrupt frame at t={t}: origin {origin} exceeds the node id space")
+        })?;
+        let count = read_varint(payload, &mut pos)?;
+        if count == 0 {
+            return Err(format!("corrupt frame at t={t}: zero count"));
+        }
+        let count = usize::try_from(count)
+            .map_err(|_| format!("corrupt frame at t={t}: count overflows usize"))?;
+        counts.push((NodeId::new(id as usize), count));
+    }
+    if pos != payload.len() {
+        return Err(format!(
+            "corrupt frame at t={t}: {} trailing bytes",
+            payload.len() - pos
+        ));
+    }
+    Ok(RoundRequests::from_counts(counts))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Summary returned by [`PackWriter::finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackSummary {
+    /// Rounds written.
+    pub rounds: u64,
+    /// Origin universe (max origin id + 1, 0 for an all-empty trace).
+    pub universe: u64,
+    /// Total bytes of the finished pack.
+    pub bytes: u64,
+}
+
+/// Streams rounds into the packed format: write a placeholder header,
+/// append one frame per [`write_round`](Self::write_round), then
+/// [`finish`](Self::finish) appends the frame index + trailer and patches
+/// the header in place. The writer never holds more than one frame (plus
+/// 8 bytes of index per round), so packing a million-round source is
+/// O(frame) resident.
+pub struct PackWriter<W: Write + Seek> {
+    out: W,
+    index: Vec<u64>,
+    /// Absolute write position (== next frame offset).
+    offset: u64,
+    hash: Fnv1a,
+    universe: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write + Seek> PackWriter<W> {
+    /// Starts a pack on `out` (positioned at its start).
+    pub fn new(mut out: W) -> Result<Self, String> {
+        let mut header = [0u8; PACKED_HEADER_LEN as usize];
+        header[..8].copy_from_slice(&PACKED_MAGIC);
+        out.write_all(&header)
+            .map_err(|e| format!("pack write error: {e}"))?;
+        Ok(PackWriter {
+            out,
+            index: Vec::new(),
+            offset: PACKED_HEADER_LEN,
+            hash: Fnv1a::new(),
+            universe: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Rounds written so far.
+    pub fn rounds(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    /// Appends the next round (frames carry consecutive `t` starting at 0).
+    pub fn write_round(&mut self, round: &RoundRequests) -> Result<(), String> {
+        let t = self.index.len() as u64;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_frame(t, round, &mut scratch);
+        let len = u32::try_from(scratch.len())
+            .map_err(|_| format!("round t={t} encodes past the 4 GiB frame limit"))?;
+        let prefix = len.to_le_bytes();
+        self.hash.update(&prefix);
+        self.hash.update(&scratch);
+        self.out
+            .write_all(&prefix)
+            .and_then(|()| self.out.write_all(&scratch))
+            .map_err(|e| format!("pack write error: {e}"))?;
+        self.index.push(self.offset);
+        self.offset += 4 + u64::from(len);
+        if let Some(&(origin, _)) = round.counts_slice().last() {
+            self.universe = self.universe.max(origin.index() as u64 + 1);
+        }
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    /// Writes the frame index + trailer, patches the header (round count,
+    /// origin universe, fingerprint), and returns the summary plus the
+    /// underlying writer (flushed, positioned at end of file).
+    pub fn finish(mut self) -> Result<(PackSummary, W), String> {
+        let err = |e| format!("pack write error: {e}");
+        let index_offset = self.offset;
+        for &off in &self.index {
+            self.out.write_all(&off.to_le_bytes()).map_err(err)?;
+        }
+        self.out
+            .write_all(&index_offset.to_le_bytes())
+            .map_err(err)?;
+        self.out.write_all(&PACKED_TRAILER_MAGIC).map_err(err)?;
+        let bytes = index_offset + self.index.len() as u64 * 8 + PACKED_TRAILER_LEN;
+        let summary = PackSummary {
+            rounds: self.index.len() as u64,
+            universe: self.universe,
+            bytes,
+        };
+        self.out.seek(SeekFrom::Start(8)).map_err(err)?;
+        self.out
+            .write_all(&summary.rounds.to_le_bytes())
+            .map_err(err)?;
+        self.out
+            .write_all(&summary.universe.to_le_bytes())
+            .map_err(err)?;
+        self.out
+            .write_all(&self.hash.finish().to_le_bytes())
+            .map_err(err)?;
+        self.out.seek(SeekFrom::Start(bytes)).map_err(err)?;
+        self.out.flush().map_err(err)?;
+        Ok((summary, self.out))
+    }
+}
+
+/// Packs a materialized trace into an in-memory `flexserve-trace-v1`
+/// image (the [`RoundTrace::to_packed`] delegate).
+pub fn pack_trace(trace: &RoundTrace) -> Vec<u8> {
+    let mut writer =
+        PackWriter::new(std::io::Cursor::new(Vec::new())).expect("in-memory pack cannot fail");
+    for round in trace.iter() {
+        writer
+            .write_round(round)
+            .expect("in-memory pack cannot fail");
+    }
+    let (_, cursor) = writer.finish().expect("in-memory pack cannot fail");
+    cursor.into_inner()
+}
+
+/// Packs a JSONL replay file into `output`, streaming: one round resident
+/// at a time on both sides. Refuses an already-packed input, and removes
+/// the partial output file when packing fails midway.
+pub fn pack_jsonl_file(input: &str, output: &str) -> Result<PackSummary, String> {
+    if is_packed_file(input)? {
+        return Err(format!(
+            "{input} is already a packed trace ({PACKED_FORMAT}); pass the JSONL original"
+        ));
+    }
+    // JSONL origin ids are only bounded by the node id space here; replay
+    // against a concrete substrate re-validates the universe at open time.
+    let mut source = crate::stream::file_source(input, u32::MAX as usize)?;
+    let result = (|| {
+        let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+        let mut writer = PackWriter::new(std::io::BufWriter::new(file))?;
+        while let Some(round) = source.next_round()? {
+            writer.write_round(&round)?;
+        }
+        let (summary, _) = writer.finish()?;
+        Ok(summary)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(output);
+    }
+    result
+}
+
+/// Whether `buf` starts with the packed-trace magic.
+pub fn is_packed_bytes(buf: &[u8]) -> bool {
+    buf.len() >= 8 && buf[..8] == PACKED_MAGIC
+}
+
+/// Whether the file at `path` starts with the packed-trace magic (the
+/// `wl=replay:` / `source=` auto-detection sniff).
+pub fn is_packed_file(path: &str) -> Result<bool, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut head = [0u8; 8];
+    let mut got = 0;
+    while got < head.len() {
+        match file
+            .read(&mut head[got..])
+            .map_err(|e| format!("{path}: read error: {e}"))?
+        {
+            0 => return Ok(false),
+            n => got += n,
+        }
+    }
+    Ok(head == PACKED_MAGIC)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped(mem_map::Mmap),
+    Streaming {
+        reader: BufReader<File>,
+        /// Absolute stream position (to skip redundant seeks on
+        /// sequential window reads).
+        pos: u64,
+        index: Vec<u64>,
+        scratch: Vec<u8>,
+    },
+}
+
+/// A validated `flexserve-trace-v1` file: random access to any round and
+/// O(window)-resident [`window`](Self::window) views, backed by either an
+/// mmap of the whole file or a buffered streaming reader.
+///
+/// Opening validates the entire file — magic, trailer, frame-index
+/// contiguity, frame lengths, and the FNV-1a fingerprint over the frame
+/// region — so every constructor returns a clean `Err` on truncated or
+/// corrupted input. Read methods take `&mut self` because the streaming
+/// backing seeks.
+pub struct PackedTrace {
+    rounds: u64,
+    universe: u64,
+    fingerprint: u64,
+    index_offset: u64,
+    label: String,
+    backing: Backing,
+}
+
+/// Shared open-time checks on the fixed-size pieces. Returns
+/// `(rounds, universe, fingerprint, index_offset)`.
+fn check_fixed(
+    label: &str,
+    file_len: u64,
+    header: &[u8; PACKED_HEADER_LEN as usize],
+    trailer: &[u8; PACKED_TRAILER_LEN as usize],
+) -> Result<(u64, u64, u64, u64), String> {
+    if header[..8] != PACKED_MAGIC {
+        return Err(format!("{label}: bad magic (not a {PACKED_FORMAT} file)"));
+    }
+    let rounds = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let universe = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let fingerprint = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    if trailer[8..16] != PACKED_TRAILER_MAGIC {
+        return Err(format!("{label}: corrupt trailer (bad index magic)"));
+    }
+    let index_offset = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+    let expected_len = rounds
+        .checked_mul(8)
+        .and_then(|idx| index_offset.checked_add(idx))
+        .and_then(|v| v.checked_add(PACKED_TRAILER_LEN));
+    if index_offset < PACKED_HEADER_LEN || expected_len != Some(file_len) {
+        return Err(format!(
+            "{label}: corrupt frame index (rounds={rounds}, index offset={index_offset}, file length={file_len})"
+        ));
+    }
+    Ok((rounds, universe, fingerprint, index_offset))
+}
+
+impl PackedTrace {
+    /// Opens `path`, preferring the mmap fast path and falling back to the
+    /// buffered streaming reader when mapping is unavailable. Validation
+    /// errors (corrupt files) are returned, not retried.
+    pub fn open(path: &str) -> Result<Self, String> {
+        #[cfg(unix)]
+        {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let len = file
+                .metadata()
+                .map_err(|e| format!("{path}: stat error: {e}"))?
+                .len();
+            Self::check_len(path, len)?;
+            if let Ok(map) = mem_map::Mmap::map(&file, len as usize) {
+                return Self::from_map(path, map);
+            }
+        }
+        Self::open_streaming(path)
+    }
+
+    /// Opens `path` on the mmap fast path only (errors when the platform
+    /// refuses the mapping).
+    #[cfg(unix)]
+    pub fn open_mmap(path: &str) -> Result<Self, String> {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("{path}: stat error: {e}"))?
+            .len();
+        Self::check_len(path, len)?;
+        let map = mem_map::Mmap::map(&file, len as usize).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_map(path, map)
+    }
+
+    fn check_len(label: &str, len: u64) -> Result<(), String> {
+        if len < PACKED_MIN_LEN {
+            return Err(format!(
+                "{label}: truncated packed trace ({len} bytes; the header alone needs {PACKED_MIN_LEN})"
+            ));
+        }
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn from_map(label: &str, map: mem_map::Mmap) -> Result<Self, String> {
+        let buf = map.as_slice();
+        let file_len = buf.len() as u64;
+        let header: &[u8; PACKED_HEADER_LEN as usize] =
+            buf[..PACKED_HEADER_LEN as usize].try_into().unwrap();
+        let trailer: &[u8; PACKED_TRAILER_LEN as usize] = buf
+            [buf.len() - PACKED_TRAILER_LEN as usize..]
+            .try_into()
+            .unwrap();
+        let (rounds, universe, fingerprint, index_offset) =
+            check_fixed(label, file_len, header, trailer)?;
+        // Walk the frame index: every frame must start where the previous
+        // one ended and stay inside the frame region.
+        let idx = index_offset as usize;
+        let mut pos = PACKED_HEADER_LEN;
+        for t in 0..rounds {
+            let at = idx + (t * 8) as usize;
+            let off = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+            if off != pos {
+                return Err(format!(
+                    "{label}: frame index mismatch at round {t} (index says offset {off}, frames end at {pos})"
+                ));
+            }
+            if pos + 4 > index_offset {
+                return Err(format!(
+                    "{label}: frame length at round {t} overruns the frame region"
+                ));
+            }
+            let len = u32::from_le_bytes(buf[pos as usize..pos as usize + 4].try_into().unwrap());
+            pos += 4 + u64::from(len);
+            if pos > index_offset {
+                return Err(format!(
+                    "{label}: frame length at round {t} overruns the frame region"
+                ));
+            }
+        }
+        if pos != index_offset {
+            return Err(format!(
+                "{label}: frame region does not end at the frame index ({} unindexed bytes)",
+                index_offset - pos
+            ));
+        }
+        let actual = fnv1a(&buf[PACKED_HEADER_LEN as usize..idx]);
+        if actual != fingerprint {
+            return Err(format!(
+                "{label}: fingerprint mismatch (header says {fingerprint:#018x}, frames hash to {actual:#018x})"
+            ));
+        }
+        Ok(PackedTrace {
+            rounds,
+            universe,
+            fingerprint,
+            index_offset,
+            label: label.to_string(),
+            backing: Backing::Mapped(map),
+        })
+    }
+
+    /// Opens `path` on the buffered streaming path only (no mmap), e.g. to
+    /// pin both readers against each other in tests.
+    pub fn open_streaming(path: &str) -> Result<Self, String> {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("{path}: stat error: {e}"))?
+            .len();
+        Self::check_len(path, len)?;
+        let ioe = |e| format!("{path}: read error: {e}");
+        let mut reader = BufReader::with_capacity(STREAM_BUF_BYTES, file);
+        let mut header = [0u8; PACKED_HEADER_LEN as usize];
+        reader.read_exact(&mut header).map_err(ioe)?;
+        reader
+            .seek(SeekFrom::Start(len - PACKED_TRAILER_LEN))
+            .map_err(ioe)?;
+        let mut trailer = [0u8; PACKED_TRAILER_LEN as usize];
+        reader.read_exact(&mut trailer).map_err(ioe)?;
+        let (rounds, universe, fingerprint, index_offset) =
+            check_fixed(path, len, &header, &trailer)?;
+        reader.seek(SeekFrom::Start(index_offset)).map_err(ioe)?;
+        let mut index = Vec::with_capacity(rounds as usize);
+        let mut entry = [0u8; 8];
+        for _ in 0..rounds {
+            reader.read_exact(&mut entry).map_err(ioe)?;
+            index.push(u64::from_le_bytes(entry));
+        }
+        // One sequential pass over the frame region: index contiguity,
+        // frame lengths and the fingerprint, hashed through a bounded
+        // chunk buffer so validation itself is O(buffer) resident.
+        reader
+            .seek(SeekFrom::Start(PACKED_HEADER_LEN))
+            .map_err(ioe)?;
+        let mut hash = Fnv1a::new();
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut pos = PACKED_HEADER_LEN;
+        for (t, &off) in index.iter().enumerate() {
+            if off != pos {
+                return Err(format!(
+                    "{path}: frame index mismatch at round {t} (index says offset {off}, frames end at {pos})"
+                ));
+            }
+            if pos + 4 > index_offset {
+                return Err(format!(
+                    "{path}: frame length at round {t} overruns the frame region"
+                ));
+            }
+            let mut prefix = [0u8; 4];
+            reader.read_exact(&mut prefix).map_err(ioe)?;
+            hash.update(&prefix);
+            let frame_len = u64::from(u32::from_le_bytes(prefix));
+            pos += 4 + frame_len;
+            if pos > index_offset {
+                return Err(format!(
+                    "{path}: frame length at round {t} overruns the frame region"
+                ));
+            }
+            let mut left = frame_len as usize;
+            while left > 0 {
+                let take = left.min(chunk.len());
+                reader.read_exact(&mut chunk[..take]).map_err(ioe)?;
+                hash.update(&chunk[..take]);
+                left -= take;
+            }
+        }
+        if pos != index_offset {
+            return Err(format!(
+                "{path}: frame region does not end at the frame index ({} unindexed bytes)",
+                index_offset - pos
+            ));
+        }
+        let actual = hash.finish();
+        if actual != fingerprint {
+            return Err(format!(
+                "{path}: fingerprint mismatch (header says {fingerprint:#018x}, frames hash to {actual:#018x})"
+            ));
+        }
+        Ok(PackedTrace {
+            rounds,
+            universe,
+            fingerprint,
+            index_offset,
+            label: path.to_string(),
+            backing: Backing::Streaming {
+                pos: index_offset,
+                reader,
+                index,
+                scratch: Vec::new(),
+            },
+        })
+    }
+
+    /// Number of rounds in the trace.
+    pub fn len(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether the trace has no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds == 0
+    }
+
+    /// The origin universe from the header: max origin id + 1 (0 when every
+    /// round is empty). Replay against a substrate requires
+    /// `origin_universe() <= node count`.
+    pub fn origin_universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The header fingerprint (FNV-1a over the frame region), verified at
+    /// open time.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether this reader is on the mmap fast path (false: buffered
+    /// streaming fallback).
+    pub fn uses_mmap(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+            Backing::Streaming { .. } => false,
+        }
+    }
+
+    /// The file this trace was opened from.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Decodes round `t` (an O(1) frame-index seek plus one frame decode).
+    pub fn round(&mut self, t: u64) -> Result<RoundRequests, String> {
+        if t >= self.rounds {
+            return Err(format!(
+                "{}: round {t} out of range ({} rounds)",
+                self.label, self.rounds
+            ));
+        }
+        let universe = self.universe;
+        let index_offset = self.index_offset;
+        let rounds = self.rounds;
+        match &mut self.backing {
+            #[cfg(unix)]
+            Backing::Mapped(map) => {
+                let buf = map.as_slice();
+                let at = index_offset as usize + (t * 8) as usize;
+                let off = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap()) as usize;
+                let end = if t + 1 < rounds {
+                    u64::from_le_bytes(buf[at + 8..at + 16].try_into().unwrap()) as usize
+                } else {
+                    index_offset as usize
+                };
+                decode_frame(&buf[off + 4..end], t, universe)
+                    .map_err(|e| format!("{}: {e}", self.label))
+            }
+            Backing::Streaming {
+                reader,
+                pos,
+                index,
+                scratch,
+            } => {
+                let off = index[t as usize];
+                if *pos != off {
+                    reader
+                        .seek(SeekFrom::Start(off))
+                        .map_err(|e| format!("{}: read error: {e}", self.label))?;
+                    *pos = off;
+                }
+                let mut prefix = [0u8; 4];
+                reader
+                    .read_exact(&mut prefix)
+                    .map_err(|e| format!("{}: read error: {e}", self.label))?;
+                let frame_len = u32::from_le_bytes(prefix) as usize;
+                scratch.resize(frame_len, 0);
+                reader
+                    .read_exact(scratch)
+                    .map_err(|e| format!("{}: read error: {e}", self.label))?;
+                *pos = off + 4 + frame_len as u64;
+                decode_frame(scratch, t, universe).map_err(|e| format!("{}: {e}", self.label))
+            }
+        }
+    }
+
+    /// Decodes the window `[start, start+len)` (clamped to the trace) into
+    /// a [`RoundTrace`] view — the O(window)-resident unit of windowed
+    /// replay. Sequential windows read the file sequentially.
+    pub fn window(&mut self, start: u64, len: u64) -> Result<RoundTrace, String> {
+        let end = start.saturating_add(len).min(self.rounds);
+        let start = start.min(end);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for t in start..end {
+            out.push(self.round(t)?);
+        }
+        Ok(RoundTrace::new(out))
+    }
+
+    /// Fully materializes the trace (use [`window`](Self::window) when the
+    /// trace may be large).
+    pub fn materialize(&mut self) -> Result<RoundTrace, String> {
+        self.window(0, self.rounds)
+    }
+
+    /// Short human-readable description for logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "packed trace {} ({} rounds, {})",
+            self.label,
+            self.rounds,
+            if self.uses_mmap() {
+                "mmap"
+            } else {
+                "streaming"
+            }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RequestSource + Scenario adapters
+// ---------------------------------------------------------------------------
+
+/// A packed trace as a streaming [`RequestSource`] — the packed
+/// counterpart of [`JsonlReplay`](crate::stream::JsonlReplay), with an
+/// O(1) [`skip`](RequestSource::skip) via the frame index (resume does
+/// not decode the skipped prefix).
+pub struct PackedReplay {
+    trace: PackedTrace,
+    pos: u64,
+}
+
+impl PackedReplay {
+    /// Opens `path` (mmap fast path, streaming fallback), validating the
+    /// trace's origin universe against a substrate of `max_node` nodes.
+    pub fn open(path: &str, max_node: usize) -> Result<Self, String> {
+        let trace = PackedTrace::open(path)?;
+        Self::from_trace(trace, max_node)
+    }
+
+    /// Wraps an already-open [`PackedTrace`], validating its universe.
+    pub fn from_trace(trace: PackedTrace, max_node: usize) -> Result<Self, String> {
+        if trace.origin_universe() > max_node as u64 {
+            return Err(format!(
+                "{}: origin universe {} out of range (substrate has {max_node} nodes)",
+                trace.label(),
+                trace.origin_universe()
+            ));
+        }
+        Ok(PackedReplay { trace, pos: 0 })
+    }
+
+    /// The next round index this replay will emit.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl RequestSource for PackedReplay {
+    fn next_round(&mut self) -> Result<Option<RoundRequests>, String> {
+        if self.pos >= self.trace.len() {
+            return Ok(None);
+        }
+        let round = self.trace.round(self.pos)?;
+        self.pos += 1;
+        Ok(Some(round))
+    }
+
+    fn skip(&mut self, n: u64) -> Result<(), String> {
+        let have = self.trace.len() - self.pos;
+        if n > have {
+            return Err(format!(
+                "source exhausted after {have} of {n} skipped rounds"
+            ));
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "packed replay {} ({} rounds, {})",
+            self.trace.label(),
+            self.trace.len(),
+            if self.trace.uses_mmap() {
+                "mmap"
+            } else {
+                "streaming"
+            }
+        )
+    }
+}
+
+/// A packed trace replayed as a [`Scenario`] through a sliding decoded
+/// window — the packed counterpart of
+/// [`TraceScenario`](crate::round_trace::TraceScenario), holding
+/// O(window) rounds resident instead of the whole trace. Rounds past the
+/// end are empty, and (matching the `wl=replay:` contract) a decode
+/// failure on a file that validated at open time panics.
+pub struct PackedScenario {
+    trace: PackedTrace,
+    window: RoundTrace,
+    window_start: u64,
+    window_len: u64,
+}
+
+impl PackedScenario {
+    /// Opens `path` for windowed replay against a substrate of `max_node`
+    /// nodes, keeping `window_rounds` (≥ 1, e.g.
+    /// [`DEFAULT_WINDOW_ROUNDS`]) decoded rounds resident.
+    pub fn open(path: &str, max_node: usize, window_rounds: u64) -> Result<Self, String> {
+        let trace = PackedTrace::open(path)?;
+        if trace.origin_universe() > max_node as u64 {
+            return Err(format!(
+                "{}: origin universe {} out of range (substrate has {max_node} nodes)",
+                trace.label(),
+                trace.origin_universe()
+            ));
+        }
+        let mut scenario = PackedScenario {
+            trace,
+            window: RoundTrace::default(),
+            window_start: 0,
+            window_len: window_rounds.max(1),
+        };
+        scenario.window = scenario
+            .trace
+            .window(0, scenario.window_len)
+            .map_err(|e| format!("packed replay: {e}"))?;
+        Ok(scenario)
+    }
+
+    /// Rounds in the underlying trace.
+    pub fn len(&self) -> u64 {
+        self.trace.len()
+    }
+
+    /// Whether the underlying trace has no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+impl Scenario for PackedScenario {
+    fn requests(&mut self, t: u64) -> RoundRequests {
+        if t >= self.trace.len() {
+            return RoundRequests::empty();
+        }
+        if t < self.window_start || t >= self.window_start + self.window_len {
+            let start = t - t % self.window_len;
+            self.window = self
+                .trace
+                .window(start, self.window_len)
+                .unwrap_or_else(|e| panic!("packed replay: {e}"));
+            self.window_start = start;
+        }
+        self.window.round((t - self.window_start) as usize).clone()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "replay({}, {} rounds, packed window={})",
+            self.trace.label(),
+            self.trace.len(),
+            self.window_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::record;
+    use crate::uniform::UniformScenario;
+    use flexserve_graph::gen::unit_line;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn temp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn sample_trace(rounds: u64) -> RoundTrace {
+        let g = unit_line(16).unwrap();
+        record(&mut UniformScenario::new(&g, 5, 42), rounds)
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u64::MAX] {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // truncated + overflowing varints fail cleanly
+        assert!(read_varint(&[0x80], &mut 0)
+            .unwrap_err()
+            .contains("truncated"));
+        assert!(read_varint(&[0xff; 10], &mut 0)
+            .unwrap_err()
+            .contains("overflows"));
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_and_is_a_fixed_point() {
+        let trace = sample_trace(20);
+        let bytes = pack_trace(&trace);
+        assert!(is_packed_bytes(&bytes));
+        let path = temp("flexserve-packed-unit.ftr");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut packed = PackedTrace::open(&path).unwrap();
+        assert_eq!(packed.len(), 20);
+        let back = packed.materialize().unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(pack_trace(&back), bytes, "pack must be a fixed point");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mmap_and_streaming_agree() {
+        let trace = sample_trace(15);
+        let path = temp("flexserve-packed-modes.ftr");
+        std::fs::write(&path, pack_trace(&trace)).unwrap();
+        let mut streaming = PackedTrace::open_streaming(&path).unwrap();
+        assert!(!streaming.uses_mmap());
+        assert_eq!(streaming.materialize().unwrap(), trace);
+        #[cfg(unix)]
+        {
+            let mut mapped = PackedTrace::open_mmap(&path).unwrap();
+            assert!(mapped.uses_mmap());
+            assert_eq!(mapped.materialize().unwrap(), trace);
+            assert_eq!(mapped.fingerprint(), streaming.fingerprint());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn windows_are_clamped_views() {
+        let trace = sample_trace(10);
+        let path = temp("flexserve-packed-window.ftr");
+        std::fs::write(&path, pack_trace(&trace)).unwrap();
+        let mut packed = PackedTrace::open(&path).unwrap();
+        assert_eq!(packed.window(3, 4).unwrap(), trace.slice(3, 7));
+        assert_eq!(packed.window(8, 100).unwrap(), trace.slice(8, 10));
+        assert!(packed.window(50, 5).unwrap().is_empty());
+        // random access after windows
+        assert_eq!(&packed.round(2).unwrap(), trace.round(2));
+        assert_eq!(&packed.round(9).unwrap(), trace.round(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_packs() {
+        let path = temp("flexserve-packed-empty.ftr");
+        std::fs::write(&path, pack_trace(&RoundTrace::default())).unwrap();
+        let mut packed = PackedTrace::open(&path).unwrap();
+        assert!(packed.is_empty());
+        assert_eq!(packed.origin_universe(), 0);
+        assert!(packed.materialize().unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn packed_replay_streams_and_skips() {
+        let trace = sample_trace(12);
+        let path = temp("flexserve-packed-replay.ftr");
+        std::fs::write(&path, pack_trace(&trace)).unwrap();
+        let mut replay = PackedReplay::open(&path, 16).unwrap();
+        assert!(replay.describe().contains("packed replay"));
+        replay.skip(5).unwrap();
+        assert_eq!(replay.position(), 5);
+        for t in 5..12 {
+            assert_eq!(&replay.next_round().unwrap().unwrap(), trace.round(t));
+        }
+        assert!(replay.next_round().unwrap().is_none());
+        // skipping past the end reports how far it got
+        let mut replay = PackedReplay::open(&path, 16).unwrap();
+        assert!(replay
+            .skip(13)
+            .unwrap_err()
+            .contains("exhausted after 12 of 13"));
+        // universe validation
+        assert!(PackedReplay::open(&path, 2)
+            .err()
+            .unwrap()
+            .contains("out of range"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn packed_scenario_windows_through_the_trace() {
+        let trace = sample_trace(11);
+        let path = temp("flexserve-packed-scenario.ftr");
+        std::fs::write(&path, pack_trace(&trace)).unwrap();
+        let mut scenario = PackedScenario::open(&path, 16, 4).unwrap();
+        assert_eq!(scenario.len(), 11);
+        for t in 0..11u64 {
+            assert_eq!(&scenario.requests(t), trace.round(t as usize));
+        }
+        assert!(scenario.requests(11).is_empty(), "past-the-end is empty");
+        // revisiting an earlier round re-windows correctly
+        assert_eq!(&scenario.requests(1), trace.round(1));
+        assert!(scenario.describe().contains("packed window=4"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decode_frame_rejects_corrupt_payloads() {
+        let round = RoundRequests::new(vec![n(1), n(1), n(4)]);
+        let mut payload = Vec::new();
+        encode_frame(3, &round, &mut payload);
+        assert_eq!(decode_frame(&payload, 3, 16).unwrap(), round);
+        // wrong t
+        assert!(decode_frame(&payload, 4, 16)
+            .unwrap_err()
+            .contains("out-of-order round"));
+        // origin out of universe
+        assert!(decode_frame(&payload, 3, 2)
+            .unwrap_err()
+            .contains("out of range"));
+        // trailing bytes
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_frame(&long, 3, 16).unwrap_err().contains("trailing"));
+        // truncated payload
+        assert!(decode_frame(&payload[..payload.len() - 1], 3, 16)
+            .unwrap_err()
+            .contains("truncated"));
+        // zero delta == unsorted origins: [t=0, k=2, (5,1), (+0,1)]
+        let unsorted = [0u8, 2, 5, 1, 0, 1];
+        assert!(decode_frame(&unsorted, 0, 16)
+            .unwrap_err()
+            .contains("unsorted"));
+        // zero count
+        let zero_count = [0u8, 1, 5, 0];
+        assert!(decode_frame(&zero_count, 0, 16)
+            .unwrap_err()
+            .contains("zero count"));
+        // absurd k in a tiny payload fails before allocating
+        let huge_k = [0u8, 0xff, 0xff, 0xff, 0xff, 0x0f];
+        assert!(decode_frame(&huge_k, 0, 16).is_err());
+    }
+
+    #[test]
+    fn sniffers_detect_format() {
+        assert!(!is_packed_bytes(b"{\"origins\":[]}"));
+        assert!(!is_packed_bytes(b"FXTR"));
+        let path = temp("flexserve-packed-sniff.jsonl");
+        std::fs::write(&path, "{\"t\":0,\"origins\":[1]}\n").unwrap();
+        assert!(!is_packed_file(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+        assert!(is_packed_file("/nonexistent/trace.ftr").is_err());
+    }
+
+    #[test]
+    fn pack_jsonl_file_streams_and_refuses_packed_input() {
+        let trace = sample_trace(9);
+        let jsonl = temp("flexserve-packed-from.jsonl");
+        let out = temp("flexserve-packed-from.ftr");
+        std::fs::write(&jsonl, trace.to_jsonl()).unwrap();
+        let summary = pack_jsonl_file(&jsonl, &out).unwrap();
+        assert_eq!(summary.rounds, 9);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            pack_trace(&trace),
+            "file pack == in-memory pack"
+        );
+        assert!(pack_jsonl_file(&out, &jsonl)
+            .unwrap_err()
+            .contains("already a packed trace"));
+        std::fs::remove_file(&jsonl).unwrap();
+        std::fs::remove_file(&out).unwrap();
+    }
+}

@@ -153,6 +153,14 @@ impl RoundTrace {
         }
         out
     }
+
+    /// Packs the viewed rounds into an in-memory `flexserve-trace-v1`
+    /// image (see [`packed`](crate::packed)) — the binary counterpart of
+    /// [`to_jsonl`](Self::to_jsonl), readable by
+    /// [`PackedTrace`](crate::packed::PackedTrace) and `wl=replay:<path>`.
+    pub fn to_packed(&self) -> Vec<u8> {
+        crate::packed::pack_trace(self)
+    }
 }
 
 /// A recorded [`RoundTrace`] replayed as a [`Scenario`] — a trace is a

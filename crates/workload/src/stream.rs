@@ -35,6 +35,19 @@ pub trait RequestSource {
     /// The next round of requests, or `None` when the source is done.
     fn next_round(&mut self) -> Result<Option<RoundRequests>, String>;
 
+    /// Discards the next `n` rounds (the resume fast-forward). The default
+    /// pulls and drops rounds one by one; sources with an index (packed
+    /// traces) override it with an O(1) seek. Running out of rounds before
+    /// `n` is an error — a replay shorter than the skip cannot resume.
+    fn skip(&mut self, n: u64) -> Result<(), String> {
+        for k in 0..n {
+            if self.next_round()?.is_none() {
+                return Err(format!("source exhausted after {k} of {n} skipped rounds"));
+            }
+        }
+        Ok(())
+    }
+
     /// Short human-readable description for logs and `/metrics`.
     fn describe(&self) -> String {
         "request source".to_string()
@@ -212,6 +225,20 @@ pub fn file_source(
         max_node,
         path,
     ))
+}
+
+/// Opens a replay file of either format, sniffing the leading magic:
+/// a `flexserve-trace-v1` pack becomes a
+/// [`PackedReplay`](crate::packed::PackedReplay) (mmap fast path,
+/// streaming fallback), anything else a [`JsonlReplay`]. This is the one
+/// entry point behind `wl=replay:<path>` and `source=<path>`, so packed
+/// and JSONL traces are interchangeable everywhere.
+pub fn replay_source(path: &str, max_node: usize) -> Result<Box<dyn RequestSource>, String> {
+    if crate::packed::is_packed_file(path)? {
+        Ok(Box::new(crate::packed::PackedReplay::open(path, max_node)?))
+    } else {
+        Ok(Box::new(file_source(path, max_node)?))
+    }
 }
 
 /// A JSONL replay over standard input (line-buffered), for piping live
