@@ -5,13 +5,17 @@
 //! fetch through the distance-matrix cache, the batch-vs-stepped game
 //! loop (`run_online` vs `SimSession::step`),
 //! sequential-vs-concurrent multi-session stepping through the serve
-//! daemon's `SessionManager`, and the cluster-mode routing tax
+//! daemon's `SessionManager`, the cluster-mode routing tax
 //! (stepping a session directly against its worker vs through the
-//! `flexserve route` tier) — and records the results as
+//! `flexserve route` tier), the batched-stepping win of the serve
+//! daemon (`{"n": k}` batch bodies vs one round per request over real
+//! TCP) and the event-driven front end's connection scaling (a
+//! subprocess daemon holding thousands of idle keep-alive connections
+//! on its fixed reactor pool) — and records the results as
 //! `BENCH_apsp.json` (an array: full build, repair-vs-rebuild),
 //! `BENCH_sweeps.json`, `BENCH_trace.json` (packed-vs-JSONL trace
 //! ingestion, see docs/TRACES.md), `BENCH_cache.json` and
-//! `BENCH_serve.json` (an array of the three serving benches) in the
+//! `BENCH_serve.json` (an array of the five serving benches) in the
 //! repository root (schema: docs/BENCHMARKS.md).
 //!
 //! Usage: `cargo run --release -p flexserve-bench --bin perf_report`.
@@ -574,8 +578,192 @@ fn main() {
     router_thread.join().expect("router thread");
     worker_thread.join().expect("worker thread");
 
+    // --- Serving: batched stepping over real TCP -------------------------
+    // What the `{"n": k}` batch body buys: on a cell whose simulation step
+    // is cheap (unit-line:8, ~1-2 us), a single-round `POST /step` is
+    // dominated by HTTP framing plus the actor-channel hop. "Serial" steps
+    // BATCHED_TOTAL source-driven rounds one request per round (over a
+    // warm keep-alive connection); "parallel" steps the same number of
+    // rounds in BATCH_SIZE-round batches — one request and one channel
+    // hop per batch, bit-identical bodies (tests/serve_batch.rs).
+    const BATCH_SIZE: u64 = 256;
+    const BATCHED_TOTAL: u64 = 1024;
+    let batch_listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind batch bench");
+    let batch_addr = format!(
+        "127.0.0.1:{}",
+        batch_listener.local_addr().expect("batch addr").port()
+    );
+    let batch_args: Vec<String> = [
+        "topo=unit-line:8".to_string(),
+        "wl=uniform:req=3".to_string(),
+        "strat=onth".to_string(),
+        "rounds=1000000".to_string(),
+        "seed=3".to_string(),
+        "k=4".to_string(),
+        format!("checkpoint={}", ck("batch-default")),
+    ]
+    .to_vec();
+    let batch_thread = std::thread::spawn(move || {
+        let opts = ServeOptions::parse(&batch_args).expect("batch bench args");
+        serve_on(batch_listener, &opts).expect("batch bench daemon");
+    });
+    // probe until the daemon accepts (it builds its substrate first)
+    let (status, body) =
+        http_call(&batch_addr, "GET", "/placement", "", proxy_timeout).expect("batch bench up");
+    assert_eq!(status, 200, "batch bench daemon: {body}");
+    let singles = time_median(reps, || {
+        for _ in 0..BATCHED_TOTAL {
+            let (status, body) =
+                http_call(&batch_addr, "POST", "/step", "", proxy_timeout).expect("single step");
+            assert_eq!(status, 200, "single step: {body}");
+        }
+    });
+    let batch_body = format!("{{\"n\": {BATCH_SIZE}}}");
+    let batched = time_median(reps, || {
+        for _ in 0..BATCHED_TOTAL / BATCH_SIZE {
+            let (status, body) =
+                http_call(&batch_addr, "POST", "/step", &batch_body, proxy_timeout)
+                    .expect("batched step");
+            assert_eq!(status, 200, "batched step: {body}");
+        }
+    });
+    println!(
+        "batched stepping: {:.0} steps/s single-round requests, {:.0} steps/s in \
+         {BATCH_SIZE}-round batches",
+        BATCHED_TOTAL as f64 / singles,
+        BATCHED_TOTAL as f64 / batched
+    );
+    let extra = format!(
+        ",\n  \"rounds\": {BATCHED_TOTAL},\n  \"batch_rounds\": {BATCH_SIZE},\n  \
+         \"steps_per_sec_single\": {:.1},\n  \"steps_per_sec_batched\": {:.1}",
+        BATCHED_TOTAL as f64 / singles,
+        BATCHED_TOTAL as f64 / batched
+    );
+    let batched_entry = entry_json(
+        "batched_step",
+        singles,
+        batched,
+        "1024 source-driven rounds on a unit-line:8 ONTH cell over real TCP: \
+         one POST /step per round vs {\\\"n\\\": 256} batches (one request + one \
+         actor-channel hop per batch)",
+        &extra,
+    );
+    announce("BENCH_serve.json", "batched_step", singles, batched);
+    let (status, _) = http_call(&batch_addr, "POST", "/shutdown", "", proxy_timeout)
+        .expect("batch bench shutdown");
+    assert_eq!(status, 200);
+    batch_thread.join().expect("batch bench thread");
+
+    // --- Serving: connection scaling on the event-driven front end -------
+    // The epoll reactor's claim: idle keep-alive connections cost fds,
+    // not threads. A subprocess daemon (so the two processes' fd budgets
+    // are independent) serves one step round-trip with no load ("serial")
+    // and the same round-trip while this process holds thousands of idle
+    // connections against it ("parallel" — speedup ~1.0 means held
+    // connections are free); the extra fields record the daemon's thread
+    // count before and during, flat by construction of the fixed pools.
+    let flexserve_bin = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .join("flexserve");
+    let mut daemon = std::process::Command::new(&flexserve_bin)
+        .args([
+            "serve",
+            "topo=unit-line:8",
+            "wl=uniform:req=3",
+            "strat=onth",
+            "rounds=1000000",
+            "seed=3",
+            "k=4",
+            "bind=127.0.0.1:0",
+            "workers=2",
+            "reactor-threads=2",
+            "request-timeout=300",
+            &format!("checkpoint={}", ck("scaling-default")),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn scaling daemon");
+    let scaling_addr = {
+        use std::io::BufRead as _;
+        let stdout = daemon.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announcement");
+        line.split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in announcement {line:?}"))
+            .to_string()
+    };
+    let daemon_threads = |pid: u32| -> u64 {
+        std::fs::read_to_string(format!("/proc/{pid}/status"))
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find_map(|l| l.strip_prefix("Threads:"))
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    let one_step = || {
+        let (status, body) =
+            http_call(&scaling_addr, "POST", "/step", "", proxy_timeout).expect("scaling step");
+        assert_eq!(status, 200, "scaling step: {body}");
+    };
+    one_step(); // warm up the daemon's pools and the pooled connection
+    let idle_step = time_median(reps, one_step);
+    let threads_idle = daemon_threads(daemon.id());
+    let limit = flexserve_experiments::serve::raise_nofile_limit();
+    let connections = 10_000.min(limit.saturating_sub(512)) as usize;
+    let mut held = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let conn = std::net::TcpStream::connect(&scaling_addr)
+            .unwrap_or_else(|e| panic!("held connection {i} of {connections}: {e}"));
+        held.push(conn);
+    }
+    let loaded_step = time_median(reps, one_step);
+    let threads_loaded = daemon_threads(daemon.id());
+    println!(
+        "connection scaling: {connections} idle connections held, daemon threads \
+         {threads_idle} -> {threads_loaded}, step {:.2} ms idle vs {:.2} ms loaded",
+        idle_step * 1e3,
+        loaded_step * 1e3
+    );
+    let extra = format!(
+        ",\n  \"connections\": {connections},\n  \"daemon_threads_idle\": {threads_idle},\n  \
+         \"daemon_threads_loaded\": {threads_loaded},\n  \"step_ms_under_load\": {:.3}",
+        loaded_step * 1e3
+    );
+    let scaling_entry = entry_json(
+        "connection_scaling",
+        idle_step,
+        loaded_step,
+        "one /step round-trip against a subprocess daemon (unit-line:8 ONTH, \
+         epoll front end, 2 reactor threads): unloaded vs while holding 10k \
+         idle keep-alive connections (speedup ~1.0 = held connections are free)",
+        &extra,
+    );
+    announce(
+        "BENCH_serve.json",
+        "connection_scaling",
+        idle_step,
+        loaded_step,
+    );
+    drop(held);
+    let (status, _) =
+        http_call(&scaling_addr, "POST", "/shutdown", "", proxy_timeout).expect("scaling shutdown");
+    assert_eq!(status, 200);
+    let exit = daemon.wait().expect("scaling daemon exit");
+    assert!(exit.success(), "scaling daemon exited with {exit}");
+
     write_file(
         "BENCH_serve.json",
-        &format!("[\n{step_entry},\n{sessions_entry},\n{route_entry}\n]\n"),
+        &format!(
+            "[\n{step_entry},\n{sessions_entry},\n{route_entry},\n{batched_entry},\n{scaling_entry}\n]\n"
+        ),
     );
 }

@@ -1,0 +1,919 @@
+//! The nonblocking epoll front end: a small fixed pool of reactor
+//! threads owns every client connection, parses requests incrementally
+//! off readiness events, and hands complete requests to the worker pool.
+//!
+//! The point is the cost model. The old front end parked one worker
+//! thread per in-flight connection, so 10k idle keep-alive clients meant
+//! 10k blocked threads (or, with a bounded pool, a starved daemon). Under
+//! the reactor an idle connection costs one file descriptor and ~100
+//! bytes of table state: `reactor-threads=` (default 2) threads multiplex
+//! *all* connections through `epoll_wait`, and only connections with a
+//! complete request in hand occupy a worker.
+//!
+//! Like the mmap shim in `flexserve_workload::packed`, the epoll plumbing
+//! is a hand-rolled `extern "C"` shim over raw syscalls
+//! (`epoll_create1` / `epoll_ctl` / `epoll_wait`, `pipe2` for cross-thread
+//! wakeups, `setrlimit` to lift the fd soft cap) — no new dependencies.
+//! On non-Linux hosts the daemon falls back to the previous blocking
+//! accept-loop + worker-pool front end; the HTTP semantics
+//! (keep-alive, 408 stalled-request timeouts, 413 caps, graceful
+//! shutdown) are identical either way and pinned by `tests/serve_http.rs`.
+//!
+//! Division of labor per connection:
+//!
+//! ```text
+//!  accept loop ──round robin──▶ reactor: epoll_wait ──▶ read, buffer,
+//!                                        try_parse_request (incremental)
+//!                                │ complete request
+//!                                ▼
+//!                        worker pool: route → dispatch → render_response,
+//!                        write on the connection (nonblocking)
+//!                                │ Done / Flush{rest}
+//!                                ▼
+//!                        reactor: finish partial writes (EPOLLOUT),
+//!                        re-arm EPOLLIN, sweep idle/stalled deadlines
+//! ```
+//!
+//! A connection is in exactly one of three states: `Reading` (reactor
+//! owns it, EPOLLIN armed), `Busy` (a worker owns it, no interest mask so
+//! a flooding client cannot buffer unboundedly), or `Writing` (reactor
+//! drains a response the worker could not finish, EPOLLOUT armed).
+//! Deadlines mirror the blocking front end exactly: a connection that has
+//! never completed a request gets `request-timeout=`, an idle keep-alive
+//! connection gets [`KEEP_ALIVE_IDLE`], expiry with a half-read request
+//! answers 408 and closes, expiry with an empty buffer closes quietly.
+
+#[cfg(target_os = "linux")]
+pub use linux::raise_nofile_limit;
+#[cfg(target_os = "linux")]
+pub(crate) use linux::run_front_end;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::collections::HashMap;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::atomic::Ordering;
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use super::super::handlers::{self, KEEP_ALIVE_IDLE};
+    use super::super::http::{render_response, try_parse_request, HttpError, HttpRequest};
+    use super::super::ServeShared;
+
+    /// Raw syscall shims (same vendoring philosophy as the mmap shim in
+    /// `flexserve_workload::packed`): just the epoll, pipe and rlimit
+    /// surface the reactor needs, against the platform libc the binary
+    /// already links.
+    mod sys {
+        use std::ffi::c_void;
+
+        pub const EPOLLIN: u32 = 0x1;
+        pub const EPOLLOUT: u32 = 0x4;
+        pub const EPOLLERR: u32 = 0x8;
+        pub const EPOLLHUP: u32 = 0x10;
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+        const O_NONBLOCK: i32 = 0o4000;
+        const O_CLOEXEC: i32 = 0o2000000;
+        const RLIMIT_NOFILE: i32 = 7;
+
+        /// The kernel's `struct epoll_event`; packed on x86 so the
+        /// 64-bit data member sits at offset 4, matching the ABI.
+        #[repr(C)]
+        #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        #[repr(C)]
+        struct RLimit {
+            cur: u64,
+            max: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn pipe2(fds: *mut i32, flags: i32) -> i32;
+            fn read(fd: i32, buf: *mut c_void, count: usize) -> isize;
+            fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
+            fn close(fd: i32) -> i32;
+            fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        }
+
+        pub fn create() -> std::io::Result<i32> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(fd)
+        }
+
+        pub fn ctl(epfd: i32, op: i32, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(
+            epfd: i32,
+            events: &mut [EpollEvent],
+            timeout_ms: i32,
+        ) -> std::io::Result<usize> {
+            let n =
+                unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+            if n < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(n as usize)
+        }
+
+        /// A nonblocking self-pipe: `(read_end, write_end)`.
+        pub fn wake_pipe() -> std::io::Result<(i32, i32)> {
+            let mut fds = [0i32; 2];
+            let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+            if rc < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok((fds[0], fds[1]))
+        }
+
+        /// One byte down the wake pipe; a full pipe means a wakeup is
+        /// already pending, so failures are ignored.
+        pub fn poke(fd: i32) {
+            let byte = [1u8];
+            let _ = unsafe { write(fd, byte.as_ptr() as *const c_void, 1) };
+        }
+
+        /// Drains every pending wake byte.
+        pub fn drain(fd: i32) {
+            let mut buf = [0u8; 256];
+            while unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) } > 0 {}
+        }
+
+        pub fn close_fd(fd: i32) {
+            let _ = unsafe { close(fd) };
+        }
+
+        /// Lifts the `RLIMIT_NOFILE` soft limit to the hard limit and
+        /// returns the resulting soft limit (connections cost fds under
+        /// the reactor, so the default 1024 would cap the daemon long
+        /// before memory does).
+        pub fn raise_nofile() -> u64 {
+            let mut lim = RLimit { cur: 0, max: 0 };
+            if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+                return 0;
+            }
+            if lim.cur < lim.max {
+                let want = RLimit {
+                    cur: lim.max,
+                    max: lim.max,
+                };
+                if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+                    return want.cur;
+                }
+            }
+            lim.cur
+        }
+    }
+
+    /// Lifts this process's fd soft limit (`RLIMIT_NOFILE`) to its hard
+    /// limit and returns the new soft limit. Exposed for the soak tests
+    /// and benches whose *clients* also hold 10k sockets.
+    pub fn raise_nofile_limit() -> u64 {
+        sys::raise_nofile()
+    }
+
+    /// The epoll token of the wake pipe (connection ids start at 0 and
+    /// count up, so the maximum is free).
+    const WAKE_TOKEN: u64 = u64::MAX;
+    /// How long `epoll_wait` may sleep between deadline sweeps.
+    const TICK_MS: i32 = 100;
+    /// Stop pulling bytes off a connection once this much is buffered
+    /// unparsed; level-triggered epoll resumes the read once the buffer
+    /// drains (the HTTP caps bound any *single* request much earlier —
+    /// this bounds a pipelined flood).
+    const READ_HIGH_WATER: usize = 1024 * 1024;
+    /// How long a shutting-down reactor waits for in-flight responses
+    /// before force-closing what's left.
+    const SHUTDOWN_GRACE: Duration = Duration::from_secs(30);
+
+    /// A complete request handed from a reactor to the worker pool. The
+    /// worker computes and writes the response on its own dup of the
+    /// stream, then posts [`Msg::Done`] (or [`Msg::Flush`] with the
+    /// unwritten tail) back to the owning reactor.
+    pub(crate) struct Job {
+        reactor: usize,
+        conn: u64,
+        stream: TcpStream,
+        request: HttpRequest,
+    }
+
+    /// Cross-thread mail for one reactor: new connections from the
+    /// accept loop, completions from the workers.
+    enum Msg {
+        Conn(TcpStream),
+        Done {
+            conn: u64,
+            keep_alive: bool,
+        },
+        Flush {
+            conn: u64,
+            rest: Vec<u8>,
+            keep_alive: bool,
+        },
+    }
+
+    /// The half of a reactor other threads may touch: the mailbox and
+    /// the write end of its wake pipe (closed when the last clone drops,
+    /// i.e. after the workers are joined).
+    struct ReactorHandle {
+        inbox: Mutex<Vec<Msg>>,
+        wake_w: i32,
+    }
+
+    impl ReactorHandle {
+        fn send(&self, msg: Msg) {
+            self.inbox.lock().unwrap().push(msg);
+            sys::poke(self.wake_w);
+        }
+
+        fn wake(&self) {
+            sys::poke(self.wake_w);
+        }
+    }
+
+    impl Drop for ReactorHandle {
+        fn drop(&mut self) {
+            sys::close_fd(self.wake_w);
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum State {
+        /// The reactor is accumulating request bytes (EPOLLIN armed).
+        Reading,
+        /// A worker owns the connection; no epoll interest.
+        Busy,
+        /// The reactor is draining response bytes (EPOLLOUT armed).
+        Writing,
+    }
+
+    /// Per-connection state: ~100 bytes plus whatever is buffered, which
+    /// is the whole cost of an idle keep-alive client.
+    struct Conn {
+        stream: TcpStream,
+        /// Received-but-unparsed bytes.
+        buf: Vec<u8>,
+        /// Response bytes the worker could not write without blocking.
+        out: Vec<u8>,
+        out_pos: usize,
+        state: State,
+        /// Whether any request has completed on this connection — picks
+        /// between the first-request timeout and the keep-alive window.
+        served_any: bool,
+        /// The peer half-closed; serve what is buffered, then close.
+        peer_eof: bool,
+        close_after_write: bool,
+        /// Whether the fd is currently in the epoll set.
+        registered: bool,
+        /// Last byte received or response finished; deadlines key off it.
+        last: Instant,
+    }
+
+    struct Reactor {
+        index: usize,
+        epfd: i32,
+        wake_r: i32,
+        handle: Arc<ReactorHandle>,
+        conns: HashMap<u64, Conn>,
+        next_id: u64,
+        job_tx: mpsc::Sender<Job>,
+        serve: Arc<ServeShared>,
+        /// Last deadline sweep; the sweep walks every connection, so it
+        /// runs at most once per tick rather than on every wakeup (a busy
+        /// reactor holding 10k idle connections would otherwise pay an
+        /// O(connections) scan per request).
+        last_sweep: Instant,
+    }
+
+    impl Drop for Reactor {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+            sys::close_fd(self.wake_r);
+        }
+    }
+
+    impl Reactor {
+        fn new(
+            index: usize,
+            job_tx: mpsc::Sender<Job>,
+            serve: Arc<ServeShared>,
+        ) -> Result<(Arc<ReactorHandle>, Reactor), String> {
+            let epfd = sys::create().map_err(|e| format!("serve: epoll_create1: {e}"))?;
+            let (wake_r, wake_w) = match sys::wake_pipe() {
+                Ok(p) => p,
+                Err(e) => {
+                    sys::close_fd(epfd);
+                    return Err(format!("serve: pipe2: {e}"));
+                }
+            };
+            if let Err(e) = sys::ctl(epfd, sys::EPOLL_CTL_ADD, wake_r, sys::EPOLLIN, WAKE_TOKEN) {
+                sys::close_fd(epfd);
+                sys::close_fd(wake_r);
+                sys::close_fd(wake_w);
+                return Err(format!("serve: epoll_ctl(wake): {e}"));
+            }
+            let handle = Arc::new(ReactorHandle {
+                inbox: Mutex::new(Vec::new()),
+                wake_w,
+            });
+            Ok((
+                Arc::clone(&handle),
+                Reactor {
+                    index,
+                    epfd,
+                    wake_r,
+                    handle,
+                    conns: HashMap::new(),
+                    next_id: 0,
+                    job_tx,
+                    serve,
+                    last_sweep: Instant::now(),
+                },
+            ))
+        }
+
+        fn run(mut self) {
+            let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 1024];
+            let mut shutdown_seen: Option<Instant> = None;
+            loop {
+                let n = match sys::wait(self.epfd, &mut events, TICK_MS) {
+                    Ok(n) => n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+                    Err(e) => {
+                        eprintln!("serve: epoll_wait: {e}");
+                        break;
+                    }
+                };
+                self.drain_inbox();
+                for ev in events.iter().take(n) {
+                    let ev = *ev; // copy out of the (possibly packed) slot
+                    self.handle_event(ev.events, ev.data);
+                }
+                let now = Instant::now();
+                if now.duration_since(self.last_sweep).as_millis() >= TICK_MS as u128 {
+                    self.last_sweep = now;
+                    self.sweep(now);
+                }
+                if self.serve.shutdown.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    let started = *shutdown_seen.get_or_insert(now);
+                    // Close idle connections outright; in-flight requests
+                    // finish (their responses carry `Connection: close`).
+                    let idle: Vec<u64> = self
+                        .conns
+                        .iter()
+                        .filter(|(_, c)| c.state == State::Reading)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in idle {
+                        self.close(id);
+                    }
+                    if self.conns.is_empty() || now.duration_since(started) > SHUTDOWN_GRACE {
+                        break;
+                    }
+                }
+            }
+        }
+
+        fn drain_inbox(&mut self) {
+            sys::drain(self.wake_r);
+            let msgs: Vec<Msg> = std::mem::take(&mut *self.handle.inbox.lock().unwrap());
+            for msg in msgs {
+                match msg {
+                    Msg::Conn(stream) => self.add_conn(stream),
+                    Msg::Done { conn, keep_alive } => self.on_done(conn, keep_alive),
+                    Msg::Flush {
+                        conn,
+                        rest,
+                        keep_alive,
+                    } => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.served_any = true;
+                        }
+                        self.start_write(conn, rest, keep_alive);
+                    }
+                }
+            }
+        }
+
+        fn add_conn(&mut self, stream: TcpStream) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.conns.insert(
+                id,
+                Conn {
+                    stream,
+                    buf: Vec::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    state: State::Reading,
+                    served_any: false,
+                    peer_eof: false,
+                    close_after_write: false,
+                    registered: false,
+                    last: Instant::now(),
+                },
+            );
+            if !self.set_interest(id, sys::EPOLLIN) {
+                self.close(id);
+            }
+        }
+
+        /// Points the epoll entry for `id` at `events` (0 = parked while
+        /// a worker owns the connection). Returns false when the kernel
+        /// refuses — the connection is unusable then.
+        fn set_interest(&mut self, id: u64, events: u32) -> bool {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return false;
+            };
+            let fd = conn.stream.as_raw_fd();
+            let op = if conn.registered {
+                sys::EPOLL_CTL_MOD
+            } else {
+                sys::EPOLL_CTL_ADD
+            };
+            match sys::ctl(self.epfd, op, fd, events, id) {
+                Ok(()) => {
+                    conn.registered = true;
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+
+        fn handle_event(&mut self, bits: u32, token: u64) {
+            if token == WAKE_TOKEN {
+                sys::drain(self.wake_r);
+                return;
+            }
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // closed earlier in this batch
+            };
+            if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                match conn.state {
+                    // The worker's write will surface the error; drop the
+                    // fd from the set so a level-triggered HUP can't spin.
+                    State::Busy => {
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+                        conn.registered = false;
+                    }
+                    _ => self.close(token),
+                }
+                return;
+            }
+            if bits & sys::EPOLLIN != 0 {
+                self.on_readable(token);
+            }
+            if bits & sys::EPOLLOUT != 0 {
+                self.on_writable(token);
+            }
+        }
+
+        fn on_readable(&mut self, id: u64) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.state != State::Reading || conn.peer_eof {
+                return;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        conn.last = Instant::now();
+                        if conn.buf.len() >= READ_HIGH_WATER {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(id);
+                        return;
+                    }
+                }
+            }
+            self.try_dispatch(id);
+        }
+
+        /// Attempts to cut one complete request off the buffer and hand
+        /// it to the workers; on a framing error, queues the error
+        /// response (which always closes, like the blocking front end).
+        fn try_dispatch(&mut self, id: u64) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.state != State::Reading {
+                return;
+            }
+            match try_parse_request(&conn.buf) {
+                Ok(None) => {
+                    // Half a request and a half-closed peer can never
+                    // complete; an empty buffer + EOF is just a close.
+                    if conn.peer_eof {
+                        self.close(id);
+                    }
+                }
+                Ok(Some((request, consumed))) => {
+                    conn.buf.drain(..consumed);
+                    let stream = match conn.stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => {
+                            self.close(id);
+                            return;
+                        }
+                    };
+                    conn.state = State::Busy;
+                    let job = Job {
+                        reactor: self.index,
+                        conn: id,
+                        stream,
+                        request,
+                    };
+                    if self.job_tx.send(job).is_err() {
+                        // workers are gone: tearing down
+                        self.close(id);
+                        return;
+                    }
+                    self.set_interest(id, 0);
+                }
+                Err(e) => {
+                    let body = handlers::error_json(&e.message()).render();
+                    let bytes = render_response(e.status(), &body, false);
+                    self.start_write(id, bytes, false);
+                }
+            }
+        }
+
+        /// A worker finished writing a response in full.
+        fn on_done(&mut self, id: u64, keep_alive: bool) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            conn.served_any = true;
+            if !keep_alive {
+                self.close(id);
+                return;
+            }
+            conn.state = State::Reading;
+            conn.last = Instant::now();
+            if !self.set_interest(id, sys::EPOLLIN) {
+                self.close(id);
+                return;
+            }
+            // Pipelined bytes may already hold the next request.
+            self.try_dispatch(id);
+            if let Some(conn) = self.conns.get(&id) {
+                if conn.state == State::Reading && conn.peer_eof && conn.buf.is_empty() {
+                    self.close(id);
+                }
+            }
+        }
+
+        /// Takes over a response the worker could not finish (or an
+        /// error/408 response originated by the reactor itself).
+        fn start_write(&mut self, id: u64, bytes: Vec<u8>, keep_alive: bool) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            conn.out = bytes;
+            conn.out_pos = 0;
+            conn.state = State::Writing;
+            conn.close_after_write = !keep_alive;
+            conn.last = Instant::now();
+            self.on_writable(id); // the common case completes immediately
+        }
+
+        fn on_writable(&mut self, id: u64) {
+            loop {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                if conn.state != State::Writing {
+                    return;
+                }
+                if conn.out_pos >= conn.out.len() {
+                    conn.out = Vec::new();
+                    conn.out_pos = 0;
+                    conn.served_any = true;
+                    if conn.close_after_write {
+                        self.close(id);
+                        return;
+                    }
+                    conn.state = State::Reading;
+                    conn.last = Instant::now();
+                    if !self.set_interest(id, sys::EPOLLIN) {
+                        self.close(id);
+                        return;
+                    }
+                    self.try_dispatch(id);
+                    if let Some(conn) = self.conns.get(&id) {
+                        if conn.state == State::Reading && conn.peer_eof && conn.buf.is_empty() {
+                            self.close(id);
+                        }
+                    }
+                    return;
+                }
+                let pos = conn.out_pos;
+                match conn.stream.write(&conn.out[pos..]) {
+                    Ok(0) => {
+                        self.close(id);
+                        return;
+                    }
+                    Ok(n) => {
+                        if let Some(conn) = self.conns.get_mut(&id) {
+                            conn.out_pos += n;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        conn.last = Instant::now();
+                        if !self.set_interest(id, sys::EPOLLOUT) {
+                            self.close(id);
+                        }
+                        return;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.close(id);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Expires deadlines, mirroring the blocking front end: stalled
+        /// mid-request → 408 and close; idle with nothing buffered →
+        /// quiet close; a response the peer won't drain → close.
+        fn sweep(&mut self, now: Instant) {
+            let request_timeout = self.serve.request_timeout;
+            let mut expired: Vec<(u64, bool)> = Vec::new();
+            for (&id, conn) in &self.conns {
+                let (limit, stalled_request) = match conn.state {
+                    State::Busy => continue, // the worker owns the clock
+                    State::Writing => (request_timeout, false),
+                    State::Reading => {
+                        let limit = if conn.served_any {
+                            KEEP_ALIVE_IDLE
+                        } else {
+                            request_timeout
+                        };
+                        (limit, !conn.buf.is_empty())
+                    }
+                };
+                if now.duration_since(conn.last) > limit {
+                    expired.push((id, stalled_request));
+                }
+            }
+            for (id, stalled_request) in expired {
+                if stalled_request {
+                    let e = HttpError::Timeout;
+                    let body = handlers::error_json(&e.message()).render();
+                    let bytes = render_response(e.status(), &body, false);
+                    self.start_write(id, bytes, false);
+                } else {
+                    self.close(id);
+                }
+            }
+        }
+
+        fn close(&mut self, id: u64) {
+            if let Some(conn) = self.conns.remove(&id) {
+                if conn.registered {
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+                }
+                // dropping the stream closes the fd
+            }
+        }
+    }
+
+    /// The worker half: pull a complete request, run it through the
+    /// route/dispatch pipeline, write the response on the worker's dup of
+    /// the stream, and post the outcome back to the owning reactor. The
+    /// response write happens *here* so a request's client-visible
+    /// latency never pays a second reactor hop.
+    fn worker_loop(
+        job_rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+        shared: &Arc<ServeShared>,
+        reactors: &[Arc<ReactorHandle>],
+    ) {
+        loop {
+            let job = { job_rx.lock().unwrap().recv() };
+            let Ok(job) = job else {
+                break; // reactors are gone
+            };
+            let outcome = handlers::process_request(&job.request, shared);
+            let bytes = render_response(outcome.status, &outcome.body, outcome.keep_alive);
+            let reactor = &reactors[job.reactor];
+            match write_nonblocking(&job.stream, &bytes) {
+                WriteOutcome::Complete => reactor.send(Msg::Done {
+                    conn: job.conn,
+                    keep_alive: outcome.keep_alive,
+                }),
+                WriteOutcome::Partial(rest) => reactor.send(Msg::Flush {
+                    conn: job.conn,
+                    rest,
+                    keep_alive: outcome.keep_alive,
+                }),
+                WriteOutcome::Failed => reactor.send(Msg::Done {
+                    conn: job.conn,
+                    keep_alive: false,
+                }),
+            }
+            // After the response, like the blocking front end: the
+            // shutdown answer reaches the client before the teardown.
+            if outcome.shutdown {
+                handlers::begin_shutdown(shared);
+            }
+        }
+    }
+
+    enum WriteOutcome {
+        Complete,
+        Partial(Vec<u8>),
+        Failed,
+    }
+
+    /// Writes as much of `bytes` as the socket accepts without blocking;
+    /// the tail (if any) goes back to the reactor for EPOLLOUT draining.
+    fn write_nonblocking(mut stream: &TcpStream, bytes: &[u8]) -> WriteOutcome {
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            match stream.write(&bytes[pos..]) {
+                Ok(0) => return WriteOutcome::Failed,
+                Ok(n) => pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return WriteOutcome::Partial(bytes[pos..].to_vec())
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return WriteOutcome::Failed,
+            }
+        }
+        WriteOutcome::Complete
+    }
+
+    /// Runs the event-driven front end until shutdown: spawns the
+    /// reactor pool and the worker pool, then accepts connections on the
+    /// caller's thread, handing each to a reactor round-robin. Returns
+    /// once every connection is drained and every thread joined; the
+    /// caller (`serve_on`) then checkpoints and stops the sessions.
+    pub(crate) fn run_front_end(
+        listener: TcpListener,
+        shared: &Arc<ServeShared>,
+        workers: usize,
+        reactor_threads: usize,
+    ) -> Result<(), String> {
+        raise_nofile_limit();
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let mut handles: Vec<Arc<ReactorHandle>> = Vec::with_capacity(reactor_threads);
+        let mut reactor_joins = Vec::with_capacity(reactor_threads);
+        for i in 0..reactor_threads {
+            let (handle, reactor) = Reactor::new(i, job_tx.clone(), Arc::clone(shared))?;
+            handles.push(handle);
+            reactor_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-reactor-{i}"))
+                    .spawn(move || reactor.run())
+                    .map_err(|e| format!("serve: cannot spawn reactor: {e}"))?,
+            );
+        }
+        // The reactors hold the only senders now, so the workers unblock
+        // exactly when the last reactor exits.
+        drop(job_tx);
+
+        let mut worker_joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&job_rx);
+            let shared = Arc::clone(shared);
+            let reactors = handles.clone();
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared, &reactors))
+                    .map_err(|e| format!("serve: cannot spawn worker: {e}"))?,
+            );
+        }
+
+        let mut next = 0usize;
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    // O_NONBLOCK before the reactor ever sees the fd; the
+                    // worker's dup shares the flag. NODELAY because every
+                    // exchange is a small request/response pair.
+                    let _ = s.set_nonblocking(true);
+                    let _ = s.set_nodelay(true);
+                    handles[next % reactor_threads].send(Msg::Conn(s));
+                    next += 1;
+                }
+                Err(e) => eprintln!("serve: accept error: {e}"),
+            }
+        }
+        for handle in &handles {
+            handle.wake();
+        }
+        for join in reactor_joins {
+            let _ = join.join();
+        }
+        for join in worker_joins {
+            let _ = join.join();
+        }
+        Ok(())
+    }
+}
+
+/// Non-Linux fallback: the previous blocking accept-loop + worker-pool
+/// front end, byte-identical HTTP semantics (each worker owns whole
+/// connections via `handlers::handle_connection`).
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn run_front_end(
+    listener: std::net::TcpListener,
+    shared: &std::sync::Arc<super::ServeShared>,
+    workers: usize,
+    _reactor_threads: usize,
+) -> Result<(), String> {
+    use std::sync::atomic::Ordering;
+    use std::sync::{mpsc, Arc, Mutex};
+
+    let (conn_tx, conn_rx) = mpsc::channel::<std::net::TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let mut joins = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = Arc::clone(&conn_rx);
+        let shared = Arc::clone(shared);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || loop {
+                    let conn = { rx.lock().unwrap().recv() };
+                    match conn {
+                        Ok(stream) => {
+                            if let Err(e) = super::handlers::handle_connection(stream, &shared) {
+                                eprintln!("serve: connection error: {e}");
+                            }
+                        }
+                        Err(_) => break, // accept loop is gone
+                    }
+                })
+                .map_err(|e| format!("serve: cannot spawn worker: {e}"))?,
+        );
+    }
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                if conn_tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(e) => eprintln!("serve: accept error: {e}"),
+        }
+    }
+    drop(conn_tx); // workers drain the queue, then exit
+    for join in joins {
+        let _ = join.join();
+    }
+    Ok(())
+}
+
+/// No rlimit shim off Linux; reports 0 ("unknown").
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit() -> u64 {
+    0
+}

@@ -4,32 +4,88 @@
 //! per-session actor threads), so handlers never touch simulation state
 //! directly.
 
-use std::io::BufReader;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, TcpStream};
 use std::sync::atomic::Ordering;
 
 use flexserve_workload::JsonValue;
 
-use super::http::{read_request, respond_json, route, Route, ENDPOINT_LIST};
+use super::http::{route, HttpRequest, Route, ENDPOINT_LIST};
 use super::sessions::{ServeError, SessionConfig};
 use super::ServeShared;
 
 /// How long a persistent connection may sit idle between requests before
-/// the daemon closes it. Short on purpose: an idle keep-alive connection
-/// pins one worker of the pool.
+/// the daemon closes it. Short on purpose: an idle connection still costs
+/// a file descriptor and a reactor-table slot (and, on the non-Linux
+/// fallback front end, a whole worker thread).
 pub(crate) const KEEP_ALIVE_IDLE: std::time::Duration = std::time::Duration::from_secs(10);
 
-/// Handles one connection against the daemon: a request loop that honors
-/// `Connection: keep-alive` (the HTTP/1.1 default), serving any number of
-/// exchanges until the client closes, asks for `Connection: close`, idles
-/// past [`KEEP_ALIVE_IDLE`], or the daemon shuts down.
+/// The front-end-agnostic result of one routed exchange: what to answer,
+/// whether the connection survives it, and whether the daemon should
+/// begin shutting down *after* the response is on the wire.
+pub(crate) struct Outcome {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    pub(crate) keep_alive: bool,
+    pub(crate) shutdown: bool,
+}
+
+/// Routes and executes one parsed request. Both front ends — the epoll
+/// reactor's workers and the blocking fallback loop — funnel through
+/// here, so the HTTP surface cannot drift between them.
+pub(crate) fn process_request(request: &HttpRequest, shared: &ServeShared) -> Outcome {
+    // A daemon going down closes as it answers, so the front end drains
+    // instead of waiting out every open keep-alive window.
+    let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+    match route(&request.method, &request.path) {
+        None => Outcome {
+            status: 404,
+            body: error_json(&format!(
+                "no {} {}; endpoints: {ENDPOINT_LIST}",
+                request.method, request.path
+            ))
+            .render(),
+            keep_alive,
+            shutdown: false,
+        },
+        Some(Route::Shutdown) => Outcome {
+            status: 200,
+            body: JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
+            keep_alive: false,
+            shutdown: true,
+        },
+        Some(resolved) => match dispatch(resolved, &request.body, shared) {
+            Ok(body) => Outcome {
+                status: 200,
+                body,
+                keep_alive,
+                shutdown: false,
+            },
+            Err(e) => Outcome {
+                status: status_of(&e),
+                body: error_json(&e.to_string()).render(),
+                keep_alive,
+                shutdown: false,
+            },
+        },
+    }
+}
+
+/// Handles one connection on the blocking fallback front end (non-Linux
+/// hosts, where the epoll reactor in `event_loop.rs` is unavailable): a
+/// request loop that honors `Connection: keep-alive` (the HTTP/1.1
+/// default), serving any number of exchanges until the client closes,
+/// asks for `Connection: close`, idles past [`KEEP_ALIVE_IDLE`], or the
+/// daemon shuts down.
+#[cfg(not(target_os = "linux"))]
 pub(crate) fn handle_connection(stream: TcpStream, shared: &ServeShared) -> Result<(), String> {
+    use super::http::{read_request, respond_json};
+
     // One slow (or silent) client must not pin its worker forever: the
     // first request gets the configured request timeout, later idle gaps
     // the short keep-alive window (applied at the bottom of the loop).
     let _ = stream.set_read_timeout(Some(shared.request_timeout));
     let _ = stream.set_write_timeout(Some(shared.request_timeout));
-    let mut reader = BufReader::new(stream);
+    let mut reader = std::io::BufReader::new(stream);
     loop {
         let request = match read_request(&mut reader) {
             Ok(Some(req)) => req,
@@ -47,44 +103,18 @@ pub(crate) fn handle_connection(stream: TcpStream, shared: &ServeShared) -> Resu
                 )
             }
         };
-        // A daemon going down closes as it answers, so the worker pool
-        // drains instead of waiting out every open keep-alive window.
-        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let out = reader.get_mut();
-        match route(&request.method, &request.path) {
-            None => {
-                respond_json(
-                    out,
-                    404,
-                    &error_json(&format!(
-                        "no {} {}; endpoints: {ENDPOINT_LIST}",
-                        request.method, request.path
-                    ))
-                    .render(),
-                    keep_alive,
-                )?;
-            }
-            Some(Route::Shutdown) => {
-                respond_json(
-                    out,
-                    200,
-                    &JsonValue::Obj(vec![("ok".into(), JsonValue::Bool(true))]).render(),
-                    false,
-                )?;
-                begin_shutdown(shared);
-                return Ok(());
-            }
-            Some(resolved) => match dispatch(resolved, &request.body, shared) {
-                Ok(body) => respond_json(out, 200, &body, keep_alive)?,
-                Err(e) => respond_json(
-                    out,
-                    status_of(&e),
-                    &error_json(&e.to_string()).render(),
-                    keep_alive,
-                )?,
-            },
+        let outcome = process_request(&request, shared);
+        respond_json(
+            reader.get_mut(),
+            outcome.status,
+            &outcome.body,
+            outcome.keep_alive,
+        )?;
+        if outcome.shutdown {
+            begin_shutdown(shared);
+            return Ok(());
         }
-        if !keep_alive {
+        if !outcome.keep_alive {
             return Ok(());
         }
         let _ = reader.get_ref().set_read_timeout(Some(KEEP_ALIVE_IDLE));
@@ -199,11 +229,12 @@ fn status_of(e: &ServeError) -> u16 {
         ServeError::Capacity(_) => 429,
         ServeError::Bad(_) => 400,
         ServeError::Exhausted => 410,
+        ServeError::TooLarge(_) => 413,
         ServeError::Internal(_) => 500,
     }
 }
 
-fn error_json(message: &str) -> JsonValue {
+pub(crate) fn error_json(message: &str) -> JsonValue {
     JsonValue::Obj(vec![("error".into(), JsonValue::from(message))])
 }
 
@@ -273,6 +304,7 @@ mod tests {
         assert_eq!(status_of(&ServeError::Capacity("x".into())), 429);
         assert_eq!(status_of(&ServeError::Bad("x".into())), 400);
         assert_eq!(status_of(&ServeError::Exhausted), 410);
+        assert_eq!(status_of(&ServeError::TooLarge("x".into())), 413);
         assert_eq!(status_of(&ServeError::Internal("x".into())), 500);
     }
 }

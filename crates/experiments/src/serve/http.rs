@@ -176,6 +176,123 @@ pub(crate) fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequ
     }))
 }
 
+/// Finds the next `\n` at or after `from`.
+fn find_nl(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| from + i)
+}
+
+/// Incremental counterpart of [`read_request`] for the epoll front end:
+/// parses one request out of a reactor's accumulated byte buffer.
+/// Returns `Ok(None)` while the buffer holds only a request prefix,
+/// `Ok(Some((request, consumed)))` once a whole request (headers + body)
+/// is present — `consumed` bytes belong to it and any remainder is the
+/// next pipelined request — and `Err` exactly where [`read_request`]
+/// would fail, with the same cap thresholds and messages (pinned by the
+/// `incremental_parse_agrees_with_read_request` test below).
+pub(crate) fn try_parse_request(buf: &[u8]) -> Result<Option<(HttpRequest, usize)>, HttpError> {
+    let line_too_large = || {
+        HttpError::TooLarge(format!(
+            "header line exceeds the {MAX_HEADER_LINE}-byte cap"
+        ))
+    };
+    // request line
+    let nl = match find_nl(buf, 0) {
+        Some(i) => i,
+        None => {
+            // more than a full line's worth of bytes with no terminator
+            // can never become a valid request line
+            if buf.len() > MAX_HEADER_LINE {
+                return Err(line_too_large());
+            }
+            return Ok(None);
+        }
+    };
+    if nl + 1 > MAX_HEADER_LINE {
+        return Err(line_too_large());
+    }
+    let line = std::str::from_utf8(&buf[..nl])
+        .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
+    let mut keep_alive = parts.next() != Some("HTTP/1.0");
+
+    let mut header_bytes = nl + 1;
+    let mut content_length = 0usize;
+    let mut pos = nl + 1;
+    loop {
+        let hnl = match find_nl(buf, pos) {
+            Some(i) => i,
+            None => {
+                if buf.len() - pos > MAX_HEADER_LINE {
+                    return Err(line_too_large());
+                }
+                return Ok(None); // header block still arriving
+            }
+        };
+        if hnl + 1 - pos > MAX_HEADER_LINE {
+            return Err(line_too_large());
+        }
+        let header = std::str::from_utf8(&buf[pos..hnl])
+            .map_err(|_| HttpError::Malformed("header is not UTF-8".into()))?;
+        let line_len = hnl + 1 - pos;
+        pos = hnl + 1;
+        if header.trim().is_empty() {
+            break; // blank line ends the headers (uncounted, as in read_request)
+        }
+        header_bytes += line_len;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "header block exceeds the {MAX_HEADER_BYTES}-byte cap"
+            )));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the 16 MiB cap"
+        )));
+    }
+    if buf.len() - pos < content_length {
+        return Ok(None); // body still arriving
+    }
+    let body = std::str::from_utf8(&buf[pos..pos + content_length])
+        .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?
+        .to_string();
+    Ok(Some((
+        HttpRequest {
+            method,
+            path,
+            body,
+            keep_alive,
+        },
+        pos + content_length,
+    )))
+}
+
 /// The reason phrase for the status codes the daemon emits.
 pub(crate) fn reason(status: u16) -> &'static str {
     match status {
@@ -203,20 +320,28 @@ pub(crate) fn respond_json(
     body: &str,
     keep_alive: bool,
 ) -> Result<(), String> {
+    let response = render_response(status, body, keep_alive);
+    stream
+        .write_all(&response)
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write response: {e}"))
+}
+
+/// Renders a full JSON response to bytes — the wire format behind
+/// [`respond_json`], split out so the epoll front end's workers and
+/// reactors can write it nonblockingly themselves.
+pub(crate) fn render_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
     let mut body = body.to_string();
     if !body.ends_with('\n') {
         body.push('\n');
     }
-    let response = format!(
+    format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
-    );
-    stream
-        .write_all(response.as_bytes())
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("write response: {e}"))
+    )
+    .into_bytes()
 }
 
 /// A resolved endpoint. The legacy single-session paths (`/step`,
@@ -391,6 +516,90 @@ mod tests {
         let err = read_request(&mut raw.as_bytes()).unwrap_err();
         assert_eq!(err.status(), 413);
         assert!(err.message().contains("16 MiB"), "{}", err.message());
+    }
+
+    /// The incremental parser must agree with the streaming one byte for
+    /// byte: same requests, same consumed lengths, same cap errors — and
+    /// return `Ok(None)` on every strict prefix of a valid request.
+    #[test]
+    fn incremental_parse_agrees_with_read_request() {
+        let cases = [
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+            "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+            "GET /metrics HTTP/1.0\r\n\r\n",
+            "GET /m HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+            "POST /step HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd",
+        ];
+        for raw in cases {
+            let streamed = read_request(&mut raw.as_bytes()).unwrap().unwrap();
+            let (incremental, consumed) = try_parse_request(raw.as_bytes()).unwrap().unwrap();
+            assert_eq!(consumed, raw.len(), "{raw:?}");
+            assert_eq!(incremental.method, streamed.method);
+            assert_eq!(incremental.path, streamed.path);
+            assert_eq!(incremental.body, streamed.body);
+            assert_eq!(incremental.keep_alive, streamed.keep_alive);
+            // every strict prefix is "keep reading", never an error
+            for cut in 0..raw.len() {
+                assert!(
+                    try_parse_request(&raw.as_bytes()[..cut]).unwrap().is_none(),
+                    "prefix of {raw:?} at {cut}"
+                );
+            }
+        }
+        // pipelined requests: the first parse consumes exactly one
+        let two = "GET /metrics HTTP/1.1\r\n\r\nPOST /step HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let (first, consumed) = try_parse_request(two.as_bytes()).unwrap().unwrap();
+        assert_eq!(first.path, "/metrics");
+        let (second, rest) = try_parse_request(&two.as_bytes()[consumed..])
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.body, "ok");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn incremental_parse_enforces_the_same_caps() {
+        // runaway request line: same status and message as read_request
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(9_000));
+        let err = try_parse_request(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("header line"), "{}", err.message());
+        // ... even before the newline ever arrives
+        let err = try_parse_request("G".repeat(9_000).as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        // header-block cap
+        let mut raw = String::from("GET /m HTTP/1.1\r\n");
+        for i in 0..10 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "z".repeat(4_000)));
+        }
+        raw.push_str("\r\n");
+        let err = try_parse_request(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("header block"), "{}", err.message());
+        // declared-body cap fires before the body arrives
+        let raw = "POST /step HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        let err = try_parse_request(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.message().contains("16 MiB"), "{}", err.message());
+        // malformed framing is still a 400
+        let raw = "POST /step HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert_eq!(try_parse_request(raw.as_bytes()).unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn render_response_matches_respond_json_wire_format() {
+        let bytes = render_response(200, "{\"ok\":true}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+             Content-Length: 12\r\nConnection: keep-alive\r\n\r\n{\"ok\":true}\n"
+        );
+        let bytes = render_response(404, "{}\n", false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
     }
 
     /// A reader that yields its bytes, then stalls with the timeout error

@@ -8,14 +8,19 @@
 //! actor thread, with its own strategy, its own mutable substrate world,
 //! and its own [`RequestSource`](flexserve_workload::RequestSource),
 //! sharing pristine substrates through the process-wide
-//! [`DistCache`](crate::cache::DistCache)), behind a small accept-loop +
-//! worker-pool HTTP front end (hand-rolled HTTP/1.1, as ever):
+//! [`DistCache`](crate::cache::DistCache)), behind an event-driven HTTP
+//! front end (hand-rolled HTTP/1.1, as ever): a small pool of epoll
+//! reactor threads owns every connection and parses requests
+//! incrementally off readiness events, so 10k idle keep-alive clients
+//! cost file descriptors, not threads, and only complete requests occupy
+//! the `workers=` pool (see `event_loop.rs`; non-Linux hosts fall back to
+//! the previous blocking accept-loop + worker-pool front end):
 //!
 //! | endpoint                             | effect                                   |
 //! |--------------------------------------|------------------------------------------|
 //! | `POST /sessions`                     | create a session (`{"name", "args"}`)    |
 //! | `GET /sessions`                      | list live sessions with their cell specs |
-//! | `POST /sessions/<name>/step`         | play one round on that session           |
+//! | `POST /sessions/<name>/step`         | play one round — or a batch of rounds    |
 //! | `GET /sessions/<name>/placement`     | its servers and epoch                    |
 //! | `GET /sessions/<name>/metrics`       | its counters (process + cumulative)      |
 //! | `POST /sessions/<name>/checkpoint`   | snapshot it to its checkpoint file       |
@@ -53,19 +58,20 @@
 //! over a fleet of these daemons and live-migrates them bit-identically
 //! (checkpoint → resume → `migrated_to` tombstone); see `docs/CLUSTER.md`.
 
+mod event_loop;
 mod handlers;
 mod http;
 pub mod route;
 pub mod sessions;
 
+pub use event_loop::raise_nofile_limit;
 pub use sessions::{
     ServeError, SessionConfig, SessionManager, SessionStats, SourceKind, DEFAULT_SESSION,
 };
 
-use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use flexserve_workload::JsonValue;
 
@@ -82,8 +88,12 @@ pub struct ServeOptions {
     /// Listener port (0 = ephemeral, the chosen port is announced on
     /// stdout).
     pub port: u16,
-    /// HTTP worker threads handling connections concurrently.
+    /// HTTP worker threads executing complete requests concurrently.
     pub workers: usize,
+    /// Reactor threads of the epoll front end, each multiplexing a share
+    /// of all open connections (`reactor-threads=` key; ignored on the
+    /// non-Linux fallback front end).
+    pub reactor_threads: usize,
     /// Maximum concurrently live sessions.
     pub max_sessions: usize,
     /// `idle-evict=<secs>`: sessions no client has touched for this long
@@ -108,6 +118,8 @@ session keys: checkpoint=<path> (default <results dir>/checkpoint.json),
 server keys:  port (default 7788, 0 = ephemeral),
               bind=<ip>[:<port>] (default 127.0.0.1; non-loopback logs a warning),
               workers=<n> (default 4), max-sessions=<n> (default 16),
+              reactor-threads=<n> (epoll event-loop threads owning the
+              connections; default 2, range 1-16),
               idle-evict=<secs> (auto-checkpoint + evict idle sessions;
               default off),
               request-timeout=<secs> (per-request read/write bound; default 30)
@@ -122,6 +134,7 @@ impl ServeOptions {
         let mut bind = IpAddr::V4(Ipv4Addr::LOCALHOST);
         let mut port = 7788u16;
         let mut workers = 4usize;
+        let mut reactor_threads = 2usize;
         let mut max_sessions = 16usize;
         let mut idle_evict = None;
         let mut request_timeout = std::time::Duration::from_secs(30);
@@ -147,6 +160,16 @@ impl ServeOptions {
                     workers = v.parse().map_err(|_| format!("workers: bad value {v:?}"))?;
                     if workers == 0 || workers > 64 {
                         return Err(format!("workers: {workers} out of range (1-64)"));
+                    }
+                }
+                "reactor-threads" => {
+                    reactor_threads = v
+                        .parse()
+                        .map_err(|_| format!("reactor-threads: bad value {v:?}"))?;
+                    if reactor_threads == 0 || reactor_threads > 16 {
+                        return Err(format!(
+                            "reactor-threads: {reactor_threads} out of range (1-16)"
+                        ));
                     }
                 }
                 "max-sessions" => {
@@ -188,6 +211,7 @@ impl ServeOptions {
             bind,
             port,
             workers,
+            reactor_threads,
             max_sessions,
             idle_evict,
             request_timeout,
@@ -295,11 +319,12 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
     };
     println!(
         "flexserve serve: listening on http://{addr} [{}] source={} checkpoint={} \
-         workers={} max-sessions={}{}",
+         workers={} reactor-threads={} max-sessions={}{}",
         field("spec"),
         field("source"),
         opts.session.checkpoint.display(),
         opts.workers,
+        opts.reactor_threads,
         opts.max_sessions,
         if opts.session.resume {
             format!(
@@ -367,49 +392,11 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<ServeSumma
             .map_err(|e| format!("serve: cannot spawn sigterm watcher: {e}"))?
     };
 
-    // Worker pool: the accept loop fans connections out over a channel;
-    // each worker owns whole exchanges, so a step on one session never
-    // queues behind a step on another.
-    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    let mut workers = Vec::with_capacity(opts.workers);
-    for i in 0..opts.workers {
-        let rx = Arc::clone(&conn_rx);
-        let shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name(format!("serve-worker-{i}"))
-            .spawn(move || loop {
-                let conn = { rx.lock().unwrap().recv() };
-                match conn {
-                    Ok(stream) => {
-                        if let Err(e) = handlers::handle_connection(stream, &shared) {
-                            eprintln!("serve: connection error: {e}");
-                        }
-                    }
-                    Err(_) => break, // accept loop is gone
-                }
-            })
-            .map_err(|e| format!("serve: cannot spawn worker: {e}"))?;
-        workers.push(worker);
-    }
-
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match stream {
-            Ok(s) => {
-                if conn_tx.send(s).is_err() {
-                    break;
-                }
-            }
-            Err(e) => eprintln!("serve: accept error: {e}"),
-        }
-    }
-    drop(conn_tx); // workers drain the queue, then exit
-    for worker in workers {
-        let _ = worker.join();
-    }
+    // The front end: on Linux, the epoll reactor pool in `event_loop.rs`
+    // (connections cost fds, complete requests occupy workers); elsewhere
+    // the blocking accept-loop + worker-pool fallback. Returns once the
+    // shutdown flag is set and every connection has drained.
+    event_loop::run_front_end(listener, &shared, opts.workers, opts.reactor_threads)?;
     if let Some(reaper) = reaper {
         let _ = reaper.join(); // observes the shutdown flag within a tick
     }
@@ -531,6 +518,15 @@ mod tests {
         assert!(opts.idle_evict.is_none(), "idle-evict defaults to off");
         assert!(with(&["workers=0"]).is_err());
         assert!(with(&["max-sessions=0"]).is_err());
+
+        // reactor-threads: the epoll front end's event-loop pool
+        let opts = with(&[]).unwrap();
+        assert_eq!(opts.reactor_threads, 2, "reactor-threads defaults to 2");
+        let opts = with(&["reactor-threads=4"]).unwrap();
+        assert_eq!(opts.reactor_threads, 4);
+        assert!(with(&["reactor-threads=0"]).is_err());
+        assert!(with(&["reactor-threads=17"]).is_err());
+        assert!(with(&["reactor-threads=many"]).is_err());
 
         // idle-evict takes seconds (fractions allowed), strictly positive
         let opts = with(&["idle-evict=30"]).unwrap();

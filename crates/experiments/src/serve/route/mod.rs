@@ -981,10 +981,17 @@ fn forward_session_op(route: Route, body: &str, shared: &RouterShared) -> (u16, 
     match http_call(&worker, method, &path, body, shared.timeout) {
         Ok((status, resp)) => {
             if is_step && status == 200 {
-                if let Some(t) = JsonValue::parse(resp.trim())
-                    .ok()
-                    .and_then(|v| v.get("t").and_then(JsonValue::as_u64))
-                {
+                // A step reply is one round document or — for a batched
+                // step (array or `{"n": <k>}` body, relayed verbatim) —
+                // an array of them; the round counter tracks the last
+                // round either way.
+                let last_t = JsonValue::parse(resp.trim()).ok().and_then(|v| match v {
+                    JsonValue::Arr(rows) => rows
+                        .last()
+                        .and_then(|row| row.get("t").and_then(JsonValue::as_u64)),
+                    v => v.get("t").and_then(JsonValue::as_u64),
+                });
+                if let Some(t) = last_t {
                     session.next_t = t + 1;
                 }
             }

@@ -19,7 +19,7 @@
 //! summary), locked only long enough to clone a channel sender — never
 //! across a step.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Mutex};
@@ -32,8 +32,8 @@ use flexserve_sim::{
     SubstrateEvents,
 };
 use flexserve_workload::{
-    parse_round, record, replay_source, stdin_source, JsonValue, RequestSource, ScenarioStream,
-    Trace,
+    parse_round, record, replay_source, stdin_source, JsonValue, RequestSource, RoundRequests,
+    ScenarioStream, Trace,
 };
 
 use crate::output::results_dir;
@@ -44,6 +44,12 @@ use crate::spec::{CellBuilder, CellSpec, StrategySpec};
 /// `/placement`, `/metrics`, `/checkpoint`) address; created at daemon
 /// startup from the `flexserve serve` command line.
 pub const DEFAULT_SESSION: &str = "default";
+
+/// Largest accepted `/step` batch (both the JSON-array and the
+/// `{"n": <k>}` forms). A batch occupies its session's actor for the
+/// whole run, so the cap bounds how long other commands (checkpoint,
+/// eviction) can queue behind one request; oversized batches are a 413.
+pub const MAX_BATCH_ROUNDS: usize = 4096;
 
 /// Where a session's rounds come from when `POST .../step` has an empty
 /// body.
@@ -160,6 +166,8 @@ pub enum ServeError {
     Bad(String),
     /// The session's request source ran dry (410).
     Exhausted,
+    /// A step batch exceeds [`MAX_BATCH_ROUNDS`] (413).
+    TooLarge(String),
     /// The session thread died or checkpointing failed (500).
     Internal(String),
 }
@@ -171,6 +179,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Conflict(msg)
             | ServeError::Capacity(msg)
             | ServeError::Bad(msg)
+            | ServeError::TooLarge(msg)
             | ServeError::Internal(msg) => write!(f, "{msg}"),
             ServeError::Exhausted => write!(f, "request source exhausted"),
         }
@@ -183,6 +192,15 @@ enum Command {
     /// Play one round (empty body = pull the configured source).
     Step {
         body: String,
+        reply: Sender<Result<JsonValue, ServeError>>,
+    },
+    /// Play a whole batch of rounds in one actor hop — the batched
+    /// `/step` forms. Replies with the array of per-round step
+    /// documents, bit-identical to stepping the same rounds singly; a
+    /// malformed batch applies nothing, and a source shortfall restores
+    /// every pulled round before failing (410).
+    StepBatch {
+        spec: BatchSpec,
         reply: Sender<Result<JsonValue, ServeError>>,
     },
     /// Current placement without playing a round.
@@ -200,8 +218,28 @@ enum Command {
     },
     /// One row of `GET /sessions`.
     Info { reply: Sender<JsonValue> },
+    /// Checkpoint and stop in **one** command — the idle reaper's and
+    /// the migration hand-off's atomic finish. Because the actor
+    /// serializes commands, no step (single or batch) can land between
+    /// the snapshot and the stop, so every round ever acknowledged to a
+    /// client is in the checkpoint. On a checkpoint failure the actor
+    /// replies `Err` and *keeps running*; the caller decides whether to
+    /// abort (migration) or force a plain `Stop` (idle eviction).
+    Finish {
+        reply: Sender<Result<SessionStats, ServeError>>,
+    },
     /// Stop the actor (evict / daemon shutdown).
     Stop { reply: Sender<SessionStats> },
+}
+
+/// What a batched step plays: explicit round bodies, or the next `k`
+/// rounds of the session's demand source.
+enum BatchSpec {
+    /// A JSON-array `/step` body; each element uses the single-step
+    /// round schema (`{"origins": [...]}`).
+    Rounds(Vec<JsonValue>),
+    /// An `{"n": <k>}` body: pull the next `k` source rounds.
+    FromSource(u64),
 }
 
 enum Entry {
@@ -363,9 +401,16 @@ impl SessionManager {
         }
     }
 
-    /// Plays one round on `name`: an empty `body` pulls the session's
-    /// demand source, a `{"origins": [...]}` body plays that multi-set.
+    /// Plays one round on `name` — an empty `body` pulls the session's
+    /// demand source, a `{"origins": [...]}` body plays that multi-set —
+    /// or a whole batch in one actor round-trip: a JSON array body is a
+    /// batch of explicit rounds, `{"n": <k>}` pulls the next `k` source
+    /// rounds. A batch replies with the array of per-round step
+    /// documents, bit-identical to stepping the same rounds singly.
     pub fn step(&self, name: &str, body: &str) -> Result<JsonValue, ServeError> {
+        if let Some(spec) = parse_batch_body(body)? {
+            return self.roundtrip(name, |reply| Command::StepBatch { spec, reply })?;
+        }
         let body = body.to_string();
         self.roundtrip(name, |reply| Command::Step { body, reply })?
     }
@@ -498,17 +543,23 @@ impl SessionManager {
                 _ => unreachable!("checked above"),
             }
         };
+        // Checkpoint-and-stop in ONE actor command (`Finish`): a step
+        // batch already queued on the actor is either fully applied
+        // before the snapshot or never runs — no acknowledged round can
+        // fall between the checkpoint and the stop.
         let (rtx, rrx) = mpsc::channel();
-        let saved = match handle.tx.send(Command::Checkpoint { reply: rtx }) {
+        let finished = match handle.tx.send(Command::Finish { reply: rtx }) {
             Err(_) => None, // actor dead: fall through to plain removal
-            Ok(()) => match rrx.recv() {
-                Ok(Ok(_)) => Some(Ok(())),
-                Ok(Err(e)) => Some(Err(e)),
-                Err(_) => None,
-            },
+            Ok(()) => rrx.recv().ok(),
         };
-        match saved {
-            Some(Ok(())) => {}
+        let checkpoint = handle.checkpoint.clone();
+        let stats = match finished {
+            Some(Ok(stats)) => {
+                // The actor checkpointed and exited after replying.
+                drop(handle.tx);
+                let _ = handle.join.join();
+                stats
+            }
             Some(Err(e)) => {
                 // Checkpointing failed but the actor lives: put the entry
                 // back and report, so the caller's migration aborts with
@@ -526,9 +577,7 @@ impl SessionManager {
                 let _ = handle.join.join();
                 return Err(ServeError::Internal(format!("session {name:?} died")));
             }
-        }
-        let checkpoint = handle.checkpoint.clone();
-        let stats = stop_actor(handle);
+        };
         let mut inner = self.inner.lock().unwrap();
         debug_assert!(matches!(inner.entries.get(name), Some(Entry::Starting)));
         inner.entries.remove(name);
@@ -579,19 +628,34 @@ impl SessionManager {
         };
         let mut evicted = Vec::with_capacity(victims.len());
         for (name, handle) in victims {
-            // Snapshot before stopping, so the idle state is recoverable;
-            // a checkpoint failure (full disk, dead actor) still evicts —
+            // Checkpoint-and-stop in ONE actor command (`Finish`), so the
+            // idle state is recoverable and a step batch racing the
+            // eviction is either fully in the snapshot or cleanly 404s —
+            // never acknowledged and then lost. A checkpoint failure
+            // (full disk, dead actor) still evicts, via a plain `Stop` —
             // an unreapable session would defeat the whole mechanism.
             let (rtx, rrx) = mpsc::channel();
-            if handle.tx.send(Command::Checkpoint { reply: rtx }).is_ok() {
-                match rrx.recv() {
-                    Ok(Ok(_)) => {}
-                    Ok(Err(e)) => eprintln!("serve: idle-evict {name:?}: checkpoint failed: {e}"),
-                    Err(_) => eprintln!("serve: idle-evict {name:?}: session died"),
-                }
-            }
+            let finished = if handle.tx.send(Command::Finish { reply: rtx }).is_ok() {
+                rrx.recv().ok()
+            } else {
+                None
+            };
             let checkpoint = handle.checkpoint.clone();
-            let stats = stop_actor(handle);
+            let stats = match finished {
+                Some(Ok(stats)) => {
+                    drop(handle.tx);
+                    let _ = handle.join.join();
+                    stats
+                }
+                Some(Err(e)) => {
+                    eprintln!("serve: idle-evict {name:?}: checkpoint failed: {e}");
+                    stop_actor(handle)
+                }
+                None => {
+                    eprintln!("serve: idle-evict {name:?}: session died");
+                    stop_actor(handle)
+                }
+            };
             // Swap our reservation for the tombstone. Nothing can have
             // replaced it: create refuses existing names and reap only
             // matches Live generations.
@@ -741,7 +805,18 @@ impl SessionManager {
         let (rtx, rrx) = mpsc::channel();
         let died = |this: &Self| {
             this.reap(name, generation);
-            ServeError::Internal(format!("session {name:?} died"))
+            // The common way to lose this race is the idle reaper (or a
+            // migration) finishing the session between our table lookup
+            // and the actor hearing from us — that is an eviction, and
+            // must read like one (404 with the tombstone in place), not
+            // an internal error. A genuinely crashed actor leaves no
+            // tombstone and still reports 500.
+            let inner = this.inner.lock().unwrap();
+            if !inner.entries.contains_key(name) && inner.evicted.contains_key(name) {
+                ServeError::NotFound(name.to_string())
+            } else {
+                ServeError::Internal(format!("session {name:?} died"))
+            }
         };
         if tx.send(make(rtx)).is_err() {
             return Err(died(self));
@@ -820,6 +895,53 @@ fn stop_actor(handle: Handle) -> SessionStats {
     stats
 }
 
+/// Recognizes the batched `/step` body forms: a JSON array of rounds, or
+/// an object with an `"n"` count (and no `"origins"`). Anything else —
+/// empty body, an `{"origins": ...}` object, malformed JSON — returns
+/// `None` and takes the single-step path, so its errors read exactly as
+/// before batching existed.
+fn parse_batch_body(body: &str) -> Result<Option<BatchSpec>, ServeError> {
+    let trimmed = body.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let Ok(value) = JsonValue::parse(trimmed) else {
+        return Ok(None);
+    };
+    match value {
+        JsonValue::Arr(rounds) => {
+            if rounds.is_empty() {
+                return Err(ServeError::Bad("batch: empty round array".into()));
+            }
+            if rounds.len() > MAX_BATCH_ROUNDS {
+                return Err(ServeError::TooLarge(format!(
+                    "batch of {} rounds exceeds the {MAX_BATCH_ROUNDS}-round cap",
+                    rounds.len()
+                )));
+            }
+            Ok(Some(BatchSpec::Rounds(rounds)))
+        }
+        obj @ JsonValue::Obj(_) => {
+            if obj.get("origins").is_some() {
+                return Ok(None);
+            }
+            match obj.get("n") {
+                None => Ok(None),
+                Some(n) => match n.as_u64() {
+                    Some(0) | None => Err(ServeError::Bad(
+                        "batch: \"n\" must be a positive integer".into(),
+                    )),
+                    Some(n) if n as usize > MAX_BATCH_ROUNDS => Err(ServeError::TooLarge(format!(
+                        "batch of {n} rounds exceeds the {MAX_BATCH_ROUNDS}-round cap"
+                    ))),
+                    Some(n) => Ok(Some(BatchSpec::FromSource(n))),
+                },
+            }
+        }
+        _ => Ok(None),
+    }
+}
+
 /// Session names are path segments and file-name fragments: short,
 /// URL-safe, no separators.
 fn validate_name(name: &str) -> Result<(), ServeError> {
@@ -853,6 +975,12 @@ struct SessionState<'s> {
     /// history) — the resume fast-forward distance. Explicit-body steps
     /// advance `t` but not this.
     source_consumed: u64,
+    /// Source rounds pulled for a batch that could not run (a shortfall
+    /// fails the whole batch), restored here so the next pull sees them
+    /// in order — a failed batch must not eat demand. Checkpoints and
+    /// `/metrics` report `source_consumed` minus this backlog, so a
+    /// resume re-pulls exactly the unplayed rounds.
+    pending: VecDeque<RoundRequests>,
     rounds_served: u64,
     totals: CostBreakdown,
     step_seconds_total: f64,
@@ -877,6 +1005,14 @@ impl SessionState<'_> {
             rounds_served: self.rounds_served,
             final_t: self.session.t(),
         }
+    }
+
+    /// Source rounds actually *played* (or lost to a failed step) — what
+    /// a resume must fast-forward past. Rounds sitting in the restored
+    /// [`pending`](Self::pending) backlog are excluded: they were pulled
+    /// but never served, so a resumed session must see them again.
+    fn source_rounds(&self) -> u64 {
+        self.source_consumed - self.pending.len() as u64
     }
 }
 
@@ -1065,6 +1201,7 @@ fn run_session(
         checkpoint: cfg.checkpoint.clone(),
         resumed_at,
         source_consumed,
+        pending: VecDeque::new(),
         rounds_served: 0,
         totals: CostBreakdown::zero(),
         step_seconds_total: 0.0,
@@ -1079,6 +1216,9 @@ fn run_session(
         match cmd {
             Command::Step { body, reply } => {
                 let _ = reply.send(step(&mut state, &body));
+            }
+            Command::StepBatch { spec, reply } => {
+                let _ = reply.send(step_batch(&mut state, spec));
             }
             Command::Placement { reply } => {
                 let _ = reply.send(placement_json(&state));
@@ -1095,6 +1235,15 @@ fn run_session(
             Command::Info { reply } => {
                 let _ = reply.send(info_json(&state));
             }
+            Command::Finish { reply } => match checkpoint(&mut state) {
+                Ok(_) => {
+                    let _ = reply.send(Ok(state.stats()));
+                    return;
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(ServeError::Internal(e)));
+                }
+            },
             Command::Stop { reply } => {
                 let _ = reply.send(state.stats());
                 return;
@@ -1113,13 +1262,20 @@ fn record_cell_trace(cell: &CellSpec, env: &ExperimentEnv, seed: u64) -> Trace {
 
 fn step(state: &mut SessionState<'_>, body: &str) -> Result<JsonValue, ServeError> {
     let batch = if body.trim().is_empty() {
-        let batch = state
-            .source
-            .next_round()
-            .map_err(ServeError::Bad)?
-            .ok_or(ServeError::Exhausted)?;
-        state.source_consumed += 1;
-        batch
+        // A round restored by a failed batch is replayed before the
+        // source is pulled again (it was already counted at pull time).
+        match state.pending.pop_front() {
+            Some(batch) => batch,
+            None => {
+                let batch = state
+                    .source
+                    .next_round()
+                    .map_err(ServeError::Bad)?
+                    .ok_or(ServeError::Exhausted)?;
+                state.source_consumed += 1;
+                batch
+            }
+        }
     } else {
         let value = JsonValue::parse(body.trim()).map_err(ServeError::Bad)?;
         parse_round(&value, state.session.world().graph().node_count()).map_err(ServeError::Bad)?
@@ -1133,6 +1289,88 @@ fn step(state: &mut SessionState<'_>, body: &str) -> Result<JsonValue, ServeErro
     state.rounds_served += 1;
     state.totals += rec.costs;
     Ok(round_json(state, &rec))
+}
+
+/// Plays a whole batch in one actor hop. Explicit rounds are parsed
+/// up front, so a malformed batch applies nothing; a source shortfall
+/// restores every pulled round to the pending backlog and fails the
+/// whole batch with 410. A mid-batch step failure (a substrate event
+/// that cannot apply) reports how far the batch got — exactly the state
+/// the same rounds stepped singly would have left.
+fn step_batch(state: &mut SessionState<'_>, spec: BatchSpec) -> Result<JsonValue, ServeError> {
+    let (mut rounds, from_source) = match spec {
+        BatchSpec::Rounds(values) => {
+            let node_count = state.session.world().graph().node_count();
+            let mut rounds = Vec::with_capacity(values.len());
+            for (i, value) in values.iter().enumerate() {
+                let round = parse_round(value, node_count)
+                    .map_err(|e| ServeError::Bad(format!("batch[{i}]: {e}")))?;
+                rounds.push(round);
+            }
+            (rounds, false)
+        }
+        BatchSpec::FromSource(k) => {
+            let mut rounds: Vec<RoundRequests> = Vec::with_capacity(k as usize);
+            while (rounds.len() as u64) < k {
+                match state.pending.pop_front() {
+                    Some(round) => rounds.push(round),
+                    None => break,
+                }
+            }
+            let missing = k - rounds.len() as u64;
+            if missing > 0 {
+                match state.source.next_rounds(missing) {
+                    Ok(pulled) => {
+                        state.source_consumed += pulled.len() as u64;
+                        rounds.extend(pulled);
+                    }
+                    Err(e) => {
+                        restore_pending(state, rounds);
+                        return Err(ServeError::Bad(e));
+                    }
+                }
+            }
+            if (rounds.len() as u64) < k {
+                // Shortfall: the whole batch fails, nothing is applied,
+                // and every pulled round goes back in order.
+                restore_pending(state, rounds);
+                return Err(ServeError::Exhausted);
+            }
+            (rounds, true)
+        }
+    };
+    let started = Instant::now();
+    let mut bodies = Vec::with_capacity(rounds.len());
+    for i in 0..rounds.len() {
+        let rec = match state.session.step(&rounds[i]) {
+            Ok(rec) => rec,
+            Err(e) => {
+                state.step_seconds_total += started.elapsed().as_secs_f64();
+                let total = rounds.len();
+                if from_source {
+                    // The failed round is lost (single-step semantics);
+                    // the unplayed tail goes back so no demand is eaten.
+                    restore_pending(state, rounds.split_off(i + 1));
+                }
+                return Err(ServeError::Bad(format!(
+                    "batch[{i}]: {e} ({i} of {total} rounds applied)"
+                )));
+            }
+        };
+        state.rounds_served += 1;
+        state.totals += rec.costs;
+        bodies.push(round_json(state, &rec));
+    }
+    state.step_seconds_total += started.elapsed().as_secs_f64();
+    Ok(JsonValue::Arr(bodies))
+}
+
+/// Puts pulled-but-unplayed source rounds back at the head of the
+/// pending backlog, preserving demand order.
+fn restore_pending(state: &mut SessionState<'_>, rounds: Vec<RoundRequests>) {
+    for round in rounds.into_iter().rev() {
+        state.pending.push_front(round);
+    }
 }
 
 /// Handles `POST /sessions/<name>/events`: parses `{"events": "<schedule
@@ -1178,7 +1416,7 @@ fn checkpoint(state: &mut SessionState<'_>) -> Result<String, String> {
     if let JsonValue::Obj(pairs) = &mut value {
         pairs.push((
             "source_rounds".into(),
-            JsonValue::from(state.source_consumed),
+            JsonValue::from(state.source_rounds()),
         ));
     }
     let mut text = value.render();
@@ -1270,7 +1508,7 @@ fn metrics_json(state: &SessionState<'_>) -> JsonValue {
         ("rounds_served".into(), JsonValue::from(state.rounds_served)),
         (
             "source_rounds".into(),
-            JsonValue::from(state.source_consumed),
+            JsonValue::from(state.source_rounds()),
         ),
         ("total_cost".into(), costs_json(&state.totals)),
         (
@@ -1691,5 +1929,175 @@ mod tests {
         assert!(matches!(mgr.create("y", cfg), Err(ServeError::Bad(_))));
         // failed creations free the name slot
         assert_eq!(mgr.list().get("count").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn batch_step_matches_singles_and_validates() {
+        let mgr = SessionManager::new(4);
+        mgr.create("solo", tiny("solo", &[])).unwrap();
+        mgr.create("batch", tiny("batch", &[])).unwrap();
+
+        // Source-driven: {"n": k} replies with the same documents the
+        // same rounds produce singly, byte for byte.
+        let mut singles = Vec::new();
+        for _ in 0..6 {
+            singles.push(mgr.step("solo", "").unwrap().render());
+        }
+        let mut batched = Vec::new();
+        for body in [r#"{"n": 2}"#, r#"{"n": 4}"#] {
+            match mgr.step("batch", body).unwrap() {
+                JsonValue::Arr(rows) => batched.extend(rows.iter().map(JsonValue::render)),
+                other => panic!("batch reply must be an array, got {other:?}"),
+            }
+        }
+        assert_eq!(batched, singles);
+        assert_eq!(
+            mgr.metrics("batch").unwrap().get("source_rounds").unwrap(),
+            &JsonValue::from(6u64)
+        );
+
+        // Explicit-array form: the elements use the single-step schema.
+        let one = mgr
+            .step("solo", r#"{"origins": [1, 3, 3]}"#)
+            .unwrap()
+            .render();
+        let arr = mgr.step("batch", r#"[{"origins": [1, 3, 3]}]"#).unwrap();
+        match arr {
+            JsonValue::Arr(rows) => assert_eq!(rows[0].render(), one),
+            other => panic!("batch reply must be an array, got {other:?}"),
+        }
+
+        // A malformed element fails the whole batch before anything runs.
+        let before = mgr.metrics("batch").unwrap().get("next_t").unwrap().clone();
+        match mgr.step("batch", r#"[{"origins": [1]}, {"origins": [99]}]"#) {
+            Err(ServeError::Bad(e)) => assert!(e.contains("batch[1]"), "{e}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+        assert_eq!(
+            mgr.metrics("batch").unwrap().get("next_t").unwrap(),
+            &before,
+            "malformed batch must apply nothing"
+        );
+
+        // Cap and shape validation.
+        assert!(matches!(mgr.step("batch", "[]"), Err(ServeError::Bad(_))));
+        assert!(matches!(
+            mgr.step("batch", r#"{"n": 0}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            mgr.step("batch", r#"{"n": "three"}"#),
+            Err(ServeError::Bad(_))
+        ));
+        assert!(matches!(
+            mgr.step("batch", r#"{"n": 4097}"#),
+            Err(ServeError::TooLarge(_))
+        ));
+        let huge = format!("[{}]", vec!["{}"; MAX_BATCH_ROUNDS + 1].join(","));
+        assert!(matches!(
+            mgr.step("batch", &huge),
+            Err(ServeError::TooLarge(_))
+        ));
+        mgr.shutdown_all();
+    }
+
+    #[test]
+    fn source_batch_shortfall_is_atomic() {
+        let cfg = |name: &str| {
+            SessionConfig::parse(
+                &args(&[
+                    "topo=unit-line:8",
+                    "wl=uniform:req=3",
+                    "strat=onth",
+                    "rounds=5",
+                    "seed=3",
+                    "k=4",
+                ]),
+                name,
+            )
+            .unwrap()
+        };
+        let mgr = SessionManager::new(4);
+        mgr.create("short", cfg("short")).unwrap();
+        mgr.create("ref", cfg("ref")).unwrap();
+        for _ in 0..3 {
+            mgr.step("short", "").unwrap();
+            mgr.step("ref", "").unwrap();
+        }
+
+        // Only 2 source rounds remain: a batch of 4 fails whole...
+        assert!(matches!(
+            mgr.step("short", r#"{"n": 4}"#),
+            Err(ServeError::Exhausted)
+        ));
+        let metrics = mgr.metrics("short").unwrap();
+        assert_eq!(metrics.get("next_t").unwrap(), &JsonValue::from(3u64));
+        // ...and eats no demand: the pulled rounds are restored, so the
+        // reported source position stays at what was actually played...
+        assert_eq!(
+            metrics.get("source_rounds").unwrap(),
+            &JsonValue::from(3u64)
+        );
+        // ...and the next batch plays exactly the restored rounds.
+        let replayed = match mgr.step("short", r#"{"n": 2}"#).unwrap() {
+            JsonValue::Arr(rows) => rows.iter().map(JsonValue::render).collect::<Vec<_>>(),
+            other => panic!("batch reply must be an array, got {other:?}"),
+        };
+        let expected = [
+            mgr.step("ref", "").unwrap().render(),
+            mgr.step("ref", "").unwrap().render(),
+        ];
+        assert_eq!(replayed, expected);
+        assert!(matches!(mgr.step("short", ""), Err(ServeError::Exhausted)));
+        mgr.shutdown_all();
+    }
+
+    #[test]
+    fn finish_is_atomic_against_queued_batches() {
+        let dir =
+            std::env::temp_dir().join(format!("flexserve-batch-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("racer.json");
+        let ck_arg = format!("checkpoint={}", ck.display());
+        let mgr = SessionManager::new(4);
+        mgr.create("racer", tiny("racer", &[&ck_arg])).unwrap();
+        mgr.step("racer", "").unwrap();
+
+        // Queue a batch directly on the actor channel, then run the
+        // evictor: command FIFO means the batch lands before the
+        // evictor's atomic checkpoint-and-stop, so every acknowledged
+        // round must be in the auto-checkpoint.
+        let tx = {
+            let inner = mgr.inner.lock().unwrap();
+            match inner.entries.get("racer") {
+                Some(Entry::Live(h)) => h.tx.clone(),
+                _ => panic!("racer must be live"),
+            }
+        };
+        let (rtx, rrx) = mpsc::channel();
+        tx.send(Command::StepBatch {
+            spec: BatchSpec::FromSource(3),
+            reply: rtx,
+        })
+        .unwrap();
+        assert_eq!(mgr.evict_idle(std::time::Duration::ZERO), vec!["racer"]);
+        let rows = match rrx.recv().unwrap().unwrap() {
+            JsonValue::Arr(rows) => rows,
+            other => panic!("batch reply must be an array, got {other:?}"),
+        };
+        assert_eq!(rows.len(), 3, "the queued batch was acknowledged in full");
+        let text = std::fs::read_to_string(&ck).expect("auto-checkpoint written");
+        assert!(
+            text.contains("\"t\":4"),
+            "checkpoint must include the acknowledged batch: {text}"
+        );
+
+        // After the eviction the whole batch path reads as a clean 404 —
+        // no partial rounds anywhere.
+        match mgr.step("racer", r#"{"n": 2}"#) {
+            Err(ServeError::NotFound(_)) => {}
+            other => panic!("evicted session must 404, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

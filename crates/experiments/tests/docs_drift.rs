@@ -90,6 +90,7 @@ fn serving_md_documents_every_endpoint() {
     for key in [
         "`bind=",
         "`workers=",
+        "`reactor-threads=",
         "`max-sessions=",
         "`idle-evict=",
         "`request-timeout=",
@@ -98,6 +99,17 @@ fn serving_md_documents_every_endpoint() {
             SERVING_MD.contains(key),
             "docs/SERVING.md must document the {key} serve key"
         );
+    }
+    // the event-driven front end and the batch-step surface added with it
+    for s in [
+        "event-driven front end",
+        "epoll",
+        "event_loop.rs",
+        "Batched stepping",
+        "4096 rounds",
+        "serve_batch.rs",
+    ] {
+        assert!(SERVING_MD.contains(s), "docs/SERVING.md must document {s}");
     }
     // persistent-connection semantics are part of the HTTP contract
     assert!(
@@ -288,12 +300,22 @@ fn cluster_md_documents_the_routing_tier() {
         SERVING_MD.contains("\"status\": \"migrated\""),
         "docs/SERVING.md must show the migrated tombstone row"
     );
-    // the routing-tax bench entry stays documented with its schema
-    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    // the proxy's batch relay and connection pool stay documented
+    for s in ["proxy.rs", "keep-alive"] {
+        assert!(CLUSTER_MD.contains(s), "docs/CLUSTER.md must document {s}");
+    }
     assert!(
-        BENCHMARKS_MD.contains("`route_overhead`"),
-        "docs/BENCHMARKS.md must document the BENCH_serve.json route_overhead entry"
+        CLUSTER_MD.contains("Batched stepping"),
+        "docs/CLUSTER.md must note that batched step bodies are relayed verbatim"
     );
+    // the serving bench entries stay documented with their schemas
+    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    for entry in ["`route_overhead`", "`batched_step`", "`connection_scaling`"] {
+        assert!(
+            BENCHMARKS_MD.contains(entry),
+            "docs/BENCHMARKS.md must document the BENCH_serve.json {entry} entry"
+        );
+    }
     // the rest of the doc tree points at the cluster guide
     for (name, doc) in [
         ("README.md", README_MD),

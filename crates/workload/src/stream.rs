@@ -35,6 +35,22 @@ pub trait RequestSource {
     /// The next round of requests, or `None` when the source is done.
     fn next_round(&mut self) -> Result<Option<RoundRequests>, String>;
 
+    /// Pulls up to `n` rounds in one call — the batched `/step` path
+    /// (`{"n": <k>}` bodies), where one actor-channel hop amortizes over
+    /// the whole batch. Returns fewer than `n` rounds only when the
+    /// source runs dry; the caller decides whether a shortfall is an
+    /// error. The default loops over [`next_round`](Self::next_round).
+    fn next_rounds(&mut self, n: u64) -> Result<Vec<RoundRequests>, String> {
+        let mut rounds = Vec::with_capacity(n.min(4096) as usize);
+        for _ in 0..n {
+            match self.next_round()? {
+                Some(round) => rounds.push(round),
+                None => break,
+            }
+        }
+        Ok(rounds)
+    }
+
     /// Discards the next `n` rounds (the resume fast-forward). The default
     /// pulls and drops rounds one by one; sources with an index (packed
     /// traces) override it with an O(1) seek. Running out of rounds before
@@ -283,6 +299,22 @@ mod tests {
         assert_eq!(stream.position(), 6);
         let batch = stream.next_round().unwrap().unwrap();
         assert_eq!(&batch, trace.round(6));
+    }
+
+    #[test]
+    fn next_rounds_batches_and_reports_shortfall() {
+        let g = unit_line(10).unwrap();
+        let trace = record(&mut UniformScenario::new(&g, 4, 7), 12);
+        let mut stream = ScenarioStream::new(Box::new(UniformScenario::new(&g, 4, 7)), Some(12));
+        let batch = stream.next_rounds(5).unwrap();
+        assert_eq!(batch.len(), 5);
+        for (t, round) in batch.iter().enumerate() {
+            assert_eq!(round, trace.round(t), "round {t} must match the trace");
+        }
+        // Asking past the end returns the remainder, not an error.
+        let rest = stream.next_rounds(100).unwrap();
+        assert_eq!(rest.len(), 7);
+        assert!(stream.next_rounds(3).unwrap().is_empty());
     }
 
     #[test]
