@@ -1,7 +1,10 @@
 //! Before/after perf harness: times the serial reference against the
 //! optimized implementation of the measured hot paths — the all-pairs
 //! `DistanceMatrix` build plus its incremental single-event repair
-//! (500-node Waxman), one 20-seed sweep cell, a cold-vs-warm substrate
+//! (500-node Waxman), one 20-seed sweep cell, the strategy hot path's
+//! one-pass transposed candidate scan vs the naive per-candidate
+//! window rescan (same 500-node Waxman, 240-round commuter window),
+//! a cold-vs-warm substrate
 //! fetch through the distance-matrix cache, the batch-vs-stepped game
 //! loop (`run_online` vs `SimSession::step`),
 //! sequential-vs-concurrent multi-session stepping through the serve
@@ -13,7 +16,8 @@
 //! subprocess daemon holding thousands of idle keep-alive connections
 //! on its fixed reactor pool) — and records the results as
 //! `BENCH_apsp.json` (an array: full build, repair-vs-rebuild),
-//! `BENCH_sweeps.json`, `BENCH_trace.json` (packed-vs-JSONL trace
+//! `BENCH_sweeps.json` (an array: sweep cell, candidate scan, trace
+//! sharing), `BENCH_trace.json` (packed-vs-JSONL trace
 //! ingestion, see docs/TRACES.md), `BENCH_cache.json` and
 //! `BENCH_serve.json` (an array of the five serving benches) in the
 //! repository root (schema: docs/BENCHMARKS.md).
@@ -28,7 +32,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use flexserve_bench::{sweep_cell, waxman_env, SWEEP_SEEDS};
-use flexserve_core::{initial_center, OnTh};
+use flexserve_core::{access_cost_window, initial_center, EpochWindow, OnTh, WindowIndex};
 use flexserve_experiments::serve::route::proxy::http_call;
 use flexserve_experiments::serve::{route, serve_on, ServeOptions, SessionConfig, SessionManager};
 use flexserve_experiments::setup::ExperimentEnv;
@@ -36,8 +40,8 @@ use flexserve_experiments::{
     average, average_serial, run_algorithm, Algorithm, DistCache, TopologySpec, TraceCache,
     TraceKey,
 };
-use flexserve_graph::DistanceMatrix;
-use flexserve_sim::{run_online, CostParams, LoadModel, SimSession};
+use flexserve_graph::{DistanceMatrix, NodeId};
+use flexserve_sim::{run_online, CostParams, LoadModel, SimContext, SimSession};
 use flexserve_workload::{
     file_source, pack_jsonl_file, record, CommuterScenario, LoadVariant, PackedReplay, PackedTrace,
     RequestSource, DEFAULT_WINDOW_ROUNDS,
@@ -236,9 +240,93 @@ fn main() {
         &extra,
     );
     announce("BENCH_sweeps.json", "trace_sharing", independent, shared);
+
+    // --- Candidate scan: naive rescan vs one-pass transposed scoring -----
+    // The strategy hot path (docs/ARCHITECTURE.md "strategy hot path"):
+    // scoring every A ∪ {v} addition candidate over an epoch window.
+    // "Serial" is the naive per-candidate rescan every strategy used to
+    // pay — access_cost_window on the extended active set, once per
+    // inactive node; "parallel" is the WindowIndex one-pass scan:
+    // rebuild (included, strategies pay it per epoch) + one transposed
+    // sweep scoring all candidates. Both are timed on an ONTH-shaped
+    // cell — the 500-node Waxman substrate from the APSP bench, a
+    // 240-round commuter window, 8 active servers — and the harness
+    // asserts the argmin (v, cost) agrees before reporting (the scan is
+    // proptest-pinned bitwise in crates/core/tests/candidate_scan.rs).
+    const SCAN_ROUNDS: u64 = 240;
+    const SCAN_SERVERS: usize = 8;
+    let scan_ctx = SimContext::new(&g, &full, CostParams::default(), LoadModel::Linear);
+    let scan_window = {
+        let mut scenario = CommuterScenario::with_matrix(&g, &full, 8, 5, LoadVariant::Dynamic, 11);
+        let trace = record(&mut scenario, SCAN_ROUNDS);
+        let mut w = EpochWindow::new();
+        for round in trace.iter() {
+            w.push(round);
+        }
+        w
+    };
+    let active: Vec<NodeId> = (0..SCAN_SERVERS)
+        .map(|i| NodeId::new(i * g.node_count() / SCAN_SERVERS))
+        .collect();
+    let candidates: Vec<NodeId> = g.nodes().filter(|v| !active.contains(v)).collect();
+    let naive_scan = || -> (NodeId, f64) {
+        let mut with_v = active.clone();
+        with_v.push(candidates[0]);
+        let mut best: Option<(NodeId, f64)> = None;
+        for &v in &candidates {
+            *with_v.last_mut().unwrap() = v;
+            let cost = access_cost_window(&scan_ctx, &with_v, &scan_window);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((v, cost));
+            }
+        }
+        best.expect("at least one candidate")
+    };
+    let one_pass = |index: &mut WindowIndex, scores: &mut Vec<f64>, counts: &mut Vec<usize>| {
+        index.rebuild(&scan_ctx, &active, &scan_window);
+        index.score_all_additions(&scan_ctx, &candidates, scores, counts);
+        let mut best: Option<(NodeId, f64)> = None;
+        for (j, &v) in candidates.iter().enumerate() {
+            if best.is_none_or(|(_, c)| scores[j] < c) {
+                best = Some((v, scores[j]));
+            }
+        }
+        best.expect("at least one candidate")
+    };
+    let mut index = WindowIndex::new();
+    let (mut scores, mut counts) = (Vec::new(), Vec::new());
+    let naive_best = naive_scan();
+    let scan_best = one_pass(&mut index, &mut scores, &mut counts);
+    assert_eq!(naive_best.0, scan_best.0, "scan argmin drifted");
+    assert_eq!(
+        naive_best.1.to_bits(),
+        scan_best.1.to_bits(),
+        "scan cost not bit-identical"
+    );
+    let naive_s = time_median(reps, || {
+        std::hint::black_box(naive_scan());
+    });
+    let scan_s = time_median(reps, || {
+        std::hint::black_box(one_pass(&mut index, &mut scores, &mut counts));
+    });
+    let extra = format!(
+        ",\n  \"candidates\": {},\n  \"rounds\": {SCAN_ROUNDS},\n  \"servers\": {SCAN_SERVERS}",
+        candidates.len()
+    );
+    let scan_entry = entry_json(
+        "candidate_scan",
+        naive_s,
+        scan_s,
+        "epoch candidate scoring on a 500-node Waxman ONTH cell (240-round \
+         commuter window, 8 servers): naive per-candidate access_cost_window \
+         rescan vs WindowIndex rebuild + one-pass transposed scan (bitwise \
+         argmin asserted)",
+        &extra,
+    );
+    announce("BENCH_sweeps.json", "candidate_scan", naive_s, scan_s);
     write_file(
         "BENCH_sweeps.json",
-        &format!("[\n{sweep_entry},\n{trace_entry}\n]\n"),
+        &format!("[\n{sweep_entry},\n{scan_entry},\n{trace_entry}\n]\n"),
     );
 
     // --- Packed trace plane: JSONL parse vs packed replay ---------------

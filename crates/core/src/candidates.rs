@@ -25,6 +25,7 @@
 use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, SimContext};
 use flexserve_workload::{JsonValue, RoundRequests};
+use rayon::prelude::*;
 
 /// The requests of an epoch, folded to per-round distinct-origin counts.
 ///
@@ -191,14 +192,295 @@ pub fn access_cost_window(ctx: &SimContext<'_>, servers: &[NodeId], window: &Epo
     total
 }
 
-/// Per-origin routing info against the current active set.
-struct OriginInfo {
-    origin: NodeId,
+/// One row of the window scoring index: a `(round, origin)` pair with its
+/// folded request count and the nearest server of the indexed active set
+/// (first minimum — exactly the tie-breaking of `access_cost_window`'s
+/// strict-`<` scan).
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    /// `NodeId::index()` of the origin.
+    origin: u32,
+    /// Index in the active set of the nearest server.
+    s1: u32,
+    /// Folded request count.
     cnt: usize,
+    /// Distance to the nearest server (`∞` when unreachable over `A`).
     d1: f64,
-    s1: usize,
-    d2: f64,
-    s2: usize,
+}
+
+/// Per-epoch-window scoring index against a fixed active set `A`.
+///
+/// Built once per scoring pass ([`WindowIndex::rebuild`], reusing its
+/// buffers), the index flattens the window to one `(origin, cnt, d1, s1)`
+/// entry per `(round, origin)` pair, where `d1`/`s1` are the nearest
+/// current server under the exact strict-`<` scan of
+/// [`access_cost_window`]. Every `A ∪ {v}` candidate is then scored in a
+/// single *transposed* pass ([`WindowIndex::score_all_additions`]): per
+/// index entry, the origin's [`DistanceMatrix`] row is walked
+/// sequentially across the whole candidate block (one cache-friendly
+/// stream instead of per-candidate rescans of the active set),
+/// accumulating `Σ cnt · min(d1, d(origin, v))` plus the per-server load
+/// terms — per candidate in the exact `(round, origin)` order the naive
+/// rescan uses, so each score is **bit-identical** to
+/// `access_cost_window` on `A ∪ {v}` (proptest-pinned, including `∞`
+/// distances from failed links). Distances are read as `d(origin, v)`,
+/// the naive scan's direction — this matters bitwise, because APSP rows
+/// are independent per-source float sums and `d(v, origin)` can differ
+/// in the last ulp. The candidate axis is rayon-parallel with a serial
+/// reference; each candidate's arithmetic is independent of thread
+/// count.
+///
+/// The index also carries the second-nearest server per entry, which is
+/// what [`best_candidate`]'s migrate/deactivate scoring needs as the
+/// removal fallback — kept out of the hot entry table so the addition
+/// scan stays lean.
+///
+/// [`DistanceMatrix`]: flexserve_graph::DistanceMatrix
+#[derive(Debug, Default)]
+pub struct WindowIndex {
+    /// Hot table of the transposed scan: one entry per `(round, origin)`.
+    entries: Vec<IndexEntry>,
+    /// Second-nearest `(d2, s2)` per entry, aligned with `entries`.
+    seconds: Vec<(f64, u32)>,
+    /// Round `r` covers `entries[bounds[r]..bounds[r + 1]]`.
+    bounds: Vec<usize>,
+    /// `strength(a_i)` per server of the indexed set.
+    strengths: Vec<f64>,
+}
+
+impl WindowIndex {
+    /// An empty index (buffers grow on first [`WindowIndex::rebuild`]).
+    pub fn new() -> Self {
+        WindowIndex::default()
+    }
+
+    /// Number of servers in the indexed active set.
+    pub fn servers(&self) -> usize {
+        self.strengths.len()
+    }
+
+    /// Number of indexed rounds.
+    pub fn rounds(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Rebuilds the index for `servers` over `window`, recycling every
+    /// buffer — a strategy's steady state allocates nothing per epoch.
+    pub fn rebuild(&mut self, ctx: &SimContext<'_>, servers: &[NodeId], window: &EpochWindow) {
+        self.entries.clear();
+        self.seconds.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+        self.strengths.clear();
+        self.strengths
+            .extend(servers.iter().map(|&s| ctx.graph.strength(s)));
+        for round in window.rounds() {
+            for &(origin, cnt) in round {
+                let (mut d1, mut s1, mut d2, mut s2) =
+                    (f64::INFINITY, 0usize, f64::INFINITY, 0usize);
+                for (i, &s) in servers.iter().enumerate() {
+                    let d = ctx.dist.get(origin, s);
+                    if d < d1 {
+                        d2 = d1;
+                        s2 = s1;
+                        d1 = d;
+                        s1 = i;
+                    } else if d < d2 {
+                        d2 = d;
+                        s2 = i;
+                    }
+                }
+                self.entries.push(IndexEntry {
+                    origin: origin.index() as u32,
+                    s1: s1 as u32,
+                    cnt,
+                    d1,
+                });
+                self.seconds.push((d2, s2 as u32));
+            }
+            self.bounds.push(self.entries.len());
+        }
+    }
+
+    /// Exact `access_cost_window(ctx, A ∪ {v}, window)` in one pass over
+    /// the index. `counts` is the caller's reusable per-server counter
+    /// (resized to `k + 1`; slot `k` is the added server).
+    pub fn score_addition(&self, ctx: &SimContext<'_>, v: NodeId, counts: &mut Vec<usize>) -> f64 {
+        let k = self.strengths.len();
+        let v_strength = ctx.graph.strength(v);
+        counts.clear();
+        counts.resize(k + 1, 0);
+        let mut total = 0.0;
+        for r in 0..self.bounds.len() - 1 {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for e in &self.entries[self.bounds[r]..self.bounds[r + 1]] {
+                // d(origin, v): the naive scan's direction (bitwise, the
+                // reverse lookup can differ in the last ulp).
+                let dv = ctx.dist.get(NodeId::new(e.origin as usize), v);
+                // v sits at index k of A ∪ {v}: it wins only on a
+                // strictly smaller distance, matching the naive scan.
+                let (d, slot) = if dv < e.d1 {
+                    (dv, k)
+                } else {
+                    (e.d1, e.s1 as usize)
+                };
+                total += d * e.cnt as f64;
+                counts[slot] += e.cnt;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                let strength = if i == k {
+                    v_strength
+                } else {
+                    self.strengths[i]
+                };
+                total += ctx.load.load(strength, c);
+            }
+        }
+        total
+    }
+
+    /// Entry-outer scan of one candidate block: per `(round, origin)`
+    /// entry, the origin's distance row is walked sequentially across the
+    /// block, accumulating every candidate's score in the exact
+    /// per-candidate order of [`WindowIndex::score_addition`] — the two
+    /// compute the same sums bitwise, this one with cache-friendly row
+    /// streams. `counts` holds `k + 1` slots per candidate.
+    fn scan_chunk(
+        &self,
+        ctx: &SimContext<'_>,
+        candidates: &[NodeId],
+        out: &mut [f64],
+        counts: &mut Vec<usize>,
+    ) {
+        let k = self.strengths.len();
+        let stride = k + 1;
+        counts.clear();
+        counts.resize(candidates.len() * stride, 0);
+        out.fill(0.0);
+        for r in 0..self.bounds.len() - 1 {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for e in &self.entries[self.bounds[r]..self.bounds[r + 1]] {
+                let row = ctx.dist.row(NodeId::new(e.origin as usize));
+                let cnt = e.cnt as f64;
+                for ((slot, &v), c) in out
+                    .iter_mut()
+                    .zip(candidates)
+                    .zip(counts.chunks_mut(stride))
+                {
+                    let dv = row[v.index()];
+                    let (d, s) = if dv < e.d1 {
+                        (dv, k)
+                    } else {
+                        (e.d1, e.s1 as usize)
+                    };
+                    *slot += d * cnt;
+                    c[s] += e.cnt;
+                }
+            }
+            for ((slot, &v), c) in out.iter_mut().zip(candidates).zip(counts.chunks(stride)) {
+                for (i, &cc) in c.iter().enumerate() {
+                    let strength = if i == k {
+                        ctx.graph.strength(v)
+                    } else {
+                        self.strengths[i]
+                    };
+                    *slot += ctx.load.load(strength, cc);
+                }
+            }
+        }
+    }
+
+    /// Scores every candidate of `candidates` as an `A ∪ {v}` addition in
+    /// one transposed pass, rayon-parallel over the candidate axis.
+    ///
+    /// `scores[j]` is bit-identical to
+    /// `access_cost_window(ctx, A ∪ {candidates[j]}, window)` regardless
+    /// of `RAYON_NUM_THREADS` (each slot's arithmetic is independent of
+    /// the partitioning). On one worker — or for tiny candidate sets —
+    /// the scan runs inline on the calling thread with the caller's
+    /// `counts` scratch, so the per-round stepping path allocates
+    /// nothing in steady state.
+    pub fn score_all_additions(
+        &self,
+        ctx: &SimContext<'_>,
+        candidates: &[NodeId],
+        scores: &mut Vec<f64>,
+        counts: &mut Vec<usize>,
+    ) {
+        scores.clear();
+        scores.resize(candidates.len(), 0.0);
+        let block = scan_block(candidates.len());
+        if block >= candidates.len() {
+            self.scan_chunk(ctx, candidates, scores, counts);
+            return;
+        }
+        scores
+            .par_chunks_mut(block)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                let mut counts = Vec::new();
+                let lo = b * block;
+                self.scan_chunk(ctx, &candidates[lo..lo + chunk.len()], chunk, &mut counts);
+            });
+    }
+
+    /// Serial reference for [`WindowIndex::score_all_additions`] — the
+    /// parallel path must match it bitwise (proptest-pinned).
+    pub fn score_all_additions_serial(
+        &self,
+        ctx: &SimContext<'_>,
+        candidates: &[NodeId],
+        scores: &mut Vec<f64>,
+        counts: &mut Vec<usize>,
+    ) {
+        scores.clear();
+        scores.resize(candidates.len(), 0.0);
+        for (slot, &v) in scores.iter_mut().zip(candidates) {
+            *slot = self.score_addition(ctx, v, counts);
+        }
+    }
+}
+
+/// Candidate-block size for the parallel scan: tiny sets (and one-worker
+/// runs) stay inline on the calling thread, larger ones split evenly.
+fn scan_block(n: usize) -> usize {
+    if n <= 4 {
+        n.max(1)
+    } else {
+        n.div_ceil(rayon::current_num_threads()).max(1)
+    }
+}
+
+/// Reusable buffers for the candidate scan. Strategies own one and thread
+/// it through [`best_candidate_with`] /
+/// [`best_new_server_position_scored`], so the per-round stepping path
+/// ([`SimSession`](flexserve_sim::SimSession), serve sessions) allocates
+/// nothing in steady state. The buffers are pure caches: they carry no
+/// strategy state, are not checkpointed, and `clone()` starts empty.
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    /// The window scoring index of the current pass.
+    pub(crate) index: WindowIndex,
+    /// Candidate node list of the current pass.
+    pub(crate) candidates: Vec<NodeId>,
+    /// Per-candidate scores, aligned with `candidates`.
+    pub(crate) scores: Vec<f64>,
+    /// Per-server request counter (`k + 1` slots).
+    pub(crate) counts: Vec<usize>,
+}
+
+impl CandidateScratch {
+    /// Empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        CandidateScratch::default()
+    }
+}
+
+impl Clone for CandidateScratch {
+    /// Clones start empty: the buffers are allocation caches, not state.
+    fn clone(&self) -> Self {
+        CandidateScratch::default()
+    }
 }
 
 /// Analytic transition cost of a single-server change, mirroring the
@@ -244,63 +526,57 @@ pub fn best_candidate(
     window: &EpochWindow,
     options: CandidateOptions,
 ) -> (Vec<NodeId>, f64) {
+    best_candidate_with(ctx, fleet, window, options, &mut CandidateScratch::new())
+}
+
+/// [`best_candidate`] with caller-owned scratch: strategies thread their
+/// [`CandidateScratch`] through so repeated epoch scoring reuses the
+/// window index and every buffer.
+pub fn best_candidate_with(
+    ctx: &SimContext<'_>,
+    fleet: &Fleet,
+    window: &EpochWindow,
+    options: CandidateOptions,
+    scratch: &mut CandidateScratch,
+) -> (Vec<NodeId>, f64) {
     let a = fleet.active();
     let k = a.len();
     assert!(k > 0, "best_candidate: no active servers");
     let wlen = window.len() as f64;
     let ra = ctx.params.run_active;
 
-    // Precompute two nearest current servers per (round, origin).
-    let mut infos: Vec<Vec<OriginInfo>> = Vec::with_capacity(window.rounds.len());
-    for round in &window.rounds {
-        let mut v = Vec::with_capacity(round.len());
-        for &(origin, cnt) in round {
-            let (mut d1, mut s1, mut d2, mut s2) = (f64::INFINITY, 0usize, f64::INFINITY, 0usize);
-            for (i, &s) in a.iter().enumerate() {
-                let d = ctx.dist.get(origin, s);
-                if d < d1 {
-                    d2 = d1;
-                    s2 = s1;
-                    d1 = d;
-                    s1 = i;
-                } else if d < d2 {
-                    d2 = d;
-                    s2 = i;
-                }
-            }
-            v.push(OriginInfo {
-                origin,
-                cnt,
-                d1,
-                s1,
-                d2,
-                s2,
-            });
-        }
-        infos.push(v);
-    }
+    let CandidateScratch {
+        index,
+        candidates,
+        scores,
+        counts,
+    } = scratch;
 
-    let strengths: Vec<f64> = a.iter().map(|&s| ctx.graph.strength(s)).collect();
+    // Precompute two nearest current servers per (round, origin).
+    index.rebuild(ctx, a, window);
 
     // Scores a candidate: remove server index `remove` (usize::MAX = none)
     // and/or add node `add` (None = none). Exact nearest routing + load.
     // `counts` is scratch of size k+1 (slot k = the added server).
-    let mut counts = vec![0usize; k + 1];
+    counts.clear();
+    counts.resize(k + 1, 0);
     let mut eval = |remove: usize, add: Option<NodeId>| -> f64 {
         let mut total = 0.0;
         let add_strength = add.map(|v| ctx.graph.strength(v)).unwrap_or(1.0);
-        for round in &infos {
+        for r in 0..index.bounds.len() - 1 {
             counts.iter_mut().for_each(|c| *c = 0);
-            for info in round {
+            for j in index.bounds[r]..index.bounds[r + 1] {
+                let e = &index.entries[j];
                 // nearest surviving current server
-                let (dcur, scur) = if info.s1 == remove {
-                    (info.d2, info.s2)
+                let (dcur, scur) = if e.s1 as usize == remove {
+                    let (d2, s2) = index.seconds[j];
+                    (d2, s2 as usize)
                 } else {
-                    (info.d1, info.s1)
+                    (e.d1, e.s1 as usize)
                 };
                 let (d, slot) = match add {
                     Some(v) => {
-                        let dv = ctx.dist.get(info.origin, v);
+                        let dv = ctx.dist.get(NodeId::new(e.origin as usize), v);
                         if dv < dcur {
                             (dv, k)
                         } else {
@@ -309,14 +585,18 @@ pub fn best_candidate(
                     }
                     None => (dcur, scur),
                 };
-                total += d * info.cnt as f64;
-                counts[slot] += info.cnt;
+                total += d * e.cnt as f64;
+                counts[slot] += e.cnt;
             }
             for (i, &c) in counts.iter().enumerate() {
                 if c == 0 {
                     continue;
                 }
-                let strength = if i == k { add_strength } else { strengths[i] };
+                let strength = if i == k {
+                    add_strength
+                } else {
+                    index.strengths[i]
+                };
                 total += ctx.load.load(strength, c);
             }
         }
@@ -371,14 +651,14 @@ pub fn best_candidate(
         }
     }
 
-    // 4. Add v (respect the k budget).
+    // 4. Add v (respect the k budget) — all additions in one transposed pass.
     if options.add && k < ctx.params.max_servers {
-        for v in ctx.graph.nodes() {
-            if fleet.is_active_at(v) {
-                continue;
-            }
+        candidates.clear();
+        candidates.extend(ctx.graph.nodes().filter(|&v| !fleet.is_active_at(v)));
+        index.score_all_additions(ctx, candidates, scores, counts);
+        for (j, &v) in candidates.iter().enumerate() {
             let trans = single_change_cost(ctx, fleet, ChangeKind::Add(v));
-            let score = eval(NONE, Some(v)) + ra * (k + 1) as f64 * wlen + trans;
+            let score = scores[j] + ra * (k + 1) as f64 * wlen + trans;
             if score < best_score {
                 let mut target = a.to_vec();
                 target.push(v);
@@ -402,21 +682,40 @@ pub fn best_new_server_position(
     fleet: &Fleet,
     window: &EpochWindow,
 ) -> Option<NodeId> {
+    best_new_server_position_scored(ctx, fleet, window, &mut CandidateScratch::new())
+        .map(|(v, _)| v)
+}
+
+/// [`best_new_server_position`] with caller-owned scratch, also returning
+/// the winning access cost. One [`WindowIndex`] rebuild plus a single
+/// transposed scan replaces the per-candidate `access_cost_window`
+/// rescans (and their per-candidate `A ∪ {v}` allocation), so the
+/// steady-state large-epoch trigger allocates nothing.
+pub fn best_new_server_position_scored(
+    ctx: &SimContext<'_>,
+    fleet: &Fleet,
+    window: &EpochWindow,
+    scratch: &mut CandidateScratch,
+) -> Option<(NodeId, f64)> {
     let a = fleet.active();
+    let CandidateScratch {
+        index,
+        candidates,
+        scores,
+        counts,
+    } = scratch;
+    index.rebuild(ctx, a, window);
+    candidates.clear();
+    candidates.extend(ctx.graph.nodes().filter(|&v| !fleet.is_active_at(v)));
+    index.score_all_additions(ctx, candidates, scores, counts);
     let mut best: Option<(NodeId, f64)> = None;
-    let mut with_v: Vec<NodeId> = a.to_vec();
-    with_v.push(NodeId::new(0)); // placeholder, replaced per candidate
-    for v in ctx.graph.nodes() {
-        if fleet.is_active_at(v) {
-            continue;
-        }
-        *with_v.last_mut().unwrap() = v;
-        let cost = access_cost_window(ctx, &with_v, window);
+    for (j, &v) in candidates.iter().enumerate() {
+        let cost = scores[j];
         if best.is_none_or(|(_, c)| cost < c) {
             best = Some((v, cost));
         }
     }
-    best.map(|(v, _)| v)
+    best
 }
 
 #[cfg(test)]
@@ -684,5 +983,103 @@ mod tests {
         let fleet = Fleet::new(vec![n(0), n(1)], &ctx.params);
         let w = window_at(&[(0, 1)], 1);
         assert_eq!(best_new_server_position(&ctx, &fleet, &w), None);
+    }
+
+    #[test]
+    fn transposed_scan_matches_naive_rescan_bitwise() {
+        let f = Fixture::line(25);
+        for load in [LoadModel::None, LoadModel::Linear, LoadModel::Quadratic] {
+            let ctx = f.ctx(load);
+            let a = [n(2), n(17)];
+            let w = window_at(&[(0, 3), (5, 1), (17, 4), (24, 2)], 3);
+            let mut index = WindowIndex::new();
+            index.rebuild(&ctx, &a, &w);
+            let mut counts = Vec::new();
+            let candidates: Vec<NodeId> = ctx.graph.nodes().filter(|v| !a.contains(v)).collect();
+            let mut scores = Vec::new();
+            index.score_all_additions(&ctx, &candidates, &mut scores, &mut counts);
+            let mut serial = Vec::new();
+            index.score_all_additions_serial(&ctx, &candidates, &mut serial, &mut counts);
+            for (j, &v) in candidates.iter().enumerate() {
+                let naive = access_cost_window(&ctx, &[a[0], a[1], v], &w);
+                let scanned = index.score_addition(&ctx, v, &mut counts);
+                assert_eq!(naive.to_bits(), scanned.to_bits(), "v={v:?} load={load:?}");
+                assert_eq!(naive.to_bits(), scores[j].to_bits());
+                assert_eq!(naive.to_bits(), serial[j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scan_handles_unreachable_origins_bitwise() {
+        // Node 2 is an isolated component: every distance to it is ∞, so the
+        // naive rescan and the transposed scan must both report ∞ access cost
+        // for windows that contain its demand.
+        let mut g = flexserve_graph::Graph::new();
+        for _ in 0..3 {
+            g.add_node(1.0);
+        }
+        g.add_edge(n(0), n(1), 1.0, flexserve_graph::Bandwidth::T1)
+            .unwrap();
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+        let w = window_at(&[(1, 2), (2, 5)], 2);
+        let mut index = WindowIndex::new();
+        index.rebuild(&ctx, &[n(0)], &w);
+        let mut counts = Vec::new();
+        let naive = access_cost_window(&ctx, &[n(0), n(1)], &w);
+        let scanned = index.score_addition(&ctx, n(1), &mut counts);
+        assert!(naive.is_infinite());
+        assert_eq!(naive.to_bits(), scanned.to_bits());
+    }
+
+    #[test]
+    fn scored_position_matches_retired_per_candidate_rescan() {
+        // Micro-assert for the allocation fix: the transposed
+        // `best_new_server_position_scored` returns the exact `(v, cost)`
+        // the retired per-candidate `access_cost_window(A ∪ {v})` loop did.
+        let f = Fixture::line(30);
+        for load in [LoadModel::None, LoadModel::Quadratic] {
+            let ctx = f.ctx(load);
+            let fleet = Fleet::new(vec![n(0), n(12)], &ctx.params);
+            let w = window_at(&[(0, 5), (7, 2), (25, 9)], 3);
+            let mut naive: Option<(NodeId, f64)> = None;
+            let mut with_v: Vec<NodeId> = fleet.active().to_vec();
+            with_v.push(n(0)); // placeholder, replaced per candidate
+            for v in ctx.graph.nodes() {
+                if fleet.is_active_at(v) {
+                    continue;
+                }
+                *with_v.last_mut().unwrap() = v;
+                let cost = access_cost_window(&ctx, &with_v, &w);
+                if naive.is_none_or(|(_, c)| cost < c) {
+                    naive = Some((v, cost));
+                }
+            }
+            let mut scratch = CandidateScratch::new();
+            let scored = best_new_server_position_scored(&ctx, &fleet, &w, &mut scratch);
+            let (nv, nc) = naive.unwrap();
+            let (sv, sc) = scored.unwrap();
+            assert_eq!(nv, sv);
+            assert_eq!(nc.to_bits(), sc.to_bits());
+        }
+    }
+
+    #[test]
+    fn best_candidate_with_reuses_scratch_across_epochs() {
+        let f = Fixture::line(40);
+        let ctx = f.ctx(LoadModel::Linear);
+        let fleet = Fleet::new(vec![n(0)], &ctx.params);
+        let mut scratch = CandidateScratch::new();
+        for rounds in [1usize, 5, 10] {
+            let w = window_at(&[(0, 10), (39, 10)], rounds);
+            let fresh = best_candidate(&ctx, &fleet, &w, CandidateOptions::all());
+            let reused =
+                best_candidate_with(&ctx, &fleet, &w, CandidateOptions::all(), &mut scratch);
+            assert_eq!(fresh.0, reused.0);
+            assert_eq!(fresh.1.to_bits(), reused.1.to_bits());
+        }
+        // The scratch is a cache, not state: clones start empty.
+        assert!(scratch.clone().index.rounds() == 0);
     }
 }

@@ -55,7 +55,8 @@ pub mod sampledconf;
 
 pub use baseline::StaticStrategy;
 pub use candidates::{
-    access_cost_window, best_candidate, best_new_server_position, CandidateOptions, EpochWindow,
+    access_cost_window, best_candidate, best_candidate_with, best_new_server_position,
+    best_new_server_position_scored, CandidateOptions, CandidateScratch, EpochWindow, WindowIndex,
 };
 pub use competitive::competitive_ratio;
 pub use offbr::OffBr;

@@ -19,7 +19,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::{RoundRequests, Trace};
 
-use crate::candidates::{best_candidate, CandidateOptions, EpochWindow};
+use crate::candidates::{best_candidate_with, CandidateOptions, CandidateScratch, EpochWindow};
 use crate::onbr::ThresholdMode;
 
 /// The OFFBR strategy (lookahead best response).
@@ -30,6 +30,8 @@ pub struct OffBr {
     epoch_cost: f64,
     epoch_len: u64,
     prev_epoch_len: u64,
+    /// Reused window-index buffers; a cache, never checkpointed.
+    scratch: CandidateScratch,
 }
 
 impl OffBr {
@@ -47,6 +49,7 @@ impl OffBr {
             epoch_cost: 0.0,
             epoch_len: 0,
             prev_epoch_len: 1,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -106,7 +109,13 @@ impl OnlineStrategy for OffBr {
         if window.is_empty() {
             return None; // end of trace
         }
-        let (target, _) = best_candidate(ctx, fleet, &window, CandidateOptions::all());
+        let (target, _) = best_candidate_with(
+            ctx,
+            fleet,
+            &window,
+            CandidateOptions::all(),
+            &mut self.scratch,
+        );
         Some(target)
     }
 }

@@ -19,7 +19,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, LoadModel, OnlineStrategy, SimContext};
 use flexserve_workload::{JsonValue, RoundRequests, Trace};
 
-use crate::candidates::{access_cost_window, EpochWindow};
+use crate::candidates::{EpochWindow, WindowIndex};
 
 /// Result of the OFFSTAT computation.
 #[derive(Clone, Debug)]
@@ -89,13 +89,18 @@ pub fn offstat(ctx: &SimContext<'_>, trace: &Trace) -> OffStatResult {
     let mut placements: Vec<NodeId> = Vec::with_capacity(k);
     let mut cost_curve: Vec<f64> = Vec::with_capacity(k);
 
-    // For exact evaluation of non-additive loads.
+    // For exact evaluation of non-additive loads: the newest server is
+    // scored as a single addition against a window index over the
+    // already-placed servers (bit-identical to `access_cost_window` on the
+    // full placement, see `WindowIndex`).
     let mut full_window = EpochWindow::new();
     if !linearish {
         for round in trace.iter() {
             full_window.push(round);
         }
     }
+    let mut index = WindowIndex::new();
+    let mut counts_scratch: Vec<usize> = Vec::new();
 
     for i in 1..=k {
         // Greedy: pick v minimizing the flat additive cost.
@@ -123,7 +128,8 @@ pub fn offstat(ctx: &SimContext<'_>, trace: &Trace) -> OffStatResult {
         let access = if linearish {
             best_total
         } else {
-            access_cost_window(ctx, &placements, &full_window)
+            index.rebuild(ctx, &placements[..i - 1], &full_window);
+            index.score_addition(ctx, v, &mut counts_scratch)
         };
         let running = ctx.params.run_active * i as f64 * rounds;
         let creation = ctx.params.creation_c * (i as f64 - 1.0);

@@ -16,7 +16,10 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::{RoundRequests, Trace};
 
-use crate::candidates::{best_candidate, best_new_server_position, CandidateOptions, EpochWindow};
+use crate::candidates::{
+    best_candidate_with, best_new_server_position_scored, CandidateOptions, CandidateScratch,
+    EpochWindow,
+};
 
 /// The OFFTH strategy (lookahead threshold algorithm).
 pub struct OffTh {
@@ -26,6 +29,8 @@ pub struct OffTh {
     large_window: EpochWindow,
     large_access: f64,
     large_running: f64,
+    /// Reused window-index buffers; a cache, never checkpointed.
+    scratch: CandidateScratch,
 }
 
 impl OffTh {
@@ -44,6 +49,7 @@ impl OffTh {
             large_window: EpochWindow::new(),
             large_access: 0.0,
             large_running: 0.0,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -93,7 +99,9 @@ impl OnlineStrategy for OffTh {
         if k_cur < ctx.params.max_servers
             && self.large_access / (k_cur as f64 + 1.0) - self.large_running > ctx.params.creation_c
         {
-            if let Some(v) = best_new_server_position(ctx, fleet, &self.large_window) {
+            if let Some((v, _)) =
+                best_new_server_position_scored(ctx, fleet, &self.large_window, &mut self.scratch)
+            {
                 let mut target = fleet.active().to_vec();
                 target.push(v);
                 self.large_window.clear();
@@ -111,7 +119,13 @@ impl OnlineStrategy for OffTh {
             if window.is_empty() {
                 return None;
             }
-            let (target, _) = best_candidate(ctx, fleet, &window, CandidateOptions::no_add());
+            let (target, _) = best_candidate_with(
+                ctx,
+                fleet,
+                &window,
+                CandidateOptions::no_add(),
+                &mut self.scratch,
+            );
             return Some(target);
         }
 

@@ -18,7 +18,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::{JsonValue, RoundRequests};
 
-use crate::candidates::{best_candidate, CandidateOptions, EpochWindow};
+use crate::candidates::{best_candidate_with, CandidateOptions, CandidateScratch, EpochWindow};
 
 /// How ONBR's epoch threshold is derived.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,6 +38,8 @@ pub struct OnBr {
     window: EpochWindow,
     epoch_cost: f64,
     prev_epoch_len: u64,
+    /// Reused window-index buffers; a cache, never checkpointed.
+    scratch: CandidateScratch,
 }
 
 impl OnBr {
@@ -68,6 +70,7 @@ impl OnBr {
             window: EpochWindow::new(),
             epoch_cost: 0.0,
             prev_epoch_len: 1,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -104,7 +107,13 @@ impl OnlineStrategy for OnBr {
             return None;
         }
 
-        let (target, _score) = best_candidate(ctx, fleet, &self.window, CandidateOptions::all());
+        let (target, _score) = best_candidate_with(
+            ctx,
+            fleet,
+            &self.window,
+            CandidateOptions::all(),
+            &mut self.scratch,
+        );
         self.prev_epoch_len = self.window.len() as u64;
         self.window.clear();
         self.epoch_cost = 0.0;

@@ -21,7 +21,10 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::{JsonValue, RoundRequests};
 
-use crate::candidates::{best_candidate, best_new_server_position, CandidateOptions, EpochWindow};
+use crate::candidates::{
+    best_candidate_with, best_new_server_position_scored, CandidateOptions, CandidateScratch,
+    EpochWindow,
+};
 
 /// The ONTH strategy.
 #[derive(Clone, Debug)]
@@ -33,6 +36,8 @@ pub struct OnTh {
     large_window: EpochWindow,
     large_access: f64,
     large_running: f64,
+    /// Reused window-index buffers; a cache, never checkpointed.
+    scratch: CandidateScratch,
 }
 
 impl OnTh {
@@ -51,6 +56,7 @@ impl OnTh {
             large_window: EpochWindow::new(),
             large_access: 0.0,
             large_running: 0.0,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -98,7 +104,9 @@ impl OnlineStrategy for OnTh {
         if can_grow
             && self.large_access / (k_cur as f64 + 1.0) - self.large_running > ctx.params.creation_c
         {
-            if let Some(v) = best_new_server_position(ctx, fleet, &self.large_window) {
+            if let Some((v, _)) =
+                best_new_server_position_scored(ctx, fleet, &self.large_window, &mut self.scratch)
+            {
                 let mut target = fleet.active().to_vec();
                 target.push(v);
                 self.reset_large();
@@ -109,8 +117,13 @@ impl OnlineStrategy for OnTh {
 
         // Small epoch: track the demand with cheap single-server moves.
         if self.small_cost >= self.y * ctx.params.migration_beta {
-            let (target, _) =
-                best_candidate(ctx, fleet, &self.small_window, CandidateOptions::no_add());
+            let (target, _) = best_candidate_with(
+                ctx,
+                fleet,
+                &self.small_window,
+                CandidateOptions::no_add(),
+                &mut self.scratch,
+            );
             self.reset_small();
             return Some(target);
         }

@@ -43,6 +43,13 @@
 //! targets is parallelized with rayon (each column only reads `prev` and
 //! the group minima), which keeps rounds deterministic: every column's
 //! arithmetic is independent of thread count.
+//!
+//! Access cost is memoized the same way: it depends only on a
+//! configuration's *active set*, so each round evaluates it once per
+//! distinct `active_mask` (e.g. 511 evaluations instead of 19 171 columns
+//! at `n = 9, k = 9`) and the columns look the value up. The memo calls
+//! the identical evaluation on the identical sorted active list, so it is
+//! bit-identical by construction.
 
 use flexserve_graph::NodeId;
 use flexserve_sim::{Plan, SimContext};
@@ -139,6 +146,25 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
     }
     let g = group_masks.len();
 
+    // Access-cost groups: configurations sharing `active_mask` have the
+    // identical sorted active list, hence the identical access cost every
+    // round. `acc_reps[a]` is the first config of group `a` (dense
+    // first-seen ids, like the position groups above).
+    let mut acc_group_of = vec![0u32; s];
+    let mut acc_reps: Vec<u32> = Vec::new();
+    {
+        let mut seen: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (j, cfg) in configs.iter().enumerate() {
+            let next = seen.len() as u32;
+            let aid = *seen.entry(cfg.active_mask).or_insert(next);
+            if aid == acc_reps.len() as u32 {
+                acc_reps.push(j as u32);
+            }
+            acc_group_of[j] = aid;
+        }
+    }
+    let ga = acc_reps.len();
+
     // --- Per-config running cost ---------------------------------------
     let running: Vec<f64> = configs
         .iter()
@@ -160,19 +186,31 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
     // routing; any other policy goes through the routing layer.
     let nearest = matches!(ctx.routing, flexserve_sim::RoutingPolicy::Nearest);
 
+    // Per-round access memo: one evaluation per distinct active set.
+    let mut access_of = vec![0.0f64; ga];
+    let fill_access = |access_of: &mut Vec<f64>, t: usize| {
+        let round = trace.round(t);
+        let counts = round.counts_slice();
+        par_columns(access_of, ga, |aj, col| {
+            let active = &configs[acc_reps[aj] as usize].active;
+            if nearest {
+                access_cost_counts(ctx, active, counts, col.counts_scratch())
+            } else {
+                ctx.access_cost(active, round)
+            }
+        });
+    };
+
     // Round 0: transition from γ0 (positions-only pricing, identical to
     // `config_transition_cost`).
     {
-        let round = trace.round(0);
-        let counts = round.counts_slice();
-        par_columns(&mut cur, s, |j, col| {
+        fill_access(&mut access_of, 0);
+        let access_of = &access_of;
+        let acc_group_of = &acc_group_of;
+        par_columns(&mut cur, s, |j, _col| {
             let cfg = &configs[j];
             let tcost = mask_transition_cost(gamma0_mask, cfg.position_mask, &ctx.params);
-            let acc = if nearest {
-                access_cost_counts(ctx, &cfg.active, counts, col.counts_scratch())
-            } else {
-                ctx.access_cost(&cfg.active, round)
-            };
+            let acc = access_of[acc_group_of[j] as usize];
             tcost + running[j] + acc
         });
         parents.push(vec![u32::MAX; s]);
@@ -201,13 +239,14 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
         // Phase 2 (parallel, O(s·g)): per target column, minimize over
         // groups with the popcount transition cost. Columns land in the
         // reusable `results` buffer and are unzipped serially (O(s)).
-        let round = trace.round(t);
-        let counts = round.counts_slice();
+        fill_access(&mut access_of, t);
         {
             let group_min = &group_min;
             let group_arg = &group_arg;
             let group_masks = &group_masks;
-            par_columns(&mut results, s, |j, col| {
+            let access_of = &access_of;
+            let acc_group_of = &acc_group_of;
+            par_columns(&mut results, s, |j, _col| {
                 let cfg = &configs[j];
                 let mut best = f64::INFINITY;
                 let mut best_p = u32::MAX;
@@ -223,11 +262,7 @@ pub fn optimal_plan(ctx: &SimContext<'_>, trace: &Trace, initial: &[NodeId]) -> 
                         best_p = group_arg[gi];
                     }
                 }
-                let acc = if nearest {
-                    access_cost_counts(ctx, &cfg.active, counts, col.counts_scratch())
-                } else {
-                    ctx.access_cost(&cfg.active, round)
-                };
+                let acc = access_of[acc_group_of[j] as usize];
                 (best + running[j] + acc, best_p)
             });
         }

@@ -23,7 +23,7 @@ use flexserve_graph::NodeId;
 use flexserve_sim::{Fleet, OnlineStrategy, SimContext};
 use flexserve_workload::RoundRequests;
 
-use crate::candidates::{access_cost_window, EpochWindow};
+use crate::candidates::{CandidateScratch, EpochWindow};
 
 /// The sampled-configuration strategy.
 #[derive(Clone, Debug)]
@@ -34,6 +34,8 @@ pub struct SampledConf {
     counters: Vec<f64>,
     /// The server count we are currently running.
     current: usize,
+    /// Reused window-index buffers; a cache, never checkpointed.
+    scratch: CandidateScratch,
 }
 
 impl SampledConf {
@@ -45,6 +47,7 @@ impl SampledConf {
             window: EpochWindow::new(),
             counters: vec![0.0; k],
             current: 1,
+            scratch: CandidateScratch::new(),
         }
     }
 
@@ -55,17 +58,28 @@ impl SampledConf {
 
     /// Greedy placement of `i` servers for the epoch demand so far —
     /// OFFSTAT's placement rule applied online to the observed window.
-    fn greedy_placement(&self, ctx: &SimContext<'_>, i: usize) -> Vec<NodeId> {
+    /// Each step scores every remaining node with one transposed
+    /// [`crate::candidates::WindowIndex`] scan (bit-identical to the retired
+    /// per-candidate `access_cost_window` rescan).
+    fn greedy_placement(&mut self, ctx: &SimContext<'_>, i: usize) -> Vec<NodeId> {
+        let SampledConf {
+            window, scratch, ..
+        } = self;
+        let CandidateScratch {
+            index,
+            candidates,
+            scores,
+            counts,
+        } = scratch;
         let mut placed: Vec<NodeId> = Vec::with_capacity(i);
         for _ in 0..i {
+            index.rebuild(ctx, &placed, window);
+            candidates.clear();
+            candidates.extend(ctx.graph.nodes().filter(|v| !placed.contains(v)));
+            index.score_all_additions(ctx, candidates, scores, counts);
             let mut best: Option<(NodeId, f64)> = None;
-            for v in ctx.graph.nodes() {
-                if placed.contains(&v) {
-                    continue;
-                }
-                placed.push(v);
-                let cost = access_cost_window(ctx, &placed, &self.window);
-                placed.pop();
+            for (j, &v) in candidates.iter().enumerate() {
+                let cost = scores[j];
                 if best.is_none_or(|(_, c)| cost < c) {
                     best = Some((v, cost));
                 }

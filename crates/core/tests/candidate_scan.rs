@@ -1,0 +1,222 @@
+//! Property tests pinning the transposed candidate scan **bitwise** to the
+//! naive per-candidate rescan.
+//!
+//! Invariants checked, at whatever `RAYON_NUM_THREADS` the harness sets
+//! (CI runs the suite at 1 and 4):
+//! * `WindowIndex::score_addition(v)` == `access_cost_window(A ∪ {v})`
+//!   `to_bits`-equal on arbitrary random graphs, windows, active sets and
+//!   load models — including failed links (`set_edge_latency(∞)`), where
+//!   both sides must report the same `∞`;
+//! * the rayon-parallel `score_all_additions` == the serial reference ==
+//!   the naive rescan, bitwise;
+//! * `best_new_server_position_scored` returns the exact `(v, cost)` of
+//!   the retired per-candidate loop;
+//! * the window-scoring plane (∞ for unreachable demand) stays distinct
+//!   from the serving plane's `UNREACHABLE_PENALTY` clamp, and the scan
+//!   follows the former.
+
+use proptest::prelude::*;
+
+use flexserve_core::{
+    access_cost_window, best_new_server_position_scored, CandidateScratch, EpochWindow, WindowIndex,
+};
+use flexserve_graph::{DistanceMatrix, Graph, NodeId};
+use flexserve_sim::{CostParams, Fleet, LoadModel, SimContext, UNREACHABLE_PENALTY};
+use flexserve_workload::RoundRequests;
+
+/// Builds a random graph from proptest-chosen edges; roughly one edge in
+/// seven (`fail == 0`) is set to infinite latency afterwards (the
+/// fault-injection convention), which can disconnect the graph.
+fn graph_from_edges(n: usize, edges: &[(usize, usize, f64, usize)]) -> Graph {
+    let mut g = Graph::new();
+    for _ in 0..n {
+        g.add_node(1.0);
+    }
+    for &(a, b, lat, fail) in edges {
+        let (a, b) = (a % n, b % n);
+        if a == b {
+            continue;
+        }
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let _ = g.add_edge(a, b, lat, flexserve_graph::Bandwidth::T1);
+        if fail == 0 {
+            let _ = g.set_edge_latency(a, b, f64::INFINITY);
+        }
+    }
+    g
+}
+
+fn load_model(pick: usize) -> LoadModel {
+    match pick {
+        0 => LoadModel::None,
+        1 => LoadModel::Linear,
+        2 => LoadModel::Quadratic,
+        _ => LoadModel::Power(1.5),
+    }
+}
+
+fn window_from(n: usize, rounds: &[Vec<(usize, usize)>]) -> EpochWindow {
+    let mut w = EpochWindow::new();
+    for round in rounds {
+        let mut batch = RoundRequests::empty();
+        for &(origin, cnt) in round {
+            batch.push_many(NodeId::new(origin % n), cnt);
+        }
+        w.push(&batch);
+    }
+    w
+}
+
+/// Deduped active set (at least one server), in first-mention order like
+/// a real fleet's.
+fn active_from(n: usize, picks: &[usize]) -> Vec<NodeId> {
+    let mut active: Vec<NodeId> = Vec::new();
+    for &p in picks {
+        let v = NodeId::new(p % n);
+        if !active.contains(&v) {
+            active.push(v);
+        }
+    }
+    if active.is_empty() {
+        active.push(NodeId::new(0));
+    }
+    active
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scan_matches_naive_rescan_bitwise(
+        n in 3usize..16,
+        edges in prop::collection::vec(
+            (0usize..16, 0usize..16, 0.5f64..50.0, 0usize..7), 2..40),
+        rounds in prop::collection::vec(
+            prop::collection::vec((0usize..16, 1usize..6), 0..5), 1..4),
+        picks in prop::collection::vec(0usize..16, 1..4),
+        lm in 0usize..4,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = DistanceMatrix::build(&g);
+        let ctx = SimContext::new(&g, &m, CostParams::default(), load_model(lm));
+        let active = active_from(n, &picks);
+        let w = window_from(n, &rounds);
+
+        let mut index = WindowIndex::new();
+        index.rebuild(&ctx, &active, &w);
+        let candidates: Vec<NodeId> =
+            g.nodes().filter(|v| !active.contains(v)).collect();
+        let mut scores = Vec::new();
+        let mut serial = Vec::new();
+        let mut counts = Vec::new();
+        index.score_all_additions(&ctx, &candidates, &mut scores, &mut counts);
+        index.score_all_additions_serial(&ctx, &candidates, &mut serial, &mut counts);
+
+        let mut with_v = active.clone();
+        with_v.push(NodeId::new(0)); // placeholder, replaced per candidate
+        for (j, &v) in candidates.iter().enumerate() {
+            *with_v.last_mut().unwrap() = v;
+            let naive = access_cost_window(&ctx, &with_v, &w);
+            let single = index.score_addition(&ctx, v, &mut counts);
+            prop_assert_eq!(naive.to_bits(), single.to_bits(),
+                "score_addition: v={:?} naive={} scan={}", v, naive, single);
+            prop_assert_eq!(naive.to_bits(), scores[j].to_bits(),
+                "score_all_additions: v={:?}", v);
+            prop_assert_eq!(naive.to_bits(), serial[j].to_bits(),
+                "score_all_additions_serial: v={:?}", v);
+        }
+    }
+
+    #[test]
+    fn scored_position_matches_naive_loop(
+        n in 3usize..14,
+        edges in prop::collection::vec(
+            (0usize..14, 0usize..14, 0.5f64..50.0, 0usize..9), 2..30),
+        rounds in prop::collection::vec(
+            prop::collection::vec((0usize..14, 1usize..6), 0..5), 1..3),
+        picks in prop::collection::vec(0usize..14, 1..3),
+        lm in 0usize..4,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let m = DistanceMatrix::build(&g);
+        let params = CostParams::default().with_max_servers(n);
+        let ctx = SimContext::new(&g, &m, params, load_model(lm));
+        let active = active_from(n, &picks);
+        let fleet = Fleet::new(active.clone(), &ctx.params);
+        let w = window_from(n, &rounds);
+
+        // The retired implementation, verbatim.
+        let mut naive: Option<(NodeId, f64)> = None;
+        let mut with_v = fleet.active().to_vec();
+        with_v.push(NodeId::new(0));
+        for v in g.nodes() {
+            if fleet.is_active_at(v) {
+                continue;
+            }
+            *with_v.last_mut().unwrap() = v;
+            let cost = access_cost_window(&ctx, &with_v, &w);
+            if naive.is_none_or(|(_, c)| cost < c) {
+                naive = Some((v, cost));
+            }
+        }
+
+        let mut scratch = CandidateScratch::new();
+        let scored = best_new_server_position_scored(&ctx, &fleet, &w, &mut scratch);
+        match (naive, scored) {
+            (Some((nv, nc)), Some((sv, sc))) => {
+                prop_assert_eq!(nv, sv);
+                prop_assert_eq!(nc.to_bits(), sc.to_bits());
+            }
+            (a, b) => prop_assert!(a.is_none() && b.is_none()),
+        }
+    }
+}
+
+/// The two planes treat unreachable demand differently by design: window
+/// scoring (placement plane) propagates `∞`, the serving plane clamps each
+/// unreachable request at [`UNREACHABLE_PENALTY`]. The scan must follow
+/// the former bitwise while the latter stays finite.
+#[test]
+fn unreachable_demand_is_infinite_here_but_clamped_when_serving() {
+    let mut g = Graph::new();
+    for _ in 0..4 {
+        g.add_node(1.0);
+    }
+    g.add_edge(
+        NodeId::new(0),
+        NodeId::new(1),
+        1.0,
+        flexserve_graph::Bandwidth::T1,
+    )
+    .unwrap();
+    g.add_edge(
+        NodeId::new(2),
+        NodeId::new(3),
+        1.0,
+        flexserve_graph::Bandwidth::T1,
+    )
+    .unwrap();
+    // Nodes {2,3} are a separate component from {0,1}.
+    let m = DistanceMatrix::build(&g);
+    let ctx = SimContext::new(&g, &m, CostParams::default(), LoadModel::Linear);
+
+    let mut batch = RoundRequests::empty();
+    batch.push_many(NodeId::new(1), 2);
+    batch.push_many(NodeId::new(3), 5);
+    let mut w = EpochWindow::new();
+    w.push(&batch);
+
+    let active = [NodeId::new(0)];
+    let mut index = WindowIndex::new();
+    index.rebuild(&ctx, &active, &w);
+    let mut counts = Vec::new();
+    let naive = access_cost_window(&ctx, &[NodeId::new(0), NodeId::new(1)], &w);
+    let scanned = index.score_addition(&ctx, NodeId::new(1), &mut counts);
+    assert!(naive.is_infinite(), "placement plane propagates ∞");
+    assert_eq!(naive.to_bits(), scanned.to_bits());
+
+    // The serving plane charges the same round a finite clamped penalty.
+    let served = ctx.access_cost(&[NodeId::new(0), NodeId::new(1)], &batch);
+    assert!(served.is_finite());
+    assert!(served >= 5.0 * UNREACHABLE_PENALTY);
+}

@@ -198,6 +198,39 @@ fn architecture_and_benchmarks_document_the_demand_plane() {
 }
 
 #[test]
+fn architecture_and_benchmarks_document_the_strategy_hot_path() {
+    const BENCHMARKS_MD: &str = include_str!("../../../docs/BENCHMARKS.md");
+    // the one-pass transposed scan is the strategy plane's hot path;
+    // the architecture doc must name the machinery and its invariant
+    assert!(
+        ARCHITECTURE_MD.contains("strategy hot path"),
+        "docs/ARCHITECTURE.md must carry the strategy-hot-path paragraph"
+    );
+    for name in [
+        "WindowIndex",
+        "CandidateScratch",
+        "bit-identity",
+        "candidate_scan",
+    ] {
+        assert!(
+            ARCHITECTURE_MD.contains(name),
+            "docs/ARCHITECTURE.md must mention {name}"
+        );
+    }
+    // and the bench entry stays documented with its extra fields
+    assert!(
+        BENCHMARKS_MD.contains("`candidate_scan`"),
+        "docs/BENCHMARKS.md must document the BENCH_sweeps.json candidate_scan entry"
+    );
+    for field in ["`candidates`", "`rounds`", "`servers`"] {
+        assert!(
+            BENCHMARKS_MD.contains(field),
+            "docs/BENCHMARKS.md must document the candidate_scan {field} field"
+        );
+    }
+}
+
+#[test]
 fn traces_md_documents_the_packed_plane() {
     const TRACES_MD: &str = include_str!("../../../docs/TRACES.md");
     // the format tag is the on-disk contract — the doc must carry the

@@ -2,7 +2,11 @@
 //!
 //! * `fig03` through the registry must reproduce the CSV the retired
 //!   per-figure binary produced, byte for byte — the distance-matrix cache
-//!   and the registry dispatch may never change experiment output.
+//!   and the registry dispatch may never change experiment output. Since
+//!   the strategies moved to the one-pass transposed candidate scan
+//!   (`WindowIndex` in `flexserve-core`), this golden also pins that scan
+//!   end to end: any non-bit-identical scoring change shifts placements
+//!   and shows up here as a CSV diff.
 //! * `flexserve list` output must stay stable (the docs and CI smoke job
 //!   reference its names).
 //!
